@@ -1,0 +1,263 @@
+(* Regenerates every table and figure of the paper's evaluation (Section 4)
+   and runs Bechamel micro-benchmarks of the compilation passes.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything (default scale)
+     dune exec bench/main.exe -- table1       -- one artifact
+     dune exec bench/main.exe -- --scale 2 table2 fig13
+     dune exec bench/main.exe -- bechamel     -- pass-timing benchmarks only
+
+   Artifacts: table1 table2 fig11 fig12 fig13 fig14 table3 theorems archcmp inline
+   bechamel; 'profile' (opt-in) ablates profile-directed order determination. *)
+
+let scale = ref 1
+let selected : string list ref = ref []
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: n :: rest ->
+        scale := int_of_string n;
+        parse rest
+    | "--quick" :: rest ->
+        scale := 1;
+        parse rest
+    | x :: rest ->
+        selected := x :: !selected;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let want what = !selected = [] || List.mem what !selected || List.mem "all" !selected
+
+(* ------------------------------------------------------------------ *)
+(* Table / figure regeneration                                         *)
+(* ------------------------------------------------------------------ *)
+
+let jbm_matrix =
+  lazy (Sxe_harness.Experiment.run_suite ~scale:!scale Sxe_workloads.Registry.Jbytemark)
+
+let spec_matrix =
+  lazy (Sxe_harness.Experiment.run_suite ~scale:!scale Sxe_workloads.Registry.Specjvm)
+
+let check_matrix name matrix =
+  List.iter
+    (fun (wl, ms) ->
+      List.iter
+        (fun (m : Sxe_harness.Experiment.measurement) ->
+          if not m.equivalent then
+            Printf.eprintf "!! %s/%s under %s DIVERGED from the reference\n%!" name wl
+              m.variant)
+        ms)
+    matrix
+
+let table1 () =
+  let m = Lazy.force jbm_matrix in
+  check_matrix "jBYTEmark" m;
+  print_string
+    (Sxe_harness.Table.dynamic_counts
+       ~title:
+         (Printf.sprintf
+            "Table 1. Dynamic counts of remaining 32-bit sign extensions, jBYTEmark \
+             (scale %d; o = improved vs row above, * = worsened)"
+            !scale)
+       m);
+  print_newline ()
+
+let table2 () =
+  let m = Lazy.force spec_matrix in
+  check_matrix "SPECjvm98" m;
+  print_string
+    (Sxe_harness.Table.dynamic_counts
+       ~title:
+         (Printf.sprintf
+            "Table 2. Dynamic counts of remaining 32-bit sign extensions, SPECjvm98 \
+             analogues (scale %d)"
+            !scale)
+       m);
+  print_newline ()
+
+let fig11 () =
+  print_string
+    (Sxe_harness.Table.figure_series
+       ~title:"Figure 11. Remaining 32-bit sign extensions, % of baseline (jBYTEmark)"
+       (Lazy.force jbm_matrix));
+  print_newline ()
+
+let fig12 () =
+  print_string
+    (Sxe_harness.Table.figure_series
+       ~title:"Figure 12. Remaining 32-bit sign extensions, % of baseline (SPECjvm98)"
+       (Lazy.force spec_matrix));
+  print_newline ()
+
+let fig13 () =
+  print_string
+    (Sxe_harness.Table.performance
+       ~title:"Figure 13. Performance improvement over baseline (cost model), jBYTEmark"
+       (Lazy.force jbm_matrix));
+  print_newline ()
+
+let fig14 () =
+  print_string
+    (Sxe_harness.Table.performance
+       ~title:"Figure 14. Performance improvement over baseline (cost model), SPECjvm98"
+       (Lazy.force spec_matrix));
+  print_newline ()
+
+let table3 () =
+  let ws = Sxe_workloads.Registry.all ~scale:!scale () in
+  let bs = List.map (Sxe_harness.Experiment.compile_time_breakdown ~repeat:5) ws in
+  print_string
+    (Sxe_harness.Table.breakdowns
+       ~title:"Table 3. Breakdown of JIT compilation time (full configuration)" bs);
+  print_newline ()
+
+(* extra: which theorem justified the array-subscript eliminations *)
+let theorems () =
+  Printf.printf "Theorem usage (static eliminations justified per theorem, full config):\n";
+  Printf.printf "%-14s  %6s %6s %6s %6s\n" "benchmark" "T1" "T2" "T3" "T4";
+  List.iter
+    (fun (w : Sxe_workloads.Registry.t) ->
+      let prog = Sxe_lang.Frontend.compile w.source in
+      let stats = Sxe_core.Pass.compile (Sxe_core.Config.new_all ()) prog in
+      let t = stats.Sxe_core.Stats.by_theorem in
+      Printf.printf "%-14s  %6d %6d %6d %6d\n" w.name t.(1) t.(2) t.(3) t.(4))
+    (Sxe_workloads.Registry.all ~scale:!scale ());
+  print_newline ()
+
+(* extra: IA64 vs PPC64 (Section 1 / Figure 2): how much of PPC64's
+   implicit-sign-extension advantage the optimization recovers on IA64 *)
+let archcmp () =
+  Printf.printf
+    "Architecture comparison: dynamic 32-bit sign extensions, baseline and full algorithm:\n";
+  Printf.printf "%-14s  %14s %14s %14s %14s\n" "benchmark" "IA64 base" "IA64 all"
+    "PPC64 base" "PPC64 all";
+  List.iter
+    (fun (w : Sxe_workloads.Registry.t) ->
+      let run config =
+        let prog = Sxe_lang.Frontend.compile w.source in
+        let _ = Sxe_core.Pass.compile config prog in
+        (Sxe_vm.Interp.run ~count_cycles:false prog).Sxe_vm.Interp.sext32
+      in
+      Printf.printf "%-14s  %14Ld %14Ld %14Ld %14Ld\n" w.name
+        (run (Sxe_core.Config.baseline ~arch:Sxe_core.Arch.ia64 ()))
+        (run (Sxe_core.Config.new_all ~arch:Sxe_core.Arch.ia64 ()))
+        (run (Sxe_core.Config.baseline ~arch:Sxe_core.Arch.ppc64 ()))
+        (run (Sxe_core.Config.new_all ~arch:Sxe_core.Arch.ppc64 ())))
+    (Sxe_workloads.Registry.all ~scale:!scale ());
+  print_newline ()
+
+(* extra ablation: order determination fed by static estimation vs the
+   interpreter's branch profile *)
+let profile_ablation () =
+  Printf.printf
+    "Order-determination ablation: dynamic 32-bit sign extensions under the full\n\
+     algorithm, static frequency estimate vs interpreter branch profile:\n";
+  Printf.printf "%-14s  %14s %14s\n" "benchmark" "static" "profiled";
+  List.iter
+    (fun (w : Sxe_workloads.Registry.t) ->
+      let one use_profile =
+        let ms = Sxe_harness.Experiment.run_workload ~use_profile w in
+        (List.find
+           (fun (m : Sxe_harness.Experiment.measurement) ->
+             m.variant = "new algorithm (all)")
+           ms)
+          .dyn_sext32
+      in
+      Printf.printf "%-14s  %14Ld %14Ld\n" w.name (one false) (one true))
+    (Sxe_workloads.Registry.all ~scale:!scale ());
+  print_newline ()
+
+(* extra ablation (beyond the paper): method inlining deletes
+   ABI-boundary extensions before the pipeline runs *)
+let inline_ablation () =
+  Printf.printf
+    "Inlining ablation: dynamic 32-bit sign extensions, full algorithm without\n\
+     and with method inlining (inlining is not part of the paper's pipeline):\n";
+  Printf.printf "%-14s  %14s %14s\n" "benchmark" "all" "all+inline";
+  List.iter
+    (fun (w : Sxe_workloads.Registry.t) ->
+      let one config =
+        let prog = Sxe_lang.Frontend.compile w.source in
+        let _ = Sxe_core.Pass.compile config prog in
+        (Sxe_vm.Interp.run ~count_cycles:false prog).Sxe_vm.Interp.sext32
+      in
+      Printf.printf "%-14s  %14Ld %14Ld\n" w.name
+        (one (Sxe_core.Config.new_all ()))
+        (one (Sxe_core.Config.new_all_inline ())))
+    (Sxe_workloads.Registry.all ~scale:!scale ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel benchmarks: one per table                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let compile_suite suite config () =
+    List.iter
+      (fun (w : Sxe_workloads.Registry.t) ->
+        if w.suite = suite then begin
+          let prog = Sxe_lang.Frontend.compile w.source in
+          ignore (Sxe_core.Pass.compile config prog)
+        end)
+      (Sxe_workloads.Registry.all ~scale:1 ())
+  in
+  let phases_one () =
+    let w = Sxe_workloads.Registry.find ~scale:1 "compress" in
+    let prog = Sxe_lang.Frontend.compile w.Sxe_workloads.Registry.source in
+    ignore (Sxe_core.Pass.compile (Sxe_core.Config.new_all ()) prog)
+  in
+  let tests =
+    [
+      Test.make ~name:"table1: compile jBYTEmark (new algorithm)"
+        (Staged.stage
+           (compile_suite Sxe_workloads.Registry.Jbytemark (Sxe_core.Config.new_all ())));
+      Test.make ~name:"table2: compile SPECjvm98 (new algorithm)"
+        (Staged.stage
+           (compile_suite Sxe_workloads.Registry.Specjvm (Sxe_core.Config.new_all ())));
+      Test.make ~name:"table3: full pipeline, one method-rich program"
+        (Staged.stage phases_one);
+      Test.make ~name:"baseline: compile jBYTEmark (no step 3)"
+        (Staged.stage
+           (compile_suite Sxe_workloads.Registry.Jbytemark (Sxe_core.Config.baseline ())));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~kde:(Some 10) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  Printf.printf "Bechamel pass-timing benchmarks (monotonic clock, ns/run):\n%!";
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let a = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-48s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
+        a)
+    tests;
+  print_newline ()
+
+let () =
+  if want "table1" then table1 ();
+  if want "table2" then table2 ();
+  if want "fig11" then fig11 ();
+  if want "fig12" then fig12 ();
+  if want "fig13" then fig13 ();
+  if want "fig14" then fig14 ();
+  if want "table3" then table3 ();
+  if want "theorems" then theorems ();
+  if want "archcmp" then archcmp ();
+  if want "inline" then inline_ablation ();
+  if List.mem "profile" !selected then profile_ablation ();
+  if want "bechamel" then bechamel ()

@@ -1,0 +1,253 @@
+(* sxopt: command-line driver for the sign-extension-elimination compiler.
+
+   Subcommands:
+     compile   compile a MiniJ file under a variant; dump IR and statistics
+     run       compile and execute on the 64-bit machine model
+     variants  compare all paper variants on one file
+     workloads list the built-in benchmark programs
+     emit      compile and print pseudo-assembly for IA64 or PPC64 *)
+
+open Cmdliner
+
+let read_source path =
+  if path = "-" then In_channel.input_all stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+let variant_names =
+  [
+    ("baseline", `Baseline);
+    ("gen-use", `Gen_use);
+    ("first", `First);
+    ("basic", `Basic);
+    ("insert", `Insert);
+    ("order", `Order);
+    ("insert-order", `Insert_order);
+    ("array", `Array);
+    ("array-insert", `Array_insert);
+    ("array-order", `Array_order);
+    ("all-pde", `All_pde);
+    ("all", `All);
+  ]
+
+let config_of ?arch ?maxlen = function
+  | `Baseline -> Sxe_core.Config.baseline ?arch ?maxlen ()
+  | `Gen_use -> Sxe_core.Config.gen_use ?arch ?maxlen ()
+  | `First -> Sxe_core.Config.first_algorithm ?arch ?maxlen ()
+  | `Basic -> Sxe_core.Config.basic_ud_du ?arch ?maxlen ()
+  | `Insert -> Sxe_core.Config.insert ?arch ?maxlen ()
+  | `Order -> Sxe_core.Config.order ?arch ?maxlen ()
+  | `Insert_order -> Sxe_core.Config.insert_order ?arch ?maxlen ()
+  | `Array -> Sxe_core.Config.array ?arch ?maxlen ()
+  | `Array_insert -> Sxe_core.Config.array_insert ?arch ?maxlen ()
+  | `Array_order -> Sxe_core.Config.array_order ?arch ?maxlen ()
+  | `All_pde -> Sxe_core.Config.all_pde ?arch ?maxlen ()
+  | `All -> Sxe_core.Config.new_all ?arch ?maxlen ()
+
+(* -- common arguments ------------------------------------------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"MiniJ source file ('-' for stdin).")
+
+let variant_arg =
+  Arg.(
+    value
+    & opt (enum variant_names) `All
+    & info [ "v"; "variant" ] ~docv:"VARIANT"
+        ~doc:
+          (Printf.sprintf "Optimization variant: %s."
+             (String.concat ", " (List.map fst variant_names))))
+
+let arch_arg =
+  Arg.(
+    value
+    & opt (enum [ ("ia64", Sxe_core.Arch.ia64); ("ppc64", Sxe_core.Arch.ppc64) ])
+        Sxe_core.Arch.ia64
+    & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Target model: ia64 or ppc64.")
+
+let maxlen_arg =
+  Arg.(
+    value
+    & opt int64 Sxe_ir.Types.max_array_length
+    & info [ "maxlen" ] ~docv:"N"
+        ~doc:"Maximum array length assumed by Theorem 4 (default: Java's 0x7fffffff).")
+
+let dump_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("source", `Source); ("converted", `Converted); ("final", `Final) ])
+        `Final
+    & info [ "dump" ] ~docv:"STAGE"
+        ~doc:"IR stage to print: source (32-bit form), converted (after step 1+2), final.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Collect a branch profile from a baseline run and feed order determination.")
+
+let with_frontend_errors f =
+  try f () with
+  | Sxe_lang.Frontend.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+(* -- compile ----------------------------------------------------------- *)
+
+let compile_cmd =
+  let doc = "Compile a MiniJ file and show IR and static statistics." in
+  let run file variant arch maxlen dump =
+    with_frontend_errors @@ fun () ->
+    let src = read_source file in
+    let prog = Sxe_lang.Frontend.compile src in
+    if dump = `Source then Format.printf "%a@." Sxe_ir.Printer.pp_prog prog
+    else begin
+      let config = config_of ~arch ~maxlen variant in
+      let config =
+        (* "converted": stop after steps 1+2 *)
+        if dump = `Converted then
+          { config with Sxe_core.Config.elimination = Sxe_core.Config.Elim_none }
+        else config
+      in
+      let stats = Sxe_core.Pass.compile config prog in
+      Sxe_ir.Validate.check_prog prog;
+      if dump <> `None then Format.printf "%a@." Sxe_ir.Printer.pp_prog prog;
+      Format.printf "variant: %s (%s)@." config.Sxe_core.Config.name
+        config.Sxe_core.Config.arch.Sxe_core.Arch.name;
+      Format.printf "stats: %a@." Sxe_core.Stats.pp stats
+    end
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc)
+    Term.(const run $ file_arg $ variant_arg $ arch_arg $ maxlen_arg $ dump_arg)
+
+(* -- run ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Compile and execute a MiniJ file on the 64-bit machine model." in
+  let canonical_arg =
+    Arg.(
+      value & flag
+      & info [ "canonical" ]
+          ~doc:"Skip optimization; run the 32-bit reference semantics directly.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Stream every executed instruction (with input registers) to stderr.")
+  in
+  let run file variant arch maxlen canonical profile trace =
+    with_frontend_errors @@ fun () ->
+    let src = read_source file in
+    let prog = Sxe_lang.Frontend.compile src in
+    let tr = if trace then Some Format.err_formatter else None in
+    let out =
+      if canonical then Sxe_vm.Interp.run ~mode:`Canonical ?trace:tr prog
+      else begin
+        let config = config_of ~arch ~maxlen variant in
+        let profile_src =
+          if profile then begin
+            let p = Sxe_ir.Clone.clone_prog prog in
+            let _ = Sxe_core.Pass.compile (Sxe_core.Config.baseline ~arch ()) p in
+            let prof = Sxe_vm.Profile.create () in
+            let _ = Sxe_vm.Interp.run ~mode:`Faithful ~count_cycles:false ~profile:prof p in
+            Some (Sxe_vm.Profile.as_source prof)
+          end
+          else None
+        in
+        let _ = Sxe_core.Pass.compile ?profile:profile_src config prog in
+        Sxe_ir.Validate.check_prog prog;
+        Sxe_vm.Interp.run ~mode:`Faithful ?trace:tr prog
+      end
+    in
+    print_string out.Sxe_vm.Interp.output;
+    (match out.Sxe_vm.Interp.trap with
+    | Some t -> Printf.printf "! exception: %s\n" t
+    | None -> ());
+    Printf.printf
+      "-- checksum %Ld | %Ld instructions | %Ld sign extensions (32-bit) | %Ld (8/16-bit) | %Ld cycles\n"
+      out.Sxe_vm.Interp.checksum out.Sxe_vm.Interp.executed out.Sxe_vm.Interp.sext32
+      out.Sxe_vm.Interp.sext_sub out.Sxe_vm.Interp.cycles
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run $ file_arg $ variant_arg $ arch_arg $ maxlen_arg $ canonical_arg
+      $ profile_arg $ trace_arg)
+
+(* -- variants ------------------------------------------------------------ *)
+
+let variants_cmd =
+  let doc = "Compare all paper variants on one file (dynamic extension counts)." in
+  let run file arch maxlen profile =
+    with_frontend_errors @@ fun () ->
+    let src = read_source file in
+    let w = { Sxe_workloads.Registry.name = file; suite = Jbytemark; source = src } in
+    let ms = Sxe_harness.Experiment.run_workload ~use_profile:profile ~arch ~maxlen w in
+    Printf.printf "%-22s %14s %10s %12s %6s\n" "variant" "sext32 (dyn)" "static" "cycles" "ok";
+    List.iter
+      (fun (m : Sxe_harness.Experiment.measurement) ->
+        Printf.printf "%-22s %14Ld %10d %12Ld %6s\n" m.variant m.dyn_sext32
+          m.static_remaining m.cycles
+          (if m.equivalent then "yes" else "NO!"))
+      ms
+  in
+  Cmd.v
+    (Cmd.info "variants" ~doc)
+    Term.(const run $ file_arg $ arch_arg $ maxlen_arg $ profile_arg)
+
+(* -- workloads ------------------------------------------------------------ *)
+
+let workloads_cmd =
+  let doc = "List the built-in benchmark programs (Tables 1 and 2)." in
+  let scale_arg =
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
+  in
+  let show_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "show" ] ~docv:"NAME" ~doc:"Print the MiniJ source of one workload.")
+  in
+  let run scale show =
+    match show with
+    | Some name -> print_string (Sxe_workloads.Registry.find ~scale name).source
+    | None ->
+        List.iter
+          (fun (w : Sxe_workloads.Registry.t) ->
+            Printf.printf "%-14s (%s)\n" w.name
+              (match w.suite with Jbytemark -> "jBYTEmark" | Specjvm -> "SPECjvm98"))
+          (Sxe_workloads.Registry.all ~scale ())
+  in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const run $ scale_arg $ show_arg)
+
+(* -- emit ------------------------------------------------------------------ *)
+
+let emit_cmd =
+  let doc = "Compile and print pseudo-assembly (Figure 4's code shapes)." in
+  let run file variant arch maxlen =
+    with_frontend_errors @@ fun () ->
+    let src = read_source file in
+    let prog = Sxe_lang.Frontend.compile src in
+    let config = config_of ~arch ~maxlen variant in
+    let _ = Sxe_core.Pass.compile config prog in
+    Sxe_ir.Prog.iter_funcs
+      (fun f ->
+        let asm = Sxe_codegen.Emit.emit_func ~arch f in
+        print_string (Sxe_codegen.Emit.to_string asm))
+      prog
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc)
+    Term.(const run $ file_arg $ variant_arg $ arch_arg $ maxlen_arg)
+
+let () =
+  let doc = "effective sign extension elimination (PLDI 2002) — reference implementation" in
+  let info = Cmd.info "sxopt" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; variants_cmd; workloads_cmd; emit_cmd ]))

@@ -1,0 +1,1 @@
+examples/arch_compare.ml: Printf Sxe_codegen Sxe_core Sxe_ir Sxe_lang Sxe_vm

@@ -1,0 +1,1 @@
+examples/hot_loops.ml: Int64 List Printf Sxe_harness Sxe_workloads

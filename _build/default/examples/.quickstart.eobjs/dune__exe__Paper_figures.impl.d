@@ -1,0 +1,1 @@
+examples/paper_figures.ml: Array Format Printf String Sxe_core Sxe_ir Sxe_lang Sxe_vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Int64 Printf String Sxe_core Sxe_lang Sxe_vm

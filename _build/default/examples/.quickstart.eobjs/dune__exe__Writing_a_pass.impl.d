@@ -1,0 +1,1 @@
+examples/writing_a_pass.ml: Array Builder Cfg Clone Instr Int64 List Option Printf Prog Sxe_analysis Sxe_core Sxe_ir Sxe_vm Validate

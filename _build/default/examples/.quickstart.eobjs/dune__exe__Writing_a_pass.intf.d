@@ -1,0 +1,1 @@
+examples/writing_a_pass.mli:

@@ -1,0 +1,69 @@
+(* Architecture comparison: the same kernels compiled for the IA64 model
+   (memory reads zero-extend; every sign extension explicit) and for the
+   PPC64 model (lwa/lha sign-extend implicitly) — Section 1 and Figure 2
+   of the paper, plus the emitted-code view of Figure 4.
+
+   Run with: dune exec examples/arch_compare.exe *)
+
+let kernel =
+  {|
+global int mem;
+void main() {
+  int n = 300;
+  int[] a = new int[n];
+  short[] s = new short[n];
+  for (int k = 0; k < n; k = k + 1) { a[k] = k * 37; s[k] = k * 5 - 200; }
+  mem = n;
+  int t = 0;
+  for (int k = 0; k < n; k = k + 1) {
+    int i = mem;               /* 32-bit memory read */
+    t = t + a[k] / 3;          /* division requires extended operands */
+    t = t + s[k];              /* 16-bit read: lha vs ld2+sxt2 */
+    t = t - i / 7;
+  }
+  print_int(t);
+  checksum(t);
+}
+|}
+
+let measure arch config_name config =
+  let prog = Sxe_lang.Frontend.compile kernel in
+  let _ = Sxe_core.Pass.compile config prog in
+  let out = Sxe_vm.Interp.run prog in
+  let asm = Sxe_codegen.Emit.emit_func ~arch (Sxe_ir.Prog.find_func prog "main") in
+  let sxt =
+    Sxe_codegen.Emit.count_mnemonic asm "sxt"
+    + Sxe_codegen.Emit.count_mnemonic asm "exts"
+  in
+  Printf.printf "  %-8s %-22s dyn sext32=%-6Ld dyn sext8/16=%-5Ld emitted sxt/exts=%-3d code size=%d\n"
+    arch.Sxe_core.Arch.name config_name out.Sxe_vm.Interp.sext32 out.Sxe_vm.Interp.sext_sub
+    sxt (Sxe_codegen.Emit.size asm);
+  out
+
+let () =
+  Printf.printf "Kernel with 32-bit loads feeding divisions and 16-bit array reads.\n\n";
+  let rows arch =
+    let baseline =
+      measure arch "baseline" (Sxe_core.Config.baseline ~arch ())
+    in
+    let full = measure arch "new algorithm (all)" (Sxe_core.Config.new_all ~arch ()) in
+    (baseline, full)
+  in
+  Printf.printf "IA64 (zero-extending loads, explicit sxt only):\n";
+  let ia_base, ia_full = rows Sxe_core.Arch.ia64 in
+  Printf.printf "\nPPC64 (lwa/lha implicit sign extension):\n";
+  let ppc_base, ppc_full = rows Sxe_core.Arch.ppc64 in
+  Printf.printf "\nObservations:\n";
+  Printf.printf
+    "- PPC64's implicit extensions remove load-extension work even at baseline: %Ld vs %Ld.\n"
+    ppc_base.Sxe_vm.Interp.sext32 ia_base.Sxe_vm.Interp.sext32;
+  Printf.printf
+    "- After the full algorithm the two converge (%Ld vs %Ld): the optimization recovers\n\
+    \  on IA64 most of what PPC64 gets from hardware, the paper's motivation for\n\
+    \  \"sign extension elimination is even more important for those architectures\n\
+    \  lacking any implicit sign extension instruction\".\n"
+    ia_full.Sxe_vm.Interp.sext32 ppc_full.Sxe_vm.Interp.sext32;
+  (* all four runs must agree observably *)
+  assert (Sxe_vm.Interp.equivalent ia_base ia_full);
+  assert (Sxe_vm.Interp.equivalent ia_base ppc_base);
+  assert (Sxe_vm.Interp.equivalent ia_base ppc_full)

@@ -1,0 +1,69 @@
+(* Profile-directed order determination on a workload with skewed branch
+   behaviour: the interpreter collects branch statistics (the paper's
+   combined interpreter + dynamic compiler, Section 2.2) and the compiler
+   uses them to decide which competing extension to eliminate.
+
+   Run with: dune exec examples/hot_loops.exe *)
+
+(* Two call sites of the same accumulation helper: one is executed 50x
+   more often than static estimation would guess, because the branch that
+   selects it is 98% taken. *)
+let source =
+  {|
+global int mem;
+
+int accum(int[] a, int lim) {
+  int t = 0;
+  for (int i = 0; i < lim; i = i + 1) { t = t + a[i]; }
+  double d = (double) t;
+  checksum_double(d);
+  return t;
+}
+
+void main() {
+  int n = 64;
+  int[] a = new int[n];
+  for (int k = 0; k < n; k = k + 1) { a[k] = k * 3 + 1; }
+  mem = n;
+  int total = 0;
+  for (int round = 0; round < 400; round = round + 1) {
+    if (round % 50 == 0) {
+      /* cold path: 2% */
+      total = total + accum(a, n);
+    } else {
+      /* hot path: 98% */
+      total = total + a[round % 64] * 2;
+    }
+  }
+  print_int(total);
+  checksum(total);
+}
+|}
+
+let run ~with_profile =
+  let w = { Sxe_workloads.Registry.name = "hot_loops"; suite = Jbytemark; source } in
+  let ms = Sxe_harness.Experiment.run_workload ~use_profile:with_profile w in
+  List.find
+    (fun (m : Sxe_harness.Experiment.measurement) -> m.variant = "new algorithm (all)")
+    ms
+
+let () =
+  let static = run ~with_profile:false in
+  let profiled = run ~with_profile:true in
+  Printf.printf "new algorithm (all), static frequency estimate : %Ld dynamic extensions\n"
+    static.Sxe_harness.Experiment.dyn_sext32;
+  Printf.printf "new algorithm (all), interpreter branch profile: %Ld dynamic extensions\n"
+    profiled.Sxe_harness.Experiment.dyn_sext32;
+  assert static.Sxe_harness.Experiment.equivalent;
+  assert profiled.Sxe_harness.Experiment.equivalent;
+  Printf.printf
+    "(profile-directed ordering never hurts: %b%s)\n"
+    (Int64.compare profiled.Sxe_harness.Experiment.dyn_sext32
+       static.Sxe_harness.Experiment.dyn_sext32
+    <= 0)
+    (if
+       Int64.equal profiled.Sxe_harness.Experiment.dyn_sext32
+         static.Sxe_harness.Experiment.dyn_sext32
+     then " — on this kernel the static estimate already ranks the regions correctly; \
+           run `bench/main.exe -- profile` for workloads where the profile wins"
+     else "")

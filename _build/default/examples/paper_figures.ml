@@ -1,0 +1,161 @@
+(* A guided tour of the paper's worked examples, printing the optimized IR
+   so the transformations of Figures 3, 7/8, 9, 10 and 15 can be read off
+   directly.
+
+   Run with: dune exec examples/paper_figures.exe *)
+
+let rule title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let compile config src =
+  let prog = Sxe_lang.Frontend.compile src in
+  let stats = Sxe_core.Pass.compile config prog in
+  let out = Sxe_vm.Interp.run prog in
+  (prog, stats, out)
+
+let show_func prog name =
+  Format.printf "%a@." Sxe_ir.Printer.pp_func (Sxe_ir.Prog.find_func prog name)
+
+let dyn (out : Sxe_vm.Interp.outcome) = out.Sxe_vm.Interp.sext32
+
+(* ------------------------------------------------------------------ *)
+
+let figure3 =
+  {|
+global int mem;
+int f(int[] a, int start) {
+  int j = 0;
+  int t = 0;
+  int i = mem;
+  do {
+    i = i - 1;          /* (2) */
+    j = a[i];           /* (4) */
+    j = j & 0x0fffffff; /* (6) */
+    t += j;             /* (8) */
+  } while (i > start);
+  double d = (double) t; /* (10) */
+  checksum_double(d);
+  return t;
+}
+void main() {
+  int n = 100;
+  int[] a = new int[n];
+  for (int k = 0; k < n; k = k + 1) { a[k] = k * 911 + 3; }
+  mem = n;
+  checksum(f(a, 0));
+}
+|}
+
+let () =
+  rule "Figure 3 — the running example, compiled with the first algorithm";
+  Printf.printf
+    "The backward-dataflow algorithm eliminates the extensions after the\n\
+     load (1), the array read (5) and the mask (7), but must keep the\n\
+     array subscript (3) and the accumulator (9) in the loop:\n\n";
+  let prog, _, out = compile (Sxe_core.Config.first_algorithm ()) figure3 in
+  show_func prog "f";
+  Printf.printf "dynamic 32-bit extensions: %Ld (two per iteration)\n" (dyn out);
+
+  rule "Figures 7/8 — insertion + ordering + array theorems (the new algorithm)";
+  Printf.printf
+    "Insertion places extension (11) before the double conversion outside\n\
+     the loop; ordering eliminates hottest-first; Theorems 2/4 discharge\n\
+     the subscript. The loop body ends up extension-free (Figure 8(b)):\n\n";
+  let prog, stats, out = compile (Sxe_core.Config.new_all ()) figure3 in
+  show_func prog "f";
+  Printf.printf "dynamic 32-bit extensions: %Ld; theorems fired: T2=%d T4=%d\n" (dyn out)
+    stats.Sxe_core.Stats.by_theorem.(2)
+    stats.Sxe_core.Stats.by_theorem.(4)
+
+(* ------------------------------------------------------------------ *)
+
+let figure9 =
+  {|
+global int gj;
+global int gk;
+void main() {
+  int end = 200;
+  int[] a = new int[end + 1];
+  gj = 2; gk = 3;
+  int i = gj + gk;
+  do {
+    i = i + 1;
+    a[i] = 0;
+  } while (i < end);
+  checksum(i);
+}
+|}
+
+let () =
+  rule "Figure 9 — why elimination order matters";
+  let _, _, with_order = compile (Sxe_core.Config.array_order ()) figure9 in
+  let _, _, without = compile (Sxe_core.Config.array ()) figure9 in
+  Printf.printf
+    "Two extensions compete for variable i: one before the loop, one inside.\n\
+     Only one can go. Hottest-first ordering keeps the cold one (Result 1):\n\n";
+  Printf.printf "  with order determination   : %Ld dynamic extensions\n" (dyn with_order);
+  Printf.printf "  reverse-DFS order (no sort): %Ld dynamic extensions\n" (dyn without)
+
+(* ------------------------------------------------------------------ *)
+
+let figure10 opaque =
+  Printf.sprintf
+    {|
+global int mem;
+int[] make(int n) { return new int[n]; }
+void main() {
+  int n = 120;
+  int[] a = %s;
+  for (int k = 0; k < n; k = k + 1) { a[k] = k; }
+  mem = n;
+  int t = 0;
+  int i = mem;
+  do { i = i - 2; t += a[i]; } while (i > 0);
+  checksum(t);
+}
+|}
+    (if opaque then "make(n)" else "new int[n]")
+
+let () =
+  rule "Figure 10 — a removable extension depending on the array size";
+  let _, _, default_known = compile (Sxe_core.Config.new_all ()) (figure10 false) in
+  let _, _, default_opaque = compile (Sxe_core.Config.new_all ()) (figure10 true) in
+  let _, _, limited_opaque =
+    compile (Sxe_core.Config.new_all ~maxlen:0x7fff0001L ()) (figure10 true)
+  in
+  Printf.printf
+    "The subscript steps by -2, outside Theorem 4's Java bound of -1.\n\
+     It is still removable when the array is known smaller than 2^31-1:\n\n";
+  Printf.printf "  allocation visible (len 120)          : %Ld dynamic extensions\n"
+    (dyn default_known);
+  Printf.printf "  allocation hidden, maxlen = 0x7fffffff: %Ld (kept, as the paper says)\n"
+    (dyn default_opaque);
+  Printf.printf "  allocation hidden, maxlen = 0x7fff0001: %Ld (eliminated again)\n"
+    (dyn limited_opaque)
+
+(* ------------------------------------------------------------------ *)
+
+let figure15 =
+  {|
+global int g;
+void main() {
+  g = 7;
+  int i = 0;
+  for (int k = 0; k < 500; k = k + 1) {
+    if ((k & 3) == 0) { i = i + k; }
+  }
+  double d = (double) i;
+  checksum_double(d);
+}
+|}
+
+let () =
+  rule "Figure 15 — why simple insertion beats PDE-style insertion";
+  let _, _, simple = compile (Sxe_core.Config.new_all ()) figure15 in
+  let _, _, pde = compile (Sxe_core.Config.all_pde ()) figure15 in
+  Printf.printf
+    "The requiring use sits after a merge one of whose paths carries no\n\
+     extension, so PDE-style sinking cannot place one there; simple\n\
+     insertion can, and the hot in-loop extension is then eliminated:\n\n";
+  Printf.printf "  simple insertion (new algorithm): %Ld dynamic extensions\n" (dyn simple);
+  Printf.printf "  PDE-style insertion             : %Ld dynamic extensions\n" (dyn pde)

@@ -1,0 +1,74 @@
+(* Quickstart: the library's end-to-end flow in ~40 effective lines.
+
+   1. Write a kernel in MiniJ (the Java-like source language).
+   2. Compile it to IR and run the paper's full optimization pipeline.
+   3. Execute both the unoptimized reference and the optimized program on
+      the faithful 64-bit machine model; compare observables and count
+      dynamically executed sign extensions.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+global int mem;
+
+int sum_masked(int[] a, int start) {
+  int t = 0;
+  int i = mem;
+  do {
+    i = i - 1;
+    int j = a[i];
+    j = j & 0x0fffffff;
+    t += j;
+  } while (i > start);
+  return t;
+}
+
+void main() {
+  int n = 1000;
+  int[] a = new int[n];
+  for (int k = 0; k < n; k = k + 1) { a[k] = k * 7 - 3; }
+  mem = n;
+  int t = sum_masked(a, 0);
+  print_int(t);
+  checksum(t);
+}
+|}
+
+let () =
+  (* reference semantics: the raw 32-bit-form IR on the canonical machine *)
+  let reference = Sxe_vm.Interp.run ~mode:`Canonical (Sxe_lang.Frontend.compile source) in
+
+  (* baseline: conversion + general optimizations, no sign-extension
+     elimination (the paper's measurement baseline) *)
+  let baseline_prog = Sxe_lang.Frontend.compile source in
+  let _ = Sxe_core.Pass.compile (Sxe_core.Config.baseline ()) baseline_prog in
+  let baseline = Sxe_vm.Interp.run baseline_prog in
+
+  (* the full new algorithm: insertion + order determination + array
+     theorems over UD/DU chains *)
+  let optimized_prog = Sxe_lang.Frontend.compile source in
+  let stats = Sxe_core.Pass.compile (Sxe_core.Config.new_all ()) optimized_prog in
+  let optimized = Sxe_vm.Interp.run optimized_prog in
+
+  Printf.printf "output (all three agree): %s\n" (String.trim reference.Sxe_vm.Interp.output);
+  assert (Sxe_vm.Interp.equivalent reference baseline);
+  assert (Sxe_vm.Interp.equivalent reference optimized);
+
+  Printf.printf "dynamic 32-bit sign extensions: baseline %Ld -> optimized %Ld (%.1f%% remain)\n"
+    baseline.Sxe_vm.Interp.sext32 optimized.Sxe_vm.Interp.sext32
+    (100.0
+    *. Int64.to_float optimized.Sxe_vm.Interp.sext32
+    /. Int64.to_float baseline.Sxe_vm.Interp.sext32);
+  Printf.printf "cost-model cycles: baseline %Ld -> optimized %Ld (%.2f%% faster)\n"
+    baseline.Sxe_vm.Interp.cycles optimized.Sxe_vm.Interp.cycles
+    ((Int64.to_float baseline.Sxe_vm.Interp.cycles
+      /. Int64.to_float optimized.Sxe_vm.Interp.cycles
+     -. 1.0)
+    *. 100.0);
+  Printf.printf "static: %d generated, %d inserted, %d eliminated, %d remain\n"
+    stats.Sxe_core.Stats.generated stats.Sxe_core.Stats.inserted
+    stats.Sxe_core.Stats.eliminated stats.Sxe_core.Stats.remaining;
+  Printf.printf "array-subscript eliminations by theorem: T1=%d T2=%d T3=%d T4=%d\n"
+    stats.Sxe_core.Stats.by_theorem.(1) stats.Sxe_core.Stats.by_theorem.(2)
+    stats.Sxe_core.Stats.by_theorem.(3) stats.Sxe_core.Stats.by_theorem.(4)

@@ -1,0 +1,1 @@
+lib/analysis/chains.ml: Array Bitset Cfg Hashtbl Instr List Reaching Sxe_ir Sxe_util

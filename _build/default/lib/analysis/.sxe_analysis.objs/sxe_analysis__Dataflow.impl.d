@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Array Bitset List Sxe_ir Sxe_util

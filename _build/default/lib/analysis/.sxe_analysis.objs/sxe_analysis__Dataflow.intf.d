@@ -1,0 +1,1 @@
+lib/analysis/dataflow.mli: Sxe_ir Sxe_util

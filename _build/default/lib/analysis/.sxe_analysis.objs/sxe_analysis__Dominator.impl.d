@@ -1,0 +1,1 @@
+lib/analysis/dominator.ml: Array List Sxe_ir

@@ -1,0 +1,1 @@
+lib/analysis/freq.ml: Array Dominator List Loops Sxe_ir Sxe_util

@@ -1,0 +1,1 @@
+lib/analysis/freq.mli: Sxe_ir

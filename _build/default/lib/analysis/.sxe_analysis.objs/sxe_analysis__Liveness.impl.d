@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Bitset Cfg Dataflow Instr List Sxe_ir Sxe_util

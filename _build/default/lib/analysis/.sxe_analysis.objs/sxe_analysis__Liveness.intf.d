@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Sxe_ir Sxe_util

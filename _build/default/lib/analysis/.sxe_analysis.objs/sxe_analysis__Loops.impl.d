@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Dominator Hashtbl List Option Sxe_ir Sxe_util

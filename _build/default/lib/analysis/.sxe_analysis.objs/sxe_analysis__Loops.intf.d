@@ -1,0 +1,1 @@
+lib/analysis/loops.mli: Sxe_ir Sxe_util

@@ -1,0 +1,1 @@
+lib/analysis/range.ml: Array Cfg Instr Int32 Int64 List Sxe_ir Types

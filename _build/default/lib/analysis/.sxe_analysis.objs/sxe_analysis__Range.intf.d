@@ -1,0 +1,1 @@
+lib/analysis/range.mli: Sxe_ir

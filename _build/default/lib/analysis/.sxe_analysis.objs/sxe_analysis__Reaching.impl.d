@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Array Bitset Cfg Dataflow Hashtbl Instr List Option Sxe_ir Sxe_util

@@ -1,0 +1,1 @@
+lib/analysis/reaching.mli: Sxe_ir Sxe_util

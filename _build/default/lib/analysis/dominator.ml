@@ -1,0 +1,62 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+    Operates on reachable blocks only; [idom] of the entry is the entry
+    itself, and unreachable blocks report [-1]. *)
+
+type t = {
+  idom : int array;  (** immediate dominator per block; entry maps to itself; -1 if unreachable *)
+  rpo_index : int array;  (** position of each block in reverse postorder; -1 if unreachable *)
+}
+
+let compute (f : Sxe_ir.Cfg.func) =
+  let n = Sxe_ir.Cfg.num_blocks f in
+  let rpo = Sxe_ir.Cfg.rpo f in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let preds = Sxe_ir.Cfg.preds f in
+  let idom = Array.make n (-1) in
+  let entry = Sxe_ir.Cfg.entry f in
+  if n > 0 then begin
+    idom.(entry) <- entry;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_index.(!a) > rpo_index.(!b) do
+          a := idom.(!a)
+        done;
+        while rpo_index.(!b) > rpo_index.(!a) do
+          b := idom.(!b)
+        done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun b ->
+          if b <> entry then begin
+            let processed = List.filter (fun p -> idom.(p) <> -1) preds.(b) in
+            match processed with
+            | [] -> ()
+            | first :: rest ->
+                let new_idom = List.fold_left intersect first rest in
+                if idom.(b) <> new_idom then begin
+                  idom.(b) <- new_idom;
+                  changed := true
+                end
+          end)
+        rpo
+    done
+  end;
+  { idom; rpo_index }
+
+(** [dominates t a b]: does [a] dominate [b]? (Reflexive.) *)
+let dominates t a b =
+  if t.idom.(b) = -1 || t.idom.(a) = -1 then false
+  else begin
+    let rec climb x = if x = a then true else if t.idom.(x) = x then false else climb t.idom.(x) in
+    climb b
+  end
+
+let idom t b = if t.idom.(b) = b then None else if t.idom.(b) = -1 then None else Some t.idom.(b)

@@ -1,0 +1,18 @@
+(** Dominator tree (Cooper–Harvey–Kennedy iterative algorithm), over
+    reachable blocks. *)
+
+type t = {
+  idom : int array;
+      (** immediate dominator per block; the entry maps to itself;
+          [-1] for unreachable blocks *)
+  rpo_index : int array;  (** reverse-postorder position; [-1] if unreachable *)
+}
+
+val compute : Sxe_ir.Cfg.func -> t
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b]? Reflexive; [false] when
+    either block is unreachable. *)
+
+val idom : t -> int -> int option
+(** Immediate dominator, [None] for the entry and unreachable blocks. *)

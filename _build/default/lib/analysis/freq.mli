@@ -1,0 +1,12 @@
+(** Static execution-frequency estimation (Section 2.2 of the paper):
+    propagate through the acyclic condensation with per-edge branch
+    probabilities (loop-branch heuristic by default, measured profile when
+    available), multiplying by {!loop_multiplier} at loop headers. *)
+
+val loop_multiplier : float
+
+val estimate :
+  ?edge_prob:(src:int -> dst:int -> float option) -> Sxe_ir.Cfg.func -> float array
+(** Relative execution frequency per block. [edge_prob] supplies measured
+    probabilities for conditional edges (profile-directed order
+    determination); [None] falls back to the static heuristics. *)

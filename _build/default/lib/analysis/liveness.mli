@@ -1,0 +1,12 @@
+(** Live-variable analysis (backward union over registers), used by
+    dead-store elimination. *)
+
+type t
+
+val compute : Sxe_ir.Cfg.func -> t
+val live_in : t -> int -> Sxe_util.Bitset.t
+val live_out : t -> int -> Sxe_util.Bitset.t
+
+val live_after_each : t -> int -> (int * Sxe_util.Bitset.t) list
+(** For each instruction id of the block, in program order, the registers
+    live immediately after it. *)

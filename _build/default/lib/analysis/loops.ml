@@ -1,0 +1,66 @@
+(** Natural-loop detection and loop-nesting depth.
+
+    Back edges are edges [t -> h] where [h] dominates [t]; the natural loop
+    of such an edge is [h] plus every block that reaches [t] without passing
+    through [h]. Loops sharing a header are merged. The nesting depth of a
+    block — the quantity the paper's order-determination phase keys on — is
+    the number of distinct loop headers whose loop contains it. *)
+
+type loop = {
+  header : int;
+  body : Sxe_util.Bitset.t;  (** blocks in the loop, including the header *)
+  mutable depth : int;  (** 1 for outermost loops *)
+}
+
+type t = {
+  loops : loop list;
+  depth : int array;  (** nesting depth per block; 0 = not in any loop *)
+  headers : bool array;
+}
+
+let compute (f : Sxe_ir.Cfg.func) =
+  let n = Sxe_ir.Cfg.num_blocks f in
+  let dom = Dominator.compute f in
+  let preds = Sxe_ir.Cfg.preds f in
+  let reachable = Sxe_ir.Cfg.reachable f in
+  (* collect back edges grouped by header *)
+  let by_header = Hashtbl.create 8 in
+  Sxe_ir.Cfg.iter_blocks
+    (fun b ->
+      if reachable.(b.bid) then
+        List.iter
+          (fun s -> if Dominator.dominates dom s b.bid then
+              Hashtbl.replace by_header s (b.bid :: Option.value ~default:[] (Hashtbl.find_opt by_header s)))
+          (Sxe_ir.Cfg.succs b))
+    f;
+  let loops =
+    Hashtbl.fold
+      (fun header tails acc ->
+        let body = Sxe_util.Bitset.create n in
+        Sxe_util.Bitset.add body header;
+        let rec pull b =
+          if not (Sxe_util.Bitset.mem body b) then begin
+            Sxe_util.Bitset.add body b;
+            List.iter pull preds.(b)
+          end
+        in
+        List.iter (fun t -> if t <> header then pull t) tails;
+        { header; body; depth = 0 } :: acc)
+      by_header []
+  in
+  (* nesting depth: number of loops containing the block *)
+  let depth = Array.make n 0 in
+  List.iter
+    (fun l -> Sxe_util.Bitset.iter (fun b -> depth.(b) <- depth.(b) + 1) l.body)
+    loops;
+  List.iter (fun (l : loop) -> l.depth <- depth.(l.header)) loops;
+  let headers = Array.make n false in
+  List.iter (fun l -> headers.(l.header) <- true) loops;
+  { loops; depth; headers }
+
+let depth t b = t.depth.(b)
+let is_header t b = t.headers.(b)
+let in_any_loop t = Array.exists (fun d -> d > 0) t.depth
+
+(** [max_depth t] is the deepest nesting level in the function. *)
+let max_depth t = Array.fold_left max 0 t.depth

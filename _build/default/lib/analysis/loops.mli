@@ -1,0 +1,21 @@
+(** Natural loops and nesting depth — the quantity the paper's order
+    determination keys on. Back edges are edges whose target dominates
+    their source; loops sharing a header are merged. *)
+
+type loop = {
+  header : int;
+  body : Sxe_util.Bitset.t;  (** blocks in the loop, header included *)
+  mutable depth : int;  (** 1 for outermost loops *)
+}
+
+type t = {
+  loops : loop list;
+  depth : int array;  (** nesting depth per block; 0 = not in any loop *)
+  headers : bool array;
+}
+
+val compute : Sxe_ir.Cfg.func -> t
+val depth : t -> int -> int
+val is_header : t -> int -> bool
+val in_any_loop : t -> bool
+val max_depth : t -> int

@@ -1,0 +1,410 @@
+(** Interval value-range analysis for 32-bit registers.
+
+    The paper's array theorems (Section 3) need compile-time range facts of
+    the form [0 <= j <= 0x7fffffff] or [maxlen-1-0x7fffffff <= j] for
+    subscript operands; the paper cites symbolic range propagation
+    (Blume–Eigenmann) and Harrison's value-range analysis. We implement a
+    classic interval dataflow over the CFG:
+
+    - ranges describe the {e signed low 32 bits} of a register, which is
+      well-defined whatever the upper 32 bits hold;
+    - conditional branches refine ranges on their out-edges (IA64 [cmp4]
+      compares exactly these low 32 bits, so refinement is sound even for
+      unextended registers);
+    - array accesses refine their index to [0, 0x7ffffffe] afterwards
+      (the bounds check threw otherwise), mirroring the paper's [LS]
+      predicate;
+    - loops converge by widening after a fixed number of visits, followed
+      by narrowing passes to recover bounds such as [i < n].
+
+    Only [I32] registers are tracked. Queries replay the containing block
+    from its entry state, so per-instruction results cost no memory. *)
+
+open Sxe_ir
+open Types
+
+type interval = int64 * int64
+
+let i32_min = Int64.of_int32 Int32.min_int
+let i32_max = Int64.of_int32 Int32.max_int
+let top : interval = (i32_min, i32_max)
+let in_i32 v = v >= i32_min && v <= i32_max
+
+let clamp ((lo, hi) : interval) : interval =
+  if in_i32 lo && in_i32 hi && lo <= hi then (lo, hi) else top
+
+let join (a : interval) (b : interval) : interval =
+  (min (fst a) (fst b), max (snd a) (snd b))
+
+(** Greatest lower bound; a contradictory result marks a dead path, where
+    any answer is sound — we collapse to a point. *)
+let meet ((alo, ahi) : interval) ((blo, bhi) : interval) : interval =
+  let lo = max alo blo and hi = min ahi bhi in
+  if lo <= hi then (lo, hi) else (lo, lo)
+
+(* ------------------------------------------------------------------ *)
+(* Interval arithmetic                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let binop_interval op ((llo, lhi) : interval) ((rlo, rhi) : interval) : interval =
+  let open Int64 in
+  match op with
+  | Types.Add -> clamp (add llo rlo, add lhi rhi)
+  | Types.Sub -> clamp (sub llo rhi, sub lhi rlo)
+  | Types.Mul ->
+      let cands = [ mul llo rlo; mul llo rhi; mul lhi rlo; mul lhi rhi ] in
+      clamp (List.fold_left min (List.hd cands) cands, List.fold_left max (List.hd cands) cands)
+  | Types.Div ->
+      if rlo >= 1L || rhi <= -1L then begin
+        let cands = [ div llo rlo; div llo rhi; div lhi rlo; div lhi rhi ] in
+        clamp (List.fold_left min (List.hd cands) cands, List.fold_left max (List.hd cands) cands)
+      end
+      else top
+  | Types.Rem ->
+      if rlo >= 1L then begin
+        let m = sub rhi 1L in
+        if llo >= 0L then (0L, min lhi m) else clamp (neg m, m)
+      end
+      else top
+  | Types.And ->
+      if llo >= 0L && rlo >= 0L then (0L, min lhi rhi)
+      else if rlo >= 0L then (0L, rhi)
+      else if llo >= 0L then (0L, lhi)
+      else top
+  | Types.Or | Types.Xor ->
+      if llo >= 0L && rlo >= 0L then begin
+        let rec pow2m1 x p = if p >= x then p else pow2m1 x (add (mul p 2L) 1L) in
+        (0L, pow2m1 (max lhi rhi) 1L)
+      end
+      else top
+  | Types.Shl ->
+      if rlo = rhi && rlo >= 0L && rlo < 31L then
+        clamp (shift_left llo (to_int rlo), shift_left lhi (to_int rlo))
+      else top
+  | Types.AShr ->
+      if rlo >= 0L && rhi <= 31L then begin
+        let a = to_int rlo and b = to_int rhi in
+        (min (shift_right llo a) (shift_right llo b), max (shift_right lhi a) (shift_right lhi b))
+      end
+      else top
+  | Types.LShr -> top
+
+let unop_interval op ((lo, hi) : interval) : interval =
+  let open Int64 in
+  match op with
+  | Types.Neg -> clamp (neg hi, neg lo)
+  | Types.Not -> clamp (sub (neg hi) 1L, sub (neg lo) 1L)
+
+(* ------------------------------------------------------------------ *)
+(* Per-instruction transfer                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The mutable per-block state is stored as a flat native-int array
+   ([lo] at [2r], [hi] at [2r+1]): every bound is within the int32 range,
+   which fits OCaml's immediate ints, so states copy with [Array.blit]
+   and allocate nothing per element — the ascending/narrowing phases copy
+   states on every edge and this representation is what keeps the
+   analysis' share of compile time JIT-plausible (Table 3). *)
+type state = int array
+
+let sget (st : state) r : interval = (Int64.of_int st.(2 * r), Int64.of_int st.((2 * r) + 1))
+
+let sset (st : state) r ((lo, hi) : interval) =
+  st.(2 * r) <- Int64.to_int lo;
+  st.((2 * r) + 1) <- Int64.to_int hi
+
+let state_make nregs : state =
+  let st = Array.make (2 * nregs) 0 in
+  for r = 0 to nregs - 1 do
+    st.(2 * r) <- Int64.to_int i32_min;
+    st.((2 * r) + 1) <- Int64.to_int i32_max
+  done;
+  st
+
+(** Largest possible valid index: length <= 0x7fffffff, index < length. *)
+let max_index = Int64.sub i32_max 1L
+
+let narrow_to bound iv = if fst iv >= fst bound && snd iv <= snd bound then iv else bound
+
+let transfer ~(tracked : bool array) (st : state) (i : Instr.t) =
+  let set r iv = if tracked.(r) then sset st r iv in
+  let get r = if tracked.(r) then sget st r else top in
+  match i.op with
+  | Const { dst; ty = I32; v; _ } -> set dst (v, v)
+  | Const _ | FConst _ -> ()
+  | Mov { dst; src; ty = I32 } -> set dst (if tracked.(src) then get src else top)
+  | Mov _ -> ()
+  | Unop { dst; op; src; w = W32 } -> set dst (unop_interval op (get src))
+  | Unop _ -> ()
+  | Binop { dst; op; l; r; w = W32 } -> set dst (binop_interval op (get l) (get r))
+  | Binop _ -> ()
+  | Cmp { dst; _ } | FCmp { dst; _ } -> set dst (0L, 1L)
+  | Sext { r; from = W32 } | Zext { r; from = W32 } | JustExt { r } ->
+      (* value of the low 32 bits unchanged; a dummy extension additionally
+         witnesses a successful bounds check *)
+      if (match i.op with JustExt _ -> true | _ -> false) then
+        set r (meet (get r) (0L, max_index))
+  | Sext { r; from = W8 } -> set r (narrow_to (-128L, 127L) (get r))
+  | Sext { r; from = W16 } -> set r (narrow_to (-32768L, 32767L) (get r))
+  | Sext { r = _; from = W64 } -> ()
+  | Zext { r; from = W8 } -> set r (narrow_to (0L, 255L) (get r))
+  | Zext { r; from = W16 } -> set r (narrow_to (0L, 65535L) (get r))
+  | Zext { r = _; from = W64 } -> ()
+  | I2D _ | L2D _ | D2L _ | FBinop _ | FNeg _ -> ()
+  | D2I { dst; _ } -> set dst top
+  | NewArr { len; _ } -> set len (meet (get len) (0L, i32_max))
+  | ArrLoad { dst; idx; elem; lext; _ } ->
+      set idx (meet (get idx) (0L, max_index));
+      (match (elem, lext) with
+      | AI8, LZero -> set dst (0L, 255L)
+      | AI8, LSign -> set dst (-128L, 127L)
+      | AI16, LZero -> set dst (0L, 65535L)
+      | AI16, LSign -> set dst (-32768L, 32767L)
+      | AI32, _ -> set dst top
+      | (AI64 | AF64 | ARef), _ -> ())
+  | ArrStore { idx; _ } -> set idx (meet (get idx) (0L, max_index))
+  | ArrLen { dst; _ } -> set dst (0L, i32_max)
+  | GLoad { dst; ty = I32; _ } -> set dst top
+  | GLoad _ | GStore _ -> ()
+  | Call { dst = Some d; ret = Some I32; _ } -> set d top
+  | Call _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Branch refinement                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let refine1 ((xlo, xhi) : interval) cond ((ylo, yhi) : interval) : interval =
+  let open Int64 in
+  match cond with
+  | Eq -> meet (xlo, xhi) (ylo, yhi)
+  | Ne ->
+      if ylo = yhi then
+        if xlo = ylo && xlo < xhi then (add xlo 1L, xhi)
+        else if xhi = ylo && xlo < xhi then (xlo, sub xhi 1L)
+        else (xlo, xhi)
+      else (xlo, xhi)
+  | Lt -> if yhi > i32_min then meet (xlo, xhi) (i32_min, sub yhi 1L) else (xlo, xhi)
+  | Le -> meet (xlo, xhi) (i32_min, yhi)
+  | Gt -> if ylo < i32_max then meet (xlo, xhi) (add ylo 1L, i32_max) else (xlo, xhi)
+  | Ge -> meet (xlo, xhi) (ylo, i32_max)
+
+(** [refine_for_edge ~tracked st term succ] is a copy of [st] improved with
+    the facts the branch guarantees on the edge to [succ]. *)
+let refine_for_edge ~(tracked : bool array) (st : state) term succ =
+  match term with
+  | Instr.Br { cond; l; r; w = W32; ifso; ifnot } when tracked.(l) && tracked.(r) ->
+      let st' = Array.copy st in
+      let apply c =
+        sset st' l (refine1 (sget st' l) c (sget st r));
+        sset st' r (refine1 (sget st' r) (Types.swap_cond c) (sget st l))
+      in
+      (* A taken-and-fallthrough pair to the same block teaches nothing. *)
+      if ifso = ifnot then st'
+      else begin
+        if succ = ifso then apply cond else apply (Types.negate_cond cond);
+        st'
+      end
+  | _ -> st
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  func : Cfg.func;
+  entry_states : state array;
+  tracked : bool array;
+}
+
+let widen_threshold = 3
+
+(** Widening with thresholds: jump an unstable bound to the nearest
+    program constant (plus a few standard marks) instead of straight to
+    infinity — loop bounds like [i < n] survive the ascending phase this
+    way, where a plain widen-then-narrow cannot recover them through the
+    header join. *)
+let collect_thresholds (f : Cfg.func) =
+  let acc = ref [ -1L; 0L; 1L; 255L; 65535L; i32_min; i32_max ] in
+  Cfg.iter_instrs
+    (fun _ i ->
+      match i.Instr.op with
+      | Instr.Const { ty = I32; v; _ } ->
+          acc := v :: Int64.add v 1L :: Int64.sub v 1L :: !acc
+      | _ -> ())
+    f;
+  let arr = Array.of_list (List.sort_uniq compare (List.filter in_i32 !acc)) in
+  arr
+
+let widen ~thresholds (prev : interval) (next : interval) : interval =
+  let lo =
+    if fst next < fst prev then begin
+      (* largest threshold <= next.lo *)
+      let best = ref i32_min in
+      Array.iter (fun t -> if t <= fst next && t > !best then best := t) thresholds;
+      !best
+    end
+    else fst prev
+  in
+  let hi =
+    if snd next > snd prev then begin
+      let best = ref i32_max in
+      Array.iter (fun t -> if t >= snd next && t < !best then best := t) thresholds;
+      !best
+    end
+    else snd prev
+  in
+  (lo, hi)
+
+let compute (f : Cfg.func) =
+  let nregs = Cfg.num_regs f in
+  let nblocks = Cfg.num_blocks f in
+  let tracked = Array.init nregs (fun r -> Cfg.reg_ty f r = I32) in
+  let entry_states = Array.init nblocks (fun _ -> state_make nregs) in
+  let preds = Cfg.preds f in
+  let reach = Cfg.reachable f in
+  let rpo = Cfg.rpo f in
+  let visits = Array.make nblocks 0 in
+  let thresholds = collect_thresholds f in
+  (* blocks whose entry state has been computed at least once; states of
+     untouched blocks are bottom (not top) so a loop header's first visit
+     sees only its forward predecessors — essential for keeping bounds
+     like [0 <= i] through the ascending phase *)
+  let computed = Array.make nblocks false in
+  if nblocks > 0 then computed.(Cfg.entry f) <- true;
+  (* exit states are cached; a block's cache is dropped when its entry
+     state changes *)
+  let out_cache : state option array = Array.make nblocks None in
+  let out_state bid =
+    match out_cache.(bid) with
+    | Some st -> st
+    | None ->
+        let st = Array.copy entry_states.(bid) in
+        List.iter (fun i -> transfer ~tracked st i) (Cfg.block f bid).body;
+        out_cache.(bid) <- Some st;
+        st
+  in
+  let set_entry bid st =
+    entry_states.(bid) <- st;
+    out_cache.(bid) <- None
+  in
+  let entry_from_preds bid =
+    let ps = List.filter (fun p -> reach.(p) && computed.(p)) preds.(bid) in
+    match ps with
+    | [] -> state_make nregs
+    | _ ->
+        let contribs =
+          List.map
+            (fun p ->
+              let o = out_state p in
+              refine_for_edge ~tracked o (Cfg.block f p).term bid)
+            ps
+        in
+        let acc = Array.copy (List.hd contribs) in
+        List.iter
+          (fun (c : state) ->
+            for k = 0 to nregs - 1 do
+              if c.(2 * k) < acc.(2 * k) then acc.(2 * k) <- c.(2 * k);
+              if c.((2 * k) + 1) > acc.((2 * k) + 1) then acc.((2 * k) + 1) <- c.((2 * k) + 1)
+            done)
+          (List.tl contribs);
+        acc
+  in
+  let state_le (a : state) (b : state) =
+    (* a more precise or equal to b, pointwise containment *)
+    let ok = ref true in
+    for k = 0 to nregs - 1 do
+      if a.(2 * k) < b.(2 * k) || a.((2 * k) + 1) > b.((2 * k) + 1) then ok := false
+    done;
+    !ok
+  in
+  (* ascending phase with widening *)
+  let changed = ref true in
+  let guard = ref 0 in
+  while !changed do
+    incr guard;
+    if !guard > 1000 then failwith "Range.compute: no convergence";
+    changed := false;
+    List.iter
+      (fun bid ->
+        if reach.(bid) && bid <> Cfg.entry f then begin
+          let fresh = entry_from_preds bid in
+          if not computed.(bid) then begin
+            set_entry bid fresh;
+            computed.(bid) <- true;
+            changed := true
+          end
+          else if not (state_le fresh entry_states.(bid)) then begin
+            visits.(bid) <- visits.(bid) + 1;
+            let merged =
+              let cur = entry_states.(bid) in
+              let m = state_make nregs in
+              for r = 0 to nregs - 1 do
+                let combined =
+                  if visits.(bid) > (2 * widen_threshold) + 3 then
+                    (* still climbing after several threshold hops: give up
+                       and jump to full range so convergence stays linear *)
+                    widen ~thresholds:[| i32_min; i32_max |] (sget cur r) (sget fresh r)
+                  else if visits.(bid) > widen_threshold then
+                    widen ~thresholds (sget cur r) (sget fresh r)
+                  else join (sget cur r) (sget fresh r)
+                in
+                sset m r combined
+              done;
+              m
+            in
+            set_entry bid merged;
+            changed := true
+          end
+        end)
+      rpo
+  done;
+  (* descending (narrowing) phase: a few plain recomputations *)
+  for _ = 1 to 2 do
+    List.iter
+      (fun bid ->
+        if reach.(bid) && bid <> Cfg.entry f then set_entry bid (entry_from_preds bid))
+      rpo
+  done;
+  { func = f; entry_states; tracked }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Range of register [r] immediately before instruction [iid] in block
+    [bid]. *)
+let before t ~bid ~iid r =
+  if r >= Array.length t.tracked || not t.tracked.(r) then top
+  else begin
+    let st = Array.copy t.entry_states.(bid) in
+    let rec go = function
+      | [] -> sget st r
+      | (i : Instr.t) :: rest ->
+          if i.iid = iid then sget st r
+          else begin
+            transfer ~tracked:t.tracked st i;
+            go rest
+          end
+    in
+    go (Cfg.block t.func bid).body
+  end
+
+(** Range of the value produced by instruction [iid] (which must define a
+    tracked register), immediately after it. *)
+let after t ~bid ~iid r =
+  if r >= Array.length t.tracked || not t.tracked.(r) then top
+  else begin
+    let st = Array.copy t.entry_states.(bid) in
+    let rec go = function
+      | [] -> sget st r
+      | (i : Instr.t) :: rest ->
+          transfer ~tracked:t.tracked st i;
+          if i.iid = iid then sget st r else go rest
+    in
+    go (Cfg.block t.func bid).body
+  end
+
+(** Does [r]'s 32-bit value lie within [lo, hi] just before [iid]? *)
+let within t ~bid ~iid r ~lo ~hi =
+  let blo, bhi = before t ~bid ~iid r in
+  blo >= lo && bhi <= hi

@@ -1,0 +1,36 @@
+(** Interval value-range analysis for 32-bit registers — the compile-time
+    range knowledge Theorems 2–4 of the paper rest on.
+
+    Ranges describe the signed low 32 bits of a register (well-defined
+    whatever the upper half holds). Conditional branches refine ranges on
+    their out-edges; array accesses refine their index (the paper's [LS]
+    predicate); loops converge by threshold widening plus narrowing.
+    Queries replay the containing block from its entry state. *)
+
+type interval = int64 * int64
+
+val i32_min : int64
+val i32_max : int64
+val top : interval
+val join : interval -> interval -> interval
+val meet : interval -> interval -> interval
+
+val binop_interval : Sxe_ir.Types.binop -> interval -> interval -> interval
+(** Abstract transfer of a W32 integer operation (wrap-checked: an
+    overflowing bound collapses to [top]). *)
+
+val unop_interval : Sxe_ir.Types.unop -> interval -> interval
+
+type t
+
+val compute : Sxe_ir.Cfg.func -> t
+
+val before : t -> bid:int -> iid:int -> Sxe_ir.Instr.reg -> interval
+(** Range of a register immediately before instruction [iid] of block
+    [bid]; [top] for untracked (non-I32) registers. *)
+
+val after : t -> bid:int -> iid:int -> Sxe_ir.Instr.reg -> interval
+(** Range immediately after the instruction. *)
+
+val within : t -> bid:int -> iid:int -> Sxe_ir.Instr.reg -> lo:int64 -> hi:int64 -> bool
+(** Is the register provably within [lo, hi] just before the instruction? *)

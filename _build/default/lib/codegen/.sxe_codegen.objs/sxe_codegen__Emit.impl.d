@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Cfg Hashtbl Instr List Printf String Sxe_core Sxe_ir Types

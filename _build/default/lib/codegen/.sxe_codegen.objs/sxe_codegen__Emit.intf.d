@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Sxe_core Sxe_ir

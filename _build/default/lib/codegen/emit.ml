@@ -1,0 +1,255 @@
+(** Pseudo-assembly emission for the two target models.
+
+    This is a printing back end, not a register allocator: virtual
+    registers keep their IR numbers ([r5], [f3]). Its purpose is the
+    paper's Figure 4 story made inspectable — how the optimization changes
+    the {e code}, not just the counters:
+
+    - every surviving [Sext] costs an IA64 [sxt4]/[sxt2]/[sxt1] (PPC64
+      [extsw]/[extsh]/[extsb]);
+    - an array access is a bounds check plus effective-address arithmetic:
+      IA64 [shladd] (one instruction once the index extension is gone),
+      PPC64 [rldic] (legal because a checked index is non-negative —
+      Section 3's assumption);
+    - PPC64 32/16-bit loads use the implicit sign extension ([lwa]/[lha])
+      when Step 1 marked them so, where IA64 must use zero-extending
+      [ld4]/[ld2];
+    - a 32-bit unsigned shift right needs [zxt4] + [shr.u] on IA64.
+
+    [count_mnemonic] supports static code-quality metrics in tests and
+    benches. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+
+type asm = {
+  fname : string;
+  lines : (string * string) list;  (** (mnemonic, full line), in order *)
+}
+
+let scale_of = function
+  | AI8 -> 0
+  | AI16 -> 1
+  | AI32 -> 2
+  | AI64 | AF64 | ARef -> 3
+
+let is_ia64 (arch : Sxe_core.Arch.t) = arch.Sxe_core.Arch.name = "IA64"
+
+let emit_func ~(arch : Sxe_core.Arch.t) (f : Cfg.func) : asm =
+  let ia64 = is_ia64 arch in
+  let buf = ref [] in
+  let line m fmt = Printf.ksprintf (fun s -> buf := (m, "\t" ^ s) :: !buf) fmt in
+  let label fmt = Printf.ksprintf (fun s -> buf := ("", s ^ ":") :: !buf) fmt in
+  let r x = Printf.sprintf "r%d" x in
+  let fr x = Printf.sprintf "f%d" x in
+  let binop_mnem w op =
+    let suffix = if w = W64 then "8" else "4" in
+    match op with
+    | Add -> if ia64 then "add" else "add"
+    | Sub -> if ia64 then "sub" else "subf"
+    | Mul -> if ia64 then "xmpy.l" else "mulld"
+    | Div -> if ia64 then "div" ^ suffix else "divw"
+    | Rem -> if ia64 then "rem" ^ suffix else "modsw"
+    | And -> "and"
+    | Or -> if ia64 then "or" else "or"
+    | Xor -> "xor"
+    | Shl -> if ia64 then "shl" else "sld"
+    | AShr -> if ia64 then "shr" else "srad"
+    | LShr -> if ia64 then "shr.u" else "srd"
+  in
+  let cond_mnem c =
+    match c with Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+  in
+  let sext_mnem from =
+    if ia64 then
+      match from with W8 -> "sxt1" | W16 -> "sxt2" | _ -> "sxt4"
+    else
+      match from with W8 -> "extsb" | W16 -> "extsh" | _ -> "extsw"
+  in
+  let zext_mnem from =
+    if ia64 then
+      match from with W8 -> "zxt1" | W16 -> "zxt2" | _ -> "zxt4"
+    else
+      match from with W8 -> "clrldi56" | W16 -> "clrldi48" | _ -> "clrldi32"
+  in
+  let load_mnem ~elem ~lext =
+    if ia64 then
+      match elem with
+      | AI8 -> "ld1"
+      | AI16 -> "ld2"
+      | AI32 -> "ld4"
+      | _ -> "ld8"
+    else
+      match (elem, lext) with
+      | AI8, _ -> "lbzx"
+      | AI16, LSign -> "lhax" (* implicit sign extension *)
+      | AI16, LZero -> "lhzx"
+      | AI32, LSign -> "lwax" (* implicit sign extension *)
+      | AI32, LZero -> "lwzx"
+      | _ -> "ldx"
+  in
+  let store_mnem elem =
+    if ia64 then
+      match elem with AI8 -> "st1" | AI16 -> "st2" | AI32 -> "st4" | _ -> "st8"
+    else match elem with AI8 -> "stbx" | AI16 -> "sthx" | AI32 -> "stwx" | _ -> "stdx"
+  in
+  (* bounds check + effective address; returns the address register text *)
+  let array_addr ~arr ~idx ~elem =
+    let lenr = Printf.sprintf "rL%d" arr in
+    let ear = Printf.sprintf "rA%d" arr in
+    if ia64 then begin
+      line "ld4" "ld4 %s = [%s]  // array length" lenr (r arr);
+      line "cmp4.geu" "cmp4.geu p6, p0 = %s, %s  // bounds check, low 32 bits" (r idx) lenr;
+      line "br.oob" "(p6) br.call __array_oob";
+      (* the headline instruction: index consumed directly *)
+      line "shladd" "shladd %s = %s, %d, %s" ear (r idx) (scale_of elem) (r arr)
+    end
+    else begin
+      line "lwz" "lwz %s = 8(%s)  // array length" lenr (r arr);
+      line "cmplw" "cmplw %s, %s  // 32-bit unsigned bounds check" (r idx) lenr;
+      line "br.oob" "bge- __array_oob";
+      (* Figure 4(c): shift-and-clear computes the EA without extension,
+         valid because a checked index is non-negative *)
+      line "rldic" "rldic rT = %s, %d, %d" (r idx) (scale_of elem) (32 - scale_of elem);
+      line "add" "add %s = %s, rT" ear (r arr)
+    end;
+    ear
+  in
+  let emit_instr (i : Instr.t) =
+    match i.Instr.op with
+    | Instr.Const { dst; ty = F64; v } -> line "movl" "movl %s = %Ld  // fbits" (fr dst) v
+    | Instr.Const { dst; v; _ } -> line "movl" "movl %s = %Ld" (r dst) v
+    | Instr.FConst { dst; v } -> line "movl" "movl %s = %h" (fr dst) v
+    | Instr.Mov { dst; src; ty = F64 } -> line "fmov" "fmov %s = %s" (fr dst) (fr src)
+    | Instr.Mov { dst; src; _ } -> line "mov" "mov %s = %s" (r dst) (r src)
+    | Instr.Unop { dst; op = Neg; src; _ } ->
+        line "sub" "%s %s = r0, %s" (if ia64 then "sub" else "neg") (r dst) (r src)
+    | Instr.Unop { dst; op = Not; src; _ } ->
+        line "andcm" "%s %s = -1, %s" (if ia64 then "andcm" else "nor") (r dst) (r src)
+    | Instr.Binop { dst; op = LShr; l; r = amt; w = W32 } ->
+        (* no 32-bit shifts: zero-extend then 64-bit shift *)
+        line (zext_mnem W32) "%s %s = %s" (zext_mnem W32) (r dst) (r l);
+        line "shr.u" "%s %s = %s, %s" (binop_mnem W32 LShr) (r dst) (r dst) (r amt)
+    | Instr.Binop { dst; op; l; r = rr; w } ->
+        line (binop_mnem w op) "%s %s = %s, %s" (binop_mnem w op) (r dst) (r l) (r rr)
+    | Instr.Cmp { dst; cond; l; r = rr; w } ->
+        let cw = if w = W64 then "cmp" else "cmp4" in
+        line
+          (Printf.sprintf "%s.%s" cw (cond_mnem cond))
+          "%s.%s p6, p7 = %s, %s" cw (cond_mnem cond) (r l) (r rr);
+        line "mov.pred" "(p6) mov %s = 1 ;; (p7) mov %s = 0" (r dst) (r dst)
+    | Instr.Sext { r = x; from } ->
+        line (sext_mnem from) "%s %s = %s" (sext_mnem from) (r x) (r x)
+    | Instr.Zext { r = x; from } ->
+        line (zext_mnem from) "%s %s = %s" (zext_mnem from) (r x) (r x)
+    | Instr.JustExt { r = x } -> line "" "// %s known sign-extended (dummy)" (r x)
+    | Instr.FBinop { dst; op; l; r = rr } ->
+        let m =
+          match op with
+          | FAdd -> "fadd.d"
+          | FSub -> "fsub.d"
+          | FMul -> "fmpy.d"
+          | FDiv -> "fdiv.d"
+        in
+        line m "%s %s = %s, %s" m (fr dst) (fr l) (fr rr)
+    | Instr.FNeg { dst; src } -> line "fneg" "fneg %s = %s" (fr dst) (fr src)
+    | Instr.FCmp { dst; cond; l; r = rr } ->
+        line
+          (Printf.sprintf "fcmp.%s" (cond_mnem cond))
+          "fcmp.%s p6, p7 = %s, %s" (cond_mnem cond) (fr l) (fr rr);
+        line "mov.pred" "(p6) mov %s = 1 ;; (p7) mov %s = 0" (r dst) (r dst)
+    | Instr.I2D { dst; src } | Instr.L2D { dst; src } ->
+        line "setf.sig" "setf.sig %s = %s" (fr dst) (r src);
+        line "fcvt.xf" "fcvt.xf %s = %s" (fr dst) (fr dst)
+    | Instr.D2I { dst; src } | Instr.D2L { dst; src } ->
+        line "fcvt.fx" "fcvt.fx.trunc f6 = %s" (fr src);
+        line "getf.sig" "getf.sig %s = f6" (r dst)
+    | Instr.NewArr { dst; elem; len } ->
+        line "mov.arg" "mov out0 = %s" (r len);
+        line "br.call" "br.call __new_array_%s // -> %s" (Types.string_of_aelem elem) (r dst)
+    | Instr.ArrLoad { dst; arr; idx; elem; lext } ->
+        let ear = array_addr ~arr ~idx ~elem in
+        let m = load_mnem ~elem ~lext in
+        let dreg = match elem with AF64 -> fr dst | _ -> r dst in
+        if ia64 then line m "%s %s = [%s]" m dreg ear
+        else line m "%s %s = %s" m dreg ear
+    | Instr.ArrStore { arr; idx; src; elem } ->
+        let ear = array_addr ~arr ~idx ~elem in
+        let m = store_mnem elem in
+        let sreg = match elem with AF64 -> fr src | _ -> r src in
+        if ia64 then line m "%s [%s] = %s" m ear sreg else line m "%s %s, %s" m sreg ear
+    | Instr.ArrLen { dst; arr } ->
+        if ia64 then line "ld4" "ld4 %s = [%s]  // length" (r dst) (r arr)
+        else line "lwz" "lwz %s = 8(%s)  // length" (r dst) (r arr)
+    | Instr.GLoad { dst; sym; ty; lext } -> (
+        match ty with
+        | F64 -> line "ldfd" "ldfd %s = [@%s]" (fr dst) sym
+        | I32 ->
+            let m =
+              if ia64 then "ld4"
+              else match lext with LSign -> "lwa" | LZero -> "lwz"
+            in
+            line m "%s %s = [@%s]" m (r dst) sym
+        | _ -> line "ld8" "%s %s = [@%s]" (if ia64 then "ld8" else "ld") (r dst) sym)
+    | Instr.GStore { sym; src; ty } -> (
+        match ty with
+        | F64 -> line "stfd" "stfd [@%s] = %s" sym (fr src)
+        | I32 -> line "st4" "%s [@%s] = %s" (if ia64 then "st4" else "stw") sym (r src)
+        | _ -> line "st8" "%s [@%s] = %s" (if ia64 then "st8" else "std") sym (r src))
+    | Instr.Call { dst; fn; args; ret } ->
+        List.iteri
+          (fun k (a, ty) ->
+            match ty with
+            | F64 -> line "mov.arg" "fmov fout%d = %s" k (fr a)
+            | _ -> line "mov.arg" "mov out%d = %s" k (r a))
+          args;
+        line "br.call" "br.call %s" fn;
+        (match (dst, ret) with
+        | Some d, Some F64 -> line "fmov" "fmov %s = fret0" (fr d)
+        | Some d, Some _ -> line "mov" "mov %s = ret0" (r d)
+        | _ -> ())
+  in
+  let emit_term bid (t : Instr.terminator) =
+    match t with
+    | Instr.Jmp l -> line "br" "br .B%d_%d" l (Hashtbl.hash f.Cfg.name mod 997)
+    | Instr.Br { cond; l; r = rr; w; ifso; ifnot } ->
+        let cw = if w = W64 then "cmp" else "cmp4" in
+        line
+          (Printf.sprintf "%s.%s" cw (cond_mnem cond))
+          "%s.%s p6, p7 = %s, %s" cw (cond_mnem cond) (r l) (r rr);
+        line "br.cond" "(p6) br.cond .B%d_%d" ifso (Hashtbl.hash f.Cfg.name mod 997);
+        line "br" "br .B%d_%d" ifnot (Hashtbl.hash f.Cfg.name mod 997)
+    | Instr.Ret None -> line "br.ret" "br.ret"
+    | Instr.Ret (Some (x, F64)) ->
+        line "fmov" "fmov fret0 = %s" (fr x);
+        line "br.ret" "br.ret"
+    | Instr.Ret (Some (x, _)) ->
+        line "mov" "mov ret0 = %s" (r x);
+        line "br.ret" "br.ret";
+        ignore bid
+  in
+  label "%s  // %s" f.Cfg.name arch.Sxe_core.Arch.name;
+  Cfg.iter_blocks
+    (fun b ->
+      label ".B%d_%d" b.Cfg.bid (Hashtbl.hash f.Cfg.name mod 997);
+      List.iter emit_instr b.Cfg.body;
+      emit_term b.Cfg.bid b.Cfg.term)
+    f;
+  { fname = f.Cfg.name; lines = List.rev !buf }
+
+let to_string asm =
+  String.concat "\n" (List.map snd asm.lines) ^ "\n"
+
+(** Number of emitted instructions whose mnemonic starts with [prefix]
+    (e.g. "sxt" to count IA64 sign extensions, "extsw" on PPC64,
+    "shladd" for fused address computations). *)
+let count_mnemonic asm prefix =
+  List.length
+    (List.filter
+       (fun (m, _) ->
+         String.length m >= String.length prefix
+         && String.sub m 0 (String.length prefix) = prefix)
+       asm.lines)
+
+(** Total emitted instructions (labels and comments excluded). *)
+let size asm = List.length (List.filter (fun (m, _) -> m <> "") asm.lines)

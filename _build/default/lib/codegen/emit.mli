@@ -1,0 +1,21 @@
+(** Pseudo-assembly emission for the IA64 and PPC64 models — Figure 4's
+    code shapes made inspectable (no register allocation; virtual
+    registers keep their IR numbers). Every surviving [Sext] costs an
+    explicit [sxt*]/[exts*]; array accesses pay a bounds check plus
+    [shladd] (IA64) or [rldic] (PPC64) address arithmetic; PPC64 uses the
+    implicit-sign-extension loads [lwa]/[lha] where Step 1 marked them. *)
+
+type asm = {
+  fname : string;
+  lines : (string * string) list;  (** (mnemonic, full line), in order *)
+}
+
+val emit_func : arch:Sxe_core.Arch.t -> Sxe_ir.Cfg.func -> asm
+val to_string : asm -> string
+
+val count_mnemonic : asm -> string -> int
+(** Emitted instructions whose mnemonic starts with the prefix ("sxt",
+    "extsw", "shladd", ...). *)
+
+val size : asm -> int
+(** Total emitted instructions (labels and comments excluded). *)

@@ -1,0 +1,1 @@
+lib/core/analyze.ml: Array Cfg Chains Hashtbl Instr Int64 List Option Range Reaching Stats Sxe_analysis Sxe_ir Types

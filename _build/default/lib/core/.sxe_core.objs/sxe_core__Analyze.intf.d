@@ -1,0 +1,1 @@
+lib/core/analyze.mli: Stats Sxe_analysis Sxe_ir

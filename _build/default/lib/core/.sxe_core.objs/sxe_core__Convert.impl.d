@@ -1,0 +1,1 @@
+lib/core/convert.ml: Arch Cfg Config Hashtbl Instr List Stats Sxe_ir Types

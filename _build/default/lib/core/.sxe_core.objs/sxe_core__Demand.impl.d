@@ -1,0 +1,1 @@
+lib/core/demand.ml: Array Bitset Cfg Instr List Stats Sxe_analysis Sxe_ir Sxe_util

@@ -1,0 +1,1 @@
+lib/core/demand.mli: Stats Sxe_ir Sxe_util

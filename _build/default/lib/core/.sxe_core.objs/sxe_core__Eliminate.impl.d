@@ -1,0 +1,1 @@
+lib/core/eliminate.ml: Analyze Array Cfg Chains Config Freq Hashtbl Insertion Instr List Prog Range Stats Sxe_analysis Sxe_ir Unix

@@ -1,0 +1,1 @@
+lib/core/eliminate.mli: Config Stats Sxe_ir

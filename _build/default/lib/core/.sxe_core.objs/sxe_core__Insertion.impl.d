@@ -1,0 +1,1 @@
+lib/core/insertion.ml: Cfg Config Hashtbl Instr List Stats Sxe_analysis Sxe_ir Types

@@ -1,0 +1,1 @@
+lib/core/insertion.mli: Config Stats Sxe_ir

@@ -1,0 +1,1 @@
+lib/core/pass.ml: Config Convert Demand Eliminate Option Stats Sxe_ir Sxe_opt Unix

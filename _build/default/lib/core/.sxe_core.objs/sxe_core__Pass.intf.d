@@ -1,0 +1,1 @@
+lib/core/pass.mli: Config Stats Sxe_ir

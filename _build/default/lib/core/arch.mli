@@ -1,0 +1,16 @@
+(** Target-architecture models (Section 1): how sub-64-bit memory reads
+    fill the upper register bits. IA64 zero-extends everything; PPC64 has
+    implicit sign extension for 16/32-bit reads ([lha]/[lwa]) but not for
+    bytes. *)
+
+type t = {
+  name : string;
+  load_ext : Sxe_ir.Types.width -> Sxe_ir.Types.lext;
+}
+
+val ia64 : t
+val ppc64 : t
+
+val by_name : string -> t
+(** ["ia64"] or ["ppc64"] (case-insensitive); raises [Invalid_argument]
+    otherwise. *)

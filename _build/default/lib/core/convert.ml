@@ -1,0 +1,119 @@
+(** Step 1: conversion for a 64-bit architecture (Figure 5(1), Figure 6).
+
+    The input IR is in "32-bit architecture form": integer locals are
+    32-bit values with no explicit sign extensions (except the semantic
+    8/16-bit extensions of byte/short reads). Conversion:
+
+    - stamps every sub-64-bit memory read with the target's extension
+      behaviour ({!Arch.t.load_ext});
+    - {b gen def} (the paper's choice): inserts [r = extend(r)] after every
+      instruction defining a 32-bit register unless the result is
+      guaranteed sign-extended — under the resulting invariant every I32
+      register is sign-extended at every program point, so a copy from an
+      I32 register needs no extension;
+    - {b gen use} (the measured reference): leaves definitions bare and
+      inserts [r = extend(r)] immediately before every instruction that
+      requires an extended operand, unless the operand is visibly extended
+      within the block.
+
+    The gen-def invariant is what later phases rely on; every elimination
+    must prove the extension redundant before removing it. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+
+(** Is the destination guaranteed sign-extended without an explicit
+    extension, at conversion time? (Stricter than [AnalyzeDEF]: the paper's
+    Step 1 places an extension after [j = j & C] in Figure 3 even though
+    elimination later proves it redundant.) *)
+let step1_guaranteed (f : Cfg.func) (op : Instr.op) =
+  Instr.def_always_extended op
+  ||
+  match op with
+  | Instr.Mov { src; ty = I32; _ } ->
+      (* under the gen-def invariant a 32-bit-to-32-bit copy stays
+         extended; a truncating copy from a 64-bit register does not *)
+      Cfg.reg_ty f src = I32
+  | Instr.Zext { from = W32; _ } ->
+      (* deliberate zero-extension: never re-extend behind its back *)
+      true
+  | _ -> false
+
+let apply_arch_loads (arch : Arch.t) (f : Cfg.func) =
+  Cfg.iter_instrs
+    (fun _ i ->
+      match i.Instr.op with
+      | Instr.ArrLoad ({ elem = AI8 | AI16 | AI32; _ } as c) ->
+          let w = Types.width_of_aelem c.elem in
+          i.Instr.op <- Instr.ArrLoad { c with lext = arch.load_ext w }
+      | Instr.GLoad ({ ty = I32; _ } as c) ->
+          i.Instr.op <- Instr.GLoad { c with lext = arch.load_ext W32 }
+      | _ -> ())
+    f
+
+let gen_def (f : Cfg.func) (stats : Stats.t) =
+  Cfg.iter_blocks
+    (fun b ->
+      let body =
+        List.concat_map
+          (fun (i : Instr.t) ->
+            match Instr.def i.Instr.op with
+            | Some d
+              when Cfg.reg_ty f d = I32
+                   && (not (step1_guaranteed f i.Instr.op))
+                   && not (Instr.is_sext i.Instr.op || Instr.is_justext i.Instr.op) ->
+                stats.Stats.generated <- stats.Stats.generated + 1;
+                [ i; Cfg.mk_instr f (Instr.Sext { r = d; from = W32 }) ]
+            | _ -> [ i ])
+          b.Cfg.body
+      in
+      b.Cfg.body <- body)
+    f
+
+let gen_use (f : Cfg.func) (stats : Stats.t) =
+  let reg_ty r = Cfg.reg_ty f r in
+  Cfg.iter_blocks
+    (fun b ->
+      (* registers visibly extended at this point of the block *)
+      let ext : (Instr.reg, unit) Hashtbl.t = Hashtbl.create 16 in
+      let out = ref [] in
+      let emit i = out := i :: !out in
+      let need r =
+        if not (Hashtbl.mem ext r) then begin
+          stats.Stats.generated <- stats.Stats.generated + 1;
+          emit (Cfg.mk_instr f (Instr.Sext { r; from = W32 }));
+          Hashtbl.replace ext r ()
+        end
+      in
+      let required_of (i : Instr.t) =
+        let base = Instr.required_ext_uses ~reg_ty i.Instr.op in
+        match Instr.array_index_use i.Instr.op with
+        | Some (_, idx) when reg_ty idx = I32 && not (List.mem idx base) -> idx :: base
+        | _ -> base
+      in
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter need (required_of i);
+          emit i;
+          match Instr.def i.Instr.op with
+          | Some d ->
+              (* no maintained invariant here: a copy is extended only if
+                 its source visibly is *)
+              let extended =
+                match i.Instr.op with
+                | Instr.Mov { src; ty = Types.I32; _ } when Cfg.reg_ty f src = Types.I32 ->
+                    Hashtbl.mem ext src
+                | op -> Instr.def_always_extended op
+              in
+              if extended then Hashtbl.replace ext d () else Hashtbl.remove ext d
+          | None -> ())
+        b.Cfg.body;
+      List.iter need (Instr.required_ext_uses_term ~reg_ty b.Cfg.term);
+      b.Cfg.body <- List.rev !out)
+    f
+
+let run (config : Config.t) (f : Cfg.func) (stats : Stats.t) =
+  apply_arch_loads config.Config.arch f;
+  match config.Config.conversion with
+  | Config.Gen_def -> gen_def f stats
+  | Config.Gen_use -> gen_use f stats

@@ -1,0 +1,19 @@
+(** Step 1: conversion for a 64-bit architecture (Figure 5(1), Figure 6).
+
+    Stamps sub-64-bit memory reads with the target's extension behaviour
+    and materializes explicit extensions: {e gen-def} after every
+    non-guaranteed 32-bit definition (the paper's choice — afterwards
+    every I32 register is sign-extended at every point), or {e gen-use}
+    immediately before every requiring use (the measured reference). *)
+
+val step1_guaranteed : Sxe_ir.Cfg.func -> Sxe_ir.Instr.op -> bool
+(** Is the destination guaranteed sign-extended without an explicit
+    extension, by Step 1's (deliberately syntactic) rules? *)
+
+val apply_arch_loads : Arch.t -> Sxe_ir.Cfg.func -> unit
+val gen_def : Sxe_ir.Cfg.func -> Stats.t -> unit
+val gen_use : Sxe_ir.Cfg.func -> Stats.t -> unit
+
+val run : Config.t -> Sxe_ir.Cfg.func -> Stats.t -> unit
+(** Apply the configuration's conversion strategy; counts generated
+    extensions into [stats]. *)

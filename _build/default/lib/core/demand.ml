@@ -1,0 +1,79 @@
+(** The paper's {e first algorithm}: sign-extension elimination by backward
+    dataflow ("first algorithm (bwd flow)" in Tables 1-2).
+
+    A backward bit-vector analysis computes, at every point, the set of
+    32-bit registers whose {e sign-extended} value some later instruction
+    observes. Requiring uses (double conversion, 32-bit division, calls,
+    returns, array subscripts, allocations) generate demand; definitions
+    kill it; for the wrap-tolerant operators demand on the result induces
+    demand on the sources; extensions satisfy (kill) demand. An extension
+    with no demand immediately below it is deleted — which is why this
+    algorithm keeps "the latest sign extension in the flow graph"
+    (limitation 3 of Section 1), cannot handle array subscripts
+    (limitation 1), and misses def-side redundancy (limitation 2). *)
+
+open Sxe_util
+open Sxe_ir
+open Sxe_ir.Types
+
+(** Demand transfer of one instruction, backward: [d] is the demand below,
+    mutated into the demand above. *)
+let step ~reg_ty (i : Instr.t) (d : Bitset.t) =
+  let i32 r = reg_ty r = I32 in
+  (match i.Instr.op with
+  | Instr.Sext { r; _ } | Instr.Zext { r; _ } | Instr.JustExt { r } ->
+      (* an extension satisfies the demand; a zero-extension is treated as
+         an opaque definition (its own required uses are protected by the
+         extension Step 1 placed after it) *)
+      Bitset.remove d r
+  | op -> (
+      match Instr.def op with
+      | Some dd when i32 dd ->
+          let demanded = Bitset.mem d dd in
+          Bitset.remove d dd;
+          if demanded then
+            List.iter (fun s -> if i32 s then Bitset.add d s) (Instr.demand_propagates_to op)
+      | _ -> ()));
+  List.iter (fun r -> Bitset.add d r) (Instr.required_ext_uses ~reg_ty i.Instr.op);
+  match Instr.array_index_use i.Instr.op with
+  | Some (_, idx) when i32 idx -> Bitset.add d idx
+  | _ -> (
+      match i.Instr.op with
+      | Instr.NewArr _ -> () (* length already in required_ext_uses *)
+      | _ -> ())
+
+let run (f : Cfg.func) (stats : Stats.t) =
+  let reg_ty r = Cfg.reg_ty f r in
+  let universe = Cfg.num_regs f in
+  let transfer bid (dout : Bitset.t) =
+    let d = Bitset.copy dout in
+    let b = Cfg.block f bid in
+    List.iter (fun r -> Bitset.add d r) (Instr.required_ext_uses_term ~reg_ty b.Cfg.term);
+    List.iter (fun i -> step ~reg_ty i d) (List.rev b.Cfg.body);
+    d
+  in
+  let boundary = Bitset.create universe in
+  let sol =
+    Sxe_analysis.Dataflow.solve ~f ~dir:Sxe_analysis.Dataflow.Backward
+      ~meet:Sxe_analysis.Dataflow.Union ~universe ~transfer ~boundary
+  in
+  (* replay each block backward; delete extensions facing no demand *)
+  Cfg.iter_blocks
+    (fun b ->
+      let d = Bitset.copy sol.Sxe_analysis.Dataflow.outb.(b.Cfg.bid) in
+      List.iter (fun r -> Bitset.add d r) (Instr.required_ext_uses_term ~reg_ty b.Cfg.term);
+      let doomed = ref [] in
+      List.iter
+        (fun (i : Instr.t) ->
+          (match i.Instr.op with
+          | Instr.Sext { r; from = W32 } when not (Bitset.mem d r) ->
+              doomed := i.Instr.iid :: !doomed
+          | _ -> ());
+          step ~reg_ty i d)
+        (List.rev b.Cfg.body);
+      List.iter
+        (fun iid ->
+          if Cfg.remove_instr b iid then
+            stats.Stats.eliminated <- stats.Stats.eliminated + 1)
+        !doomed)
+    f

@@ -1,0 +1,13 @@
+(** The paper's {e first algorithm}: sign-extension elimination by
+    backward demand dataflow ("first algorithm (bwd flow)" in Tables 1-2).
+    Keeps the latest extension before each requiring use; cannot handle
+    array subscripts or definition-side redundancy — the four limitations
+    of Section 1 that motivate the new algorithm. *)
+
+val step : reg_ty:(Sxe_ir.Instr.reg -> Sxe_ir.Types.ty) -> Sxe_ir.Instr.t -> Sxe_util.Bitset.t -> unit
+(** Backward demand transfer of one instruction: mutates the
+    demanded-register set from below the instruction to above it. *)
+
+val run : Sxe_ir.Cfg.func -> Stats.t -> unit
+(** Solve the demand system and delete every 32-bit extension facing no
+    demand. *)

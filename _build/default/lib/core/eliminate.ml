@@ -1,0 +1,79 @@
+(** Step 3 driver: insertion, order determination, per-extension
+    elimination, dummy removal (Figure 5(3)).
+
+    Order determination (Section 2.2) sorts the candidate extensions by
+    the estimated execution frequency of their blocks, hottest first, so
+    that when two extensions compete (Figure 9) the one in the loop is
+    eliminated and the cold one absorbs the requirement. With ordering
+    disabled, candidates are processed in the reverse-DFS (postorder)
+    sequence backward dataflow would use, as the paper states. *)
+
+open Sxe_ir
+open Sxe_analysis
+
+(** Count the static 32-bit sign extensions currently in [f]. *)
+let count_sext32 (f : Cfg.func) =
+  Cfg.fold_instrs (fun n _ i -> if Instr.is_sext32 i.Instr.op then n + 1 else n) 0 f
+
+let count_sext32_prog (p : Prog.t) =
+  Prog.fold_funcs (fun n f -> n + count_sext32 f) 0 p
+
+(** [run ?edge_prob config f stats] performs phases (3)-1..(3)-3 on [f].
+    [edge_prob] supplies measured branch probabilities (profile-directed
+    order determination). Returns the time spent building UD/DU chains,
+    which Table 3 accounts separately from the optimization itself. *)
+let run ?edge_prob (config : Config.t) (f : Cfg.func) (stats : Stats.t) =
+  (* (3)-1 insertion *)
+  Insertion.run config f stats;
+  (* shared analyses: UD/DU chains (accounted separately, as in Table 3)
+     and value ranges *)
+  let t0 = Unix.gettimeofday () in
+  let chains = Chains.build f in
+  let ranges = Range.compute f in
+  let t_chains = Unix.gettimeofday () -. t0 in
+  (* (3)-2 order determination *)
+  let exts = ref [] in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iteri
+        (fun pos (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Sext _ | Instr.Zext _ -> exts := (b.Cfg.bid, pos, i) :: !exts
+          | _ -> ())
+        b.Cfg.body)
+    f;
+  let exts = List.rev !exts in
+  let ordered =
+    if config.Config.order then begin
+      let freq = Freq.estimate ?edge_prob f in
+      (* hottest block first; stable within a block (program order) *)
+      List.stable_sort
+        (fun (b1, p1, _) (b2, p2, _) ->
+          match compare freq.(b2) freq.(b1) with 0 -> compare (b1, p1) (b2, p2) | c -> c)
+        exts
+    end
+    else begin
+      (* reverse-DFS block sequence, the backward-dataflow order *)
+      let po = Cfg.postorder f in
+      let rank = Hashtbl.create 16 in
+      List.iteri (fun k bid -> Hashtbl.replace rank bid k) po;
+      let key bid = match Hashtbl.find_opt rank bid with Some k -> k | None -> max_int in
+      List.stable_sort
+        (fun (b1, p1, _) (b2, p2, _) -> compare (key b1, p1) (key b2, p2))
+        exts
+    end
+  in
+  (* (3)-3 elimination *)
+  let ctx =
+    Analyze.create ~f ~chains ~ranges ~maxlen:config.Config.maxlen
+      ~array_enabled:config.Config.array ~stats
+  in
+  List.iter
+    (fun (_, _, (i : Instr.t)) ->
+      if Chains.contains chains i then ignore (Analyze.eliminate_one ctx i))
+    ordered;
+  (* drop the dummies *)
+  let dummies = ref [] in
+  Cfg.iter_instrs (fun _ i -> if Instr.is_justext i.Instr.op then dummies := i :: !dummies) f;
+  List.iter (Chains.delete_same_reg_def chains) !dummies;
+  t_chains

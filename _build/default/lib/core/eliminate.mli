@@ -1,0 +1,18 @@
+(** Step 3 driver (Figure 5(3)): insertion, order determination,
+    per-extension elimination over UD/DU chains, dummy removal. *)
+
+val count_sext32 : Sxe_ir.Cfg.func -> int
+(** Static 32-bit sign extensions currently in the function. *)
+
+val count_sext32_prog : Sxe_ir.Prog.t -> int
+
+val run :
+  ?edge_prob:(src:int -> dst:int -> float option) ->
+  Config.t ->
+  Sxe_ir.Cfg.func ->
+  Stats.t ->
+  float
+(** Perform phases (3)-1..(3)-3. [edge_prob] supplies measured branch
+    probabilities for profile-directed order determination. Returns the
+    time spent building UD/DU chains and value ranges, which Table 3
+    accounts separately from the optimization itself. *)

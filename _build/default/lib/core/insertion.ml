@@ -1,0 +1,163 @@
+(** Phase (3)-1: sign-extension insertion (Section 2.1).
+
+    - {b Simple insertion}: "insert a sign extension instruction
+      immediately before every instruction where sign extension is
+      necessary unless its variable is obviously sign-extended", applied
+      only to methods containing a loop (the paper's compile-time/effect
+      balance). Combined with elimination this moves extensions out of
+      loops: the in-loop extension becomes removable because the inserted
+      post-loop one absorbs the requirement (Figures 7-8).
+
+    - {b PDE-style insertion} (the measured reference): a variant of
+      partial dead code elimination that only materializes an extension at
+      a use point if some existing extension of the same register reaches
+      it (i.e. could be sunk there); the paper found it slightly worse
+      than simple insertion everywhere (Figure 15 shows why: sinking stops
+      at merges).
+
+    - {b Dummy insertion}: after every array access, a [just_extended]
+      marker on the index register — justified because a bounds-checked
+      access either executed behind a real extension or was proven by
+      Theorems 1-4 to have an already-extended index. Dummies are free
+      (they generate no code), are inserted for every UD/DU variant, and
+      are what grounds loop-carried subscript chains. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+
+let requires_of ~reg_ty (i : Instr.t) =
+  let base = Instr.required_ext_uses ~reg_ty i.Instr.op in
+  match Instr.array_index_use i.Instr.op with
+  | Some (_, idx) when reg_ty idx = I32 && not (List.mem idx base) -> idx :: base
+  | _ -> base
+
+(** Shared walking logic: [should_insert] decides per (instruction, reg). *)
+let insert_where (f : Cfg.func) (stats : Stats.t) ~should_insert =
+  let reg_ty r = Cfg.reg_ty f r in
+  Cfg.iter_blocks
+    (fun b ->
+      (* registers visibly extended at this point in the block *)
+      let ext : (Instr.reg, unit) Hashtbl.t = Hashtbl.create 16 in
+      let out = ref [] in
+      let emit i = out := i :: !out in
+      let maybe_insert at r =
+        if (not (Hashtbl.mem ext r)) && should_insert at r then begin
+          stats.Stats.inserted <- stats.Stats.inserted + 1;
+          emit (Cfg.mk_instr f (Instr.Sext { r; from = W32 }));
+          Hashtbl.replace ext r ()
+        end
+      in
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter (maybe_insert (`I i)) (requires_of ~reg_ty i);
+          emit i;
+          match Instr.def i.Instr.op with
+          | Some d ->
+              if Instr.def_always_extended i.Instr.op then Hashtbl.replace ext d ()
+              else Hashtbl.remove ext d
+          | None -> ())
+        b.Cfg.body;
+      List.iter (maybe_insert (`T b.Cfg.bid)) (Instr.required_ext_uses_term ~reg_ty b.Cfg.term);
+      b.Cfg.body <- List.rev !out)
+    f
+
+let simple (f : Cfg.func) (stats : Stats.t) =
+  let loops = Sxe_analysis.Loops.compute f in
+  if Sxe_analysis.Loops.in_any_loop loops then
+    insert_where f stats ~should_insert:(fun _ _ -> true)
+
+let pde (f : Cfg.func) (stats : Stats.t) =
+  let loops = Sxe_analysis.Loops.compute f in
+  if Sxe_analysis.Loops.in_any_loop loops then begin
+    let chains = Sxe_analysis.Chains.build f in
+    (* Sinking an extension to this use is possible only when {e every}
+       definition reaching it is that extension or a copy of one — if some
+       merge path arrives bare, PDE cannot place the extension here
+       (Figure 15's drawback). *)
+    let rec all_from_ext seen defs =
+      defs <> []
+      && List.for_all
+           (function
+             | Sxe_analysis.Reaching.DIns d ->
+                 Instr.is_sext32 d.Instr.op
+                 || (match d.Instr.op with
+                    | Instr.Mov { src; ty = Types.I32; _ }
+                      when Cfg.reg_ty f src = Types.I32 && not (List.mem d.Instr.iid seen)
+                      ->
+                        all_from_ext (d.Instr.iid :: seen)
+                          (Sxe_analysis.Chains.ud_at_instr chains d src)
+                    | _ -> false)
+             | Sxe_analysis.Reaching.DParam _ -> false)
+           defs
+    in
+    let reaches_from_ext at r =
+      let defs =
+        match at with
+        | `I i -> Sxe_analysis.Chains.ud_at_instr chains i r
+        | `T bid -> Sxe_analysis.Chains.ud_at_term chains bid r
+      in
+      all_from_ext [] defs
+    in
+    insert_where f stats ~should_insert:reaches_from_ext
+  end
+
+(** Dummy extensions after array accesses; skipped when the access
+    immediately overwrites its own index ([i = a\[i\]]).
+
+    A dummy is placed on the index register {e and} on every register that
+    visibly holds the same full 64-bit value within the block (a Mov copy
+    made before the access): the bounds-checked fact is about the value,
+    and the lowering routinely accesses through a temporary while the loop
+    variable carries the copy the next iteration reads — the paper's IR
+    has one name for both. *)
+let dummies (f : Cfg.func) (stats : Stats.t) =
+  Cfg.iter_blocks
+    (fun b ->
+      (* same-value classes within the block, maintained like copyprop *)
+      let copy_of : (Instr.reg, Instr.reg) Hashtbl.t = Hashtbl.create 8 in
+      let class_of r =
+        let rec root x = match Hashtbl.find_opt copy_of x with Some y -> root y | None -> x in
+        let rr = root r in
+        Hashtbl.fold (fun k _ acc -> if root k = rr then k :: acc else acc) copy_of [ rr ]
+        |> List.sort_uniq compare
+      in
+      let invalidate d =
+        Hashtbl.remove copy_of d;
+        Hashtbl.iter
+          (fun k s -> if s = d then Hashtbl.remove copy_of k)
+          (Hashtbl.copy copy_of)
+      in
+      let out = ref [] in
+      let emit_dummies ~skip idx =
+        List.iter
+          (fun r ->
+            if r <> skip then begin
+              stats.Stats.dummies <- stats.Stats.dummies + 1;
+              out := Cfg.mk_instr f (Instr.JustExt { r }) :: !out
+            end)
+          (class_of idx)
+      in
+      List.iter
+        (fun (i : Instr.t) ->
+          out := i :: !out;
+          (match i.Instr.op with
+          | Instr.ArrLoad { dst; idx; _ } when Cfg.reg_ty f idx = I32 ->
+              emit_dummies ~skip:dst idx
+          | Instr.ArrStore { idx; _ } when Cfg.reg_ty f idx = I32 -> emit_dummies ~skip:(-1) idx
+          | _ -> ());
+          match i.Instr.op with
+          | Instr.Mov { dst; src; _ }
+            when dst <> src && Cfg.reg_ty f src = Cfg.reg_ty f dst ->
+              invalidate dst;
+              Hashtbl.replace copy_of dst src
+          | op -> ( match Instr.def op with Some d -> invalidate d | None -> ()))
+        b.Cfg.body;
+      b.Cfg.body <- List.rev !out)
+    f
+
+let run (config : Config.t) (f : Cfg.func) (stats : Stats.t) =
+  (match config.Config.insertion with
+  | Config.Ins_none -> ()
+  | Config.Ins_simple -> simple f stats
+  | Config.Ins_pde -> pde f stats);
+  dummies f stats

@@ -1,0 +1,16 @@
+(** Phase (3)-1: sign-extension insertion (Section 2.1) — simple
+    insertion before requiring uses (loop-containing methods only), the
+    PDE-style reference variant, and the free dummy extensions after
+    bounds-checked array accesses that ground loop-carried subscript
+    chains. *)
+
+val simple : Sxe_ir.Cfg.func -> Stats.t -> unit
+val pde : Sxe_ir.Cfg.func -> Stats.t -> unit
+
+val dummies : Sxe_ir.Cfg.func -> Stats.t -> unit
+(** Insert [just_extended] markers after every array access, for the
+    index register and every register of its block-local same-value copy
+    class; skipped when the access overwrites its own index. *)
+
+val run : Config.t -> Sxe_ir.Cfg.func -> Stats.t -> unit
+(** The configured insertion strategy followed by dummy insertion. *)

@@ -1,0 +1,55 @@
+(** The full compilation pipeline of Figure 5, with per-phase timing for
+    Table 3's compile-time breakdown.
+
+    For each function: Step 1 (conversion for a 64-bit architecture),
+    Step 2 (general optimizations — run for {e every} variant including
+    the baseline, exactly as in the paper), Step 3 (the configured
+    sign-extension optimization). Timings are wall-clock, accumulated into
+    the returned {!Stats.t}: [time_signext] covers insertion, ordering and
+    elimination; [time_chains] the UD/DU chain (and range) construction;
+    everything else lands in [time_convert]/[time_general]. *)
+
+type profile_source = string -> src:int -> dst:int -> float option
+(** measured branch probability per (function, edge), from the VM's
+    interpreter profile *)
+
+let now = Unix.gettimeofday
+
+let compile_func ?(profile : profile_source option) (config : Config.t)
+    (f : Sxe_ir.Cfg.func) (stats : Stats.t) =
+  let t0 = now () in
+  Convert.run config f stats;
+  let t1 = now () in
+  stats.Stats.time_convert <- stats.Stats.time_convert +. (t1 -. t0);
+  let sext_before_step2 = Eliminate.count_sext32 f in
+  Sxe_opt.Pipeline.run_func ~pre:config.Config.pre f;
+  stats.Stats.eliminated_by_pre <-
+    stats.Stats.eliminated_by_pre + max 0 (sext_before_step2 - Eliminate.count_sext32 f);
+  let t2 = now () in
+  stats.Stats.time_general <- stats.Stats.time_general +. (t2 -. t1);
+  let chains_time = ref 0.0 in
+  (match config.Config.elimination with
+  | Config.Elim_none -> ()
+  | Config.Elim_bwd_flow -> Demand.run f stats
+  | Config.Elim_ud_du ->
+      let edge_prob =
+        Option.map (fun p ~src ~dst -> p f.Sxe_ir.Cfg.name ~src ~dst) profile
+      in
+      chains_time := Eliminate.run ?edge_prob config f stats);
+  let t3 = now () in
+  stats.Stats.time_chains <- stats.Stats.time_chains +. !chains_time;
+  stats.Stats.time_signext <- stats.Stats.time_signext +. (t3 -. t2 -. !chains_time)
+
+(** Compile a whole program under [config]; returns fresh statistics.
+    The input program is mutated — clone first (see {!Sxe_ir.Clone}) when
+    compiling the same source under several variants. *)
+let compile ?profile (config : Config.t) (p : Sxe_ir.Prog.t) : Stats.t =
+  let stats = Stats.create () in
+  if config.Config.inline then begin
+    let t0 = now () in
+    ignore (Sxe_opt.Inline.run p);
+    stats.Stats.time_general <- stats.Stats.time_general +. (now () -. t0)
+  end;
+  Sxe_ir.Prog.iter_funcs (fun f -> compile_func ?profile config f stats) p;
+  stats.Stats.remaining <- Eliminate.count_sext32_prog p;
+  stats

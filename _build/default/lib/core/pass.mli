@@ -1,0 +1,16 @@
+(** The full compilation pipeline of Figure 5 with per-phase timing:
+    Step 1 (conversion), Step 2 (general optimizations — run for every
+    variant, baseline included), Step 3 (the configured sign-extension
+    optimization), plus optional method inlining up front. *)
+
+type profile_source = string -> src:int -> dst:int -> float option
+(** Measured branch probability per (function, edge), e.g.
+    {!Sxe_vm.Profile.as_source}. *)
+
+val compile_func : ?profile:profile_source -> Config.t -> Sxe_ir.Cfg.func -> Stats.t -> unit
+
+val compile : ?profile:profile_source -> Config.t -> Sxe_ir.Prog.t -> Stats.t
+(** Compile a whole program under the configuration; returns fresh
+    statistics (timings, extension counts, theorem census). The input
+    program is mutated — clone first ({!Sxe_ir.Clone}) to compile the
+    same source under several variants. *)

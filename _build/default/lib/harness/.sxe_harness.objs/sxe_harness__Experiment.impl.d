@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: List Sxe_core Sxe_ir Sxe_lang Sxe_vm Sxe_workloads

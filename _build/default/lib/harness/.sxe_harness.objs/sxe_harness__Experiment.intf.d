@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Sxe_core Sxe_vm Sxe_workloads

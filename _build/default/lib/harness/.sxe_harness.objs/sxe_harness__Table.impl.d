@@ -1,0 +1,1 @@
+lib/harness/table.ml: Buffer Experiment Hashtbl Int64 List Printf String

@@ -1,0 +1,118 @@
+(** Experiment runner: compile each workload under each variant, execute it
+    on the faithful 64-bit machine, and collect the paper's quantities —
+    dynamic counts of remaining 32-bit sign extensions (Tables 1-2,
+    Figures 11-12), cost-model cycles (Figures 13-14) and compile-time
+    breakdowns (Table 3).
+
+    Profile-directed order determination works as in the paper's
+    interpreter+JIT: a profiling run of the baseline-compiled program
+    collects branch statistics, which are valid for every gen-def variant
+    because Step 1 + Step 2 produce the same CFG for all of them. *)
+
+type measurement = {
+  workload : string;
+  variant : string;
+  dyn_sext32 : int64;
+  static_remaining : int;
+  cycles : int64;
+  executed : int64;
+  equivalent : bool;  (** observably equal to the canonical reference *)
+  stats : Sxe_core.Stats.t;
+}
+
+let default_variants ?arch ?maxlen () : Sxe_core.Config.t list =
+  [
+    Sxe_core.Config.baseline ?arch ?maxlen ();
+    Sxe_core.Config.gen_use ?arch ?maxlen ();
+    Sxe_core.Config.first_algorithm ?arch ?maxlen ();
+    Sxe_core.Config.basic_ud_du ?arch ?maxlen ();
+    Sxe_core.Config.insert ?arch ?maxlen ();
+    Sxe_core.Config.order ?arch ?maxlen ();
+    Sxe_core.Config.insert_order ?arch ?maxlen ();
+    Sxe_core.Config.array ?arch ?maxlen ();
+    Sxe_core.Config.array_insert ?arch ?maxlen ();
+    Sxe_core.Config.array_order ?arch ?maxlen ();
+    Sxe_core.Config.all_pde ?arch ?maxlen ();
+    Sxe_core.Config.new_all ?arch ?maxlen ();
+  ]
+
+let fuel = 4_000_000_000L
+
+(** Collect a branch profile from a baseline-compiled run. *)
+let collect_profile (w : Sxe_workloads.Registry.t) ?arch () =
+  let prog = Sxe_lang.Frontend.compile w.source in
+  let _ = Sxe_core.Pass.compile (Sxe_core.Config.baseline ?arch ()) prog in
+  let profile = Sxe_vm.Profile.create () in
+  let _ = Sxe_vm.Interp.run ~mode:`Faithful ~fuel ~count_cycles:false ~profile prog in
+  Sxe_vm.Profile.as_source profile
+
+(** Run one workload under one variant. [profile] feeds order
+    determination; [reference] is the canonical outcome for the
+    equivalence bit. *)
+let run_one ?profile ~(reference : Sxe_vm.Interp.outcome) (config : Sxe_core.Config.t)
+    (w : Sxe_workloads.Registry.t) : measurement =
+  let prog = Sxe_lang.Frontend.compile w.source in
+  let stats = Sxe_core.Pass.compile ?profile config prog in
+  Sxe_ir.Validate.check_prog prog;
+  let out = Sxe_vm.Interp.run ~mode:`Faithful ~fuel prog in
+  {
+    workload = w.name;
+    variant = config.Sxe_core.Config.name;
+    dyn_sext32 = out.Sxe_vm.Interp.sext32;
+    static_remaining = stats.Sxe_core.Stats.remaining;
+    cycles = out.Sxe_vm.Interp.cycles;
+    executed = out.Sxe_vm.Interp.executed;
+    equivalent = Sxe_vm.Interp.equivalent reference out;
+    stats;
+  }
+
+(** Full variant matrix for one workload. *)
+let run_workload ?(use_profile = true) ?arch ?maxlen (w : Sxe_workloads.Registry.t) :
+    measurement list =
+  let reference =
+    Sxe_vm.Interp.run ~mode:`Canonical ~fuel ~count_cycles:false
+      (Sxe_lang.Frontend.compile w.source)
+  in
+  let profile = if use_profile then Some (collect_profile w ?arch ()) else None in
+  List.map
+    (fun config -> run_one ?profile ~reference config w)
+    (default_variants ?arch ?maxlen ())
+
+(** The whole matrix for a suite: [(workload, measurements per variant)]. *)
+let run_suite ?(scale = 1) ?use_profile ?arch (suite : Sxe_workloads.Registry.suite) =
+  let ws =
+    List.filter
+      (fun (w : Sxe_workloads.Registry.t) -> w.suite = suite)
+      (Sxe_workloads.Registry.all ~scale ())
+  in
+  List.map (fun w -> (w.Sxe_workloads.Registry.name, run_workload ?use_profile ?arch w)) ws
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: compile-time breakdown                                     *)
+(* ------------------------------------------------------------------ *)
+
+type breakdown = {
+  bench : string;
+  signext_pct : float;  (** sign extension optimizations (all) *)
+  chains_pct : float;  (** UD/DU chain (and range) creation *)
+  others_pct : float;
+}
+
+(** Measure the compile-time split for one workload by compiling it
+    repeatedly under the full configuration. *)
+let compile_time_breakdown ?(repeat = 5) ?arch (w : Sxe_workloads.Registry.t) : breakdown =
+  let total = Sxe_core.Stats.create () in
+  for _ = 1 to repeat do
+    let prog = Sxe_lang.Frontend.compile w.source in
+    let stats = Sxe_core.Pass.compile (Sxe_core.Config.new_all ?arch ()) prog in
+    Sxe_core.Stats.add ~into:total stats
+  done;
+  let t = Sxe_core.Stats.total_time total in
+  let pct x = if t > 0.0 then 100.0 *. x /. t else 0.0 in
+  {
+    bench = w.name;
+    signext_pct = pct total.Sxe_core.Stats.time_signext;
+    chains_pct = pct total.Sxe_core.Stats.time_chains;
+    others_pct =
+      pct (total.Sxe_core.Stats.time_convert +. total.Sxe_core.Stats.time_general);
+  }

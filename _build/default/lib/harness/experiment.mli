@@ -1,0 +1,61 @@
+(** Experiment runner: compile each workload under each variant, execute
+    on the faithful machine, and collect the paper's quantities — dynamic
+    extension counts (Tables 1/2, Figures 11/12), cost-model cycles
+    (Figures 13/14) and compile-time breakdowns (Table 3). *)
+
+type measurement = {
+  workload : string;
+  variant : string;
+  dyn_sext32 : int64;
+  static_remaining : int;
+  cycles : int64;
+  executed : int64;
+  equivalent : bool;  (** observably equal to the canonical reference *)
+  stats : Sxe_core.Stats.t;
+}
+
+val default_variants :
+  ?arch:Sxe_core.Arch.t -> ?maxlen:int64 -> unit -> Sxe_core.Config.t list
+(** The twelve measured configurations, in the tables' row order. *)
+
+val collect_profile :
+  Sxe_workloads.Registry.t ->
+  ?arch:Sxe_core.Arch.t ->
+  unit ->
+  string ->
+  src:int ->
+  dst:int ->
+  float option
+(** Branch profile from a baseline-compiled run — valid for every gen-def
+    variant because Steps 1+2 produce the same CFG for all of them. *)
+
+val run_one :
+  ?profile:(string -> src:int -> dst:int -> float option) ->
+  reference:Sxe_vm.Interp.outcome ->
+  Sxe_core.Config.t ->
+  Sxe_workloads.Registry.t ->
+  measurement
+
+val run_workload :
+  ?use_profile:bool ->
+  ?arch:Sxe_core.Arch.t ->
+  ?maxlen:int64 ->
+  Sxe_workloads.Registry.t ->
+  measurement list
+
+val run_suite :
+  ?scale:int ->
+  ?use_profile:bool ->
+  ?arch:Sxe_core.Arch.t ->
+  Sxe_workloads.Registry.suite ->
+  (string * measurement list) list
+
+type breakdown = {
+  bench : string;
+  signext_pct : float;
+  chains_pct : float;
+  others_pct : float;
+}
+
+val compile_time_breakdown :
+  ?repeat:int -> ?arch:Sxe_core.Arch.t -> Sxe_workloads.Registry.t -> breakdown

@@ -1,0 +1,161 @@
+(** Paper-style rendering of the experiment results.
+
+    [dynamic_counts] reproduces Tables 1/2: one row per variant, one
+    column per benchmark plus the average percentage, each cell showing
+    the dynamic count of remaining 32-bit sign extensions and its share of
+    the baseline; a [o]/[•] marker flags improvement/worsening relative to
+    the previous row, echoing the paper's white/black circles.
+    [figure_series] prints the same percentages as the plotted series of
+    Figures 11/12; [performance] prints Figures 13/14's improvement-over-
+    baseline; [breakdowns] prints Table 3. *)
+
+let pct base v =
+  if Int64.compare base 0L = 0 then 100.0
+  else 100.0 *. Int64.to_float v /. Int64.to_float base
+
+let buf_table ~title ~header rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (title ^ "\n");
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let line cells =
+    List.iteri
+      (fun k cell ->
+        let w = List.nth widths k in
+        if k = 0 then Buffer.add_string b (Printf.sprintf "%-*s" w cell)
+        else Buffer.add_string b (Printf.sprintf "  %*s" w cell))
+      cells;
+    Buffer.add_char b '\n'
+  in
+  line header;
+  line (List.map (fun w -> String.make w '-') widths);
+  List.iter line rows;
+  Buffer.contents b
+
+(** [matrix] is [(workload, measurements)] as produced by
+    {!Experiment.run_suite}; variants must appear in the same order for
+    every workload. *)
+let dynamic_counts ~title (matrix : (string * Experiment.measurement list) list) : string =
+  let workloads = List.map fst matrix in
+  let variants =
+    match matrix with
+    | (_, ms) :: _ -> List.map (fun m -> m.Experiment.variant) ms
+    | [] -> []
+  in
+  let count wl v =
+    let ms = List.assoc wl matrix in
+    let m = List.find (fun m -> m.Experiment.variant = v) ms in
+    m
+  in
+  let baseline_of wl = (count wl "baseline").Experiment.dyn_sext32 in
+  let header = ("variant" :: workloads) @ [ "average" ] in
+  let prev_counts : (string, int64) Hashtbl.t = Hashtbl.create 32 in
+  let rows =
+    List.map
+      (fun v ->
+        let cells =
+          List.map
+            (fun wl ->
+              let m = count wl v in
+              let p = pct (baseline_of wl) m.Experiment.dyn_sext32 in
+              let marker =
+                match Hashtbl.find_opt prev_counts wl with
+                | Some prev when Int64.compare m.Experiment.dyn_sext32 prev < 0 -> "o"
+                | Some prev when Int64.compare m.Experiment.dyn_sext32 prev > 0 -> "*"
+                | Some _ -> " "
+                | None -> " "
+              in
+              Hashtbl.replace prev_counts wl m.Experiment.dyn_sext32;
+              let flag = if m.Experiment.equivalent then "" else " !DIVERGED" in
+              Printf.sprintf "%Ld %s(%.2f%%)%s" m.Experiment.dyn_sext32 marker p flag)
+            workloads
+        in
+        let avg =
+          let ps = List.map (fun wl -> pct (baseline_of wl) (count wl v).Experiment.dyn_sext32) workloads in
+          List.fold_left ( +. ) 0.0 ps /. float_of_int (List.length ps)
+        in
+        (v :: cells) @ [ Printf.sprintf "(%.2f%%)" avg ])
+      variants
+  in
+  buf_table ~title ~header rows
+
+(** Figures 11/12: percentage-of-baseline series, one line per variant. *)
+let figure_series ~title (matrix : (string * Experiment.measurement list) list) : string =
+  let workloads = List.map fst matrix in
+  let variants =
+    match matrix with (_, ms) :: _ -> List.map (fun m -> m.Experiment.variant) ms | [] -> []
+  in
+  let header = ("variant \\ % of baseline" :: workloads) in
+  let rows =
+    List.map
+      (fun v ->
+        v
+        :: List.map
+             (fun wl ->
+               let ms = List.assoc wl matrix in
+               let base =
+                 (List.find (fun m -> m.Experiment.variant = "baseline") ms).Experiment.dyn_sext32
+               in
+               let m = List.find (fun m -> m.Experiment.variant = v) ms in
+               Printf.sprintf "%.2f" (pct base m.Experiment.dyn_sext32))
+             workloads)
+      variants
+  in
+  buf_table ~title ~header rows
+
+(** Figures 13/14: performance improvement over baseline, from cost-model
+    cycles: improvement % = (baseline cycles / variant cycles - 1) * 100. *)
+let performance ~title ?(variants = [ "first algorithm"; "array, order"; "new algorithm (all)" ])
+    (matrix : (string * Experiment.measurement list) list) : string =
+  let workloads = List.map fst matrix in
+  let header = ("benchmark" :: variants) in
+  let rows =
+    List.map
+      (fun wl ->
+        let ms = List.assoc wl matrix in
+        let base =
+          (List.find (fun m -> m.Experiment.variant = "baseline") ms).Experiment.cycles
+        in
+        wl
+        :: List.map
+             (fun v ->
+               let m = List.find (fun m -> m.Experiment.variant = v) ms in
+               let imp =
+                 if Int64.compare m.Experiment.cycles 0L = 0 then 0.0
+                 else
+                   (Int64.to_float base /. Int64.to_float m.Experiment.cycles -. 1.0) *. 100.0
+               in
+               Printf.sprintf "+%.2f%%" imp)
+             variants)
+      workloads
+  in
+  buf_table ~title ~header rows
+
+(** Table 3. *)
+let breakdowns ~title (bs : Experiment.breakdown list) : string =
+  let header = [ "benchmark"; "Sign extension opts (all)"; "UD/DU chain creation"; "Others" ] in
+  let rows =
+    List.map
+      (fun (b : Experiment.breakdown) ->
+        [
+          b.Experiment.bench;
+          Printf.sprintf "%.2f%%" b.Experiment.signext_pct;
+          Printf.sprintf "%.2f%%" b.Experiment.chains_pct;
+          Printf.sprintf "%.2f%%" b.Experiment.others_pct;
+        ])
+      bs
+  in
+  let avg f = List.fold_left (fun a b -> a +. f b) 0.0 bs /. float_of_int (max 1 (List.length bs)) in
+  let avg_row =
+    [
+      "average";
+      Printf.sprintf "%.2f%%" (avg (fun b -> b.Experiment.signext_pct));
+      Printf.sprintf "%.2f%%" (avg (fun b -> b.Experiment.chains_pct));
+      Printf.sprintf "%.2f%%" (avg (fun b -> b.Experiment.others_pct));
+    ]
+  in
+  buf_table ~title ~header (rows @ [ avg_row ])

@@ -1,0 +1,17 @@
+(** Paper-style rendering of experiment results: Tables 1/2 (counts and
+    percentage-of-baseline with improvement markers), Figures 11/12
+    (percentage series), Figures 13/14 (cost-model improvement), and
+    Table 3 (compile-time breakdown). *)
+
+val pct : int64 -> int64 -> float
+
+val dynamic_counts : title:string -> (string * Experiment.measurement list) list -> string
+val figure_series : title:string -> (string * Experiment.measurement list) list -> string
+
+val performance :
+  title:string ->
+  ?variants:string list ->
+  (string * Experiment.measurement list) list ->
+  string
+
+val breakdowns : title:string -> Experiment.breakdown list -> string

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Cfg Instr Int32 Int64 List Option Types Validate

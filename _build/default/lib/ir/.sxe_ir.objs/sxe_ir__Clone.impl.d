@@ -1,0 +1,1 @@
+lib/ir/clone.ml: Cfg Hashtbl Instr List Prog Sxe_util Vec

@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Float Int32 Int64 Types

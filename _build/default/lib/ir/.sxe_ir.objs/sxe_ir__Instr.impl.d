@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Int32 Int64 List Types

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Cfg Format Hashtbl Instr Prog Sxe_util Types

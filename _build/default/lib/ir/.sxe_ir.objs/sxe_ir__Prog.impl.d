@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Cfg Hashtbl List Printf Types

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Cfg Format Hashtbl Instr Int32 Int64 List Printf Prog String Types

@@ -1,0 +1,174 @@
+(** Imperative construction API for IR functions.
+
+    Used by the frontend's lowering, by tests that reconstruct the paper's
+    figures, and by the random-program generators in the property tests.
+    A builder tracks a current block; emitters append to it and return the
+    fresh destination register. *)
+
+open Types
+
+type t = { func : Cfg.func; mutable cur : int }
+
+let create ~name ~params ?ret () =
+  let func = Cfg.create ~name ~params:[] ~ret in
+  (* allocate parameter registers first so they are r0..r(n-1) *)
+  let pregs = List.map (fun ty -> (Cfg.fresh_reg func ty, ty)) params in
+  let func = { func with Cfg.params = pregs } in
+  let b = Cfg.add_block func in
+  ({ func; cur = b }, List.map fst pregs)
+
+let func b = b.func
+let current b = b.cur
+
+let new_block b = Cfg.add_block b.func
+let switch b bid = b.cur <- bid
+
+let emit b op =
+  let i = Cfg.mk_instr b.func op in
+  Cfg.append_instr (Cfg.block b.func b.cur) i;
+  i
+
+let fresh b ty = Cfg.fresh_reg b.func ty
+
+(* -- constants and moves ------------------------------------------- *)
+
+let const b ?(ty = I32) v =
+  let dst = fresh b ty in
+  ignore (emit b (Instr.Const { dst; ty; v }));
+  dst
+
+let iconst b v = const b ~ty:I32 (Int64.of_int32 (Int32.of_int v))
+let lconst b v = const b ~ty:I64 v
+
+let fconst b v =
+  let dst = fresh b F64 in
+  ignore (emit b (Instr.FConst { dst; v }));
+  dst
+
+let mov b ?(ty = I32) src =
+  let dst = fresh b ty in
+  ignore (emit b (Instr.Mov { dst; src; ty }));
+  dst
+
+let mov_to b ~dst ~src ty = ignore (emit b (Instr.Mov { dst; src; ty }))
+
+(* -- arithmetic ------------------------------------------------------ *)
+
+let binop b ?(w = W32) op l r =
+  let dst = fresh b (match w with W64 -> I64 | _ -> I32) in
+  ignore (emit b (Instr.Binop { dst; op; l; r; w }));
+  dst
+
+let binop_to b ?(w = W32) op ~dst l r = ignore (emit b (Instr.Binop { dst; op; l; r; w }))
+
+let add b ?w l r = binop b ?w Add l r
+let sub b ?w l r = binop b ?w Sub l r
+let mul b ?w l r = binop b ?w Mul l r
+let div b ?w l r = binop b ?w Div l r
+let rem_ b ?w l r = binop b ?w Rem l r
+let and_ b ?w l r = binop b ?w And l r
+let or_ b ?w l r = binop b ?w Or l r
+let xor b ?w l r = binop b ?w Xor l r
+let shl b ?w l r = binop b ?w Shl l r
+let ashr b ?w l r = binop b ?w AShr l r
+let lshr b ?w l r = binop b ?w LShr l r
+
+let unop b ?(w = W32) op src =
+  let dst = fresh b (match w with W64 -> I64 | _ -> I32) in
+  ignore (emit b (Instr.Unop { dst; op; src; w }));
+  dst
+
+let cmp b ?(w = W32) cond l r =
+  let dst = fresh b I32 in
+  ignore (emit b (Instr.Cmp { dst; cond; l; r; w }));
+  dst
+
+(* -- extensions ------------------------------------------------------ *)
+
+let sext b ?(from = W32) r = emit b (Instr.Sext { r; from })
+let zext b ?(from = W32) r = emit b (Instr.Zext { r; from })
+let justext b r = emit b (Instr.JustExt { r })
+
+(* -- floats ---------------------------------------------------------- *)
+
+let fbinop b op l r =
+  let dst = fresh b F64 in
+  ignore (emit b (Instr.FBinop { dst; op; l; r }));
+  dst
+
+let fadd b l r = fbinop b FAdd l r
+let fsub b l r = fbinop b FSub l r
+let fmul b l r = fbinop b FMul l r
+let fdiv b l r = fbinop b FDiv l r
+
+let fneg b src =
+  let dst = fresh b F64 in
+  ignore (emit b (Instr.FNeg { dst; src }));
+  dst
+
+let fcmp b cond l r =
+  let dst = fresh b I32 in
+  ignore (emit b (Instr.FCmp { dst; cond; l; r }));
+  dst
+
+let i2d b src =
+  let dst = fresh b F64 in
+  ignore (emit b (Instr.I2D { dst; src }));
+  dst
+
+let l2d b src =
+  let dst = fresh b F64 in
+  ignore (emit b (Instr.L2D { dst; src }));
+  dst
+
+let d2i b src =
+  let dst = fresh b I32 in
+  ignore (emit b (Instr.D2I { dst; src }));
+  dst
+
+let d2l b src =
+  let dst = fresh b I64 in
+  ignore (emit b (Instr.D2L { dst; src }));
+  dst
+
+(* -- arrays and globals ---------------------------------------------- *)
+
+let newarr b elem len =
+  let dst = fresh b Ref in
+  ignore (emit b (Instr.NewArr { dst; elem; len }));
+  dst
+
+let arrload b ?(lext = LZero) elem arr idx =
+  let dst = fresh b (Validate.aelem_reg_ty elem) in
+  ignore (emit b (Instr.ArrLoad { dst; arr; idx; elem; lext }));
+  dst
+
+let arrstore b elem arr idx src = ignore (emit b (Instr.ArrStore { arr; idx; src; elem }))
+
+let arrlen b arr =
+  let dst = fresh b I32 in
+  ignore (emit b (Instr.ArrLen { dst; arr }));
+  dst
+
+let gload b ?(lext = LZero) ty sym =
+  let dst = fresh b ty in
+  ignore (emit b (Instr.GLoad { dst; sym; ty; lext }));
+  dst
+
+let gstore b ty sym src = ignore (emit b (Instr.GStore { sym; src; ty }))
+
+let call b ?ret fn args =
+  let dst = Option.map (fresh b) ret in
+  ignore (emit b (Instr.Call { dst; fn; args; ret }));
+  dst
+
+(* -- terminators ------------------------------------------------------ *)
+
+let set_term b term = (Cfg.block b.func b.cur).Cfg.term <- term
+let jmp b l = set_term b (Instr.Jmp l)
+
+let br b ?(w = W32) cond l r ~ifso ~ifnot =
+  set_term b (Instr.Br { cond; l; r; w; ifso; ifnot })
+
+let ret b = set_term b (Instr.Ret None)
+let retv b ty r = set_term b (Instr.Ret (Some (r, ty)))

@@ -1,0 +1,176 @@
+(** Functions as control-flow graphs of basic blocks.
+
+    Blocks are identified by dense integer ids ([bid]); block 0 is the
+    entry. A block's successors are derived from its terminator;
+    predecessors are computed on demand. Instruction bodies are ordered
+    lists of {!Instr.t}; insertion and deletion splice the list, and every
+    instruction carries a function-unique id used to key analysis side
+    tables. *)
+
+open Sxe_util
+
+type block = {
+  bid : int;
+  mutable body : Instr.t list;
+  mutable term : Instr.terminator;
+}
+
+type func = {
+  name : string;
+  params : (Instr.reg * Types.ty) list;
+  ret : Types.ty option;
+  blocks : block Vec.t;
+  reg_tys : Types.ty Vec.t;
+  mutable next_iid : int;
+  mutable has_loop_hint : bool;
+      (** set by the frontend when the source method contains a loop; the
+          paper applies insertion (phase (3)-1) only to such methods. *)
+}
+
+let dummy_block = { bid = -1; body = []; term = Instr.Ret None }
+
+let create ~name ~params ~ret =
+  let reg_tys = Vec.create ~dummy:Types.I32 () in
+  List.iter (fun (_, ty) -> ignore (Vec.push reg_tys ty)) params;
+  {
+    name;
+    params;
+    ret;
+    blocks = Vec.create ~dummy:dummy_block ();
+    reg_tys;
+    next_iid = 0;
+    has_loop_hint = false;
+  }
+
+let entry _f = 0
+
+let add_block f =
+  let bid = Vec.length f.blocks in
+  ignore (Vec.push f.blocks { bid; body = []; term = Instr.Ret None });
+  bid
+
+let block f bid = Vec.get f.blocks bid
+let num_blocks f = Vec.length f.blocks
+
+let fresh_reg f ty = Vec.push f.reg_tys ty
+let reg_ty f r = Vec.get f.reg_tys r
+let num_regs f = Vec.length f.reg_tys
+
+let mk_instr f op =
+  let iid = f.next_iid in
+  f.next_iid <- iid + 1;
+  { Instr.iid; op }
+
+(* ------------------------------------------------------------------ *)
+(* Instruction list surgery                                            *)
+(* ------------------------------------------------------------------ *)
+
+let append_instr b (i : Instr.t) = b.body <- b.body @ [ i ]
+let prepend_instr b (i : Instr.t) = b.body <- i :: b.body
+
+(** [insert_before b ~anchor i] places [i] immediately before the
+    instruction with id [anchor] in [b]. Raises [Not_found] if [anchor] is
+    not in [b]. *)
+let insert_before b ~anchor (i : Instr.t) =
+  let rec go = function
+    | [] -> raise Not_found
+    | x :: rest when x.Instr.iid = anchor -> i :: x :: rest
+    | x :: rest -> x :: go rest
+  in
+  b.body <- go b.body
+
+(** [insert_after b ~anchor i] places [i] immediately after instruction
+    [anchor]. *)
+let insert_after b ~anchor (i : Instr.t) =
+  let rec go = function
+    | [] -> raise Not_found
+    | x :: rest when x.Instr.iid = anchor -> x :: i :: rest
+    | x :: rest -> x :: go rest
+  in
+  b.body <- go b.body
+
+(** [insert_before_term b i] appends [i] at the end of [b]'s body (i.e.
+    immediately before the terminator). *)
+let insert_before_term = append_instr
+
+(** [remove_instr b iid] deletes the instruction with id [iid] from [b];
+    returns [true] if it was present. *)
+let remove_instr b iid =
+  let present = List.exists (fun (x : Instr.t) -> x.iid = iid) b.body in
+  if present then b.body <- List.filter (fun (x : Instr.t) -> x.iid <> iid) b.body;
+  present
+
+(* ------------------------------------------------------------------ *)
+(* Graph structure                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let succs b = Instr.term_succs b.term
+
+(** [preds f] is the predecessor table: [preds.(b)] lists the blocks with an
+    edge into [b], in no particular order, without duplicates. *)
+let preds f =
+  let n = num_blocks f in
+  let tbl = Array.make n [] in
+  Vec.iter
+    (fun b ->
+      List.iter
+        (fun s -> if not (List.mem b.bid tbl.(s)) then tbl.(s) <- b.bid :: tbl.(s))
+        (succs b))
+    f.blocks;
+  tbl
+
+(** [postorder f] lists reachable blocks in DFS postorder starting from the
+    entry. *)
+let postorder f =
+  let n = num_blocks f in
+  let seen = Array.make n false in
+  let out = ref [] in
+  let rec go bid =
+    if not seen.(bid) then begin
+      seen.(bid) <- true;
+      List.iter go (succs (block f bid));
+      out := bid :: !out
+    end
+  in
+  if n > 0 then go (entry f);
+  List.rev !out
+
+(** Reverse postorder: the canonical forward-analysis iteration order. *)
+let rpo f = List.rev (postorder f)
+
+(** Blocks reachable from the entry. *)
+let reachable f =
+  let n = num_blocks f in
+  let seen = Array.make n false in
+  let rec go bid =
+    if not seen.(bid) then begin
+      seen.(bid) <- true;
+      List.iter go (succs (block f bid))
+    end
+  in
+  if n > 0 then go (entry f);
+  seen
+
+let iter_blocks fn f = Vec.iter fn f.blocks
+
+let iter_instrs fn f =
+  Vec.iter (fun b -> List.iter (fun i -> fn b i) b.body) f.blocks
+
+let fold_instrs fn acc f =
+  Vec.fold (fun acc b -> List.fold_left (fun acc i -> fn acc b i) acc b.body) acc f.blocks
+
+(** Total number of instructions (excluding terminators). *)
+let instr_count f = fold_instrs (fun n _ _ -> n + 1) 0 f
+
+(** [instr_table f] maps instruction id -> (block id, instruction). *)
+let instr_table f =
+  let tbl = Hashtbl.create 64 in
+  iter_instrs (fun b i -> Hashtbl.replace tbl i.Instr.iid (b.bid, i)) f;
+  tbl
+
+(** [find_instr f iid] is the block containing instruction [iid] plus the
+    instruction itself. *)
+let find_instr f iid =
+  let found = ref None in
+  iter_instrs (fun b i -> if i.Instr.iid = iid then found := Some (b, i)) f;
+  match !found with Some x -> x | None -> raise Not_found

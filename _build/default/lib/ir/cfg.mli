@@ -1,0 +1,70 @@
+(** Functions as control-flow graphs of basic blocks.
+
+    Blocks have dense integer ids; block 0 is the entry. Successors derive
+    from terminators; predecessors are computed on demand. Instruction
+    bodies are ordered lists of {!Instr.t} with function-unique ids keying
+    analysis side tables. *)
+
+type block = {
+  bid : int;
+  mutable body : Instr.t list;
+  mutable term : Instr.terminator;
+}
+
+type func = {
+  name : string;
+  params : (Instr.reg * Types.ty) list;
+  ret : Types.ty option;
+  blocks : block Sxe_util.Vec.t;
+  reg_tys : Types.ty Sxe_util.Vec.t;
+  mutable next_iid : int;
+  mutable has_loop_hint : bool;
+      (** set by the frontend when the source method contains a loop *)
+}
+
+val dummy_block : block
+
+val create :
+  name:string -> params:(Instr.reg * Types.ty) list -> ret:Types.ty option -> func
+
+val entry : func -> int
+val add_block : func -> int
+val block : func -> int -> block
+val num_blocks : func -> int
+
+val fresh_reg : func -> Types.ty -> Instr.reg
+val reg_ty : func -> Instr.reg -> Types.ty
+val num_regs : func -> int
+
+val mk_instr : func -> Instr.op -> Instr.t
+(** Allocate a fresh instruction id; does not place the instruction. *)
+
+(** {1 Instruction list surgery} *)
+
+val append_instr : block -> Instr.t -> unit
+val prepend_instr : block -> Instr.t -> unit
+
+val insert_before : block -> anchor:int -> Instr.t -> unit
+(** Place before the instruction with id [anchor]; raises [Not_found] if
+    absent. *)
+
+val insert_after : block -> anchor:int -> Instr.t -> unit
+val insert_before_term : block -> Instr.t -> unit
+
+val remove_instr : block -> int -> bool
+(** Delete by instruction id; [true] if it was present. *)
+
+(** {1 Graph structure} *)
+
+val succs : block -> int list
+val preds : func -> int list array
+val postorder : func -> int list
+val rpo : func -> int list
+val reachable : func -> bool array
+
+val iter_blocks : (block -> unit) -> func -> unit
+val iter_instrs : (block -> Instr.t -> unit) -> func -> unit
+val fold_instrs : ('a -> block -> Instr.t -> 'a) -> 'a -> func -> 'a
+val instr_count : func -> int
+val instr_table : func -> (int, int * Instr.t) Hashtbl.t
+val find_instr : func -> int -> block * Instr.t

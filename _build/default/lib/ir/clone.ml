@@ -1,0 +1,35 @@
+(** Deep copies of functions and programs.
+
+    The optimizer mutates IR in place; experiments that compile the same
+    source under several variants clone the freshly-lowered program once
+    per variant. Instruction ids and register numbers are preserved. *)
+
+open Sxe_util
+
+let clone_func (f : Cfg.func) : Cfg.func =
+  let blocks = Vec.create ~capacity:(Vec.length f.Cfg.blocks) ~dummy:Cfg.dummy_block () in
+  Vec.iter
+    (fun (b : Cfg.block) ->
+      ignore
+        (Vec.push blocks
+           {
+             Cfg.bid = b.Cfg.bid;
+             body = List.map (fun (i : Instr.t) -> { Instr.iid = i.Instr.iid; op = i.Instr.op }) b.Cfg.body;
+             term = b.Cfg.term;
+           }))
+    f.Cfg.blocks;
+  {
+    Cfg.name = f.Cfg.name;
+    params = f.Cfg.params;
+    ret = f.Cfg.ret;
+    blocks;
+    reg_tys = Vec.copy f.Cfg.reg_tys;
+    next_iid = f.Cfg.next_iid;
+    has_loop_hint = f.Cfg.has_loop_hint;
+  }
+
+let clone_prog (p : Prog.t) : Prog.t =
+  let q = Prog.create ~main:p.Prog.main () in
+  Hashtbl.iter (fun name ty -> Prog.declare_global q name ty) p.Prog.globals;
+  Prog.iter_funcs (fun f -> Prog.add_func q (clone_func f)) p;
+  q

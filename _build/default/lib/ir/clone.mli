@@ -1,0 +1,6 @@
+(** Deep copies (instruction ids and register numbers preserved). The
+    optimizer mutates IR in place; clone freshly-lowered programs to
+    compile one source under several variants. *)
+
+val clone_func : Cfg.func -> Cfg.func
+val clone_prog : Prog.t -> Prog.t

@@ -1,0 +1,98 @@
+(** Human-readable IR printing, used by the CLI's [--dump-ir], the examples
+    and test failure messages. *)
+
+open Types
+open Instr
+
+let pp_reg ppf r = Format.fprintf ppf "r%d" r
+
+let pp_op ppf op =
+  let p fmt = Format.fprintf ppf fmt in
+  match op with
+  | Const { dst; ty; v } -> p "%a = const.%s %Ld" pp_reg dst (string_of_ty ty) v
+  | FConst { dst; v } -> p "%a = fconst %h" pp_reg dst v
+  | Mov { dst; src; ty } -> p "%a = mov.%s %a" pp_reg dst (string_of_ty ty) pp_reg src
+  | Unop { dst; op; src; w } ->
+      p "%a = %s.w%s %a" pp_reg dst (string_of_unop op) (string_of_width w) pp_reg src
+  | Binop { dst; op; l; r; w } ->
+      p "%a = %s.w%s %a, %a" pp_reg dst (string_of_binop op) (string_of_width w) pp_reg l
+        pp_reg r
+  | Cmp { dst; cond; l; r; w } ->
+      p "%a = cmp%s.%s %a, %a" pp_reg dst (string_of_width w) (string_of_cond cond) pp_reg l
+        pp_reg r
+  | Sext { r; from } -> p "%a = extend%s(%a)" pp_reg r (string_of_width from) pp_reg r
+  | Zext { r; from } -> p "%a = zextend%s(%a)" pp_reg r (string_of_width from) pp_reg r
+  | JustExt { r } -> p "%a = just_extended(%a)" pp_reg r pp_reg r
+  | FBinop { dst; op; l; r } ->
+      p "%a = %s %a, %a" pp_reg dst (string_of_fbinop op) pp_reg l pp_reg r
+  | FNeg { dst; src } -> p "%a = fneg %a" pp_reg dst pp_reg src
+  | FCmp { dst; cond; l; r } ->
+      p "%a = fcmp.%s %a, %a" pp_reg dst (string_of_cond cond) pp_reg l pp_reg r
+  | I2D { dst; src } -> p "%a = i2d %a" pp_reg dst pp_reg src
+  | L2D { dst; src } -> p "%a = l2d %a" pp_reg dst pp_reg src
+  | D2I { dst; src } -> p "%a = d2i %a" pp_reg dst pp_reg src
+  | D2L { dst; src } -> p "%a = d2l %a" pp_reg dst pp_reg src
+  | NewArr { dst; elem; len } ->
+      p "%a = newarr.%s [%a]" pp_reg dst (string_of_aelem elem) pp_reg len
+  | ArrLoad { dst; arr; idx; elem; lext } ->
+      p "%a = ld.%s%s %a[%a]" pp_reg dst (string_of_aelem elem)
+        (match lext with LZero -> "" | LSign -> ".sext")
+        pp_reg arr pp_reg idx
+  | ArrStore { arr; idx; src; elem } ->
+      p "st.%s %a[%a], %a" (string_of_aelem elem) pp_reg arr pp_reg idx pp_reg src
+  | ArrLen { dst; arr } -> p "%a = arraylength %a" pp_reg dst pp_reg arr
+  | GLoad { dst; sym; ty; lext } ->
+      p "%a = gload.%s%s @%s" pp_reg dst (string_of_ty ty)
+        (match lext with LZero -> "" | LSign -> ".sext")
+        sym
+  | GStore { sym; src; ty } -> p "gstore.%s @%s, %a" (string_of_ty ty) sym pp_reg src
+  | Call { dst; fn; args; ret = _ } -> (
+      let pp_args ppf args =
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+          (fun ppf (r, _) -> pp_reg ppf r)
+          ppf args
+      in
+      match dst with
+      | Some d -> p "%a = call %s(%a)" pp_reg d fn pp_args args
+      | None -> p "call %s(%a)" fn pp_args args)
+
+let pp_term ppf t =
+  let p fmt = Format.fprintf ppf fmt in
+  match t with
+  | Jmp l -> p "jmp B%d" l
+  | Br { cond; l; r; w; ifso; ifnot } ->
+      p "br%s.%s %a, %a -> B%d, B%d" (string_of_width w) (string_of_cond cond) pp_reg l
+        pp_reg r ifso ifnot
+  | Ret None -> p "ret"
+  | Ret (Some (r, ty)) -> p "ret.%s %a" (string_of_ty ty) pp_reg r
+
+let pp_instr ppf (i : Instr.t) = Format.fprintf ppf "%4d: %a" i.iid pp_op i.op
+
+let pp_block ppf (b : Cfg.block) =
+  Format.fprintf ppf "@[<v 2>B%d:@,%a%s%a@]" b.bid
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_instr)
+    b.body
+    (if b.body = [] then "" else "\n")
+    pp_term b.term
+
+let pp_func ppf (f : Cfg.func) =
+  let pp_params ppf ps =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf (r, ty) -> Format.fprintf ppf "%a:%s" pp_reg r (string_of_ty ty))
+      ppf ps
+  in
+  Format.fprintf ppf "@[<v>func %s(%a)%s {@," f.name pp_params f.params
+    (match f.ret with None -> "" | Some ty -> " : " ^ string_of_ty ty);
+  Sxe_util.Vec.iter (fun b -> Format.fprintf ppf "%a@," pp_block b) f.blocks;
+  Format.fprintf ppf "}@]"
+
+let pp_prog ppf (p : Prog.t) =
+  Hashtbl.iter
+    (fun name ty -> Format.fprintf ppf "global @%s : %s@." name (string_of_ty ty))
+    p.globals;
+  Prog.iter_funcs (fun f -> Format.fprintf ppf "%a@.@." pp_func f) p
+
+let func_to_string f = Format.asprintf "%a" pp_func f
+let prog_to_string p = Format.asprintf "%a" pp_prog p

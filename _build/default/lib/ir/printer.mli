@@ -1,0 +1,12 @@
+(** Human-readable IR printing ([--dump] in the CLI, examples, test
+    failure messages). *)
+
+val pp_reg : Format.formatter -> Instr.reg -> unit
+val pp_op : Format.formatter -> Instr.op -> unit
+val pp_term : Format.formatter -> Instr.terminator -> unit
+val pp_instr : Format.formatter -> Instr.t -> unit
+val pp_block : Format.formatter -> Cfg.block -> unit
+val pp_func : Format.formatter -> Cfg.func -> unit
+val pp_prog : Format.formatter -> Prog.t -> unit
+val func_to_string : Cfg.func -> string
+val prog_to_string : Prog.t -> string

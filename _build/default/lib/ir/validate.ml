@@ -1,0 +1,153 @@
+(** IR well-formedness checking.
+
+    Run after the frontend and after every pass in debug builds / tests;
+    catches type-incoherent rewrites early. [errors] returns all violations,
+    [check] raises on the first function with any. *)
+
+open Types
+open Instr
+
+let aelem_reg_ty = function
+  | AI8 | AI16 | AI32 -> I32
+  | AI64 -> I64
+  | AF64 -> F64
+  | ARef -> Ref
+
+let errors (f : Cfg.func) : string list =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let nregs = Cfg.num_regs f in
+  let nblocks = Cfg.num_blocks f in
+  let reg_ok r = r >= 0 && r < nregs in
+  let ty r = Cfg.reg_ty f r in
+  let want ctx r expect =
+    if not (reg_ok r) then err "%s: register r%d out of range" ctx r
+    else if ty r <> expect then
+      err "%s: r%d has type %s, expected %s" ctx r (string_of_ty (ty r))
+        (string_of_ty expect)
+  in
+  let want_int ctx r =
+    if not (reg_ok r) then err "%s: register r%d out of range" ctx r
+    else if ty r <> I32 && ty r <> I64 then
+      err "%s: r%d has type %s, expected an integer type" ctx r (string_of_ty (ty r))
+  in
+  let label_ok ctx l =
+    if l < 0 || l >= nblocks then err "%s: label B%d out of range" ctx l
+  in
+  let seen_iids = Hashtbl.create 64 in
+  let check_instr bid (i : Instr.t) =
+    let ctx = Printf.sprintf "B%d/%d" bid i.iid in
+    if Hashtbl.mem seen_iids i.iid then err "%s: duplicate instruction id" ctx;
+    Hashtbl.replace seen_iids i.iid ();
+    match i.op with
+    | Const { dst; ty = cty; v } -> (
+        want ctx dst cty;
+        match cty with
+        | I32 ->
+            if v < Int64.of_int32 Int32.min_int || v > Int64.of_int32 Int32.max_int then
+              err "%s: i32 constant %Ld out of range" ctx v
+        | F64 -> err "%s: float constant must use fconst" ctx
+        | I64 | Ref -> ())
+    | FConst { dst; _ } -> want ctx dst F64
+    | Mov { dst; src; ty = mty } -> (
+        want ctx dst mty;
+        match mty with
+        | I32 | I64 -> want_int ctx src
+        | F64 | Ref -> want ctx src mty)
+    | Unop { dst; src; w; _ } | Binop { dst; l = src; r = _; w; _ } -> (
+        let opty = match w with W32 -> I32 | W64 -> I64 | _ -> I32 in
+        (match w with
+        | W8 | W16 -> err "%s: sub-32-bit alu width" ctx
+        | _ -> ());
+        want ctx dst opty;
+        want ctx src opty;
+        match i.op with Binop { r; _ } -> want ctx r opty | _ -> ())
+    | Cmp { dst; l; r; w; _ } ->
+        let opty = match w with W64 -> I64 | _ -> I32 in
+        want ctx dst I32;
+        want ctx l opty;
+        want ctx r opty
+    | Sext { r; from } | Zext { r; from } ->
+        want ctx r I32;
+        if from = W64 then err "%s: extend from width 64" ctx
+    | JustExt { r } -> want ctx r I32
+    | FBinop { dst; l; r; _ } ->
+        want ctx dst F64;
+        want ctx l F64;
+        want ctx r F64
+    | FNeg { dst; src } ->
+        want ctx dst F64;
+        want ctx src F64
+    | FCmp { dst; l; r; _ } ->
+        want ctx dst I32;
+        want ctx l F64;
+        want ctx r F64
+    | I2D { dst; src } ->
+        want ctx dst F64;
+        want ctx src I32
+    | L2D { dst; src } ->
+        want ctx dst F64;
+        want ctx src I64
+    | D2I { dst; src } ->
+        want ctx dst I32;
+        want ctx src F64
+    | D2L { dst; src } ->
+        want ctx dst I64;
+        want ctx src F64
+    | NewArr { dst; len; _ } ->
+        want ctx dst Ref;
+        want ctx len I32
+    | ArrLoad { dst; arr; idx; elem; _ } ->
+        want ctx dst (aelem_reg_ty elem);
+        want ctx arr Ref;
+        want ctx idx I32
+    | ArrStore { arr; idx; src; elem } ->
+        want ctx arr Ref;
+        want ctx idx I32;
+        want ctx src (aelem_reg_ty elem)
+    | ArrLen { dst; arr } ->
+        want ctx dst I32;
+        want ctx arr Ref
+    | GLoad { dst; ty = gty; _ } -> want ctx dst gty
+    | GStore { src; ty = gty; _ } -> want ctx src gty
+    | Call { dst; args; ret; _ } -> (
+        List.iter (fun (r, aty) -> want ctx r aty) args;
+        match (dst, ret) with
+        | Some d, Some rty -> want ctx d rty
+        | None, _ -> ()
+        | Some _, None -> err "%s: call result without return type" ctx)
+  in
+  let check_term bid (t : terminator) =
+    let ctx = Printf.sprintf "B%d/term" bid in
+    match t with
+    | Jmp l -> label_ok ctx l
+    | Br { l; r; w; ifso; ifnot; _ } ->
+        let opty = match w with W64 -> I64 | _ -> I32 in
+        want ctx l opty;
+        want ctx r opty;
+        label_ok ctx ifso;
+        label_ok ctx ifnot
+    | Ret None -> if f.ret <> None then err "%s: missing return value" ctx
+    | Ret (Some (r, rty)) -> (
+        want ctx r rty;
+        match f.ret with
+        | Some fr when fr = rty -> ()
+        | Some fr -> err "%s: returns %s, expected %s" ctx (string_of_ty rty) (string_of_ty fr)
+        | None -> err "%s: value return from void function" ctx)
+  in
+  if nblocks = 0 then err "%s: no blocks" f.name;
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter (check_instr b.bid) b.body;
+      check_term b.bid b.term)
+    f;
+  List.rev !errs
+
+let check f =
+  match errors f with
+  | [] -> ()
+  | es ->
+      failwith
+        (Printf.sprintf "IR validation failed for %s:\n%s" f.Cfg.name (String.concat "\n" es))
+
+let check_prog p = Prog.iter_funcs check p

@@ -1,0 +1,12 @@
+(** IR well-formedness checking: register and label ranges, per-operation
+    typing rules, unique instruction ids, terminator/return coherence. Run
+    after the frontend and after every pass in tests. *)
+
+val aelem_reg_ty : Types.aelem -> Types.ty
+(** Register type holding an element of the given array kind. *)
+
+val errors : Cfg.func -> string list
+val check : Cfg.func -> unit
+(** Raises [Failure] listing all violations. *)
+
+val check_prog : Prog.t -> unit

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Int64 List Printf String Sxe_ir

@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast Hashtbl Int64 List Option Printf Sxe_ir Sxe_vm

@@ -1,0 +1,86 @@
+(** Abstract syntax of MiniJ, the small Java-like language the benchmark
+    kernels are written in.
+
+    Semantics follow Java where it matters to the paper: [int] is 32-bit
+    with wraparound, [long] 64-bit, [byte]/[short] exist as array elements
+    and cast targets (values widen to [int] immediately), array accesses
+    throw on negative or too-large indices, integer division by zero
+    throws, shifts mask their amounts, and [int] widens implicitly to
+    [long]/[double] (each widening is a sign extension — grist for the
+    optimizer). Conditions are C-style integers; [&&]/[||] short-circuit. *)
+
+type ty = TInt | TLong | TDouble | TByte | TShort | TArr of ty
+
+let rec string_of_ty = function
+  | TInt -> "int"
+  | TLong -> "long"
+  | TDouble -> "double"
+  | TByte -> "byte"
+  | TShort -> "short"
+  | TArr t -> string_of_ty t ^ "[]"
+
+type binop =
+  | OAdd
+  | OSub
+  | OMul
+  | ODiv
+  | ORem
+  | OAnd
+  | OOr
+  | OXor
+  | OShl
+  | OAShr
+  | OLShr
+  | OEq
+  | ONe
+  | OLt
+  | OLe
+  | OGt
+  | OGe
+  | OAndAnd
+  | OOrOr
+
+type unop = ONeg | ONot (* bitwise ~ *) | OBang (* logical ! *)
+
+type expr = { e : expr_desc; line : int }
+
+and expr_desc =
+  | EInt of int64  (** [int] literal *)
+  | ELong of int64  (** [long] literal, [123L] *)
+  | EFloat of float
+  | EVar of string
+  | EBin of binop * expr * expr
+  | EUn of unop * expr
+  | ECast of ty * expr
+  | ECall of string * expr list
+  | EIndex of expr * expr  (** [a[i]] *)
+  | ELength of expr  (** [a.length] *)
+  | ENew of ty * expr list  (** [new int[n]] or [new int[n][m]] *)
+  | ETernary of expr * expr * expr  (** [c ? a : b] *)
+
+type stmt = { s : stmt_desc; sline : int }
+
+and stmt_desc =
+  | SDecl of ty * string * expr option
+  | SAssign of string * expr
+  | SStore of expr * expr * expr  (** [a[i] = e] *)
+  | SIf of expr * stmt list * stmt list
+  | SWhile of expr * stmt list
+  | SDoWhile of stmt list * expr
+  | SFor of stmt option * expr option * stmt option * stmt list
+  | SReturn of expr option
+  | SExpr of expr
+  | SBlock of stmt list
+  | SBreak
+  | SContinue
+
+type func = {
+  fname : string;
+  fret : ty option;
+  fparams : (string * ty) list;
+  fbody : stmt list;
+}
+
+type global = { gname : string; gty : ty }
+
+type program = { globals : global list; funcs : func list }

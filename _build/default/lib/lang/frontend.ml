@@ -1,0 +1,23 @@
+(** One-call frontend: MiniJ source text to validated 32-bit-form IR. *)
+
+exception Error of string
+(** parse/lex/type error, with a line-numbered message *)
+
+let parse (src : string) : Ast.program =
+  try Parser.parse_program src with
+  | Lexer.Error (m, l) -> raise (Error (Printf.sprintf "lex error (line %d): %s" l m))
+  | Parser.Error (m, l) -> raise (Error (Printf.sprintf "parse error (line %d): %s" l m))
+
+(** [compile src] parses, type-checks, lowers and validates. The result is
+    32-bit-form IR: run {!Sxe_core.Pass.compile} on it (Step 1 is part of
+    every variant) before executing it in the interpreter's [`Faithful]
+    mode, or execute it directly in [`Canonical] mode for reference
+    semantics. *)
+let compile (src : string) : Sxe_ir.Prog.t =
+  let ast = parse src in
+  let prog =
+    try Lower.lower_program ast
+    with Lower.Error (m, l) -> raise (Error (Printf.sprintf "type error (line %d): %s" l m))
+  in
+  Sxe_ir.Validate.check_prog prog;
+  prog

@@ -1,0 +1,12 @@
+(** One-call frontend: MiniJ source text to validated 32-bit-form IR. *)
+
+exception Error of string
+(** Lexical, syntactic or type error, with a line-numbered message. *)
+
+val parse : string -> Ast.program
+
+val compile : string -> Sxe_ir.Prog.t
+(** Parse, type-check, lower and validate. The result is 32-bit-form IR:
+    run {!Sxe_core.Pass.compile} on it (Step 1 is part of every variant)
+    before executing it in the interpreter's [`Faithful] mode, or execute
+    it directly in [`Canonical] mode for reference semantics. *)

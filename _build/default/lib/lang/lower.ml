@@ -1,0 +1,677 @@
+(** Type checking and lowering of MiniJ to the 32-bit-form IR.
+
+    The output contains no 32-bit sign extensions (those are Step 1's
+    business); the only [Sext] instructions emitted here are the semantic
+    8/16-bit extensions of byte/short reads and casts, which exist on any
+    architecture. Running the result under the interpreter's [`Canonical]
+    mode gives reference source semantics.
+
+    Type rules are Java's where they matter: implicit widening
+    [int -> long -> double] (each an explicit conversion instruction —
+    [i2l] is precisely a sign extension the optimizer gets to reason
+    about), explicit narrowing casts, byte/short values widening to [int]
+    on every read, C-style integer conditions with short-circuit [&&]/[||]. *)
+
+open Ast
+module I = Sxe_ir.Instr
+module T = Sxe_ir.Types
+module B = Sxe_ir.Builder
+
+exception Error of string * int
+
+let err line fmt = Printf.ksprintf (fun m -> raise (Error (m, line))) fmt
+
+(** value types of expressions (byte/short widen to int on read) *)
+type vty = VInt | VLong | VDouble | VArr of Ast.ty
+
+let vty_of_ast = function
+  | TInt | TByte | TShort -> VInt
+  | TLong -> VLong
+  | TDouble -> VDouble
+  | TArr t -> VArr t
+
+let reg_ty_of_ast (t : Ast.ty) : T.ty =
+  match t with
+  | TInt | TByte | TShort -> T.I32
+  | TLong -> T.I64
+  | TDouble -> T.F64
+  | TArr _ -> T.Ref
+
+let reg_ty_of_vty = function
+  | VInt -> T.I32
+  | VLong -> T.I64
+  | VDouble -> T.F64
+  | VArr _ -> T.Ref
+
+let string_of_vty = function
+  | VInt -> "int"
+  | VLong -> "long"
+  | VDouble -> "double"
+  | VArr t -> Ast.string_of_ty (TArr t)
+
+let aelem_of_ast (t : Ast.ty) : T.aelem =
+  match t with
+  | TByte -> T.AI8
+  | TShort -> T.AI16
+  | TInt -> T.AI32
+  | TLong -> T.AI64
+  | TDouble -> T.AF64
+  | TArr _ -> T.ARef
+
+type sig_ = { ps : vty list; ret : vty option }
+
+type env = {
+  b : B.t;
+  prog : Sxe_ir.Prog.t;
+  sigs : (string, sig_) Hashtbl.t;
+  globals : (string, Ast.ty) Hashtbl.t;
+  mutable vars : (string * (I.reg * Ast.ty)) list;  (** scoped *)
+  mutable loops : (int * int) list;  (** (continue target, break target) *)
+  fret : vty option;
+}
+
+let lookup env line x =
+  match List.assoc_opt x env.vars with
+  | Some v -> Some v
+  | None -> (
+      match Hashtbl.find_opt env.globals x with Some _ -> None | None -> err line "unknown variable %s" x)
+
+(* -- coercions ------------------------------------------------------- *)
+
+(** widen [r : from] to [to_]; only widening conversions. *)
+let widen env line (r, from) to_ =
+  if from = to_ then r
+  else
+    match (from, to_) with
+    | VInt, VLong -> B.mov env.b ~ty:T.I64 r (* i2l: requires an extended source *)
+    | VInt, VDouble -> B.i2d env.b r
+    | VLong, VDouble -> B.l2d env.b r
+    | _ ->
+        err line "cannot implicitly convert %s to %s" (string_of_vty from)
+          (string_of_vty to_)
+
+(** unified numeric type of two operands *)
+let promote line a b =
+  match (a, b) with
+  | VArr _, _ | _, VArr _ -> err line "array value in arithmetic"
+  | VDouble, _ | _, VDouble -> VDouble
+  | VLong, _ | _, VLong -> VLong
+  | VInt, VInt -> VInt
+
+let cond_of = function
+  | OEq -> Some T.Eq
+  | ONe -> Some T.Ne
+  | OLt -> Some T.Lt
+  | OLe -> Some T.Le
+  | OGt -> Some T.Gt
+  | OGe -> Some T.Ge
+  | _ -> None
+
+let binop_of line = function
+  | OAdd -> T.Add
+  | OSub -> T.Sub
+  | OMul -> T.Mul
+  | ODiv -> T.Div
+  | ORem -> T.Rem
+  | OAnd -> T.And
+  | OOr -> T.Or
+  | OXor -> T.Xor
+  | OShl -> T.Shl
+  | OAShr -> T.AShr
+  | OLShr -> T.LShr
+  | _ -> err line "not an arithmetic operator"
+
+let fbinop_of line = function
+  | OAdd -> T.FAdd
+  | OSub -> T.FSub
+  | OMul -> T.FMul
+  | ODiv -> T.FDiv
+  | _ -> err line "operator not defined on double"
+
+(* -- expressions ----------------------------------------------------- *)
+
+let rec lower_expr env (e : expr) : I.reg * vty =
+  let line = e.line in
+  match e.e with
+  | EInt v ->
+      if v < -0x80000000L || v > 0x7fffffffL then err line "int literal out of range";
+      (B.const env.b ~ty:T.I32 v, VInt)
+  | ELong v -> (B.const env.b ~ty:T.I64 v, VLong)
+  | EFloat v -> (B.fconst env.b v, VDouble)
+  | EVar x -> (
+      match lookup env line x with
+      | Some (r, t) -> (
+          match vty_of_ast t with
+          | VInt -> (B.mov env.b ~ty:T.I32 r, VInt)
+          | VLong -> (B.mov env.b ~ty:T.I64 r, VLong)
+          | VDouble -> (B.mov env.b ~ty:T.F64 r, VDouble)
+          | VArr t' -> (B.mov env.b ~ty:T.Ref r, VArr t'))
+      | None ->
+          let gt = Hashtbl.find env.globals x in
+          let rt = reg_ty_of_ast gt in
+          (B.gload env.b rt x, vty_of_ast gt))
+  | EBin ((OAndAnd | OOrOr), _, _) | EUn (OBang, _) -> lower_bool_value env e
+  | EBin (op, l, r) -> (
+      match cond_of op with
+      | Some c -> (
+          let rl, tl = lower_expr env l in
+          let rr, tr = lower_expr env r in
+          let t = promote line tl tr in
+          match t with
+          | VDouble ->
+              let rl = widen env line (rl, tl) VDouble
+              and rr = widen env line (rr, tr) VDouble in
+              (B.fcmp env.b c rl rr, VInt)
+          | VLong ->
+              let rl = widen env line (rl, tl) VLong
+              and rr = widen env line (rr, tr) VLong in
+              (B.cmp env.b ~w:T.W64 c rl rr, VInt)
+          | _ -> (B.cmp env.b ~w:T.W32 c rl rr, VInt))
+      | None -> (
+          let rl, tl = lower_expr env l in
+          let rr, tr = lower_expr env r in
+          match op with
+          | OShl | OAShr | OLShr ->
+              (* shift: result has the left type; amount is int *)
+              if tr <> VInt then err line "shift amount must be int";
+              (match tl with
+              | VInt -> (B.binop env.b ~w:T.W32 (binop_of line op) rl rr, VInt)
+              | VLong ->
+                  let amt = B.mov env.b ~ty:T.I64 rr in
+                  (B.binop env.b ~w:T.W64 (binop_of line op) rl amt, VLong)
+              | _ -> err line "cannot shift %s" (string_of_vty tl))
+          | _ -> (
+              let t = promote line tl tr in
+              match t with
+              | VDouble ->
+                  let rl = widen env line (rl, tl) VDouble
+                  and rr = widen env line (rr, tr) VDouble in
+                  (B.fbinop env.b (fbinop_of line op) rl rr, VDouble)
+              | VLong ->
+                  let rl = widen env line (rl, tl) VLong
+                  and rr = widen env line (rr, tr) VLong in
+                  (B.binop env.b ~w:T.W64 (binop_of line op) rl rr, VLong)
+              | _ -> (B.binop env.b ~w:T.W32 (binop_of line op) rl rr, VInt))))
+  | EUn (ONeg, x) -> (
+      let r, t = lower_expr env x in
+      match t with
+      | VInt -> (B.unop env.b ~w:T.W32 T.Neg r, VInt)
+      | VLong -> (B.unop env.b ~w:T.W64 T.Neg r, VLong)
+      | VDouble -> (B.fneg env.b r, VDouble)
+      | VArr _ -> err line "cannot negate an array")
+  | EUn (ONot, x) -> (
+      let r, t = lower_expr env x in
+      match t with
+      | VInt -> (B.unop env.b ~w:T.W32 T.Not r, VInt)
+      | VLong -> (B.unop env.b ~w:T.W64 T.Not r, VLong)
+      | _ -> err line "~ requires an integer")
+  | ECast (t, x) -> lower_cast env line t x
+  | ECall (fn, args) -> (
+      match lower_call env line fn args with
+      | Some rt -> rt
+      | None -> err line "void call %s used as a value" fn)
+  | EIndex (a, i) -> (
+      let ra, ta = lower_expr env a in
+      let elem = match ta with VArr t -> t | _ -> err line "indexing a non-array" in
+      let ri, ti = lower_expr env i in
+      if ti <> VInt then err line "array index must be int";
+      let ae = aelem_of_ast elem in
+      let v = B.arrload env.b ae ra ri in
+      match elem with
+      | TByte ->
+          ignore (B.sext env.b ~from:T.W8 v);
+          (v, VInt)
+      | TShort ->
+          ignore (B.sext env.b ~from:T.W16 v);
+          (v, VInt)
+      | TInt -> (v, VInt)
+      | TLong -> (v, VLong)
+      | TDouble -> (v, VDouble)
+      | TArr t -> (v, VArr t))
+  | ELength a -> (
+      let ra, ta = lower_expr env a in
+      match ta with
+      | VArr _ -> (B.arrlen env.b ra, VInt)
+      | _ -> err line ".length of a non-array")
+  | ENew (base, dims) -> lower_new env line base dims
+  | ETernary (c, a, bx) ->
+      (* typed diamond; arms are lowered in their own blocks and promoted
+         to a common numeric type (or an identical array type) *)
+      let yes = B.new_block env.b in
+      let no = B.new_block env.b in
+      let join = B.new_block env.b in
+      lower_cond env c ~ifso:yes ~ifnot:no;
+      (* probe the arm types first to pick the result register type; arms
+         are side-effect-bearing, so we lower each exactly once and widen
+         in place *)
+      B.switch env.b yes;
+      let ra, ta = lower_expr env a in
+      let yes_end = B.current env.b in
+      B.switch env.b no;
+      let rb, tb = lower_expr env bx in
+      let no_end = B.current env.b in
+      let t =
+        match (ta, tb) with
+        | VArr x, VArr y when x = y -> ta
+        | VArr _, _ | _, VArr _ ->
+            if ta = tb then ta else err line "ternary arms have different array types"
+        | _ -> promote line ta tb
+      in
+      let dst = B.fresh env.b (reg_ty_of_vty t) in
+      B.switch env.b yes_end;
+      let ra = widen env line (ra, ta) t in
+      B.mov_to env.b ~dst ~src:ra (reg_ty_of_vty t);
+      B.jmp env.b join;
+      B.switch env.b no_end;
+      let rb = widen env line (rb, tb) t in
+      B.mov_to env.b ~dst ~src:rb (reg_ty_of_vty t);
+      B.jmp env.b join;
+      B.switch env.b join;
+      (dst, t)
+
+and lower_cast env line (t : Ast.ty) (x : expr) : I.reg * vty =
+  let r, from = lower_expr env x in
+  match (t, from) with
+  | (TInt | TByte | TShort), VArr _ | TLong, VArr _ | TDouble, VArr _ ->
+      err line "cannot cast an array"
+  | TArr _, _ -> err line "array casts are not supported"
+  | TInt, VInt -> (r, VInt)
+  | TInt, VLong -> (B.mov env.b ~ty:T.I32 r, VInt) (* l2i: truncation *)
+  | TInt, VDouble -> (B.d2i env.b r, VInt)
+  | TLong, VInt -> (B.mov env.b ~ty:T.I64 r, VLong)
+  | TLong, VLong -> (r, VLong)
+  | TLong, VDouble -> (B.d2l env.b r, VLong)
+  | TDouble, VInt -> (B.i2d env.b r, VDouble)
+  | TDouble, VLong -> (B.l2d env.b r, VDouble)
+  | TDouble, VDouble -> (r, VDouble)
+  | (TByte | TShort), _ ->
+      let w = if t = TByte then T.W8 else T.W16 in
+      let as_int =
+        match from with
+        | VInt -> r
+        | VLong -> B.mov env.b ~ty:T.I32 r
+        | VDouble -> B.d2i env.b r
+        | VArr _ -> assert false
+      in
+      let c = B.mov env.b ~ty:T.I32 as_int in
+      ignore (B.sext env.b ~from:w c);
+      (c, VInt)
+
+and lower_new env line base dims : I.reg * vty =
+  match dims with
+  | [ n ] ->
+      let rn, tn = lower_expr env n in
+      if tn <> VInt then err line "array size must be int";
+      let elem, vt =
+        match base with
+        | TArr _ -> (T.ARef, VArr base)
+        | t -> (aelem_of_ast t, VArr t)
+      in
+      (B.newarr env.b elem rn, vt)
+  | [ n1; n2 ] ->
+      (* new base[n1][n2]: an array of arrays, filled by a generated loop *)
+      let rn1, t1 = lower_expr env n1 in
+      let rn2, t2 = lower_expr env n2 in
+      if t1 <> VInt || t2 <> VInt then err line "array sizes must be int";
+      let outer = B.newarr env.b T.ARef rn1 in
+      let idx = B.iconst env.b 0 in
+      let head = B.new_block env.b in
+      let body = B.new_block env.b in
+      let done_ = B.new_block env.b in
+      B.jmp env.b head;
+      B.switch env.b head;
+      B.br env.b ~w:T.W32 T.Lt idx rn1 ~ifso:body ~ifnot:done_;
+      B.switch env.b body;
+      let inner = B.newarr env.b (aelem_of_ast base) rn2 in
+      B.arrstore env.b T.ARef outer idx inner;
+      let one = B.iconst env.b 1 in
+      B.binop_to env.b ~w:T.W32 T.Add ~dst:idx idx one;
+      B.jmp env.b head;
+      B.switch env.b done_;
+      (outer, VArr (TArr base))
+  | _ -> err line "only 1-D and 2-D allocations are supported"
+
+and lower_call env line fn (args : expr list) : (I.reg * vty) option =
+  let lowered = List.map (lower_expr env) args in
+  let builtin_sig =
+    match fn with
+    | "print_int" -> Some ([ VInt ], None)
+    | "print_long" -> Some ([ VLong ], None)
+    | "print_double" -> Some ([ VDouble ], None)
+    | "checksum" -> (
+        match lowered with [ (_, VLong) ] -> Some ([ VLong ], None) | _ -> Some ([ VInt ], None))
+    | "checksum_double" -> Some ([ VDouble ], None)
+    | _ -> None
+  in
+  let ps, ret =
+    match builtin_sig with
+    | Some (ps, ret) -> (ps, ret)
+    | None -> (
+        match Hashtbl.find_opt env.sigs fn with
+        | Some s -> (s.ps, s.ret)
+        | None -> err line "unknown function %s" fn)
+  in
+  if List.length ps <> List.length lowered then
+    err line "%s expects %d arguments, got %d" fn (List.length ps) (List.length lowered);
+  let actuals =
+    List.map2
+      (fun (r, t) pt ->
+        let r = widen env line (r, t) pt in
+        (r, reg_ty_of_vty pt))
+      lowered ps
+  in
+  let rty = Option.map reg_ty_of_vty ret in
+  match (B.call env.b ?ret:rty fn actuals, ret) with
+  | Some r, Some t -> Some (r, t)
+  | _ -> None
+
+(** short-circuit condition lowering *)
+and lower_cond env (e : expr) ~ifso ~ifnot =
+  let line = e.line in
+  match e.e with
+  | EBin (OAndAnd, l, r) ->
+      let mid = B.new_block env.b in
+      lower_cond env l ~ifso:mid ~ifnot;
+      B.switch env.b mid;
+      lower_cond env r ~ifso ~ifnot
+  | EBin (OOrOr, l, r) ->
+      let mid = B.new_block env.b in
+      lower_cond env l ~ifso ~ifnot:mid;
+      B.switch env.b mid;
+      lower_cond env r ~ifso ~ifnot
+  | EUn (OBang, x) -> lower_cond env x ~ifso:ifnot ~ifnot:ifso
+  | EBin (op, l, r) when cond_of op <> None -> (
+      let c = Option.get (cond_of op) in
+      let rl, tl = lower_expr env l in
+      let rr, tr = lower_expr env r in
+      match promote line tl tr with
+      | VDouble ->
+          let rl = widen env line (rl, tl) VDouble
+          and rr = widen env line (rr, tr) VDouble in
+          let v = B.fcmp env.b c rl rr in
+          let z = B.iconst env.b 0 in
+          B.br env.b ~w:T.W32 T.Ne v z ~ifso ~ifnot
+      | VLong ->
+          let rl = widen env line (rl, tl) VLong
+          and rr = widen env line (rr, tr) VLong in
+          B.br env.b ~w:T.W64 c rl rr ~ifso ~ifnot
+      | _ -> B.br env.b ~w:T.W32 c rl rr ~ifso ~ifnot)
+  | EInt v -> B.jmp env.b (if Int64.equal v 0L then ifnot else ifso)
+  | _ -> (
+      let r, t = lower_expr env e in
+      match t with
+      | VInt ->
+          let z = B.iconst env.b 0 in
+          B.br env.b ~w:T.W32 T.Ne r z ~ifso ~ifnot
+      | VLong ->
+          let z = B.lconst env.b 0L in
+          B.br env.b ~w:T.W64 T.Ne r z ~ifso ~ifnot
+      | _ -> err line "condition must be an integer")
+
+(** [&&]/[||]/[!] used as a value: materialize 0/1 through branches *)
+and lower_bool_value env (e : expr) : I.reg * vty =
+  let dst = B.fresh env.b T.I32 in
+  let yes = B.new_block env.b in
+  let no = B.new_block env.b in
+  let join = B.new_block env.b in
+  lower_cond env e ~ifso:yes ~ifnot:no;
+  B.switch env.b yes;
+  let one = B.iconst env.b 1 in
+  B.mov_to env.b ~dst ~src:one T.I32;
+  B.jmp env.b join;
+  B.switch env.b no;
+  let zero = B.iconst env.b 0 in
+  B.mov_to env.b ~dst ~src:zero T.I32;
+  B.jmp env.b join;
+  B.switch env.b join;
+  (dst, VInt)
+
+(* -- statements ------------------------------------------------------ *)
+
+let coerce_assign env line (r, from) (target : Ast.ty) : I.reg =
+  match (target, from) with
+  | (TByte | TShort), VInt ->
+      (* Java needs an explicit cast; we apply the narrowing implicitly,
+         which still materializes the semantic 8/16-bit extension *)
+      let c = B.mov env.b ~ty:T.I32 r in
+      ignore (B.sext env.b ~from:(if target = TByte then T.W8 else T.W16) c);
+      c
+  | TArr t, VArr t' when t = t' -> r
+  | TArr _, VArr _ -> err line "array element type mismatch"
+  | _ -> widen env line (r, from) (vty_of_ast target)
+
+let rec lower_stmts env (stmts : stmt list) : bool (* fell through? *) =
+  match stmts with
+  | [] -> true
+  | s :: rest ->
+      let cont = lower_stmt env s in
+      if cont then lower_stmts env rest
+      else begin
+        (* dead code after return/break: still type-check it in a fresh
+           unreachable block *)
+        match rest with
+        | [] -> false
+        | _ ->
+            let dead = B.new_block env.b in
+            B.switch env.b dead;
+            if lower_stmts env rest then B.jmp env.b (B.current env.b);
+            false
+      end
+
+and lower_stmt env (s : stmt) : bool =
+  let line = s.sline in
+  match s.s with
+  | SBlock body ->
+      let saved = env.vars in
+      let r = lower_stmts env body in
+      env.vars <- saved;
+      r
+  | SDecl (t, x, init) ->
+      let rt = reg_ty_of_ast t in
+      let r = B.fresh env.b rt in
+      (match init with
+      | Some e ->
+          let v = coerce_assign env line (lower_expr env e) t in
+          B.mov_to env.b ~dst:r ~src:v rt
+      | None -> (
+          match rt with
+          | T.F64 ->
+              let z = B.fconst env.b 0.0 in
+              B.mov_to env.b ~dst:r ~src:z T.F64
+          | ty ->
+              let z = B.const env.b ~ty 0L in
+              B.mov_to env.b ~dst:r ~src:z ty));
+      env.vars <- (x, (r, t)) :: env.vars;
+      true
+  | SAssign (x, e) -> (
+      match lookup env line x with
+      | Some (r, t) ->
+          let v = coerce_assign env line (lower_expr env e) t in
+          B.mov_to env.b ~dst:r ~src:v (reg_ty_of_ast t);
+          true
+      | None ->
+          let gt = Hashtbl.find env.globals x in
+          let v = coerce_assign env line (lower_expr env e) gt in
+          B.gstore env.b (reg_ty_of_ast gt) x v;
+          true)
+  | SStore (a, i, e) ->
+      let ra, ta = lower_expr env a in
+      let elem = match ta with VArr t -> t | _ -> err line "indexing a non-array" in
+      let ri, ti = lower_expr env i in
+      if ti <> VInt then err line "array index must be int";
+      let rv, tv = lower_expr env e in
+      let rv =
+        match (elem, tv) with
+        | (TByte | TShort | TInt), VInt -> rv (* stores truncate *)
+        | _ -> widen env line (rv, tv) (vty_of_ast elem)
+      in
+      B.arrstore env.b (aelem_of_ast elem) ra ri rv;
+      true
+  | SIf (c, thn, els) ->
+      let bt = B.new_block env.b in
+      let bf = B.new_block env.b in
+      let join = B.new_block env.b in
+      lower_cond env c ~ifso:bt ~ifnot:bf;
+      B.switch env.b bt;
+      let saved = env.vars in
+      let ft = lower_stmts env thn in
+      env.vars <- saved;
+      if ft then B.jmp env.b join;
+      B.switch env.b bf;
+      let fe = lower_stmts env els in
+      env.vars <- saved;
+      if fe then B.jmp env.b join;
+      B.switch env.b join;
+      (* if neither side falls through, the join is unreachable; keep it as
+         the current (dead) block — simpler and harmless *)
+      true
+  | SWhile (c, body) ->
+      let head = B.new_block env.b in
+      let bbody = B.new_block env.b in
+      let exit_ = B.new_block env.b in
+      B.jmp env.b head;
+      B.switch env.b head;
+      lower_cond env c ~ifso:bbody ~ifnot:exit_;
+      B.switch env.b bbody;
+      let saved = env.vars in
+      env.loops <- (head, exit_) :: env.loops;
+      let ft = lower_stmts env body in
+      env.loops <- List.tl env.loops;
+      env.vars <- saved;
+      if ft then B.jmp env.b head;
+      B.switch env.b exit_;
+      true
+  | SDoWhile (body, c) ->
+      let bbody = B.new_block env.b in
+      let check = B.new_block env.b in
+      let exit_ = B.new_block env.b in
+      B.jmp env.b bbody;
+      B.switch env.b bbody;
+      let saved = env.vars in
+      env.loops <- (check, exit_) :: env.loops;
+      let ft = lower_stmts env body in
+      env.loops <- List.tl env.loops;
+      env.vars <- saved;
+      if ft then B.jmp env.b check;
+      B.switch env.b check;
+      lower_cond env c ~ifso:bbody ~ifnot:exit_;
+      B.switch env.b exit_;
+      true
+  | SFor (init, cond, step, body) ->
+      let saved = env.vars in
+      (match init with Some s -> ignore (lower_stmt env s) | None -> ());
+      let head = B.new_block env.b in
+      let bbody = B.new_block env.b in
+      let bstep = B.new_block env.b in
+      let exit_ = B.new_block env.b in
+      B.jmp env.b head;
+      B.switch env.b head;
+      (match cond with
+      | Some c -> lower_cond env c ~ifso:bbody ~ifnot:exit_
+      | None -> B.jmp env.b bbody);
+      B.switch env.b bbody;
+      env.loops <- (bstep, exit_) :: env.loops;
+      let ft = lower_stmts env body in
+      env.loops <- List.tl env.loops;
+      if ft then B.jmp env.b bstep;
+      B.switch env.b bstep;
+      (match step with Some s -> ignore (lower_stmt env s) | None -> ());
+      B.jmp env.b head;
+      env.vars <- saved;
+      B.switch env.b exit_;
+      true
+  | SReturn None ->
+      if env.fret <> None then err line "missing return value";
+      B.ret env.b;
+      false
+  | SReturn (Some e) -> (
+      match env.fret with
+      | None -> err line "returning a value from a void function"
+      | Some rt ->
+          let v = widen env line (lower_expr env e) rt in
+          B.retv env.b (reg_ty_of_vty rt) v;
+          false)
+  | SExpr e -> (
+      match e.e with
+      | ECall (fn, args) ->
+          ignore (lower_call env line fn args);
+          true
+      | _ ->
+          ignore (lower_expr env e);
+          true)
+  | SBreak -> (
+      match env.loops with
+      | (_, brk) :: _ ->
+          B.jmp env.b brk;
+          false
+      | [] -> err line "break outside a loop")
+  | SContinue -> (
+      match env.loops with
+      | (cont, _) :: _ ->
+          B.jmp env.b cont;
+          false
+      | [] -> err line "continue outside a loop")
+
+(* -- top level ------------------------------------------------------- *)
+
+let rec has_loop_stmts stmts = List.exists has_loop stmts
+
+and has_loop (s : stmt) =
+  match s.s with
+  | SWhile _ | SDoWhile _ | SFor _ -> true
+  | SIf (_, a, b) -> has_loop_stmts a || has_loop_stmts b
+  | SBlock b -> has_loop_stmts b
+  | _ -> false
+
+let lower_func prog sigs globals (fd : Ast.func) : Sxe_ir.Cfg.func =
+  let params = List.map (fun (_, t) -> reg_ty_of_ast t) fd.fparams in
+  let ret = Option.map (fun t -> reg_ty_of_vty (vty_of_ast t)) fd.fret in
+  let b, pregs = B.create ~name:fd.fname ~params ?ret () in
+  let vars =
+    List.map2 (fun (n, t) r -> (n, (r, t))) fd.fparams pregs
+  in
+  let env =
+    {
+      b;
+      prog;
+      sigs;
+      globals;
+      vars;
+      loops = [];
+      fret = Option.map vty_of_ast fd.fret;
+    }
+  in
+  let fell = lower_stmts env fd.fbody in
+  if fell then begin
+    match env.fret with
+    | None -> B.ret env.b
+    | Some _ -> err 0 "function %s: missing return statement" fd.fname
+  end;
+  let f = B.func b in
+  f.Sxe_ir.Cfg.has_loop_hint <- has_loop_stmts fd.fbody;
+  f
+
+let lower_program (ast : Ast.program) : Sxe_ir.Prog.t =
+  let prog = Sxe_ir.Prog.create () in
+  let sigs = Hashtbl.create 16 in
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem globals g.gname then err 0 "duplicate global %s" g.gname;
+      Hashtbl.replace globals g.gname g.gty;
+      Sxe_ir.Prog.declare_global prog g.gname (reg_ty_of_ast g.gty))
+    ast.globals;
+  List.iter
+    (fun (fd : Ast.func) ->
+      if Hashtbl.mem sigs fd.fname then err 0 "duplicate function %s" fd.fname;
+      if List.mem fd.fname Sxe_vm.Interp.builtin_names then
+        err 0 "%s shadows a builtin" fd.fname;
+      Hashtbl.replace sigs fd.fname
+        {
+          ps = List.map (fun (_, t) -> vty_of_ast t) fd.fparams;
+          ret = Option.map vty_of_ast fd.fret;
+        })
+    ast.funcs;
+  List.iter (fun fd -> Sxe_ir.Prog.add_func prog (lower_func prog sigs globals fd)) ast.funcs;
+  if not (Hashtbl.mem sigs "main") then err 0 "no main function";
+  prog

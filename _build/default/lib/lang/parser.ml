@@ -1,0 +1,423 @@
+(** Recursive-descent parser for MiniJ.
+
+    Grammar (precedence low to high):
+    [||] < [&&] < [|] < [^] < [&] < [== !=] < [< <= > >=] < [<< >> >>>]
+    < [+ -] < [* / %] < unary < postfix ([\[i\]], [.length]) < primary.
+    Compound assignments desugar to plain assignments. *)
+
+open Ast
+
+exception Error of string * int
+
+type t = { toks : (Lexer.token * int) array; mutable k : int }
+
+let peek p = fst p.toks.(p.k)
+let line p = snd p.toks.(p.k)
+let advance p = if p.k < Array.length p.toks - 1 then p.k <- p.k + 1
+
+let err p msg = raise (Error (msg, line p))
+
+let eat_punct p s =
+  match peek p with
+  | Lexer.PUNCT x when x = s -> advance p
+  | _ -> err p (Printf.sprintf "expected %S" s)
+
+let eat_kw p s =
+  match peek p with
+  | Lexer.KW x when x = s -> advance p
+  | _ -> err p (Printf.sprintf "expected keyword %S" s)
+
+let is_punct p s = match peek p with Lexer.PUNCT x -> x = s | _ -> false
+let is_kw p s = match peek p with Lexer.KW x -> x = s | _ -> false
+
+let ident p =
+  match peek p with
+  | Lexer.IDENT s ->
+      advance p;
+      s
+  | _ -> err p "expected identifier"
+
+let base_ty p =
+  match peek p with
+  | Lexer.KW "int" ->
+      advance p;
+      TInt
+  | Lexer.KW "long" ->
+      advance p;
+      TLong
+  | Lexer.KW "double" ->
+      advance p;
+      TDouble
+  | Lexer.KW "byte" ->
+      advance p;
+      TByte
+  | Lexer.KW "short" ->
+      advance p;
+      TShort
+  | _ -> err p "expected a type"
+
+let rec ty_suffix p t =
+  if is_punct p "[" && fst p.toks.(p.k + 1) = Lexer.PUNCT "]" then begin
+    advance p;
+    advance p;
+    ty_suffix p (TArr t)
+  end
+  else t
+
+let parse_ty p = ty_suffix p (base_ty p)
+
+let looks_like_type p =
+  match peek p with
+  | Lexer.KW ("int" | "long" | "double" | "byte" | "short") -> true
+  | _ -> false
+
+(* -- expressions ----------------------------------------------------- *)
+
+let mk line e = { e; line }
+
+let rec expr p = ternary p
+
+and ternary p =
+  let c = or_or p in
+  if is_punct p "?" then begin
+    let ln = line p in
+    advance p;
+    let a = expr p in
+    eat_punct p ":";
+    let b = ternary p in
+    mk ln (ETernary (c, a, b))
+  end
+  else c
+
+and or_or p =
+  let l = and_and p in
+  if is_punct p "||" then begin
+    let ln = line p in
+    advance p;
+    mk ln (EBin (OOrOr, l, or_or p))
+  end
+  else l
+
+and and_and p =
+  let l = bit_or p in
+  if is_punct p "&&" then begin
+    let ln = line p in
+    advance p;
+    mk ln (EBin (OAndAnd, l, and_and p))
+  end
+  else l
+
+and left_assoc p sub ops =
+  let l = ref (sub p) in
+  let rec go () =
+    match peek p with
+    | Lexer.PUNCT s when List.mem_assoc s ops ->
+        let ln = line p in
+        advance p;
+        let r = sub p in
+        l := mk ln (EBin (List.assoc s ops, !l, r));
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !l
+
+and bit_or p = left_assoc p bit_xor [ ("|", OOr) ]
+and bit_xor p = left_assoc p bit_and [ ("^", OXor) ]
+and bit_and p = left_assoc p equality [ ("&", OAnd) ]
+and equality p = left_assoc p relational [ ("==", OEq); ("!=", ONe) ]
+
+and relational p =
+  left_assoc p shift [ ("<", OLt); ("<=", OLe); (">", OGt); (">=", OGe) ]
+
+and shift p = left_assoc p additive [ ("<<", OShl); (">>", OAShr); (">>>", OLShr) ]
+and additive p = left_assoc p multiplicative [ ("+", OAdd); ("-", OSub) ]
+and multiplicative p = left_assoc p unary [ ("*", OMul); ("/", ODiv); ("%", ORem) ]
+
+and unary p =
+  let ln = line p in
+  match peek p with
+  | Lexer.PUNCT "-" -> (
+      advance p;
+      (* fold the sign into integer literals so that -2147483648 is
+         representable, as in Java *)
+      match peek p with
+      | Lexer.INT_LIT v ->
+          advance p;
+          mk ln (EInt (Int64.neg v))
+      | Lexer.LONG_LIT v ->
+          advance p;
+          mk ln (ELong (Int64.neg v))
+      | _ -> mk ln (EUn (ONeg, unary p)))
+  | Lexer.PUNCT "~" ->
+      advance p;
+      mk ln (EUn (ONot, unary p))
+  | Lexer.PUNCT "!" ->
+      advance p;
+      mk ln (EUn (OBang, unary p))
+  | Lexer.PUNCT "(" when (match fst p.toks.(p.k + 1) with
+                          | Lexer.KW ("int" | "long" | "double" | "byte" | "short") ->
+                              fst p.toks.(p.k + 2) = Lexer.PUNCT ")"
+                          | _ -> false) ->
+      (* cast: "(" type ")" unary — array casts are not needed *)
+      advance p;
+      let t = base_ty p in
+      eat_punct p ")";
+      mk ln (ECast (t, unary p))
+  | _ -> postfix p
+
+and postfix p =
+  let e = ref (primary p) in
+  let rec go () =
+    if is_punct p "[" then begin
+      let ln = line p in
+      advance p;
+      let i = expr p in
+      eat_punct p "]";
+      e := mk ln (EIndex (!e, i));
+      go ()
+    end
+    else if is_punct p "." then begin
+      let ln = line p in
+      advance p;
+      let f = ident p in
+      if f <> "length" then err p "only .length is supported";
+      e := mk ln (ELength !e);
+      go ()
+    end
+  in
+  go ();
+  !e
+
+and primary p =
+  let ln = line p in
+  match peek p with
+  | Lexer.INT_LIT v ->
+      advance p;
+      mk ln (EInt v)
+  | Lexer.LONG_LIT v ->
+      advance p;
+      mk ln (ELong v)
+  | Lexer.FLOAT_LIT v ->
+      advance p;
+      mk ln (EFloat v)
+  | Lexer.IDENT name ->
+      advance p;
+      if is_punct p "(" then begin
+        advance p;
+        let args = ref [] in
+        if not (is_punct p ")") then begin
+          args := [ expr p ];
+          while is_punct p "," do
+            advance p;
+            args := expr p :: !args
+          done
+        end;
+        eat_punct p ")";
+        mk ln (ECall (name, List.rev !args))
+      end
+      else mk ln (EVar name)
+  | Lexer.KW "new" ->
+      advance p;
+      let base = base_ty p in
+      eat_punct p "[";
+      let n1 = expr p in
+      eat_punct p "]";
+      if is_punct p "[" && fst p.toks.(p.k + 1) <> Lexer.PUNCT "]" then begin
+        advance p;
+        let n2 = expr p in
+        eat_punct p "]";
+        mk ln (ENew (base, [ n1; n2 ]))
+      end
+      else begin
+        (* trailing empty brackets: new int[n][] — treat as 1-D of arrays *)
+        let t = ty_suffix p base in
+        mk ln (ENew (t, [ n1 ]))
+      end
+  | Lexer.PUNCT "(" ->
+      advance p;
+      let e = expr p in
+      eat_punct p ")";
+      e
+  | _ -> err p "expected an expression"
+
+(* -- statements ------------------------------------------------------ *)
+
+let compound_ops =
+  [
+    ("+=", OAdd); ("-=", OSub); ("*=", OMul); ("/=", ODiv); ("%=", ORem); ("&=", OAnd);
+    ("|=", OOr); ("^=", OXor); ("<<=", OShl); (">>=", OAShr); (">>>=", OLShr);
+  ]
+
+let mks sline s = { s; sline }
+
+let rec stmt p : stmt =
+  let ln = line p in
+  if is_punct p "{" then mks ln (SBlock (block p))
+  else if looks_like_type p then begin
+    let t = parse_ty p in
+    let name = ident p in
+    let init = if is_punct p "=" then begin advance p; Some (expr p) end else None in
+    eat_punct p ";";
+    mks ln (SDecl (t, name, init))
+  end
+  else if is_kw p "if" then begin
+    advance p;
+    eat_punct p "(";
+    let c = expr p in
+    eat_punct p ")";
+    let thn = block_or_stmt p in
+    let els =
+      if is_kw p "else" then begin
+        advance p;
+        block_or_stmt p
+      end
+      else []
+    in
+    mks ln (SIf (c, thn, els))
+  end
+  else if is_kw p "while" then begin
+    advance p;
+    eat_punct p "(";
+    let c = expr p in
+    eat_punct p ")";
+    mks ln (SWhile (c, block_or_stmt p))
+  end
+  else if is_kw p "do" then begin
+    advance p;
+    let body = block_or_stmt p in
+    eat_kw p "while";
+    eat_punct p "(";
+    let c = expr p in
+    eat_punct p ")";
+    eat_punct p ";";
+    mks ln (SDoWhile (body, c))
+  end
+  else if is_kw p "for" then begin
+    advance p;
+    eat_punct p "(";
+    let init = if is_punct p ";" then None else Some (simple_stmt p) in
+    eat_punct p ";";
+    let cond = if is_punct p ";" then None else Some (expr p) in
+    eat_punct p ";";
+    let step = if is_punct p ")" then None else Some (simple_stmt p) in
+    eat_punct p ")";
+    mks ln (SFor (init, cond, step, block_or_stmt p))
+  end
+  else if is_kw p "return" then begin
+    advance p;
+    let v = if is_punct p ";" then None else Some (expr p) in
+    eat_punct p ";";
+    mks ln (SReturn v)
+  end
+  else if is_kw p "break" then begin
+    advance p;
+    eat_punct p ";";
+    mks ln SBreak
+  end
+  else if is_kw p "continue" then begin
+    advance p;
+    eat_punct p ";";
+    mks ln SContinue
+  end
+  else begin
+    let s = simple_stmt p in
+    eat_punct p ";";
+    s
+  end
+
+(** assignment / compound assignment / expression statement, no trailing
+    semicolon (shared between expression statements and for-headers) *)
+and simple_stmt p : stmt =
+  let ln = line p in
+  (* declaration inside a for-init *)
+  if looks_like_type p then begin
+    let t = parse_ty p in
+    let name = ident p in
+    let init = if is_punct p "=" then begin advance p; Some (expr p) end else None in
+    mks ln (SDecl (t, name, init))
+  end
+  else begin
+    let e = expr p in
+    let compound op rhs target =
+      match target.e with
+      | EVar x -> mks ln (SAssign (x, mk ln (EBin (op, target, rhs))))
+      | EIndex (a, i) -> mks ln (SStore (a, i, mk ln (EBin (op, target, rhs))))
+      | _ -> err p "bad assignment target"
+    in
+    match peek p with
+    | Lexer.PUNCT "=" -> (
+        advance p;
+        let rhs = expr p in
+        match e.e with
+        | EVar x -> mks ln (SAssign (x, rhs))
+        | EIndex (a, i) -> mks ln (SStore (a, i, rhs))
+        | _ -> err p "bad assignment target")
+    | Lexer.PUNCT ("++" | "--") ->
+        let op = if is_punct p "++" then OAdd else OSub in
+        advance p;
+        compound op (mk ln (EInt 1L)) e
+    | Lexer.PUNCT s when List.mem_assoc s compound_ops ->
+        advance p;
+        let rhs = expr p in
+        compound (List.assoc s compound_ops) rhs e
+    | _ -> mks ln (SExpr e)
+  end
+
+and block p : stmt list =
+  eat_punct p "{";
+  let out = ref [] in
+  while not (is_punct p "}") do
+    out := stmt p :: !out
+  done;
+  eat_punct p "}";
+  List.rev !out
+
+and block_or_stmt p : stmt list = if is_punct p "{" then block p else [ stmt p ]
+
+(* -- top level ------------------------------------------------------- *)
+
+let parse_program src : program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let p = { toks; k = 0 } in
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match peek p with
+    | Lexer.EOF -> ()
+    | Lexer.KW "global" ->
+        advance p;
+        let t = parse_ty p in
+        let name = ident p in
+        eat_punct p ";";
+        globals := { gname = name; gty = t } :: !globals;
+        go ()
+    | _ ->
+        let ret =
+          if is_kw p "void" then begin
+            advance p;
+            None
+          end
+          else Some (parse_ty p)
+        in
+        let name = ident p in
+        eat_punct p "(";
+        let params = ref [] in
+        if not (is_punct p ")") then begin
+          let one () =
+            let t = parse_ty p in
+            let n = ident p in
+            (n, t)
+          in
+          params := [ one () ];
+          while is_punct p "," do
+            advance p;
+            params := one () :: !params
+          done
+        end;
+        eat_punct p ")";
+        let body = block p in
+        funcs := { fname = name; fret = ret; fparams = List.rev !params; fbody = body } :: !funcs;
+        go ()
+  in
+  go ();
+  { globals = List.rev !globals; funcs = List.rev !funcs }

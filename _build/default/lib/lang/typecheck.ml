@@ -1,0 +1,10 @@
+(** Standalone type checking entry point.
+
+    Checking is implemented inside {!Lower} (single-pass check-and-lower,
+    as in a JIT frontend); this module re-exposes it as a pure check that
+    discards the generated IR. *)
+
+let check (ast : Ast.program) : (unit, string * int) result =
+  match Lower.lower_program ast with
+  | (_ : Sxe_ir.Prog.t) -> Ok ()
+  | exception Lower.Error (m, l) -> Error (m, l)

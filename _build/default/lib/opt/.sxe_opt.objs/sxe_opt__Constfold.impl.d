@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Cfg Eval Hashtbl Instr Int64 List Sxe_ir Types

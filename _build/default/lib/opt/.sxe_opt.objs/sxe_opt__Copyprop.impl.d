@@ -1,0 +1,1 @@
+lib/opt/copyprop.ml: Cfg Hashtbl Instr List Sxe_ir

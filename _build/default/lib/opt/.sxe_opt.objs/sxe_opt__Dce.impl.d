@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Cfg Instr List Sxe_analysis Sxe_ir

@@ -1,0 +1,1 @@
+lib/opt/deadstore.ml: Cfg Instr List Sxe_analysis Sxe_ir Sxe_util

@@ -1,0 +1,1 @@
+lib/opt/deadstore.mli: Sxe_ir

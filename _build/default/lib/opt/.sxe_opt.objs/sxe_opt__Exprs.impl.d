@@ -1,0 +1,1 @@
+lib/opt/exprs.ml: Cfg Instr List Printf Sxe_ir Types

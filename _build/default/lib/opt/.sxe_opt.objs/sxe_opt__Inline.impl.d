@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Cfg Instr List Option Prog Sxe_ir

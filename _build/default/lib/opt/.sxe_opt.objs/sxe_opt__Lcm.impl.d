@@ -1,0 +1,1 @@
+lib/opt/lcm.ml: Array Bitset Cfg Exprs Hashtbl Instr List Option Split_edges Sxe_analysis Sxe_ir Sxe_util

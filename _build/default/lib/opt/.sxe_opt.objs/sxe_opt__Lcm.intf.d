@@ -1,0 +1,1 @@
+lib/opt/lcm.mli: Sxe_ir

@@ -1,0 +1,1 @@
+lib/opt/localcse.ml: Cfg Exprs Hashtbl Instr List Sxe_ir

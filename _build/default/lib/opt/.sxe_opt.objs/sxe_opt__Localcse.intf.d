@@ -1,0 +1,1 @@
+lib/opt/localcse.mli: Sxe_ir

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Constfold Copyprop Dce Deadstore Lcm Localcse Simplify Sxe_ir

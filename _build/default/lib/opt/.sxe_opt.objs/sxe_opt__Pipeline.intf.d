@@ -1,0 +1,1 @@
+lib/opt/pipeline.mli: Sxe_ir

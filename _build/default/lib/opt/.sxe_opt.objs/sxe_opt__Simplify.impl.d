@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Array Cfg Instr Sxe_ir

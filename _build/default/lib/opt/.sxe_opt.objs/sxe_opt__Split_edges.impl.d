@@ -1,0 +1,1 @@
+lib/opt/split_edges.ml: Array Cfg Instr List Sxe_ir

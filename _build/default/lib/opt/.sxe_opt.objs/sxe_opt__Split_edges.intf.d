@@ -1,0 +1,1 @@
+lib/opt/split_edges.mli: Sxe_ir

@@ -1,0 +1,151 @@
+(** Local constant propagation and folding (part of the paper's Step 2).
+
+    Tracks known constant register values within each block, folds pure
+    operations on constants, applies a few strength-neutral algebraic
+    identities, and folds conditional branches with known outcomes.
+
+    Folded 32-bit results are canonicalized to sign-extended form. This is
+    where "when a constant is propagated as the source operand of a sign
+    extension, the sign extension will be changed to a copy instruction by
+    constant folding" (Section 2) happens: [r = extend(r)] with [r] a known
+    in-range constant becomes a plain constant definition. Canonicalization
+    is sound because while Step 2 runs, every use that observes upper
+    register bits is still protected by an explicit extension (the Step 1
+    invariant), and the low 32 bits are preserved exactly. *)
+
+open Sxe_ir
+open Types
+
+type cval = CInt of int64 | CFloat of float
+
+let canon_i32 v = Eval.sext32 (Eval.low32 v)
+
+(** Fold one block; returns true if anything changed. *)
+let fold_block (f : Cfg.func) (b : Cfg.block) =
+  let changed = ref false in
+  let known : (Instr.reg, cval) Hashtbl.t = Hashtbl.create 16 in
+  let get r = Hashtbl.find_opt known r in
+  let geti r = match get r with Some (CInt v) -> Some v | _ -> None in
+  let getf r = match get r with Some (CFloat v) -> Some v | _ -> None in
+  let forget r = Hashtbl.remove known r in
+  let set r v = Hashtbl.replace known r v in
+  let set_const (i : Instr.t) dst ty v =
+    let v = match ty with I32 -> canon_i32 v | _ -> v in
+    if i.op <> Instr.Const { dst; ty; v } then begin
+      i.op <- Instr.Const { dst; ty; v };
+      changed := true
+    end;
+    set dst (CInt v)
+  in
+  let set_fconst (i : Instr.t) dst v =
+    (* compare bit patterns: NaN <> NaN would loop forever *)
+    (match i.op with
+    | Instr.FConst { v = v0; _ }
+      when Int64.equal (Int64.bits_of_float v0) (Int64.bits_of_float v) ->
+        ()
+    | _ ->
+        i.op <- Instr.FConst { dst; v };
+        changed := true);
+    set dst (CFloat v)
+  in
+  let set_mov (i : Instr.t) dst src ty =
+    i.op <- Instr.Mov { dst; src; ty };
+    changed := true;
+    match get src with Some v -> set dst v | None -> forget dst
+  in
+  let visit (i : Instr.t) =
+    match i.op with
+    | Instr.Const { dst; ty; v } -> set dst (CInt (match ty with I32 -> canon_i32 v | _ -> v))
+    | Instr.FConst { dst; v } -> set dst (CFloat v)
+    | Instr.Mov { dst; src; ty } -> (
+        match (ty, get src) with
+        | I32, Some (CInt v) -> set_const i dst I32 v
+        | I64, Some (CInt v) when Cfg.reg_ty f src = I64 -> set_const i dst I64 v
+        | F64, Some (CFloat v) -> set_fconst i dst v
+        | _ -> forget dst)
+    | Instr.Unop { dst; op; src; w } -> (
+        match geti src with
+        | Some v ->
+            set_const i dst (if w = W64 then I64 else I32) (Eval.unop op w v)
+        | None -> forget dst)
+    | Instr.Binop { dst; op; l; r; w } -> (
+        let ty = if w = W64 then I64 else I32 in
+        match (geti l, geti r) with
+        | Some lv, Some rv -> (
+            match Eval.binop op w lv rv with
+            | v -> set_const i dst ty v
+            | exception Eval.Division_by_zero -> forget dst (* will throw at run time *))
+        | lk, rk -> (
+            (* algebraic identities that preserve full 64-bit semantics *)
+            let zero v = Int64.equal v 0L and one v = Int64.equal v 1L in
+            match (op, lk, rk) with
+            | (Add | Or | Xor), Some z, None when zero z -> set_mov i dst r ty
+            | (Add | Sub | Or | Xor | Shl | AShr | LShr), None, Some z when zero z ->
+                set_mov i dst l ty
+            | Mul, Some o, None when one o -> set_mov i dst r ty
+            | Mul, None, Some o when one o -> set_mov i dst l ty
+            | Mul, Some z, None when zero z -> set_const i dst ty 0L
+            | Mul, None, Some z when zero z -> set_const i dst ty 0L
+            | And, Some m, None when Int64.equal m (-1L) -> set_mov i dst r ty
+            | And, None, Some m when Int64.equal m (-1L) -> set_mov i dst l ty
+            | And, Some z, None when zero z -> set_const i dst ty 0L
+            | And, None, Some z when zero z -> set_const i dst ty 0L
+            | _ -> forget dst))
+    | Instr.Cmp { dst; cond; l; r; w } -> (
+        match (geti l, geti r) with
+        | Some lv, Some rv -> set_const i dst I32 (if Eval.cmp cond w lv rv then 1L else 0L)
+        | _ -> forget dst)
+    | Instr.Sext { r; from } -> (
+        match geti r with
+        | Some v -> set_const i r I32 (Eval.sext_from from v)
+        | None -> forget r)
+    | Instr.Zext { r; from } -> (
+        match geti r with
+        | Some v ->
+            let zv = Eval.zext_from from v in
+            (* zext32 of a negative value does not fit an i32 constant;
+               remember the value without rewriting in that case *)
+            if Int64.equal zv (canon_i32 zv) then set_const i r I32 zv
+            else begin
+              forget r;
+              set r (CInt zv)
+            end
+        | None -> forget r)
+    | Instr.JustExt _ -> () (* value unchanged *)
+    | Instr.FBinop { dst; op; l; r } -> (
+        match (getf l, getf r) with
+        | Some lv, Some rv -> set_fconst i dst (Eval.fbinop op lv rv)
+        | _ -> forget dst)
+    | Instr.FNeg { dst; src } -> (
+        match getf src with Some v -> set_fconst i dst (-.v) | None -> forget dst)
+    | Instr.FCmp { dst; cond; l; r } -> (
+        match (getf l, getf r) with
+        | Some lv, Some rv -> set_const i dst I32 (if Eval.fcmp cond lv rv then 1L else 0L)
+        | _ -> forget dst)
+    | Instr.I2D { dst; src } -> (
+        match geti src with Some v -> set_fconst i dst (Eval.i2d v) | None -> forget dst)
+    | Instr.L2D { dst; src } -> (
+        match geti src with Some v -> set_fconst i dst (Int64.to_float v) | None -> forget dst)
+    | Instr.D2I { dst; src } -> (
+        match getf src with Some v -> set_const i dst I32 (Eval.d2i v) | None -> forget dst)
+    | Instr.D2L { dst; src } -> (
+        match getf src with Some v -> set_const i dst I64 (Eval.d2l v) | None -> forget dst)
+    | _ -> ( (* loads, calls, allocations: unknown result *)
+        match Instr.def i.op with Some d -> forget d | None -> ())
+  in
+  List.iter visit b.body;
+  (* fold a decided branch *)
+  (match b.term with
+  | Instr.Br { cond; l; r; w; ifso; ifnot } -> (
+      match (geti l, geti r) with
+      | Some lv, Some rv ->
+          b.term <- Instr.Jmp (if Eval.cmp cond w lv rv then ifso else ifnot);
+          changed := true
+      | _ -> if ifso = ifnot then begin b.term <- Instr.Jmp ifso; changed := true end)
+  | _ -> ());
+  !changed
+
+let run (f : Cfg.func) =
+  let changed = ref false in
+  Cfg.iter_blocks (fun b -> if fold_block f b then changed := true) f;
+  !changed

@@ -1,0 +1,8 @@
+(** Local constant propagation and folding. Folds pure operations on
+    known constants (32-bit results canonicalized to sign-extended form —
+    sound under the Step 1 invariant), applies algebraic identities,
+    rewrites extensions of known constants into constants ("changed to a
+    copy instruction by constant folding", Section 2), and folds decided
+    branches. *)
+
+val run : Sxe_ir.Cfg.func -> bool

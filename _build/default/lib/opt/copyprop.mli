@@ -1,0 +1,5 @@
+(** Local copy propagation: uses of a same-type copy's destination are
+    rewritten to its source within the block. Extensions keep their
+    register by construction and are never renamed. *)
+
+val run : Sxe_ir.Cfg.func -> bool

@@ -1,0 +1,32 @@
+(** Dead code elimination over DU chains.
+
+    An instruction is dead when it defines a register no use can observe
+    and it has no side effect (stores, calls, allocations and potentially
+    throwing instructions are side-effecting; see
+    {!Sxe_ir.Instr.has_side_effect}). Removal exposes further dead code,
+    so the pass iterates to a fixpoint, rebuilding chains each round —
+    functions are method-sized, as in the JIT the paper instruments. *)
+
+open Sxe_ir
+
+let run_once (f : Cfg.func) =
+  let chains = Sxe_analysis.Chains.build f in
+  let dead = ref [] in
+  Cfg.iter_instrs
+    (fun b i ->
+      match Instr.def i.Instr.op with
+      | Some _
+        when (not (Instr.has_side_effect i.Instr.op))
+             && Sxe_analysis.Chains.du_of_instr chains i = [] ->
+          dead := (b.Cfg.bid, i.Instr.iid) :: !dead
+      | _ -> ())
+    f;
+  List.iter (fun (bid, iid) -> ignore (Cfg.remove_instr (Cfg.block f bid) iid)) !dead;
+  !dead <> []
+
+let run (f : Cfg.func) =
+  let changed = ref false in
+  while run_once f do
+    changed := true
+  done;
+  !changed

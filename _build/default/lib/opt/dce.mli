@@ -1,0 +1,5 @@
+(** Dead code elimination over DU chains: removes definitions no use can
+    observe, iterating to a fixpoint. Side-effecting (including
+    potentially-throwing) instructions are kept. *)
+
+val run : Sxe_ir.Cfg.func -> bool

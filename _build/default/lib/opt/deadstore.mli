@@ -1,0 +1,6 @@
+(** Dead-definition elimination via liveness: removes definitions whose
+    register is overwritten before any read — which DU chains alone cannot
+    see in non-SSA form. Extensions are left to the sign-extension passes
+    so the paper's counters stay meaningful. *)
+
+val run : Sxe_ir.Cfg.func -> bool

@@ -1,0 +1,110 @@
+(** Expression identification shared by local CSE and lazy code motion.
+
+    An {e expression} is a pure, non-throwing computation identified up to
+    commutativity by operator, width and operand registers. Two occurrences
+    of the same expression between which no operand is redefined compute the
+    same full 64-bit value, so one can reuse the other's register — upper
+    bits included (this is what lets CSE run before the sign-extension
+    phases without disturbing extension facts).
+
+    Potentially-throwing operations ([Div]/[Rem], array accesses,
+    allocations) are excluded: hoisting them would reorder exceptions with
+    side effects. Extensions are included — they are ordinary expressions
+    here, idempotent over their own register, which is how Step 2 removes
+    syntactically redundant extensions (the paper's "PRE phase eliminated
+    some sign extensions for our baseline"). *)
+
+open Sxe_ir
+open Types
+
+type key = string
+
+let commutative = function Add | Mul | And | Or | Xor -> true | _ -> false
+
+(** [of_op op] is the expression computed by [op], with its operand
+    registers and an optional global symbol whose stores kill it. *)
+let of_op (op : Instr.op) : (key * Instr.reg list * string option) option =
+  let k fmt = Printf.sprintf fmt in
+  match op with
+  | Instr.Binop { op = Div | Rem; _ } -> None
+  | Instr.Binop { op = bop; l; r; w; _ } ->
+      let l, r = if commutative bop && r < l then (r, l) else (l, r) in
+      Some (k "b:%s:%s:%d:%d" (string_of_binop bop) (string_of_width w) l r, [ l; r ], None)
+  | Instr.Unop { op = uop; src; w; _ } ->
+      Some (k "u:%s:%s:%d" (string_of_unop uop) (string_of_width w) src, [ src ], None)
+  | Instr.Cmp { cond; l; r; w; _ } ->
+      let cond, l, r =
+        if (cond = Eq || cond = Ne) && r < l then (cond, r, l) else (cond, l, r)
+      in
+      Some (k "c:%s:%s:%d:%d" (string_of_cond cond) (string_of_width w) l r, [ l; r ], None)
+  | Instr.Sext { r; from } -> Some (k "sx:%s:%d" (string_of_width from) r, [ r ], None)
+  | Instr.Zext { r; from } -> Some (k "zx:%s:%d" (string_of_width from) r, [ r ], None)
+  | Instr.FBinop { op = fop; l; r; _ } ->
+      let l, r = if (fop = FAdd || fop = FMul) && r < l then (r, l) else (l, r) in
+      Some (k "f:%s:%d:%d" (string_of_fbinop fop) l r, [ l; r ], None)
+  | Instr.FNeg { src; _ } -> Some (k "fn:%d" src, [ src ], None)
+  | Instr.FCmp { cond; l; r; _ } ->
+      Some (k "fc:%s:%d:%d" (string_of_cond cond) l r, [ l; r ], None)
+  | Instr.I2D { src; _ } -> Some (k "i2d:%d" src, [ src ], None)
+  | Instr.L2D { src; _ } -> Some (k "l2d:%d" src, [ src ], None)
+  | Instr.D2I { src; _ } -> Some (k "d2i:%d" src, [ src ], None)
+  | Instr.D2L { src; _ } -> Some (k "d2l:%d" src, [ src ], None)
+  | Instr.GLoad { sym; ty; lext; _ } ->
+      Some (k "g:%s:%s:%d" sym (string_of_ty ty) (match lext with LZero -> 0 | LSign -> 1), [], Some sym)
+  | _ -> None
+
+(** Does instruction [i] kill expression [(key, operands, sym)]? An
+    extension does not kill its own expression (it is idempotent: applying
+    it twice yields the same register value). *)
+let kills (i : Instr.t) ((key, operands, sym) : key * Instr.reg list * string option) =
+  let def_kills =
+    match Instr.def i.op with
+    | Some d when List.mem d operands -> (
+        (* only extensions are idempotent over their own expression; an
+           [i = i + 1] does kill add(i, 1) *)
+        match i.op with
+        | Instr.Sext _ | Instr.Zext _ -> (
+            match of_op i.op with Some (k2, _, _) when k2 = key -> false | _ -> true)
+        | _ -> true)
+    | _ -> false
+  in
+  let mem_kills =
+    match sym with
+    | None -> false
+    | Some s -> (
+        match i.op with
+        | Instr.GStore { sym = s2; _ } -> s2 = s
+        | Instr.Call _ -> true
+        | _ -> false)
+  in
+  def_kills || mem_kills
+
+(** Rebuild the computation of an expression into register [dst]. The
+    original occurrence's op is the template; only the destination changes.
+    For same-register extensions the result is a two-instruction sequence
+    (copy then extend). *)
+let materialize (f : Cfg.func) (template : Instr.op) ~(dst : Instr.reg) : Instr.t list =
+  let mk op = Cfg.mk_instr f op in
+  match template with
+  | Instr.Binop c -> [ mk (Instr.Binop { c with dst }) ]
+  | Instr.Unop c -> [ mk (Instr.Unop { c with dst }) ]
+  | Instr.Cmp c -> [ mk (Instr.Cmp { c with dst }) ]
+  | Instr.Sext { r; from } ->
+      [ mk (Instr.Mov { dst; src = r; ty = I32 }); mk (Instr.Sext { r = dst; from }) ]
+  | Instr.Zext { r; from } ->
+      [ mk (Instr.Mov { dst; src = r; ty = I32 }); mk (Instr.Zext { r = dst; from }) ]
+  | Instr.FBinop c -> [ mk (Instr.FBinop { c with dst }) ]
+  | Instr.FNeg c -> [ mk (Instr.FNeg { c with dst }) ]
+  | Instr.FCmp c -> [ mk (Instr.FCmp { c with dst }) ]
+  | Instr.I2D c -> [ mk (Instr.I2D { c with dst }) ]
+  | Instr.L2D c -> [ mk (Instr.L2D { c with dst }) ]
+  | Instr.D2I c -> [ mk (Instr.D2I { c with dst }) ]
+  | Instr.D2L c -> [ mk (Instr.D2L { c with dst }) ]
+  | Instr.GLoad c -> [ mk (Instr.GLoad { c with dst }) ]
+  | _ -> invalid_arg "Exprs.materialize: not an expression"
+
+(** Register type of the expression's value. *)
+let result_ty (f : Cfg.func) (template : Instr.op) =
+  match Instr.def template with
+  | Some d -> Cfg.reg_ty f d
+  | None -> invalid_arg "Exprs.result_ty"

@@ -1,0 +1,165 @@
+(** Method inlining.
+
+    The paper's JIT inlines aggressively before the optimizations it
+    measures (its companion papers [10][19] describe the inliner); for us
+    inlining is an optional pre-pass (off by default so the measured
+    pipeline matches the paper's figure) with a dedicated ablation bench.
+    It matters to this paper's topic because the ABI forces a sign
+    extension on every 32-bit argument and return value: inlining a hot
+    callee deletes those boundary extensions outright and exposes the
+    callee's body to the caller's UD/DU chains and range facts.
+
+    Policy: direct calls to known, non-self-recursive functions whose body
+    is at most [max_size] instructions, smallest-first, with a growth cap
+    per caller. Mechanics: clone the callee with renamed registers and
+    relabelled blocks, split the call block, turn parameters into copies
+    of the arguments and returns into a copy plus a jump to the
+    continuation. *)
+
+open Sxe_ir
+
+let default_max_size = 48
+let default_growth = 8 (* caller may grow to growth x its original size *)
+
+let is_self_recursive (f : Cfg.func) =
+  Cfg.fold_instrs
+    (fun acc _ i ->
+      acc || match i.Instr.op with Instr.Call { fn; _ } -> fn = f.Cfg.name | _ -> false)
+    false f
+
+(** Inline one call site. [call] must be a [Call] to [callee] inside
+    [caller] at block [bid]. *)
+let inline_site (caller : Cfg.func) ~bid ~(call : Instr.t) (callee : Cfg.func) =
+  let dst, args =
+    match call.Instr.op with
+    | Instr.Call { dst; args; _ } -> (dst, args)
+    | _ -> invalid_arg "Inline.inline_site"
+  in
+  (* fresh registers for the callee's register file *)
+  let reg_map = Array.make (Cfg.num_regs callee) (-1) in
+  for r = 0 to Cfg.num_regs callee - 1 do
+    reg_map.(r) <- Cfg.fresh_reg caller (Cfg.reg_ty callee r)
+  done;
+  let mr r = reg_map.(r) in
+  (* split the call block: everything after the call moves to [cont] *)
+  let b = Cfg.block caller bid in
+  let rec split pre = function
+    | [] -> invalid_arg "Inline: call not found in block"
+    | (x : Instr.t) :: rest when x.Instr.iid = call.Instr.iid -> (List.rev pre, rest)
+    | x :: rest -> split (x :: pre) rest
+  in
+  let pre, post = split [] b.Cfg.body in
+  let cont = Cfg.add_block caller in
+  let cb = Cfg.block caller cont in
+  cb.Cfg.body <- post;
+  cb.Cfg.term <- b.Cfg.term;
+  (* fresh blocks for the callee's CFG *)
+  let block_map = Array.make (Cfg.num_blocks callee) (-1) in
+  for k = 0 to Cfg.num_blocks callee - 1 do
+    block_map.(k) <- Cfg.add_block caller
+  done;
+  (* parameters become copies of the argument registers *)
+  let param_movs =
+    List.map2
+      (fun (p, ty) (a, _) -> Cfg.mk_instr caller (Instr.Mov { dst = mr p; src = a; ty }))
+      callee.Cfg.params args
+  in
+  b.Cfg.body <- pre @ param_movs;
+  b.Cfg.term <- Instr.Jmp block_map.(Cfg.entry callee);
+  (* clone the body *)
+  Cfg.iter_blocks
+    (fun (src : Cfg.block) ->
+      let nb = Cfg.block caller block_map.(src.Cfg.bid) in
+      nb.Cfg.body <-
+        List.map
+          (fun (i : Instr.t) ->
+            let op = Instr.map_uses mr i.Instr.op in
+            let op =
+              (* rename destinations (map_uses leaves them) *)
+              match op with
+              | Instr.Const c -> Instr.Const { c with dst = mr c.dst }
+              | Instr.FConst c -> Instr.FConst { c with dst = mr c.dst }
+              | Instr.Mov c -> Instr.Mov { c with dst = mr c.dst }
+              | Instr.Unop c -> Instr.Unop { c with dst = mr c.dst }
+              | Instr.Binop c -> Instr.Binop { c with dst = mr c.dst }
+              | Instr.Cmp c -> Instr.Cmp { c with dst = mr c.dst }
+              | Instr.Sext c -> Instr.Sext { c with r = mr c.r }
+              | Instr.Zext c -> Instr.Zext { c with r = mr c.r }
+              | Instr.JustExt c -> Instr.JustExt { r = mr c.r }
+              | Instr.FBinop c -> Instr.FBinop { c with dst = mr c.dst }
+              | Instr.FNeg c -> Instr.FNeg { c with dst = mr c.dst }
+              | Instr.FCmp c -> Instr.FCmp { c with dst = mr c.dst }
+              | Instr.I2D c -> Instr.I2D { c with dst = mr c.dst }
+              | Instr.L2D c -> Instr.L2D { c with dst = mr c.dst }
+              | Instr.D2I c -> Instr.D2I { c with dst = mr c.dst }
+              | Instr.D2L c -> Instr.D2L { c with dst = mr c.dst }
+              | Instr.NewArr c -> Instr.NewArr { c with dst = mr c.dst }
+              | Instr.ArrLoad c -> Instr.ArrLoad { c with dst = mr c.dst }
+              | Instr.ArrLen c -> Instr.ArrLen { c with dst = mr c.dst }
+              | Instr.GLoad c -> Instr.GLoad { c with dst = mr c.dst }
+              | Instr.ArrStore _ | Instr.GStore _ -> op
+              | Instr.Call c -> Instr.Call { c with dst = Option.map mr c.dst }
+            in
+            Cfg.mk_instr caller op)
+          src.Cfg.body;
+      nb.Cfg.term <-
+        (match src.Cfg.term with
+        | Instr.Jmp l -> Instr.Jmp block_map.(l)
+        | Instr.Br c ->
+            Instr.Br
+              {
+                c with
+                l = mr c.l;
+                r = mr c.r;
+                ifso = block_map.(c.ifso);
+                ifnot = block_map.(c.ifnot);
+              }
+        | Instr.Ret None -> Instr.Jmp cont
+        | Instr.Ret (Some (r, ty)) ->
+            (match dst with
+            | Some d ->
+                Cfg.append_instr nb (Cfg.mk_instr caller (Instr.Mov { dst = d; src = mr r; ty }))
+            | None -> ());
+            Instr.Jmp cont))
+    callee
+
+(** One inlining sweep over the program; returns true if any call was
+    inlined. Smallest callees first; a caller stops growing at
+    [growth x original size]. *)
+let run ?(max_size = default_max_size) ?(growth = default_growth) (p : Prog.t) : bool =
+  let changed = ref false in
+  Prog.iter_funcs
+    (fun caller ->
+      let budget = ref (max 64 (growth * Cfg.instr_count caller)) in
+      let rec sweep () =
+        (* collect inlinable sites fresh each round (block ids shift) *)
+        let site = ref None in
+        Cfg.iter_blocks
+          (fun b ->
+            if !site = None then
+              List.iter
+                (fun (i : Instr.t) ->
+                  match i.Instr.op with
+                  | Instr.Call { fn; _ } when !site = None -> (
+                      match Prog.find_func_opt p fn with
+                      | Some callee
+                        when callee.Cfg.name <> caller.Cfg.name
+                             && (not (is_self_recursive callee))
+                             && Cfg.instr_count callee <= max_size
+                             && Cfg.instr_count callee <= !budget ->
+                          site := Some (b.Cfg.bid, i, callee)
+                      | _ -> ())
+                  | _ -> ())
+                b.Cfg.body)
+          caller;
+        match !site with
+        | Some (bid, call, callee) ->
+            budget := !budget - Cfg.instr_count callee;
+            inline_site caller ~bid ~call callee;
+            changed := true;
+            sweep ()
+        | None -> ()
+      in
+      sweep ())
+    p;
+  !changed

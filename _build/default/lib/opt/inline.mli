@@ -1,0 +1,18 @@
+(** Method inlining (optional pre-pass; not part of the paper's measured
+    pipeline). The ABI forces a sign extension on every 32-bit argument
+    and return value, so inlining a hot callee deletes those boundary
+    extensions and exposes the body to the caller's chains and ranges. *)
+
+val default_max_size : int
+val default_growth : int
+
+val inline_site :
+  Sxe_ir.Cfg.func -> bid:int -> call:Sxe_ir.Instr.t -> Sxe_ir.Cfg.func -> unit
+(** Inline one [Call] site: clones the callee with renamed registers and
+    relabelled blocks, splits the call block, copies arguments into
+    parameters and returns into the result register. *)
+
+val run : ?max_size:int -> ?growth:int -> Sxe_ir.Prog.t -> bool
+(** One sweep over the program: inline direct calls to known,
+    non-self-recursive callees of at most [max_size] instructions, with a
+    growth budget per caller. Returns [true] if anything was inlined. *)

@@ -1,0 +1,7 @@
+(** Partial redundancy elimination by lazy code motion
+    (Knoop–Rüthing–Steffen, Drechsler–Stadel edge formulation) — the
+    paper's Step 2 CSE, which also hoists loop-invariant sign extensions
+    out of loops. Normalizes the CFG via {!Split_edges} first. *)
+
+val run : Sxe_ir.Cfg.func -> bool
+(** Returns [true] if any expression moved. *)

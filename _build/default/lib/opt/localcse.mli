@@ -1,0 +1,5 @@
+(** Local common-subexpression elimination over full 64-bit values; an
+    extension is transparent to (only) its own expression, so back-to-back
+    re-extensions collapse. *)
+
+val run : Sxe_ir.Cfg.func -> bool

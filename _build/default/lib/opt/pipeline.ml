@@ -1,0 +1,30 @@
+(** The paper's Step 2, "general optimizations" (Figure 5(2)).
+
+    Iterates constant folding / copy propagation / local CSE / DCE to a
+    fixpoint, then runs lazy-code-motion PRE once followed by a cleanup
+    round. Every variant in the evaluation tables — including the baseline
+    — runs this pipeline, exactly as in the paper (where even the baseline
+    benefits from PRE removing some extensions). *)
+
+let iterate (f : Sxe_ir.Cfg.func) =
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < 12 do
+    incr rounds;
+    let c1 = Constfold.run f in
+    let c2 = Copyprop.run f in
+    let c3 = Localcse.run f in
+    let c4 = Simplify.run f in
+    let c5 = Dce.run f in
+    let c6 = Deadstore.run f in
+    continue_ := c1 || c2 || c3 || c4 || c5 || c6
+  done
+
+let run_func ?(pre = true) (f : Sxe_ir.Cfg.func) =
+  iterate f;
+  if pre then begin
+    ignore (Lcm.run f);
+    iterate f
+  end
+
+let run ?pre (p : Sxe_ir.Prog.t) = Sxe_ir.Prog.iter_funcs (run_func ?pre) p

@@ -1,0 +1,9 @@
+(** The paper's Step 2, "general optimizations" (Figure 5(2)): constant
+    folding / copy propagation / local CSE / DCE / dead-store elimination
+    to a fixpoint, then lazy-code-motion PRE and a cleanup round. Every
+    measured variant — including the baseline — runs this pipeline, as in
+    the paper. *)
+
+val iterate : Sxe_ir.Cfg.func -> unit
+val run_func : ?pre:bool -> Sxe_ir.Cfg.func -> unit
+val run : ?pre:bool -> Sxe_ir.Prog.t -> unit

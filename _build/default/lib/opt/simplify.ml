@@ -1,0 +1,19 @@
+(** CFG cleanup: empty the bodies of unreachable blocks (branch folding
+    creates them) so they neither feed analyses nor keep values alive.
+    Block ids stay stable; an unreachable block becomes an empty self-loop,
+    which keeps the validator's label checks satisfied. *)
+
+open Sxe_ir
+
+let run (f : Cfg.func) =
+  let reach = Cfg.reachable f in
+  let changed = ref false in
+  Cfg.iter_blocks
+    (fun b ->
+      if not reach.(b.bid) && (b.body <> [] || b.term <> Instr.Jmp b.bid) then begin
+        b.body <- [];
+        b.term <- Instr.Jmp b.bid;
+        changed := true
+      end)
+    f;
+  !changed

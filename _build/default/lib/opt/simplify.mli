@@ -1,0 +1,5 @@
+(** CFG cleanup: empties unreachable block bodies (branch folding creates
+    them) so they neither feed analyses nor keep values alive. Block ids
+    stay stable. *)
+
+val run : Sxe_ir.Cfg.func -> bool

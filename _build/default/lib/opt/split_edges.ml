@@ -1,0 +1,55 @@
+(** CFG normalization for lazy code motion.
+
+    Guarantees two properties LCM's edge placement relies on:
+    - the entry block is empty with a single successor (a "virtual entry"
+      edge always exists to receive insertions), and
+    - no critical edges: every edge either leaves a single-successor block
+      or enters a single-predecessor block. *)
+
+open Sxe_ir
+
+let retarget term ~from ~to_ =
+  match term with
+  | Instr.Jmp l -> Instr.Jmp (if l = from then to_ else l)
+  | Instr.Br c ->
+      Instr.Br
+        {
+          c with
+          ifso = (if c.ifso = from then to_ else c.ifso);
+          ifnot = (if c.ifnot = from then to_ else c.ifnot);
+        }
+  | Instr.Ret _ -> term
+
+let run (f : Cfg.func) =
+  (* fresh empty entry: move the old entry's contents into a new block and
+     make the entry jump to it (ids must keep entry = 0) *)
+  let entry = Cfg.block f (Cfg.entry f) in
+  (match entry.term with
+  | Instr.Jmp _ when entry.body = [] -> ()
+  | _ ->
+      let moved = Cfg.add_block f in
+      let mb = Cfg.block f moved in
+      mb.body <- entry.body;
+      mb.term <- entry.term;
+      entry.body <- [];
+      entry.term <- Instr.Jmp moved);
+  (* split critical edges *)
+  let preds = Cfg.preds f in
+  let multi_pred = Array.map (fun l -> List.length l > 1) preds in
+  Cfg.iter_blocks
+    (fun b ->
+      match b.term with
+      | Instr.Br { ifso; ifnot; _ } when ifso <> ifnot ->
+          let split target =
+            if multi_pred.(target) then begin
+              let nb = Cfg.add_block f in
+              (Cfg.block f nb).term <- Instr.Jmp target;
+              nb
+            end
+            else target
+          in
+          let ifso' = split ifso and ifnot' = split ifnot in
+          if ifso' <> ifso || ifnot' <> ifnot then
+            b.term <- retarget (retarget b.term ~from:ifso ~to_:ifso') ~from:ifnot ~to_:ifnot'
+      | _ -> ())
+    f

@@ -1,0 +1,5 @@
+(** CFG normalization for lazy code motion: a fresh empty entry block (a
+    virtual entry edge always exists to receive insertions) and no
+    critical edges. *)
+
+val run : Sxe_ir.Cfg.func -> unit

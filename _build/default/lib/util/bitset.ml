@@ -1,0 +1,97 @@
+let word_bits = Sys.int_size
+
+type t = { words : int array; n : int }
+
+let nwords n = (n + word_bits - 1) / word_bits
+let create n = { words = Array.make (max 1 (nwords n)) 0; n }
+let universe t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Bitset: %d out of universe %d" i t.n)
+
+let mem t i =
+  check t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / word_bits in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod word_bits))
+
+let remove t i =
+  check t i;
+  let w = i / word_bits in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod word_bits))
+
+let copy t = { t with words = Array.copy t.words }
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let fill t =
+  if t.n > 0 then begin
+    let full = nwords t.n in
+    Array.fill t.words 0 full (-1);
+    (* mask off bits beyond the universe in the last word *)
+    let rem = t.n mod word_bits in
+    if rem <> 0 then t.words.(full - 1) <- (1 lsl rem) - 1
+  end
+
+let same t u =
+  if t.n <> u.n then invalid_arg "Bitset: universe mismatch"
+
+let binop_into f ~dst src =
+  same dst src;
+  let changed = ref false in
+  for i = 0 to Array.length dst.words - 1 do
+    let w = f dst.words.(i) src.words.(i) in
+    if w <> dst.words.(i) then begin
+      dst.words.(i) <- w;
+      changed := true
+    end
+  done;
+  !changed
+
+let union_into ~dst src = binop_into ( lor ) ~dst src
+let inter_into ~dst src = binop_into ( land ) ~dst src
+let diff_into ~dst src = binop_into (fun a b -> a land lnot b) ~dst src
+
+let assign ~dst src =
+  same dst src;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let equal t u =
+  same t u;
+  let rec go i = i >= Array.length t.words || (t.words.(i) = u.words.(i) && go (i + 1)) in
+  go 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let cardinal t =
+  let count w =
+    let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+    go w 0
+  in
+  Array.fold_left (fun acc w -> acc + count w) 0 t.words
+
+let iter f t =
+  for wi = 0 to Array.length t.words - 1 do
+    let w = t.words.(wi) in
+    if w <> 0 then
+      for b = 0 to word_bits - 1 do
+        if w land (1 lsl b) <> 0 then f ((wi * word_bits) + b)
+      done
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i l -> i :: l) t [])
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements t)

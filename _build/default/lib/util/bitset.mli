@@ -1,0 +1,36 @@
+(** Dense fixed-universe bit sets.
+
+    The workhorse of the bit-vector dataflow analyses: sets over a universe
+    [0 .. n-1] packed into [int] words. All binary operations require both
+    operands to have the same universe size. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe size [n]. *)
+
+val universe : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val copy : t -> t
+val clear : t -> unit
+val fill : t -> unit
+(** Set every element of the universe. *)
+
+val union_into : dst:t -> t -> bool
+(** [union_into ~dst src] sets [dst := dst ∪ src]; returns [true] if [dst]
+    changed. *)
+
+val inter_into : dst:t -> t -> bool
+val diff_into : dst:t -> t -> bool
+(** [diff_into ~dst src] sets [dst := dst \ src]; returns [true] on change. *)
+
+val assign : dst:t -> t -> unit
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val pp : Format.formatter -> t -> unit

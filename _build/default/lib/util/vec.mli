@@ -1,0 +1,26 @@
+(** Growable arrays (dynamic vectors).
+
+    A thin, allocation-friendly dynamic array used throughout the compiler for
+    dense, index-addressed tables (blocks, registers, instruction side
+    tables). Indices are stable: elements are never moved by [push]. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty vector. [dummy] fills unused capacity
+    and is never observable. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** [push v x] appends [x] and returns its index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t
+val exists : ('a -> bool) -> 'a t -> bool
+val copy : 'a t -> 'a t
+val clear : 'a t -> unit

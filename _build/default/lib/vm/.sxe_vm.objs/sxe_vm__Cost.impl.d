@@ -1,0 +1,1 @@
+lib/vm/cost.ml: Instr Int64 List Sxe_ir

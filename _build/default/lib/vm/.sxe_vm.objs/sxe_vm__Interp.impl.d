@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Buffer Cfg Cost Eval Format Fun Hashtbl Instr Int64 List Printer Printf Profile Prog Sxe_ir Sxe_util Vec

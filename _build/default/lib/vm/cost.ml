@@ -1,0 +1,52 @@
+(** Static per-instruction cycle model, IA64-flavoured.
+
+    Figures 13/14 report relative performance; our substitute for Itanium
+    hardware is a deterministic cost model applied by the interpreter.
+    Only ratios matter, so the model keeps plausible relative weights: ALU
+    and explicit extensions cost one slot (an [sxt4] occupies an issue slot
+    and lengthens the dependent chain — eliminating it is exactly the win
+    the paper measures); multiplies route through the FP unit; integer
+    division is software; array accesses pay address arithmetic plus the
+    bounds check. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+
+let alu = 1
+let extension = 1
+let multiply = 5
+let int_divide = 36
+let float_op = 4
+let float_divide = 30
+let convert = 6
+let array_access = 4
+let array_length = 2
+let global_access = 2
+let call_overhead = 10
+let per_argument = 1
+let return_cost = 2
+let branch = 1
+let alloc_base = 32
+
+let of_op (op : Instr.op) ~(alloc_len : int64) =
+  match op with
+  | Instr.Const _ | Instr.FConst _ | Instr.Mov _ -> alu
+  | Instr.Unop _ -> alu
+  | Instr.Binop { op = Mul; _ } -> multiply
+  | Instr.Binop { op = Div | Rem; _ } -> int_divide
+  | Instr.Binop { op = LShr; w = W32; _ } -> 2 (* zxt4 + shr *)
+  | Instr.Binop _ -> alu
+  | Instr.Cmp _ -> alu
+  | Instr.Sext _ | Instr.Zext _ -> extension
+  | Instr.JustExt _ -> 0 (* marker only; generates no code *)
+  | Instr.FBinop { op = FDiv; _ } -> float_divide
+  | Instr.FBinop _ | Instr.FNeg _ | Instr.FCmp _ -> float_op
+  | Instr.I2D _ | Instr.L2D _ | Instr.D2I _ | Instr.D2L _ -> convert
+  | Instr.NewArr _ -> alloc_base + Int64.to_int (Int64.div (max 0L alloc_len) 8L)
+  | Instr.ArrLoad _ | Instr.ArrStore _ -> array_access
+  | Instr.ArrLen _ -> array_length
+  | Instr.GLoad _ | Instr.GStore _ -> global_access
+  | Instr.Call { args; _ } -> call_overhead + (per_argument * List.length args)
+
+let of_term (t : Instr.terminator) =
+  match t with Instr.Jmp _ -> branch | Instr.Br _ -> branch | Instr.Ret _ -> return_cost

@@ -1,0 +1,11 @@
+(** Static per-instruction cycle model (IA64-flavoured weights) behind
+    Figures 13/14's relative performance numbers. *)
+
+val extension : int
+(** Cost of an explicit sign/zero extension (one issue slot). *)
+
+val of_op : Sxe_ir.Instr.op -> alloc_len:int64 -> int
+(** Cycles charged for one executed instruction; [alloc_len] sizes the
+    zero-initialization cost of allocations. *)
+
+val of_term : Sxe_ir.Instr.terminator -> int

@@ -1,0 +1,31 @@
+(** Branch-profile collection, mirroring the paper's combined
+    interpreter/dynamic compiler: the interpreter "gathers statistical data
+    on conditional branches" and hands it to the compiler, which uses it to
+    sharpen the branch probabilities behind order determination. *)
+
+type t = { edges : (string * int * int, int64 ref) Hashtbl.t }
+
+let create () = { edges = Hashtbl.create 256 }
+
+let record t fname ~src ~dst =
+  match Hashtbl.find_opt t.edges (fname, src, dst) with
+  | Some r -> r := Int64.add !r 1L
+  | None -> Hashtbl.replace t.edges (fname, src, dst) (ref 1L)
+
+(** Measured probability of the edge [src -> dst], if [src] was executed. *)
+let probability t fname ~src ~dst =
+  let total = ref 0L and this = ref 0L in
+  Hashtbl.iter
+    (fun (fn, s, d) r ->
+      if fn = fname && s = src then begin
+        total := Int64.add !total !r;
+        if d = dst then this := Int64.add !this !r
+      end)
+    t.edges;
+  if Int64.compare !total 0L > 0 then
+    Some (Int64.to_float !this /. Int64.to_float !total)
+  else None
+
+(** Curried adapter with the signature {!Sxe_core.Pass.profile_source}. *)
+let as_source t : string -> src:int -> dst:int -> float option =
+ fun fname ~src ~dst -> probability t fname ~src ~dst

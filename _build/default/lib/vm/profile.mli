@@ -1,0 +1,16 @@
+(** Branch-profile collection, mirroring the paper's combined
+    interpreter/dynamic compiler: the interpreter gathers per-edge
+    statistics that sharpen the branch probabilities behind order
+    determination. *)
+
+type t = { edges : (string * int * int, int64 ref) Hashtbl.t }
+
+val create : unit -> t
+val record : t -> string -> src:int -> dst:int -> unit
+
+val probability : t -> string -> src:int -> dst:int -> float option
+(** Measured probability of the edge, or [None] if its source block was
+    never executed. *)
+
+val as_source : t -> string -> src:int -> dst:int -> float option
+(** Curried adapter with the signature {!Sxe_core.Pass.profile_source}. *)

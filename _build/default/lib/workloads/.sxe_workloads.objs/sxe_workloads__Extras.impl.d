@@ -1,0 +1,1 @@
+lib/workloads/extras.ml: Printf

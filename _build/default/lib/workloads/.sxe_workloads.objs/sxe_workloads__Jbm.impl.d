@@ -1,0 +1,1 @@
+lib/workloads/jbm.ml: Printf

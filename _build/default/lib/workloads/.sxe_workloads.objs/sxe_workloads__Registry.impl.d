@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Extras Jbm List Spec String

@@ -1,0 +1,135 @@
+(** Extra stress kernels, beyond the paper's seventeen benchmarks.
+
+    These are not part of the reproduced tables; they exist to widen the
+    differential-testing surface with shapes the paper suite underweights:
+    heavy recursion, triangular 2-D loops, rolling byte hashes, and a
+    partition-based sort whose indices walk both directions. The `extras`
+    test suite runs every one under every variant. *)
+
+let prng =
+  {|
+global int seed;
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >>> 16) & 0x7fff;
+}
+|}
+
+let sieve ~scale =
+  Printf.sprintf
+    {|
+void main() {
+  int n = %d;
+  byte[] composite = new byte[n];
+  int count = 0;
+  for (int p = 2; p < n; p++) {
+    if (composite[p] == 0) {
+      count++;
+      for (int m = p + p; m < n; m += p) { composite[m] = 1; }
+    }
+  }
+  print_int(count);
+  checksum(count);
+}
+|}
+    (600 * scale)
+
+let matmul ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 71;
+  int n = %d;
+  int[][] a = new int[n][n];
+  int[][] b = new int[n][n];
+  int[][] c = new int[n][n];
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) { a[i][j] = rnd() - 16384; b[i][j] = rnd() - 16384; }
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      int s = 0;
+      for (int k = 0; k < n; k++) { s += a[i][k] * b[k][j]; }
+      c[i][j] = s;
+    }
+  }
+  int h = 0;
+  for (int i = 0; i < n; i++) { h = h * 31 + c[i][(i * 7) %% n]; }
+  print_int(h);
+  checksum(h);
+}
+|}
+    prng (14 * scale)
+
+let quicksort ~scale =
+  Printf.sprintf
+    {|
+%s
+void qsort(int[] a, int lo, int hi) {
+  if (lo >= hi) { return; }
+  int pivot = a[(lo + hi) >>> 1];
+  int i = lo - 1;
+  int j = hi + 1;
+  while (1 == 1) {
+    do { i++; } while (a[i] < pivot);
+    do { j--; } while (a[j] > pivot);
+    if (i >= j) { break; }
+    int t = a[i]; a[i] = a[j]; a[j] = t;
+  }
+  qsort(a, lo, j);
+  qsort(a, j + 1, hi);
+}
+void main() {
+  seed = 101;
+  int n = %d;
+  int[] a = new int[n];
+  for (int i = 0; i < n; i++) { a[i] = rnd() * 17 - 200000; }
+  qsort(a, 0, n - 1);
+  int bad = 0;
+  for (int i = 1; i < n; i++) { if (a[i - 1] > a[i]) { bad++; } }
+  print_int(bad);
+  checksum(bad);
+  checksum(a[0]);
+  checksum(a[n - 1]);
+}
+|}
+    prng (220 * scale)
+
+let rolling_hash ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 131;
+  int n = %d;
+  byte[] text = new byte[n];
+  for (int i = 0; i < n; i++) { text[i] = 97 + rnd() %% 26; }
+  int window = 16;
+  int base = 257;
+  /* base^(window-1) mod 2^32, kept as a wrapping int */
+  int top = 1;
+  for (int k = 1; k < window; k++) { top = top * base; }
+  int h = 0;
+  for (int i = 0; i < window; i++) { h = h * base + text[i]; }
+  int best = h; long total = (long) h;
+  for (int i = window; i < n; i++) {
+    h = (h - text[i - window] * top) * base + text[i];
+    total += (long) h;
+    if (h > best) { best = h; }
+  }
+  print_int(best);
+  print_long(total);
+  checksum(best);
+  checksum(total);
+}
+|}
+    prng (900 * scale)
+
+let all ~scale =
+  [
+    ("sieve", sieve ~scale);
+    ("matmul", matmul ~scale);
+    ("quicksort", quicksort ~scale);
+    ("rolling hash", rolling_hash ~scale);
+  ]

@@ -1,0 +1,565 @@
+(** MiniJ analogues of the ten jBYTEmark benchmark programs (Table 1).
+
+    Each kernel reproduces the loop/array/arithmetic shape of the original
+    — the structure that determines where sign extensions appear — at
+    interpreter-friendly sizes. Every program is deterministic (seeded
+    LCG), self-checking (mixes results into the VM checksum) and
+    parameterized by [scale]. *)
+
+let prng =
+  {|
+global int seed;
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >>> 16) & 0x7fff;
+}
+|}
+
+(* -- Numeric Sort: heapsort of a pseudo-random int array ------------- *)
+
+let numeric_sort ~scale =
+  Printf.sprintf
+    {|
+%s
+void sift(int[] a, int root, int bottom) {
+  int done = 0;
+  while (root * 2 + 1 <= bottom && done == 0) {
+    int child = root * 2 + 1;
+    if (child < bottom && a[child] < a[child + 1]) { child = child + 1; }
+    if (a[root] < a[child]) {
+      int tmp = a[root]; a[root] = a[child]; a[child] = tmp;
+      root = child;
+    } else { done = 1; }
+  }
+}
+void heapsort(int[] a) {
+  int n = a.length;
+  for (int start = n / 2 - 1; start >= 0; start = start - 1) { sift(a, start, n - 1); }
+  for (int end = n - 1; end > 0; end = end - 1) {
+    int tmp = a[0]; a[0] = a[end]; a[end] = tmp;
+    sift(a, 0, end - 1);
+  }
+}
+void main() {
+  seed = 13;
+  int n = %d;
+  int[] a = new int[n];
+  for (int rep = 0; rep < %d; rep = rep + 1) {
+    for (int i = 0; i < n; i = i + 1) { a[i] = rnd() * 32768 + rnd() - 8388608; }
+    heapsort(a);
+    int bad = 0;
+    for (int i = 1; i < n; i = i + 1) { if (a[i - 1] > a[i]) { bad = bad + 1; } }
+    checksum(bad);
+    checksum(a[0]); checksum(a[n / 2]); checksum(a[n - 1]);
+  }
+}
+|}
+    prng (160 * scale) 3
+
+(* -- String Sort: shell sort of byte-string handles ------------------ *)
+
+let string_sort ~scale =
+  Printf.sprintf
+    {|
+%s
+int strcmp(byte[] pool, int[] off, int[] len, int x, int y) {
+  int lx = len[x]; int ly = len[y];
+  int n = lx; if (ly < n) { n = ly; }
+  int i = 0;
+  while (i < n) {
+    int cx = pool[off[x] + i];
+    int cy = pool[off[y] + i];
+    if (cx != cy) { return cx - cy; }
+    i = i + 1;
+  }
+  return lx - ly;
+}
+void main() {
+  seed = 7;
+  int count = %d;
+  byte[] pool = new byte[count * 16];
+  int[] off = new int[count];
+  int[] len = new int[count];
+  int[] idx = new int[count];
+  int p = 0;
+  for (int s = 0; s < count; s = s + 1) {
+    off[s] = p;
+    len[s] = 4 + rnd() %% 12;
+    for (int i = 0; i < len[s]; i = i + 1) { pool[p + i] = 97 + rnd() %% 26; }
+    p = p + 16;
+    idx[s] = s;
+  }
+  /* shell sort on handles */
+  int gap = count / 2;
+  while (gap > 0) {
+    for (int i = gap; i < count; i = i + 1) {
+      int j = i;
+      while (j >= gap && strcmp(pool, off, len, idx[j - gap], idx[j]) > 0) {
+        int t = idx[j]; idx[j] = idx[j - gap]; idx[j - gap] = t;
+        j = j - gap;
+      }
+    }
+    gap = gap / 2;
+  }
+  int h = 0;
+  for (int s = 0; s < count; s = s + 1) {
+    h = h * 31 + pool[off[idx[s]]];
+    h = h + len[idx[s]];
+  }
+  checksum(h);
+}
+|}
+    prng (90 * scale)
+
+(* -- Bitfield: set/clear/complement runs of bits ---------------------- *)
+
+let bitfield ~scale =
+  Printf.sprintf
+    {|
+%s
+void setbits(int[] map, int start, int count, int mode) {
+  for (int k = 0; k < count; k = k + 1) {
+    int bit = start + k;
+    int w = bit >>> 5;
+    int m = 1 << (bit & 31);
+    if (mode == 0) { map[w] = map[w] | m; }
+    else { if (mode == 1) { map[w] = map[w] & ~m; } else { map[w] = map[w] ^ m; } }
+  }
+}
+void main() {
+  seed = 99;
+  int words = %d;
+  int bits = words * 32;
+  int[] map = new int[words];
+  int ops = %d;
+  for (int o = 0; o < ops; o = o + 1) {
+    int start = rnd() %% (bits - 64);
+    int count = 1 + rnd() %% 63;
+    setbits(map, start, count, o %% 3);
+  }
+  int pop = 0;
+  for (int w = 0; w < words; w = w + 1) {
+    int v = map[w];
+    while (v != 0) { pop = pop + (v & 1); v = v >>> 1; }
+  }
+  print_int(pop);
+  checksum(pop);
+  for (int w = 0; w < words; w = w + 1) { checksum(map[w]); }
+}
+|}
+    prng (64 * scale) (300 * scale)
+
+(* -- FP Emulation: software floating point on int mantissas ----------- *)
+
+let fp_emulation ~scale =
+  Printf.sprintf
+    {|
+%s
+/* numbers encoded as: mant (int, normalized to bit 22..0), exp (int) with
+   sign in mant; a tiny software float in the spirit of the original */
+int norm_mant(int m, int[] expio) {
+  if (m == 0) { return 0; }
+  int e = expio[0];
+  int neg = 0;
+  if (m < 0) { neg = 1; m = -m; }
+  while (m >= 16777216) { m = m >> 1; e = e + 1; }
+  while (m < 8388608) { m = m << 1; e = e - 1; }
+  expio[0] = e;
+  if (neg == 1) { m = -m; }
+  return m;
+}
+int fadd_m(int ma, int ea, int mb, int eb, int[] expio) {
+  if (ea < eb) { int t = ma; ma = mb; mb = t; t = ea; ea = eb; eb = t; }
+  int shift = ea - eb;
+  if (shift > 24) { expio[0] = ea; return ma; }
+  expio[0] = ea;
+  return norm_mant(ma + (mb >> shift), expio);
+}
+int fmul_m(int ma, int ea, int mb, int eb, int[] expio) {
+  long p = (long) ma * (long) mb;
+  expio[0] = ea + eb + 23;
+  return norm_mant((int) (p >> 23), expio);
+}
+void main() {
+  seed = 3;
+  int n = %d;
+  int[] mant = new int[n];
+  int[] expo = new int[n];
+  int[] io = new int[1];
+  for (int i = 0; i < n; i = i + 1) {
+    io[0] = 0;
+    mant[i] = norm_mant(rnd() * 64 + 8388608, io);
+    expo[i] = io[0] + rnd() %% 8 - 4;
+    if (rnd() %% 2 == 0) { mant[i] = -mant[i]; }
+  }
+  int accm = 8388608; int acce = 0;
+  for (int rep = 0; rep < %d; rep = rep + 1) {
+    for (int i = 0; i + 1 < n; i = i + 2) {
+      io[0] = 0;
+      int sm = fadd_m(mant[i], expo[i], mant[i + 1], expo[i + 1], io);
+      int se = io[0];
+      accm = fmul_m(accm, acce, (sm | 1) %% 16777216, se %% 6, io);
+      acce = io[0] %% 64;
+      if (accm == 0) { accm = 8388609; }
+    }
+  }
+  print_int(accm);
+  checksum(accm);
+  checksum(acce);
+}
+|}
+    prng (120 * scale) 4
+
+(* -- Fourier: coefficients by trapezoid integration (double-heavy) ---- *)
+
+let fourier ~scale =
+  Printf.sprintf
+    {|
+double tsin(double x) {
+  /* range-reduce into [-pi, pi] then Taylor */
+  double pi = 3.141592653589793;
+  while (x > pi) { x = x - 2.0 * pi; }
+  while (x < 0.0 - pi) { x = x + 2.0 * pi; }
+  double x2 = x * x;
+  return x * (1.0 - x2 / 6.0 * (1.0 - x2 / 20.0 * (1.0 - x2 / 42.0 * (1.0 - x2 / 72.0))));
+}
+double tcos(double x) { return tsin(x + 1.5707963267948966); }
+double func(double x) { return x * x * x - 2.0 * x + 1.0; }
+double coef(int k, int cosine, int steps) {
+  double lo = 0.0; double hi = 2.0;
+  double dx = (hi - lo) / (double) steps;
+  double sum = 0.0;
+  for (int i = 0; i <= steps; i = i + 1) {
+    double x = lo + (double) i * dx;
+    double w = 1.0;
+    if (i == 0 || i == steps) { w = 0.5; }
+    double basis = 1.0;
+    if (cosine == 1) { basis = tcos((double) k * x); } else { basis = tsin((double) k * x); }
+    sum = sum + w * func(x) * basis;
+  }
+  return sum * dx;
+}
+void main() {
+  int ncoef = %d;
+  int steps = %d;
+  double h = 0.0;
+  for (int k = 0; k < ncoef; k = k + 1) {
+    h = h + coef(k, 1, steps) + coef(k, 0, steps);
+  }
+  checksum_double(h);
+}
+|}
+    (6 * scale) 60
+
+(* -- Assignment: cost-matrix reduction ---------------------------------- *)
+
+let assignment ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 5;
+  int n = %d;
+  int[][] cost = new int[n][n];
+  int reps = %d;
+  for (int rep = 0; rep < reps; rep = rep + 1) {
+    for (int i = 0; i < n; i = i + 1) {
+      for (int j = 0; j < n; j = j + 1) { cost[i][j] = rnd() %% 1000; }
+    }
+    /* row reduction */
+    for (int i = 0; i < n; i = i + 1) {
+      int m = cost[i][0];
+      for (int j = 1; j < n; j = j + 1) { if (cost[i][j] < m) { m = cost[i][j]; } }
+      for (int j = 0; j < n; j = j + 1) { cost[i][j] = cost[i][j] - m; }
+    }
+    /* column reduction */
+    for (int j = 0; j < n; j = j + 1) {
+      int m = cost[0][j];
+      for (int i = 1; i < n; i = i + 1) { if (cost[i][j] < m) { m = cost[i][j]; } }
+      for (int i = 0; i < n; i = i + 1) { cost[i][j] = cost[i][j] - m; }
+    }
+    /* greedy assignment on zeros */
+    int[] usedc = new int[n];
+    int total = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      int pick = -1;
+      for (int j = 0; j < n; j = j + 1) {
+        if (usedc[j] == 0 && cost[i][j] == 0 && pick < 0) { pick = j; }
+      }
+      if (pick < 0) {
+        int best = 1000000;
+        for (int j = 0; j < n; j = j + 1) {
+          if (usedc[j] == 0 && cost[i][j] < best) { best = cost[i][j]; pick = j; }
+        }
+      }
+      usedc[pick] = 1;
+      total = total + cost[i][pick];
+    }
+    checksum(total);
+  }
+}
+|}
+    prng (24 * scale) 3
+
+(* -- IDEA: the 16-bit modular cipher kernel --------------------------- *)
+
+let idea ~scale =
+  Printf.sprintf
+    {|
+%s
+int mulmod(int a, int b) {
+  /* IDEA multiplication modulo 65537, operands in [0, 65535] */
+  if (a == 0) { return (65537 - b) & 0xffff; }
+  if (b == 0) { return (65537 - a) & 0xffff; }
+  long p = (long) a * (long) b;
+  int lo = (int) (p %% 65537L);
+  return lo & 0xffff;
+}
+void main() {
+  seed = 21;
+  int rounds = 8;
+  int nkeys = rounds * 6 + 4;
+  int[] key = new int[nkeys];
+  for (int i = 0; i < nkeys; i = i + 1) { key[i] = rnd() & 0xffff; }
+  int blocks = %d;
+  short[] data = new short[blocks * 4];
+  for (int i = 0; i < blocks * 4; i = i + 1) { data[i] = rnd(); }
+  int h = 0;
+  for (int blk = 0; blk < blocks; blk = blk + 1) {
+    int x1 = data[blk * 4] & 0xffff;
+    int x2 = data[blk * 4 + 1] & 0xffff;
+    int x3 = data[blk * 4 + 2] & 0xffff;
+    int x4 = data[blk * 4 + 3] & 0xffff;
+    int k = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      x1 = mulmod(x1, key[k]);
+      x2 = (x2 + key[k + 1]) & 0xffff;
+      x3 = (x3 + key[k + 2]) & 0xffff;
+      x4 = mulmod(x4, key[k + 3]);
+      int t1 = x1 ^ x3;
+      int t2 = x2 ^ x4;
+      t1 = mulmod(t1, key[k + 4]);
+      t2 = (t1 + t2) & 0xffff;
+      t2 = mulmod(t2, key[k + 5]);
+      t1 = (t1 + t2) & 0xffff;
+      x1 = x1 ^ t2;
+      x3 = x3 ^ t2;
+      x2 = x2 ^ t1;
+      x4 = x4 ^ t1;
+      k = k + 6;
+    }
+    data[blk * 4] = x1;
+    data[blk * 4 + 1] = x2;
+    data[blk * 4 + 2] = x3;
+    data[blk * 4 + 3] = x4;
+    h = h * 31 + x1 + x2 + x3 + x4;
+  }
+  print_int(h);
+  checksum(h);
+}
+|}
+    prng (120 * scale)
+
+(* -- Huffman: build code lengths, encode, decode ----------------------- *)
+
+let huffman ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 17;
+  int nsym = 64;
+  int textlen = %d;
+  byte[] text = new byte[textlen];
+  for (int i = 0; i < textlen; i = i + 1) {
+    int r = rnd() %% 100;
+    int c = 0;
+    if (r < 40) { c = rnd() %% 4; } else { if (r < 75) { c = rnd() %% 16; } else { c = rnd() %% 64; } }
+    text[i] = c;
+  }
+  /* frequencies */
+  int[] freq = new int[nsym * 2];
+  int[] left = new int[nsym * 2];
+  int[] right = new int[nsym * 2];
+  int[] parent = new int[nsym * 2];
+  for (int i = 0; i < textlen; i = i + 1) { freq[text[i]] = freq[text[i]] + 1; }
+  for (int s = 0; s < nsym; s = s + 1) { if (freq[s] == 0) { freq[s] = 1; } }
+  /* build tree: repeatedly merge the two smallest live nodes */
+  int[] live = new int[nsym * 2];
+  for (int s = 0; s < nsym; s = s + 1) { live[s] = 1; }
+  int next = nsym;
+  for (int merge = 0; merge < nsym - 1; merge = merge + 1) {
+    int a = -1; int b = -1;
+    for (int s = 0; s < next; s = s + 1) {
+      if (live[s] == 1) {
+        if (a < 0 || freq[s] < freq[a]) { b = a; a = s; }
+        else { if (b < 0 || freq[s] < freq[b]) { b = s; } }
+      }
+    }
+    live[a] = 0; live[b] = 0;
+    left[next] = a; right[next] = b;
+    parent[a] = next; parent[b] = next;
+    freq[next] = freq[a] + freq[b];
+    live[next] = 1;
+    next = next + 1;
+  }
+  int root = next - 1;
+  /* code lengths by walking to the root */
+  int[] codelen = new int[nsym];
+  for (int s = 0; s < nsym; s = s + 1) {
+    int d = 0; int v = s;
+    while (v != root) { v = parent[v]; d = d + 1; }
+    codelen[s] = d;
+  }
+  /* encode: emit bits into an int bit buffer */
+  int[] bits = new int[textlen];      /* generous */
+  int bitpos = 0;
+  for (int i = 0; i < textlen; i = i + 1) {
+    int s = text[i];
+    /* path from root to leaf, reconstructed by walking up (reversed) */
+    int v = s;
+    int path = 0; int d = 0;
+    while (v != root) {
+      int p = parent[v];
+      int bit = 0;
+      if (right[p] == v) { bit = 1; }
+      path = path | (bit << d);
+      d = d + 1;
+      v = p;
+    }
+    for (int k = d - 1; k >= 0; k = k - 1) {
+      int bit = (path >> k) & 1;
+      int w = bitpos >>> 5;
+      if (bit == 1) { bits[w] = bits[w] | (1 << (bitpos & 31)); }
+      bitpos = bitpos + 1;
+    }
+  }
+  /* decode and verify */
+  int pos = 0;
+  int errors = 0;
+  for (int i = 0; i < textlen; i = i + 1) {
+    int v = root;
+    while (v >= nsym) {
+      int w = pos >>> 5;
+      int bit = (bits[w] >> (pos & 31)) & 1;
+      pos = pos + 1;
+      if (bit == 1) { v = right[v]; } else { v = left[v]; }
+    }
+    if (v != text[i]) { errors = errors + 1; }
+  }
+  print_int(errors);
+  print_int(bitpos);
+  checksum(errors);
+  checksum(bitpos);
+}
+|}
+    prng (700 * scale)
+
+(* -- Neural Net: tiny feed-forward net, double matrices ---------------- *)
+
+let neural_net ~scale =
+  Printf.sprintf
+    {|
+%s
+double sigmoid(double x) {
+  double ax = x; if (ax < 0.0) { ax = 0.0 - ax; }
+  return x / (1.0 + ax);
+}
+void main() {
+  seed = 31;
+  int nin = %d; int nhid = %d; int nout = 8;
+  double[][] w1 = new double[nin][nhid];
+  double[][] w2 = new double[nhid][nout];
+  for (int i = 0; i < nin; i = i + 1) {
+    for (int j = 0; j < nhid; j = j + 1) { w1[i][j] = (double) (rnd() - 16384) / 16384.0; }
+  }
+  for (int i = 0; i < nhid; i = i + 1) {
+    for (int j = 0; j < nout; j = j + 1) { w2[i][j] = (double) (rnd() - 16384) / 16384.0; }
+  }
+  double[] input = new double[nin];
+  double[] hidden = new double[nhid];
+  double[] output = new double[nout];
+  double h = 0.0;
+  for (int pass = 0; pass < %d; pass = pass + 1) {
+    for (int i = 0; i < nin; i = i + 1) { input[i] = (double) (rnd() %% 256) / 256.0; }
+    for (int j = 0; j < nhid; j = j + 1) {
+      double s = 0.0;
+      for (int i = 0; i < nin; i = i + 1) { s = s + input[i] * w1[i][j]; }
+      hidden[j] = sigmoid(s);
+    }
+    for (int k = 0; k < nout; k = k + 1) {
+      double s = 0.0;
+      for (int j = 0; j < nhid; j = j + 1) { s = s + hidden[j] * w2[j][k]; }
+      output[k] = sigmoid(s);
+    }
+    for (int k = 0; k < nout; k = k + 1) { h = h + output[k]; }
+  }
+  checksum_double(h);
+}
+|}
+    prng (24 * scale) (16 * scale) 6
+
+(* -- LU Decomposition: double[][] Gaussian elimination ------------------ *)
+
+let lu_decomp ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 41;
+  int n = %d;
+  double[][] a = new double[n][n];
+  int[] piv = new int[n];
+  int reps = %d;
+  double h = 0.0;
+  for (int rep = 0; rep < reps; rep = rep + 1) {
+    for (int i = 0; i < n; i = i + 1) {
+      for (int j = 0; j < n; j = j + 1) {
+        a[i][j] = (double) (rnd() - 16384) / 1024.0;
+      }
+      a[i][i] = a[i][i] + 64.0;   /* diagonal dominance */
+      piv[i] = i;
+    }
+    for (int col = 0; col < n; col = col + 1) {
+      /* partial pivot */
+      int best = col;
+      double bv = a[col][col]; if (bv < 0.0) { bv = 0.0 - bv; }
+      for (int r = col + 1; r < n; r = r + 1) {
+        double v = a[r][col]; if (v < 0.0) { v = 0.0 - v; }
+        if (v > bv) { bv = v; best = r; }
+      }
+      if (best != col) {
+        double[] tr = a[col]; /* not supported: use element swap */
+        for (int j = 0; j < n; j = j + 1) {
+          double t = a[col][j]; a[col][j] = a[best][j]; a[best][j] = t;
+        }
+        int tp = piv[col]; piv[col] = piv[best]; piv[best] = tp;
+      }
+      for (int r = col + 1; r < n; r = r + 1) {
+        double f = a[r][col] / a[col][col];
+        a[r][col] = f;
+        for (int j = col + 1; j < n; j = j + 1) { a[r][j] = a[r][j] - f * a[col][j]; }
+      }
+    }
+    double det = 1.0;
+    for (int i = 0; i < n; i = i + 1) { det = det * a[i][i]; }
+    h = h + det / 1000000.0 + (double) piv[n - 1];
+  }
+  checksum_double(h);
+}
+|}
+    prng (20 * scale) 3
+
+let all ~scale =
+  [
+    ("Numeric Sort", numeric_sort ~scale);
+    ("String Sort", string_sort ~scale);
+    ("Bitfield", bitfield ~scale);
+    ("FP Emu.", fp_emulation ~scale);
+    ("Fourier", fourier ~scale);
+    ("Assignment", assignment ~scale);
+    ("IDEA", idea ~scale);
+    ("Huffman", huffman ~scale);
+    ("Neural Net", neural_net ~scale);
+    ("LU Decom.", lu_decomp ~scale);
+  ]

@@ -1,0 +1,33 @@
+(** The benchmark registry: the seventeen programs of Tables 1 and 2.
+
+    [scale] grows input sizes roughly linearly; [1] is test-sized, [2] is
+    the default for table regeneration. Sources are MiniJ text compiled by
+    {!Sxe_lang.Frontend}. *)
+
+type suite = Jbytemark | Specjvm
+
+type t = {
+  name : string;
+  suite : suite;
+  source : string;  (** MiniJ source at the chosen scale *)
+}
+
+let jbytemark ?(scale = 1) () =
+  List.map (fun (name, source) -> { name; suite = Jbytemark; source }) (Jbm.all ~scale)
+
+let specjvm ?(scale = 1) () =
+  List.map (fun (name, source) -> { name; suite = Specjvm; source }) (Spec.all ~scale)
+
+let all ?scale () = jbytemark ?scale () @ specjvm ?scale ()
+
+(** Stress kernels beyond the paper's tables (see {!Extras}); used by the
+    test suites, not by the table regeneration. *)
+let extras ?(scale = 1) () =
+  List.map (fun (name, source) -> { name; suite = Jbytemark; source }) (Extras.all ~scale)
+
+let find ?scale name =
+  match List.find_opt (fun w -> String.lowercase_ascii w.name = String.lowercase_ascii name) (all ?scale ()) with
+  | Some w -> w
+  | None -> invalid_arg ("Registry.find: unknown workload " ^ name)
+
+let names ?scale () = List.map (fun w -> w.name) (all ?scale ())

@@ -1,0 +1,20 @@
+(** The seventeen benchmark programs of Tables 1 and 2, as MiniJ sources
+    parameterized by a [scale] factor ([1] is test-sized). *)
+
+type suite = Jbytemark | Specjvm
+
+type t = { name : string; suite : suite; source : string }
+
+val jbytemark : ?scale:int -> unit -> t list
+val specjvm : ?scale:int -> unit -> t list
+val all : ?scale:int -> unit -> t list
+
+val extras : ?scale:int -> unit -> t list
+(** Stress kernels beyond the paper's tables (recursion-heavy sort,
+    triangular loops, rolling hashes); test-suite material only. *)
+
+val find : ?scale:int -> string -> t
+(** Case-insensitive lookup; raises [Invalid_argument] for unknown
+    names. *)
+
+val names : ?scale:int -> unit -> string list

@@ -1,0 +1,388 @@
+(** MiniJ analogues of the seven SPECjvm98 programs (Table 2). As with
+    {!Jbm}, each kernel mirrors the original's hot-loop structure: ray
+    intersections (mtrt), rule matching (jess), LZW (compress), key
+    lookups (db), a fixed-point filterbank (mpegaudio), a scanner (jack)
+    and a table-driven parser (javac). *)
+
+let prng =
+  {|
+global int seed;
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >>> 16) & 0x7fff;
+}
+|}
+
+(* -- mtrt: ray/sphere intersection grid ------------------------------- *)
+
+let mtrt ~scale =
+  Printf.sprintf
+    {|
+%s
+double tsqrt(double x) {
+  if (x <= 0.0) { return 0.0; }
+  double g = x;
+  if (g > 1.0) { g = x / 2.0; }
+  for (int i = 0; i < 12; i = i + 1) { g = 0.5 * (g + x / g); }
+  return g;
+}
+void main() {
+  seed = 11;
+  int nsph = %d;
+  double[] cx = new double[nsph]; double[] cy = new double[nsph];
+  double[] cz = new double[nsph]; double[] rr = new double[nsph];
+  for (int s = 0; s < nsph; s = s + 1) {
+    cx[s] = (double) (rnd() %% 200) / 10.0 - 10.0;
+    cy[s] = (double) (rnd() %% 200) / 10.0 - 10.0;
+    cz[s] = (double) (rnd() %% 60) / 10.0 + 4.0;
+    rr[s] = (double) (rnd() %% 20) / 10.0 + 0.4;
+  }
+  int w = %d; int h = %d;
+  int hits = 0;
+  double depthsum = 0.0;
+  for (int py = 0; py < h; py = py + 1) {
+    for (int px = 0; px < w; px = px + 1) {
+      /* ray from origin through pixel */
+      double dx = (double) (px - w / 2) / (double) w;
+      double dy = (double) (py - h / 2) / (double) h;
+      double dz = 1.0;
+      double best = 1.0e30;
+      for (int s = 0; s < nsph; s = s + 1) {
+        double ox = 0.0 - cx[s]; double oy = 0.0 - cy[s]; double oz = 0.0 - cz[s];
+        double a = dx * dx + dy * dy + dz * dz;
+        double b = 2.0 * (ox * dx + oy * dy + oz * dz);
+        double c = ox * ox + oy * oy + oz * oz - rr[s] * rr[s];
+        double disc = b * b - 4.0 * a * c;
+        if (disc > 0.0) {
+          double t = (0.0 - b - tsqrt(disc)) / (2.0 * a);
+          if (t > 0.0 && t < best) { best = t; }
+        }
+      }
+      if (best < 1.0e29) { hits = hits + 1; depthsum = depthsum + best; }
+    }
+  }
+  print_int(hits);
+  checksum(hits);
+  checksum_double(depthsum);
+}
+|}
+    prng (10 * scale) 28 20
+
+(* -- jess: forward-chaining rule matcher over fact tuples -------------- *)
+
+let jess ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 23;
+  int maxfacts = %d;
+  /* facts are (kind, a, b) tuples */
+  int[] kind = new int[maxfacts];
+  int[] fa = new int[maxfacts];
+  int[] fb = new int[maxfacts];
+  int nfacts = %d;
+  for (int i = 0; i < nfacts; i = i + 1) {
+    kind[i] = rnd() %% 3;
+    fa[i] = rnd() %% 16;
+    fb[i] = rnd() %% 16;
+  }
+  /* rule: (0, x, y) & (1, y, z) => assert (2, x, z) unless present */
+  int fired = 0;
+  int changed = 1;
+  int round = 0;
+  while (changed == 1 && round < 8) {
+    changed = 0;
+    round = round + 1;
+    for (int i = 0; i < nfacts; i = i + 1) {
+      if (kind[i] == 0) {
+        for (int j = 0; j < nfacts; j = j + 1) {
+          if (kind[j] == 1 && fb[i] == fa[j]) {
+            int x = fa[i]; int z = fb[j];
+            int present = 0;
+            for (int k = 0; k < nfacts; k = k + 1) {
+              if (kind[k] == 2 && fa[k] == x && fb[k] == z) { present = 1; }
+            }
+            if (present == 0 && nfacts < maxfacts) {
+              kind[nfacts] = 2; fa[nfacts] = x; fb[nfacts] = z;
+              nfacts = nfacts + 1;
+              fired = fired + 1;
+              changed = 1;
+            }
+          }
+        }
+      }
+    }
+  }
+  print_int(fired);
+  print_int(nfacts);
+  checksum(fired);
+  checksum(nfacts);
+}
+|}
+    (prng) (900 * scale) (70 * scale)
+
+(* -- compress: LZW over a synthetic byte buffer ------------------------- *)
+
+let compress ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 29;
+  int n = %d;
+  byte[] input = new byte[n];
+  for (int i = 0; i < n; i = i + 1) {
+    if (i %% 7 < 4 && i > 16) { input[i] = input[i - 16]; }  /* repetitive */
+    else { input[i] = rnd() %% 32; }
+  }
+  int tabsize = 4096;
+  int[] prefix = new int[tabsize];
+  int[] append = new int[tabsize];
+  int[] codes = new int[n];
+  int ncodes = 0;
+  int nextcode = 33;
+  for (int i = 0; i < tabsize; i = i + 1) { prefix[i] = -1; }
+  int cur = input[0];
+  for (int i = 1; i < n; i = i + 1) {
+    int c = input[i];
+    /* search for (cur, c) in the table */
+    int found = -1;
+    for (int t = 33; t < nextcode; t = t + 1) {
+      if (prefix[t] == cur && append[t] == c) { found = t; }
+    }
+    if (found >= 0) { cur = found; }
+    else {
+      codes[ncodes] = cur; ncodes = ncodes + 1;
+      if (nextcode < tabsize) {
+        prefix[nextcode] = cur; append[nextcode] = c;
+        nextcode = nextcode + 1;
+      }
+      cur = c;
+    }
+  }
+  codes[ncodes] = cur; ncodes = ncodes + 1;
+  /* decompress and verify */
+  byte[] out = new byte[n + 64];
+  int op = 0;
+  byte[] stack = new byte[256];
+  for (int ci = 0; ci < ncodes; ci = ci + 1) {
+    int code = codes[ci];
+    int sp = 0;
+    while (code >= 33) {
+      stack[sp] = append[code]; sp = sp + 1;
+      code = prefix[code];
+    }
+    out[op] = code; op = op + 1;
+    while (sp > 0) { sp = sp - 1; out[op] = stack[sp]; op = op + 1; }
+  }
+  int errors = 0;
+  if (op != n) { errors = 1000000 + op - n; }
+  else {
+    for (int i = 0; i < n; i = i + 1) { if (out[i] != input[i]) { errors = errors + 1; } }
+  }
+  print_int(ncodes);
+  print_int(errors);
+  checksum(ncodes);
+  checksum(errors);
+}
+|}
+    prng (700 * scale)
+
+(* -- db: record lookups, insertion sort, range scans -------------------- *)
+
+let db ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 37;
+  int n = %d;
+  int[] key = new int[n];
+  long[] payload = new long[n];
+  for (int i = 0; i < n; i = i + 1) {
+    key[i] = rnd() * 4 + (i & 3);
+    payload[i] = (long) key[i] * 1000L + (long) i;
+  }
+  /* insertion sort by key */
+  for (int i = 1; i < n; i = i + 1) {
+    int k = key[i]; long p = payload[i];
+    int j = i - 1;
+    while (j >= 0 && key[j] > k) {
+      key[j + 1] = key[j]; payload[j + 1] = payload[j];
+      j = j - 1;
+    }
+    key[j + 1] = k; payload[j + 1] = p;
+  }
+  /* binary-search lookups */
+  long found = 0L;
+  int probes = %d;
+  for (int q = 0; q < probes; q = q + 1) {
+    int target = rnd() * 4;
+    int lo = 0; int hi = n - 1;
+    while (lo <= hi) {
+      int mid = (lo + hi) >>> 1;
+      if (key[mid] == target) { found = found + payload[mid]; break; }
+      if (key[mid] < target) { lo = mid + 1; } else { hi = mid - 1; }
+    }
+  }
+  /* range scan */
+  long total = 0L;
+  for (int i = 0; i < n; i = i + 1) {
+    if (key[i] >= 20000 && key[i] < 90000) { total = total + payload[i]; }
+  }
+  print_long(total);
+  checksum(found);
+  checksum(total);
+}
+|}
+    prng (220 * scale) (300 * scale)
+
+(* -- mpegaudio: fixed-point subband filterbank -------------------------- *)
+
+let mpegaudio ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 43;
+  int nsamp = %d;
+  int[] pcm = new int[nsamp];
+  for (int i = 0; i < nsamp; i = i + 1) { pcm[i] = (rnd() - 16384) * 4; }
+  int[] win = new int[512];
+  for (int i = 0; i < 512; i = i + 1) { win[i] = (rnd() - 16384) / 8; }
+  int[] sub = new int[32];
+  long acc_all = 0L;
+  for (int frame = 0; frame + 512 < nsamp; frame = frame + 32) {
+    for (int band = 0; band < 32; band = band + 1) {
+      long acc = 0L;
+      for (int k = 0; k < 16; k = k + 1) {
+        int idx = frame + band + k * 32;
+        acc = acc + (long) pcm[idx] * (long) win[band + k * 16];
+      }
+      sub[band] = (int) (acc >> 15);
+    }
+    for (int band = 0; band < 32; band = band + 1) {
+      acc_all = acc_all + (long) (sub[band] >> 3);
+    }
+  }
+  print_long(acc_all);
+  checksum(acc_all);
+}
+|}
+    prng (2048 * scale)
+
+(* -- jack: a scanner over synthetic program text ------------------------ *)
+
+let jack ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 47;
+  int n = %d;
+  byte[] text = new byte[n];
+  /* synthesize text: words, numbers, punctuation, spaces */
+  int i = 0;
+  while (i < n) {
+    int kind = rnd() %% 10;
+    if (kind < 5) {
+      int len = 1 + rnd() %% 8;
+      for (int k = 0; k < len && i < n; k = k + 1) { text[i] = 97 + rnd() %% 26; i = i + 1; }
+    } else { if (kind < 8) {
+      int len = 1 + rnd() %% 5;
+      for (int k = 0; k < len && i < n; k = k + 1) { text[i] = 48 + rnd() %% 10; i = i + 1; }
+    } else { if (kind < 9) { text[i] = 32; i = i + 1; }
+      else { text[i] = 33 + rnd() %% 14; i = i + 1; } } }
+    if (i < n) { text[i] = 32; i = i + 1; }
+  }
+  /* classification table */
+  int[] cls = new int[128];
+  for (int c = 97; c < 123; c = c + 1) { cls[c] = 1; }   /* alpha */
+  for (int c = 48; c < 58; c = c + 1) { cls[c] = 2; }    /* digit */
+  cls[32] = 0;
+  /* scan */
+  int idents = 0; int numbers = 0; int puncts = 0;
+  int hash = 0; long numsum = 0L;
+  int p = 0;
+  while (p < n) {
+    int c = text[p];
+    if (cls[c & 127] == 1) {
+      int hh = 0;
+      while (p < n && cls[text[p] & 127] == 1) { hh = hh * 31 + text[p]; p = p + 1; }
+      idents = idents + 1;
+      hash = hash ^ hh;
+    } else { if (cls[c & 127] == 2) {
+      int v = 0;
+      while (p < n && cls[text[p] & 127] == 2) { v = v * 10 + (text[p] - 48); p = p + 1; }
+      numbers = numbers + 1;
+      numsum = numsum + (long) v;
+    } else { if (c != 32) { puncts = puncts + 1; p = p + 1; } else { p = p + 1; } } }
+  }
+  print_int(idents);
+  print_int(numbers);
+  print_int(puncts);
+  checksum(hash);
+  checksum(numsum);
+}
+|}
+    prng (1600 * scale)
+
+(* -- javac: table-driven shift/reduce parser simulation ------------------ *)
+
+let javac ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 53;
+  int nstates = 24;
+  int nsyms = 12;
+  int[][] action = new int[nstates][nsyms];   /* >0: goto state; <0: reduce; 0: restart */
+  for (int st = 0; st < nstates; st = st + 1) {
+    for (int sy = 0; sy < nsyms; sy = sy + 1) {
+      int r = rnd() %% 100;
+      if (r < 65) { action[st][sy] = 1 + rnd() %% (nstates - 1); }
+      else { if (r < 90) { action[st][sy] = 0 - (1 + rnd() %% 4); } else { action[st][sy] = 0; } }
+    }
+  }
+  int ntoks = %d;
+  int[] toks = new int[ntoks];
+  for (int i = 0; i < ntoks; i = i + 1) { toks[i] = rnd() %% nsyms; }
+  int[] stack = new int[256];
+  int sp = 0;
+  stack[0] = 0;
+  int shifts = 0; int reduces = 0; int restarts = 0;
+  for (int i = 0; i < ntoks; i = i + 1) {
+    int st = stack[sp];
+    int a = action[st][toks[i]];
+    if (a > 0) {
+      if (sp < 250) { sp = sp + 1; }
+      stack[sp] = a;
+      shifts = shifts + 1;
+    } else { if (a < 0) {
+      int pop = 0 - a;
+      while (pop > 0 && sp > 0) { sp = sp - 1; pop = pop - 1; }
+      reduces = reduces + 1;
+    } else {
+      sp = 0; stack[0] = 0; restarts = restarts + 1;
+    } }
+  }
+  print_int(shifts);
+  print_int(reduces);
+  print_int(restarts);
+  checksum(shifts * 31 + reduces * 7 + restarts);
+}
+|}
+    prng (2500 * scale)
+
+let all ~scale =
+  [
+    ("mtrt", mtrt ~scale);
+    ("jess", jess ~scale);
+    ("compress", compress ~scale);
+    ("db", db ~scale);
+    ("mpegaudio", mpegaudio ~scale);
+    ("jack", jack ~scale);
+    ("javac", javac ~scale);
+  ]

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Builder Cfg List Option Prog Sxe_core Sxe_ir Sxe_lang Sxe_vm Validate

@@ -1,0 +1,1 @@
+test/test_analyze.ml: Alcotest Array Builder Cfg Helpers Instr Int64 List Option Printf Sxe_analysis Sxe_core Sxe_ir Sxe_lang Sxe_vm Validate

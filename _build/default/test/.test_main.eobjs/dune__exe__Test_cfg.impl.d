@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Builder Cfg Instr List Sxe_analysis Sxe_ir

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Builder List Prog String Sxe_codegen Sxe_core Sxe_ir Sxe_lang

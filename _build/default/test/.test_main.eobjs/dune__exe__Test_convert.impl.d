@@ -1,0 +1,1 @@
+test/test_convert.ml: Alcotest Builder Cfg Helpers Instr List Prog String Sxe_core Sxe_ir Sxe_lang Sxe_vm Validate

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Builder Cfg Chains Instr List Liveness QCheck QCheck_alcotest Reaching Sxe_analysis Sxe_ir Sxe_util Test Validate

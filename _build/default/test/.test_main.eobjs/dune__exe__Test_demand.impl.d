@@ -1,0 +1,1 @@
+test/test_demand.ml: Alcotest Builder Cfg Instr List Sxe_core Sxe_ir Validate

@@ -1,0 +1,1 @@
+test/test_differential.ml: Array Builder Gen Helpers Int64 List Printf QCheck QCheck_alcotest String Sxe_core Sxe_ir Sxe_lang Sxe_opt Sxe_vm Test

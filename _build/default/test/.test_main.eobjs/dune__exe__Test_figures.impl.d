@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Helpers Int64 Printf Sxe_core Sxe_ir Sxe_lang Sxe_vm Validate

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Int64 Lazy List String Sxe_harness Sxe_workloads

@@ -1,0 +1,1 @@
+test/test_inline.ml: Alcotest Helpers Int64 List QCheck QCheck_alcotest String Sxe_core Sxe_ir Sxe_lang Sxe_opt Sxe_vm Sxe_workloads

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Cfg Eval Gen Instr Int32 Int64 Printer QCheck QCheck_alcotest String Sxe_ir Test Validate

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Int64 List String Sxe_ir Sxe_lang Sxe_vm

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Builder Cfg Helpers Instr Int32 Int64 List Printf Sxe_ir Sxe_lang Sxe_opt Sxe_vm Validate

@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Builder Cfg Helpers Instr Int64 List QCheck QCheck_alcotest Range Sxe_analysis Sxe_ir Sxe_vm Test

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitset Int List QCheck QCheck_alcotest Set Sxe_util Test Vec

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Builder Hashtbl Helpers Int64 Prog String Sxe_core Sxe_ir Sxe_lang Sxe_vm

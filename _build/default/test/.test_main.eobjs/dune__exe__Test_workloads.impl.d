@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Int64 List Option Sxe_core Sxe_harness Sxe_ir Sxe_lang Sxe_vm Sxe_workloads

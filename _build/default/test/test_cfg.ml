@@ -1,0 +1,136 @@
+(** CFG structure tests: traversal orders, predecessors, dominators,
+    natural loops. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+module B = Builder
+
+(* a diamond:      B0 -> B1, B2 -> B3 *)
+let diamond () =
+  let b, _ = B.create ~name:"diamond" ~params:[ I32 ] ~ret:I32 () in
+  let x = B.iconst b 1 in
+  let b1 = B.new_block b and b2 = B.new_block b and b3 = B.new_block b in
+  B.br b Lt x x ~ifso:b1 ~ifnot:b2;
+  B.switch b b1;
+  B.jmp b b3;
+  B.switch b b2;
+  B.jmp b b3;
+  B.switch b b3;
+  B.retv b I32 x;
+  (B.func b, b1, b2, b3)
+
+(* entry B0 -> header B1 <-> body B2, exit B3; inner loop inside B2? keep
+   simple: B1 -> B2 -> B1 back edge, B1 -> B3 exit. *)
+let simple_loop () =
+  let b, _ = B.create ~name:"loop" ~params:[ I32 ] ~ret:I32 () in
+  let x = B.iconst b 0 in
+  let h = B.new_block b and body = B.new_block b and ex = B.new_block b in
+  B.jmp b h;
+  B.switch b h;
+  B.br b Lt x x ~ifso:body ~ifnot:ex;
+  B.switch b body;
+  B.jmp b h;
+  B.switch b ex;
+  B.retv b I32 x;
+  (B.func b, h, body, ex)
+
+let test_preds_succs () =
+  let f, b1, b2, b3 = diamond () in
+  let preds = Cfg.preds f in
+  Alcotest.(check (list int)) "entry preds" [] preds.(0);
+  Alcotest.(check (list int)) "join preds" (List.sort compare [ b1; b2 ])
+    (List.sort compare preds.(b3));
+  Alcotest.(check (list int)) "entry succs" (List.sort compare [ b1; b2 ])
+    (List.sort compare (Cfg.succs (Cfg.block f 0)))
+
+let test_rpo () =
+  let f, _, _, b3 = diamond () in
+  let rpo = Cfg.rpo f in
+  Alcotest.(check int) "rpo starts at entry" 0 (List.hd rpo);
+  Alcotest.(check int) "rpo ends at exit" b3 (List.nth rpo (List.length rpo - 1));
+  Alcotest.(check int) "all blocks reachable" 4 (List.length rpo)
+
+let test_dominators_diamond () =
+  let f, b1, b2, b3 = diamond () in
+  let dom = Sxe_analysis.Dominator.compute f in
+  Alcotest.(check bool) "entry dominates all" true
+    (Sxe_analysis.Dominator.dominates dom 0 b3);
+  Alcotest.(check bool) "b1 does not dominate join" false
+    (Sxe_analysis.Dominator.dominates dom b1 b3);
+  Alcotest.(check (option int)) "idom of join" (Some 0) (Sxe_analysis.Dominator.idom dom b3);
+  Alcotest.(check (option int)) "idom of b2" (Some 0) (Sxe_analysis.Dominator.idom dom b2)
+
+let test_loops () =
+  let f, h, body, ex = simple_loop () in
+  let loops = Sxe_analysis.Loops.compute f in
+  Alcotest.(check bool) "has loop" true (Sxe_analysis.Loops.in_any_loop loops);
+  Alcotest.(check bool) "header detected" true (Sxe_analysis.Loops.is_header loops h);
+  Alcotest.(check int) "header depth" 1 (Sxe_analysis.Loops.depth loops h);
+  Alcotest.(check int) "body depth" 1 (Sxe_analysis.Loops.depth loops body);
+  Alcotest.(check int) "exit depth" 0 (Sxe_analysis.Loops.depth loops ex);
+  Alcotest.(check int) "entry depth" 0 (Sxe_analysis.Loops.depth loops 0)
+
+let test_nested_loops () =
+  (* B0 -> H1 -> H2 -> B -> H2 (inner back) ; H2 -> H1 (outer back); H1 -> X *)
+  let b, _ = B.create ~name:"nested" ~params:[ I32 ] ~ret:I32 () in
+  let x = B.iconst b 0 in
+  let h1 = B.new_block b and h2 = B.new_block b in
+  let body = B.new_block b and ex = B.new_block b in
+  B.jmp b h1;
+  B.switch b h1;
+  B.br b Lt x x ~ifso:h2 ~ifnot:ex;
+  B.switch b h2;
+  B.br b Lt x x ~ifso:body ~ifnot:h1;
+  B.switch b body;
+  B.jmp b h2;
+  B.switch b ex;
+  B.retv b I32 x;
+  let f = B.func b in
+  let loops = Sxe_analysis.Loops.compute f in
+  Alcotest.(check int) "inner body depth 2" 2 (Sxe_analysis.Loops.depth loops body);
+  Alcotest.(check int) "outer header depth 1" 1 (Sxe_analysis.Loops.depth loops h1);
+  Alcotest.(check int) "max depth" 2 (Sxe_analysis.Loops.max_depth loops)
+
+let test_freq_loop_hotter () =
+  let f, h, body, ex = simple_loop () in
+  let freq = Sxe_analysis.Freq.estimate f in
+  Alcotest.(check bool) "loop body hotter than exit" true (freq.(body) > freq.(ex));
+  Alcotest.(check bool) "header hotter than entry" true (freq.(h) > freq.(0))
+
+let test_freq_profile_overrides () =
+  let f, _, b2, _ = diamond () in
+  (* profile says the else edge is taken 90% of the time *)
+  let edge_prob ~src ~dst = if src = 0 && dst = b2 then Some 0.9 else Some 0.1 in
+  let freq = Sxe_analysis.Freq.estimate ~edge_prob f in
+  Alcotest.(check bool) "profiled edge dominates" true (freq.(b2) > 0.5)
+
+let test_instr_surgery () =
+  let b, _ = B.create ~name:"s" ~params:[] ~ret:I32 () in
+  let x = B.iconst b 1 in
+  let y = B.iconst b 2 in
+  let s = B.add b x y in
+  B.retv b I32 s;
+  let f = B.func b in
+  let blk = Cfg.block f 0 in
+  let n0 = List.length blk.Cfg.body in
+  let mid = List.nth blk.Cfg.body 1 in
+  let extra = Cfg.mk_instr f (Instr.Sext { r = x; from = W32 }) in
+  Cfg.insert_before blk ~anchor:mid.Instr.iid extra;
+  Alcotest.(check int) "insert grows body" (n0 + 1) (List.length blk.Cfg.body);
+  Alcotest.(check int) "inserted at position 1" extra.Instr.iid
+    (List.nth blk.Cfg.body 1).Instr.iid;
+  Alcotest.(check bool) "remove" true (Cfg.remove_instr blk extra.Instr.iid);
+  Alcotest.(check int) "remove shrinks" n0 (List.length blk.Cfg.body);
+  Alcotest.(check bool) "remove missing is false" false (Cfg.remove_instr blk 9999)
+
+let suite =
+  [
+    Alcotest.test_case "preds/succs" `Quick test_preds_succs;
+    Alcotest.test_case "rpo" `Quick test_rpo;
+    Alcotest.test_case "dominators on diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "natural loop" `Quick test_loops;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "freq: loops hotter" `Quick test_freq_loop_hotter;
+    Alcotest.test_case "freq: profile override" `Quick test_freq_profile_overrides;
+    Alcotest.test_case "instruction surgery" `Quick test_instr_surgery;
+  ]

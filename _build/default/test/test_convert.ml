@@ -1,0 +1,125 @@
+(** Step 1 (conversion for a 64-bit architecture) tests: gen-def placement,
+    gen-use placement, architecture-dependent load extension. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+module B = Builder
+
+let count_sext f = Cfg.fold_instrs (fun n _ i -> if Instr.is_sext32 i.Instr.op then n + 1 else n) 0 f
+
+let figure3_ir () =
+  (* the loop of Figure 3, pre-conversion (32-bit form, no extensions) *)
+  let b, params = B.create ~name:"fig3" ~params:[ Ref; I32 ] ~ret:F64 () in
+  let a = List.hd params and start = List.nth params 1 in
+  let t = B.iconst b 0 in
+  let c = B.const b ~ty:I32 0x0fffffffL in
+  let i = B.gload b I32 "mem" in
+  let h = B.new_block b and ex = B.new_block b in
+  B.jmp b h;
+  B.switch b h;
+  let one = B.iconst b 1 in
+  B.binop_to b Sub ~dst:i i one;
+  let j = B.arrload b AI32 a i in
+  B.binop_to b And ~dst:j j c;
+  B.binop_to b Add ~dst:t t j;
+  B.br b Gt i start ~ifso:h ~ifnot:ex;
+  B.switch b ex;
+  let d = B.i2d b t in
+  B.retv b F64 d;
+  B.func b
+
+let test_gen_def_placement () =
+  let f = figure3_ir () in
+  let stats = Sxe_core.Stats.create () in
+  Sxe_core.Convert.run (Sxe_core.Config.baseline ()) f stats;
+  Validate.check f;
+  (* extensions after: gload (1), sub (3), arrload (5), and (7), add (9) —
+     exactly the paper's five (constants and parameters arrive extended) *)
+  Alcotest.(check int) "five extensions generated" 5 stats.Sxe_core.Stats.generated;
+  Alcotest.(check int) "all are in the function" 5 (count_sext f)
+
+let test_gen_def_invariant_under_interp () =
+  (* after gen-def conversion, faithful execution = canonical execution *)
+  let src =
+    {|
+global int mem;
+void main() {
+  mem = 0x7fffff00;
+  int i = mem;
+  i = i + 256;          /* wraps through 2^31 */
+  long l = (long) i;
+  print_long(l);
+  checksum(i);
+}
+|}
+  in
+  let reference = Helpers.reference_outcome src in
+  let prog = Sxe_lang.Frontend.compile src in
+  let stats = Sxe_core.Stats.create () in
+  Prog.iter_funcs (fun f -> Sxe_core.Convert.run (Sxe_core.Config.baseline ()) f stats) prog;
+  Validate.check_prog prog;
+  let out = Sxe_vm.Interp.run ~mode:`Faithful prog in
+  Alcotest.(check bool) "faithful = canonical" true (Sxe_vm.Interp.equivalent reference out);
+  Alcotest.(check string) "wrapped print" "-2147483648" (String.trim out.Sxe_vm.Interp.output)
+
+let test_gen_use_placement () =
+  let f = figure3_ir () in
+  let stats = Sxe_core.Stats.create () in
+  Sxe_core.Convert.run (Sxe_core.Config.gen_use ()) f stats;
+  Validate.check f;
+  (* gen-use inserts before requiring uses: the array subscript and the
+     i2d source *)
+  Alcotest.(check int) "two extensions generated" 2 stats.Sxe_core.Stats.generated
+
+let test_arch_loads () =
+  let f = figure3_ir () in
+  let stats = Sxe_core.Stats.create () in
+  Sxe_core.Convert.run (Sxe_core.Config.baseline ~arch:Sxe_core.Arch.ppc64 ()) f stats;
+  (* on PPC64, lwa sign-extends: the loads are LSign and need no extension
+     after them; only sub / and / add defs get extensions *)
+  let sign_loads = ref 0 in
+  Cfg.iter_instrs
+    (fun _ i ->
+      match i.Instr.op with
+      | Instr.GLoad { lext = LSign; _ } | Instr.ArrLoad { lext = LSign; _ } -> incr sign_loads
+      | _ -> ())
+    f;
+  Alcotest.(check int) "both loads implicit-sign-extend" 2 !sign_loads;
+  Alcotest.(check int) "three extensions generated" 3 stats.Sxe_core.Stats.generated
+
+let test_ppc64_byte_loads_stay_zero () =
+  (* PPC64 has no sign-extending byte load (lbz) *)
+  let b, params = B.create ~name:"f" ~params:[ Ref; I32 ] ~ret:I32 () in
+  let a = List.hd params and i = List.nth params 1 in
+  let v = B.arrload b AI8 a i in
+  B.retv b I32 v;
+  let f = B.func b in
+  let stats = Sxe_core.Stats.create () in
+  Sxe_core.Convert.run (Sxe_core.Config.baseline ~arch:Sxe_core.Arch.ppc64 ()) f stats;
+  Cfg.iter_instrs
+    (fun _ ins ->
+      match ins.Instr.op with
+      | Instr.ArrLoad { elem = AI8; lext; _ } ->
+          Alcotest.(check bool) "byte load zero-extends" true (lext = LZero)
+      | _ -> ())
+    f
+
+let test_gen_use_skips_visibly_extended () =
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:F64 () in
+  let x = B.iconst b 5 in
+  let d = B.i2d b x in
+  B.retv b F64 d;
+  let f = B.func b in
+  let stats = Sxe_core.Stats.create () in
+  Sxe_core.Convert.run (Sxe_core.Config.gen_use ()) f stats;
+  Alcotest.(check int) "constant needs no extension" 0 stats.Sxe_core.Stats.generated
+
+let suite =
+  [
+    Alcotest.test_case "gen-def places Figure 3's extensions" `Quick test_gen_def_placement;
+    Alcotest.test_case "gen-def invariant (wraparound)" `Quick test_gen_def_invariant_under_interp;
+    Alcotest.test_case "gen-use places at requiring uses" `Quick test_gen_use_placement;
+    Alcotest.test_case "ppc64 implicit sign extension" `Quick test_arch_loads;
+    Alcotest.test_case "ppc64 byte loads zero-extend" `Quick test_ppc64_byte_loads_stay_zero;
+    Alcotest.test_case "gen-use local visibility" `Quick test_gen_use_skips_visibly_extended;
+  ]

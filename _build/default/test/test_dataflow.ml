@@ -1,0 +1,216 @@
+(** Reaching definitions and UD/DU chain tests, including the property
+    that incremental chain update under extension deletion matches a full
+    rebuild. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+open Sxe_analysis
+module B = Builder
+
+(* Figure-3-like straight loop for hand-checked chains *)
+let loop_func () =
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let start = List.hd params in
+  let i = B.gload b I32 "mem" in
+  let ext0 = B.sext b i in
+  let h = B.new_block b and ex = B.new_block b in
+  B.jmp b h;
+  B.switch b h;
+  let one = B.iconst b 1 in
+  B.binop_to b Sub ~dst:i i one;
+  let ext1 = B.sext b i in
+  B.br b Gt i start ~ifso:h ~ifnot:ex;
+  B.switch b ex;
+  B.retv b I32 i;
+  (B.func b, i, ext0, ext1)
+
+let test_reaching_and_chains () =
+  let f, i, ext0, ext1 = loop_func () in
+  let chains = Chains.build f in
+  (* defs of i reaching the loop's subtract: entry extension or loop
+     extension *)
+  let blk = Cfg.block f 1 in
+  let sub = List.nth blk.Cfg.body 1 in
+  (match sub.Instr.op with Instr.Binop { op = Sub; _ } -> () | _ -> Alcotest.fail "shape");
+  let defs = Chains.ud_at_instr chains sub i in
+  let keys = List.sort compare (List.map Reaching.def_key defs) in
+  Alcotest.(check (list int)) "defs of i at subtract"
+    (List.sort compare [ ext0.Instr.iid; ext1.Instr.iid ])
+    keys;
+  (* the loop extension's value reaches the branch and the subtract and
+     the return *)
+  let uses = Chains.du_of_instr chains ext1 in
+  Alcotest.(check int) "loop ext reaches 3 uses" 3 (List.length uses)
+
+let test_incremental_deletion_hand () =
+  let f, i, ext0, ext1 = loop_func () in
+  let chains = Chains.build f in
+  Chains.delete_same_reg_def chains ext1;
+  (* now the subtract is reached by the entry ext and by itself (around
+     the back edge) *)
+  let blk = Cfg.block f 1 in
+  let sub = List.hd (List.filter (fun (x : Instr.t) ->
+      match x.Instr.op with Instr.Binop { op = Sub; _ } -> true | _ -> false) blk.Cfg.body)
+  in
+  let defs = Chains.ud_at_instr chains sub i in
+  let keys = List.sort compare (List.map Reaching.def_key defs) in
+  Alcotest.(check (list int)) "rewired defs"
+    (List.sort compare [ ext0.Instr.iid; sub.Instr.iid ])
+    keys;
+  (* the incremental result matches a rebuild on the mutated function *)
+  let rebuilt = Chains.build f in
+  Alcotest.(check bool) "snapshot equal" true (Chains.snapshot chains = Chains.snapshot rebuilt)
+
+(* ------------------------------------------------------------------ *)
+(* Random-CFG property: incremental == rebuild, for every extension     *)
+(* ------------------------------------------------------------------ *)
+
+let build_random ?(allow_justext = true) nregs nblocks (recipe : int list) : Cfg.func =
+  let b, _ = B.create ~name:"rand" ~params:[ I32 ] ~ret:I32 () in
+  let regs = Array.init nregs (fun _ -> B.iconst b 7) in
+  let blocks = Array.make nblocks 0 in
+  for k = 1 to nblocks - 1 do
+    blocks.(k) <- B.new_block b
+  done;
+  let r = ref recipe in
+  let next () =
+    match !r with
+    | [] -> 3
+    | x :: rest ->
+        r := rest;
+        abs x
+  in
+  let reg () = regs.(next () mod nregs) in
+  let fill bid ~is_last =
+    if bid = 0 then () else B.switch b blocks.(bid);
+    let n_instr = next () mod 4 in
+    for _ = 1 to n_instr do
+      match next () mod 5 with
+      | 0 -> ignore (B.sext b (reg ()))
+      | 1 -> B.binop_to b Add ~dst:(reg ()) (reg ()) (reg ())
+      | 2 -> B.mov_to b ~dst:(reg ()) ~src:(reg ()) I32
+      | 3 -> B.binop_to b And ~dst:(reg ()) (reg ()) (reg ())
+      | _ ->
+          (* a JustExt marker's claim is only valid when placed by the
+             compiler; generators of source-level IR must not emit it *)
+          if allow_justext then ignore (B.justext b (reg ()))
+          else B.binop_to b Sub ~dst:(reg ()) (reg ()) (reg ())
+    done;
+    if is_last then B.retv b I32 (reg ())
+    else
+      match next () mod 3 with
+      | 0 -> B.jmp b blocks.(next () mod nblocks)
+      | 1 -> B.retv b I32 (reg ())
+      | _ ->
+          B.br b Lt (reg ()) (reg ())
+            ~ifso:blocks.(next () mod nblocks)
+            ~ifnot:blocks.(next () mod nblocks)
+  in
+  for k = 0 to nblocks - 1 do
+    fill k ~is_last:(k = nblocks - 1)
+  done;
+  let f = B.func b in
+  Validate.check f;
+  f
+
+let all_sexts f =
+  let out = ref [] in
+  Cfg.iter_instrs (fun _ i -> if Instr.is_sext i.Instr.op then out := i :: !out) f;
+  List.rev !out
+
+let prop_incremental_matches_rebuild =
+  let open QCheck in
+  let gen = small_list int in
+  Test.make ~name:"chain deletion: incremental = rebuild" ~count:300 gen (fun recipe ->
+      let f = build_random 4 4 recipe in
+      let chains = Chains.build f in
+      (* delete every extension one by one, checking after each step *)
+      List.for_all
+        (fun ext ->
+          Chains.delete_same_reg_def chains ext;
+          Chains.snapshot chains = Chains.snapshot (Chains.build f))
+        (all_sexts f))
+
+(* property: UD and DU are mutually consistent after a build *)
+let prop_chains_consistent =
+  let open QCheck in
+  Test.make ~name:"UD/DU mutual consistency" ~count:300 (small_list int) (fun recipe ->
+      let f = build_random 5 5 recipe in
+      let chains = Chains.build f in
+      let ok = ref true in
+      Cfg.iter_instrs
+        (fun _ i ->
+          List.iter
+            (fun r ->
+              List.iter
+                (fun d ->
+                  let dus = Chains.du_of_site chains d in
+                  if
+                    not
+                      (List.exists
+                         (function Chains.UIns u -> u.Instr.iid = i.Instr.iid | _ -> false)
+                         dus)
+                  then ok := false)
+                (Chains.ud_at_instr chains i r))
+            (Instr.uses i.Instr.op))
+        f;
+      !ok)
+
+(* -- liveness -------------------------------------------------------- *)
+
+let test_liveness () =
+  let b, params = B.create ~name:"f" ~params:[ I32; I32 ] ~ret:I32 () in
+  let x = List.hd params and y = List.nth params 1 in
+  let t = B.add b x y in
+  let dead = B.add b t t in
+  let s = B.add b t x in
+  B.retv b I32 s;
+  let f = B.func b in
+  let live = Liveness.compute f in
+  (* nothing is live into the entry block beyond the parameters used *)
+  let li = Liveness.live_in live 0 in
+  Alcotest.(check bool) "x live-in" true (Sxe_util.Bitset.mem li x);
+  Alcotest.(check bool) "y live-in" true (Sxe_util.Bitset.mem li y);
+  let after = Liveness.live_after_each live 0 in
+  (* t is live after its definition; the dead add's result is not *)
+  let t_def = List.nth (Cfg.block f 0).Cfg.body 0 in
+  let dead_def = List.nth (Cfg.block f 0).Cfg.body 1 in
+  let after_of iid = List.assoc iid after in
+  Alcotest.(check bool) "t live after def" true (Sxe_util.Bitset.mem (after_of t_def.Instr.iid) t);
+  Alcotest.(check bool) "dead result not live" false
+    (Sxe_util.Bitset.mem (after_of dead_def.Instr.iid) dead);
+  Alcotest.(check bool) "s live at end" true
+    (Sxe_util.Bitset.mem (Liveness.live_out live 0) s = false)
+(* s is consumed by the terminator inside the block; block live-out is
+   empty since there are no successors *)
+
+let test_liveness_across_loop () =
+  let b, params = B.create ~name:"g" ~params:[ I32 ] ~ret:I32 () in
+  let x = List.hd params in
+  let acc = B.iconst b 0 in
+  let h = B.new_block b and body = B.new_block b and ex = B.new_block b in
+  B.jmp b h;
+  B.switch b h;
+  B.br b Lt acc x ~ifso:body ~ifnot:ex;
+  B.switch b body;
+  B.binop_to b Add ~dst:acc acc x;
+  B.jmp b h;
+  B.switch b ex;
+  B.retv b I32 acc;
+  let f = B.func b in
+  let live = Liveness.compute f in
+  (* x is live around the loop; acc is live into the header *)
+  Alcotest.(check bool) "x live into body" true
+    (Sxe_util.Bitset.mem (Liveness.live_in live body) x);
+  Alcotest.(check bool) "acc live into header" true
+    (Sxe_util.Bitset.mem (Liveness.live_in live h) acc)
+
+let suite =
+  [
+    Alcotest.test_case "liveness basics" `Quick test_liveness;
+    Alcotest.test_case "liveness across loop" `Quick test_liveness_across_loop;
+    Alcotest.test_case "reaching defs and chains" `Quick test_reaching_and_chains;
+    Alcotest.test_case "incremental deletion (hand)" `Quick test_incremental_deletion_hand;
+    QCheck_alcotest.to_alcotest prop_incremental_matches_rebuild;
+    QCheck_alcotest.to_alcotest prop_chains_consistent;
+  ]

@@ -1,0 +1,137 @@
+(** Unit tests for the paper's first algorithm (backward demand dataflow),
+    exercising exactly the limitations Section 1 describes. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+module B = Builder
+
+let count_sext = Sxe_core.Eliminate.count_sext32
+
+let run_demand f =
+  let stats = Sxe_core.Stats.create () in
+  Sxe_core.Demand.run f stats;
+  Validate.check f;
+  stats
+
+let test_keeps_latest () =
+  (* two extensions of the same register before one requiring use: only
+     the latest survives (limitation 3's mechanism) *)
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:F64 () in
+  let x = List.hd params in
+  let t = B.gload b I32 "g" in
+  ignore (B.sext b t);
+  B.binop_to b Add ~dst:t t x;
+  ignore (B.sext b t);
+  let d = B.i2d b t in
+  B.retv b F64 d;
+  let f = B.func b in
+  ignore (run_demand f);
+  Alcotest.(check int) "one extension left" 1 (count_sext f);
+  (* and it is the one immediately before the conversion *)
+  let body = (Cfg.block f 0).Cfg.body in
+  let idx_of p =
+    let rec go k = function
+      | [] -> -1
+      | (i : Instr.t) :: rest -> if p i.Instr.op then k else go (k + 1) rest
+    in
+    go 0 body
+  in
+  Alcotest.(check bool) "extension after the add" true
+    (idx_of Instr.is_sext32 > idx_of (function Instr.Binop _ -> true | _ -> false))
+
+let test_no_demand_no_extension () =
+  (* value only feeds wrap-tolerant operations and a 32-bit store: every
+     extension dies *)
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let x = List.hd params in
+  let t = B.gload b I32 "g" in
+  ignore (B.sext b t);
+  B.binop_to b Add ~dst:t t x;
+  ignore (B.sext b t);
+  B.gstore b I32 "h" t;
+  B.retv b I32 x;
+  let f = B.func b in
+  ignore (run_demand f);
+  Alcotest.(check int) "all extensions gone" 0 (count_sext f)
+
+let test_array_subscript_always_demanded () =
+  (* limitation 1: the first algorithm cannot remove a subscript
+     extension, whatever the index's provenance *)
+  let b, params = B.create ~name:"f" ~params:[ Ref ] ~ret:I32 () in
+  let a = List.hd params in
+  let i = B.iconst b 3 in
+  ignore (B.sext b i);
+  let v = B.arrload b AI32 a i in
+  B.retv b I32 v;
+  let f = B.func b in
+  ignore (run_demand f);
+  Alcotest.(check int) "subscript extension kept" 1 (count_sext f)
+
+let test_demand_through_transparent_ops () =
+  (* limitation 2's flip side: demand propagates through add/and chains to
+     the extension that actually feeds them *)
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:F64 () in
+  let t = B.gload b I32 "g" in
+  ignore (B.sext b t);
+  let one = B.iconst b 1 in
+  let u = B.add b t one in
+  let v = B.add b u one in
+  let d = B.i2d b v in
+  B.retv b F64 d;
+  let f = B.func b in
+  ignore (run_demand f);
+  (* the i2d's demand reaches the load's extension through two adds *)
+  Alcotest.(check int) "extension survives the chain" 1 (count_sext f)
+
+let test_kill_at_redefinition () =
+  (* demand dies at a redefinition: an extension before an overwrite is
+     useless even with a requiring use below *)
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:F64 () in
+  let t = B.gload b I32 "g" in
+  ignore (B.sext b t);
+  let z = B.iconst b 5 in
+  B.mov_to b ~dst:t ~src:z I32;
+  let d = B.i2d b t in
+  B.retv b F64 d;
+  let f = B.func b in
+  ignore (run_demand f);
+  Alcotest.(check int) "pre-overwrite extension gone" 0 (count_sext f)
+
+let test_loop_demand () =
+  (* Figure 3's footnote behaviour in miniature: the accumulator's
+     extension stays in the loop because the requiring use follows it *)
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:F64 () in
+  let n = List.hd params in
+  let t = B.iconst b 0 in
+  let i = B.iconst b 0 in
+  let h = B.new_block b and body = B.new_block b and ex = B.new_block b in
+  B.jmp b h;
+  B.switch b h;
+  B.br b Lt i n ~ifso:body ~ifnot:ex;
+  B.switch b body;
+  B.binop_to b Add ~dst:t t i;
+  ignore (B.sext b t);
+  let one = B.iconst b 1 in
+  B.binop_to b Add ~dst:i i one;
+  ignore (B.sext b i);
+  B.jmp b h;
+  B.switch b ex;
+  let d = B.i2d b t in
+  B.retv b F64 d;
+  let f = B.func b in
+  ignore (run_demand f);
+  (* t's extension survives (demanded by the post-loop conversion around
+     the back edge); i's dies (only compares and adds consume it) *)
+  Alcotest.(check int) "exactly one survives" 1 (count_sext f)
+
+let suite =
+  [
+    Alcotest.test_case "keeps the latest extension" `Quick test_keeps_latest;
+    Alcotest.test_case "no demand, no extension" `Quick test_no_demand_no_extension;
+    Alcotest.test_case "array subscripts always demanded" `Quick
+      test_array_subscript_always_demanded;
+    Alcotest.test_case "demand through transparent ops" `Quick
+      test_demand_through_transparent_ops;
+    Alcotest.test_case "kill at redefinition" `Quick test_kill_at_redefinition;
+    Alcotest.test_case "loop demand" `Quick test_loop_demand;
+  ]

@@ -1,0 +1,81 @@
+(** Harness tests: the experiment matrix runner and the paper-style table
+    renderers. *)
+
+let tiny_workload =
+  {
+    Sxe_workloads.Registry.name = "tiny";
+    suite = Sxe_workloads.Registry.Jbytemark;
+    source =
+      {|
+void main() {
+  int n = 20;
+  int[] a = new int[n];
+  for (int k = 0; k < n; k = k + 1) { a[k] = k * 3; }
+  int t = 0;
+  for (int k = 0; k < n; k = k + 1) { t = t + a[k]; }
+  double d = (double) t;
+  checksum_double(d);
+}
+|};
+  }
+
+let matrix = lazy [ ("tiny", Sxe_harness.Experiment.run_workload ~use_profile:false tiny_workload) ]
+
+let test_measurements () =
+  let ms = List.assoc "tiny" (Lazy.force matrix) in
+  Alcotest.(check int) "all twelve variants measured" 12 (List.length ms);
+  List.iter
+    (fun (m : Sxe_harness.Experiment.measurement) ->
+      Alcotest.(check bool) (m.variant ^ " equivalent") true m.equivalent;
+      Alcotest.(check bool) (m.variant ^ " ran") true (Int64.compare m.executed 0L > 0))
+    ms;
+  let base = List.find (fun (m : Sxe_harness.Experiment.measurement) -> m.variant = "baseline") ms in
+  let full =
+    List.find
+      (fun (m : Sxe_harness.Experiment.measurement) -> m.variant = "new algorithm (all)")
+      ms
+  in
+  Alcotest.(check bool) "full <= baseline extensions" true
+    (Int64.compare full.dyn_sext32 base.dyn_sext32 <= 0);
+  Alcotest.(check bool) "full <= baseline cycles" true
+    (Int64.compare full.cycles base.cycles <= 0)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  m = 0 || go 0
+
+let test_dynamic_counts_render () =
+  let s = Sxe_harness.Table.dynamic_counts ~title:"T" (Lazy.force matrix) in
+  Alcotest.(check bool) "title present" true (contains s "T");
+  Alcotest.(check bool) "baseline row" true (contains s "baseline");
+  Alcotest.(check bool) "baseline is 100%" true (contains s "(100.00%)");
+  Alcotest.(check bool) "variant rows" true (contains s "new algorithm (all)");
+  Alcotest.(check bool) "no divergence flag" false (contains s "!DIVERGED")
+
+let test_figure_series_render () =
+  let s = Sxe_harness.Table.figure_series ~title:"F" (Lazy.force matrix) in
+  Alcotest.(check bool) "percent series" true (contains s "100.00");
+  Alcotest.(check bool) "workload column" true (contains s "tiny")
+
+let test_performance_render () =
+  let s = Sxe_harness.Table.performance ~title:"P" (Lazy.force matrix) in
+  Alcotest.(check bool) "improvement cells" true (contains s "+");
+  Alcotest.(check bool) "chosen variants present" true (contains s "first algorithm")
+
+let test_breakdown_render () =
+  let b = Sxe_harness.Experiment.compile_time_breakdown ~repeat:2 tiny_workload in
+  let s = Sxe_harness.Table.breakdowns ~title:"B" [ b ] in
+  Alcotest.(check bool) "bench named" true (contains s "tiny");
+  Alcotest.(check bool) "average row" true (contains s "average");
+  let total = b.signext_pct +. b.chains_pct +. b.others_pct in
+  Alcotest.(check bool) "sums to 100" true (total > 99.0 && total < 101.0)
+
+let suite =
+  [
+    Alcotest.test_case "measurement matrix" `Quick test_measurements;
+    Alcotest.test_case "dynamic-count table renders" `Quick test_dynamic_counts_render;
+    Alcotest.test_case "figure series renders" `Quick test_figure_series_render;
+    Alcotest.test_case "performance table renders" `Quick test_performance_render;
+    Alcotest.test_case "breakdown renders" `Quick test_breakdown_render;
+  ]

@@ -1,0 +1,104 @@
+(** Method-inlining tests: CFG surgery correctness, semantic preservation,
+    and the ABI-boundary-extension effect the ablation bench measures. *)
+
+let kernel =
+  {|
+global int g;
+
+int helper(int x, int y) {
+  if (x > y) { return x - y; }
+  return y - x + g;
+}
+
+int twice(int v) { return helper(v, 7) + helper(9, v); }
+
+void main() {
+  g = 3;
+  long acc = 0L;
+  for (int i = 0; i < 40; i = i + 1) {
+    acc = acc + (long) twice(i);
+  }
+  print_long(acc);
+  checksum(acc);
+}
+|}
+
+let test_inline_preserves_semantics () =
+  let reference = Helpers.reference_outcome kernel in
+  let prog = Sxe_lang.Frontend.compile kernel in
+  Alcotest.(check bool) "something inlined" true (Sxe_opt.Inline.run prog);
+  Sxe_ir.Validate.check_prog prog;
+  let out = Sxe_vm.Interp.run ~mode:`Canonical prog in
+  Alcotest.(check bool) "equivalent after inlining" true
+    (Sxe_vm.Interp.equivalent reference out)
+
+let test_inline_removes_calls () =
+  let prog = Sxe_lang.Frontend.compile kernel in
+  ignore (Sxe_opt.Inline.run prog);
+  let calls_in name =
+    Sxe_ir.Cfg.fold_instrs
+      (fun n _ i ->
+        match i.Sxe_ir.Instr.op with
+        | Sxe_ir.Instr.Call { fn; _ }
+          when not (List.mem fn Sxe_vm.Interp.builtin_names) ->
+            n + 1
+        | _ -> n)
+      0
+      (Sxe_ir.Prog.find_func prog name)
+  in
+  Alcotest.(check int) "twice fully flattened" 0 (calls_in "twice");
+  Alcotest.(check int) "main fully flattened" 0 (calls_in "main")
+
+let test_inline_respects_recursion () =
+  let src =
+    {|
+int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+void main() { print_int(fact(10)); }
+|}
+  in
+  let prog = Sxe_lang.Frontend.compile src in
+  ignore (Sxe_opt.Inline.run prog);
+  Sxe_ir.Validate.check_prog prog;
+  let out = Sxe_vm.Interp.run ~mode:`Canonical prog in
+  Alcotest.(check string) "10!" "3628800" (String.trim out.Sxe_vm.Interp.output)
+
+let test_inline_under_full_pipeline () =
+  let reference = Helpers.reference_outcome kernel in
+  let run config =
+    let prog = Sxe_lang.Frontend.compile kernel in
+    let _ = Sxe_core.Pass.compile config prog in
+    Sxe_ir.Validate.check_prog prog;
+    Sxe_vm.Interp.run ~mode:`Faithful prog
+  in
+  let plain = run (Sxe_core.Config.new_all ()) in
+  let inlined = run (Sxe_core.Config.new_all_inline ()) in
+  Alcotest.(check bool) "plain equivalent" true (Sxe_vm.Interp.equivalent reference plain);
+  Alcotest.(check bool) "inlined equivalent" true (Sxe_vm.Interp.equivalent reference inlined);
+  (* the per-call ABI extensions (arguments + returned int) disappear *)
+  Alcotest.(check bool) "inlining removes boundary extensions" true
+    (Int64.compare inlined.Sxe_vm.Interp.sext32 plain.Sxe_vm.Interp.sext32 < 0)
+
+let prop_inline_equivalent_on_workloads =
+  QCheck.Test.make ~name:"inlining is sound on every workload" ~count:1 QCheck.unit
+    (fun () ->
+      List.for_all
+        (fun (w : Sxe_workloads.Registry.t) ->
+          let reference =
+            Sxe_vm.Interp.run ~mode:`Canonical ~count_cycles:false
+              (Sxe_lang.Frontend.compile w.source)
+          in
+          let prog = Sxe_lang.Frontend.compile w.source in
+          let _ = Sxe_core.Pass.compile (Sxe_core.Config.new_all_inline ()) prog in
+          Sxe_ir.Validate.check_prog prog;
+          let out = Sxe_vm.Interp.run ~mode:`Faithful ~count_cycles:false prog in
+          Sxe_vm.Interp.equivalent reference out)
+        (Sxe_workloads.Registry.all ~scale:1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "inlining preserves semantics" `Quick test_inline_preserves_semantics;
+    Alcotest.test_case "inlining removes calls" `Quick test_inline_removes_calls;
+    Alcotest.test_case "recursion is left alone" `Quick test_inline_respects_recursion;
+    Alcotest.test_case "inlining under the full pipeline" `Quick test_inline_under_full_pipeline;
+    QCheck_alcotest.to_alcotest ~long:true prop_inline_equivalent_on_workloads;
+  ]

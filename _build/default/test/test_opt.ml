@@ -1,0 +1,309 @@
+(** Tests for Step 2's general optimizations: constant folding, copy
+    propagation, local CSE, DCE, edge splitting and lazy code motion. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+module B = Builder
+
+let count_op f pred = Cfg.fold_instrs (fun n _ i -> if pred i.Instr.op then n + 1 else n) 0 f
+
+let is_const = function Instr.Const _ -> true | _ -> false
+let is_sext = Instr.is_sext
+let is_binop = function Instr.Binop _ -> true | _ -> false
+
+let test_constfold_arith () =
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.iconst b 6 in
+  let y = B.iconst b 7 in
+  let m = B.mul b x y in
+  B.retv b I32 m;
+  let f = B.func b in
+  ignore (Sxe_opt.Constfold.run f);
+  Alcotest.(check int) "no binop left" 0 (count_op f is_binop);
+  (* and the result is the right constant *)
+  let p = Helpers.prog_of_func f in
+  let out = Sxe_vm.Interp.run p in
+  Alcotest.(check (option int64)) "folded value" (Some 42L) out.Sxe_vm.Interp.ret
+
+let test_constfold_folds_extension () =
+  (* "the sign extension will be changed to a copy instruction by constant
+     folding" (Section 2) *)
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.iconst b (-5) in
+  ignore (B.sext b x);
+  B.retv b I32 x;
+  let f = B.func b in
+  ignore (Sxe_opt.Constfold.run f);
+  Alcotest.(check int) "extension folded away" 0 (count_op f is_sext)
+
+let test_constfold_wrap () =
+  (* folding is exact for 32-bit wraparound *)
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.const b ~ty:I32 0x7FFFFFFFL in
+  let one = B.iconst b 1 in
+  let s = B.add b x one in
+  ignore (B.sext b s);
+  B.retv b I32 s;
+  let f = B.func b in
+  ignore (Sxe_opt.Constfold.run f);
+  let p = Helpers.prog_of_func f in
+  let out = Sxe_vm.Interp.run p in
+  Alcotest.(check (option int64)) "wrapped" (Some (Int64.of_int32 Int32.min_int))
+    out.Sxe_vm.Interp.ret
+
+let test_constfold_division_guard () =
+  (* a constant division by zero must NOT be folded: the trap is the
+     program's observable behaviour *)
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.iconst b 5 in
+  let z = B.iconst b 0 in
+  let d = B.div b x z in
+  B.retv b I32 d;
+  let f = B.func b in
+  ignore (Sxe_opt.Constfold.run f);
+  Alcotest.(check int) "division kept" 1 (count_op f is_binop);
+  let out = Sxe_vm.Interp.run (Helpers.prog_of_func f) in
+  Alcotest.(check (option string)) "still traps" (Some "division-by-zero")
+    out.Sxe_vm.Interp.trap
+
+let test_constfold_branch () =
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.iconst b 1 in
+  let y = B.iconst b 2 in
+  let t = B.new_block b and e = B.new_block b in
+  B.br b Lt x y ~ifso:t ~ifnot:e;
+  B.switch b t;
+  B.retv b I32 x;
+  B.switch b e;
+  B.retv b I32 y;
+  let f = B.func b in
+  ignore (Sxe_opt.Constfold.run f);
+  (match (Cfg.block f 0).Cfg.term with
+  | Instr.Jmp l -> Alcotest.(check int) "branch folded to taken side" t l
+  | _ -> Alcotest.fail "branch not folded");
+  ignore (Sxe_opt.Simplify.run f);
+  Alcotest.(check bool) "unreachable emptied" true ((Cfg.block f e).Cfg.body = [])
+
+let test_copyprop () =
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let x = List.hd params in
+  let c = B.mov b ~ty:I32 x in
+  let c2 = B.mov b ~ty:I32 c in
+  let s = B.add b c2 c2 in
+  B.retv b I32 s;
+  let f = B.func b in
+  ignore (Sxe_opt.Copyprop.run f);
+  (* the add now reads the original register *)
+  let found = ref false in
+  Cfg.iter_instrs
+    (fun _ i ->
+      match i.Instr.op with
+      | Instr.Binop { op = Add; l; r; _ } when l = x && r = x -> found := true
+      | _ -> ())
+    f;
+  Alcotest.(check bool) "copies propagated transitively" true !found
+
+let test_dce () =
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let x = List.hd params in
+  let dead1 = B.iconst b 5 in
+  let _dead2 = B.add b dead1 dead1 in
+  B.retv b I32 x;
+  let f = B.func b in
+  ignore (Sxe_opt.Dce.run f);
+  Alcotest.(check int) "dead chain removed" 0 (Cfg.instr_count f)
+
+let test_dce_keeps_effects () =
+  let b, params = B.create ~name:"f" ~params:[ Ref; I32 ] ~ret:I32 () in
+  let a = List.hd params and i = List.nth params 1 in
+  let _unused_load = B.arrload b AI32 a i in
+  B.retv b I32 i;
+  let f = B.func b in
+  ignore (Sxe_opt.Dce.run f);
+  Alcotest.(check int) "throwing load kept" 1 (Cfg.instr_count f)
+
+let test_localcse () =
+  let b, params = B.create ~name:"f" ~params:[ I32; I32 ] ~ret:I32 () in
+  let x = List.hd params and y = List.nth params 1 in
+  let a1 = B.add b x y in
+  let a2 = B.add b y x in
+  (* commutative: same expression *)
+  let s = B.add b a1 a2 in
+  B.retv b I32 s;
+  let f = B.func b in
+  ignore (Sxe_opt.Localcse.run f);
+  ignore (Sxe_opt.Copyprop.run f);
+  ignore (Sxe_opt.Dce.run f);
+  Alcotest.(check int) "one add eliminated" 2 (count_op f is_binop)
+
+let test_localcse_double_extension () =
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let x = List.hd params in
+  ignore (B.sext b x);
+  ignore (B.sext b x);
+  B.retv b I32 x;
+  let f = B.func b in
+  ignore (Sxe_opt.Localcse.run f);
+  Alcotest.(check int) "second extension dropped" 1 (count_op f is_sext)
+
+let test_localcse_respects_redef () =
+  (* x is overwritten from elsewhere between the two adds: the second
+     add(x, y) computes a different value and must stay *)
+  let b, params = B.create ~name:"f" ~params:[ I32; I32; I32 ] ~ret:I32 () in
+  let x = List.hd params and y = List.nth params 1 and z = List.nth params 2 in
+  let a1 = B.add b x y in
+  B.mov_to b ~dst:x ~src:z I32;
+  let a2 = B.add b x y in
+  let s = B.add b a1 a2 in
+  B.retv b I32 s;
+  let f = B.func b in
+  ignore (Sxe_opt.Localcse.run f);
+  Alcotest.(check int) "no folding across redefinition" 3 (count_op f is_binop);
+  (* whereas i = i + 1 immediately after an identical add IS redundant *)
+  let b2, params2 = B.create ~name:"g" ~params:[ I32; I32 ] ~ret:I32 () in
+  let p = List.hd params2 and q = List.nth params2 1 in
+  let c1 = B.add b2 p q in
+  B.binop_to b2 Add ~dst:p p q;
+  B.retv b2 I32 c1;
+  let g = B.func b2 in
+  ignore (Sxe_opt.Localcse.run g);
+  ignore p;
+  Alcotest.(check int) "pre-redefinition occurrence folded" 1 (count_op g is_binop)
+
+let test_deadstore () =
+  (* an overwritten-before-read definition: DU chains alone cannot remove
+     it (the register has later uses of the other definition) *)
+  let b, params = B.create ~name:"f" ~params:[ I32; I32 ] ~ret:I32 () in
+  let x = List.hd params and y = List.nth params 1 in
+  let t = B.fresh b I32 in
+  B.binop_to b Add ~dst:t x y;
+  (* dead: t overwritten below before any read *)
+  B.binop_to b Mul ~dst:t x y;
+  let s = B.add b t x in
+  B.retv b I32 s;
+  let f = B.func b in
+  ignore (Sxe_opt.Deadstore.run f);
+  Alcotest.(check int) "dead add removed" 2 (count_op f is_binop);
+  (* semantics: result is x*y + x *)
+  let caller, _ = B.create ~name:"main" ~params:[] () in
+  let a3 = B.iconst caller 3 and a4 = B.iconst caller 4 in
+  (match B.call caller ~ret:I32 "f" [ (a3, I32); (a4, I32) ] with
+  | Some r -> ignore (B.call caller "checksum" [ (r, I32) ])
+  | None -> assert false);
+  B.ret caller;
+  let p = Helpers.prog_of_func f in
+  Sxe_ir.Prog.add_func p (B.func caller);
+  p.Sxe_ir.Prog.main <- "main";
+  let out = Sxe_vm.Interp.run p in
+  Alcotest.(check int64) "value preserved" 15L out.Sxe_vm.Interp.checksum
+
+let test_deadstore_keeps_live () =
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let x = List.hd params in
+  let t = B.add b x x in
+  B.retv b I32 t;
+  let f = B.func b in
+  ignore (Sxe_opt.Deadstore.run f);
+  Alcotest.(check int) "live def kept" 1 (count_op f is_binop)
+
+let test_split_edges () =
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let x = List.hd params in
+  (* a critical edge: B0 branches to B1 and B2; B1 jumps to B2 (B2 has two
+     preds, B0 has two succs: B0->B2 is critical) *)
+  let b1 = B.new_block b and b2 = B.new_block b in
+  B.br b Lt x x ~ifso:b1 ~ifnot:b2;
+  B.switch b b1;
+  B.jmp b b2;
+  B.switch b b2;
+  B.retv b I32 x;
+  let f = B.func b in
+  Sxe_opt.Split_edges.run f;
+  (* entry must now be empty with a single successor *)
+  let entry = Cfg.block f (Cfg.entry f) in
+  Alcotest.(check bool) "entry empty" true (entry.Cfg.body = []);
+  Alcotest.(check int) "entry single succ" 1 (List.length (Cfg.succs entry));
+  (* no critical edges remain *)
+  let preds = Cfg.preds f in
+  Cfg.iter_blocks
+    (fun blk ->
+      let ss = Cfg.succs blk in
+      if List.length ss > 1 then
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (Printf.sprintf "edge B%d->B%d uncritical" blk.Cfg.bid s)
+              true
+              (List.length preds.(s) <= 1))
+          ss)
+    f
+
+let test_lcm_hoists_invariant () =
+  (* t = x*y recomputed inside a loop with x,y invariant: LCM moves it out *)
+  let src =
+    {|
+void main() {
+  int x = 12345; int y = 678; int acc = 0;
+  int i = 0;
+  while (i < 50) { acc = acc + (x * y); i = i + 1; }
+  checksum(acc);
+}
+|}
+  in
+  let reference = Helpers.reference_outcome src in
+  let prog = Sxe_lang.Frontend.compile src in
+  Sxe_opt.Pipeline.run prog;
+  Validate.check_prog prog;
+  let out = Sxe_vm.Interp.run ~mode:`Canonical prog in
+  Alcotest.(check bool) "semantics preserved" true (Sxe_vm.Interp.equivalent reference out)
+
+let test_pipeline_preserves_figure3 () =
+  (* the full Step-2 pipeline on a loop-heavy function is semantics
+     preserving under the faithful machine after Step 1 *)
+  let src =
+    {|
+global int mem;
+void main() {
+  int n = 64;
+  int[] a = new int[n];
+  int k = 0;
+  while (k < n) { a[k] = k * 1103515245 + 12345; k = k + 1; }
+  mem = n;
+  int t = 0;
+  int i = mem;
+  do {
+    i = i - 1;
+    int j = a[i];
+    j = j & 0x0fffffff;
+    t += j;
+  } while (i > 0);
+  print_int(t);
+  checksum(t);
+}
+|}
+  in
+  let results = Helpers.check_all_variants ~name:"figure3-ish" src in
+  (* baseline executes strictly more extensions than the full algorithm *)
+  let base = Helpers.dyn_of results "baseline" in
+  let full = Helpers.dyn_of results "new algorithm (all)" in
+  Alcotest.(check bool) "full <= baseline" true (Int64.compare full base <= 0)
+
+let suite =
+  [
+    Alcotest.test_case "constfold arithmetic" `Quick test_constfold_arith;
+    Alcotest.test_case "constfold folds extension" `Quick test_constfold_folds_extension;
+    Alcotest.test_case "constfold 32-bit wrap" `Quick test_constfold_wrap;
+    Alcotest.test_case "constfold keeps div-by-zero" `Quick test_constfold_division_guard;
+    Alcotest.test_case "constfold folds branch" `Quick test_constfold_branch;
+    Alcotest.test_case "copy propagation" `Quick test_copyprop;
+    Alcotest.test_case "dce removes dead chain" `Quick test_dce;
+    Alcotest.test_case "dce keeps effects" `Quick test_dce_keeps_effects;
+    Alcotest.test_case "local cse (commutative)" `Quick test_localcse;
+    Alcotest.test_case "local cse drops re-extension" `Quick test_localcse_double_extension;
+    Alcotest.test_case "local cse respects redefinition" `Quick test_localcse_respects_redef;
+    Alcotest.test_case "dead store elimination" `Quick test_deadstore;
+    Alcotest.test_case "dead store keeps live defs" `Quick test_deadstore_keeps_live;
+    Alcotest.test_case "edge splitting" `Quick test_split_edges;
+    Alcotest.test_case "lcm preserves semantics" `Quick test_lcm_hoists_invariant;
+    Alcotest.test_case "pipeline on figure-3 loop" `Quick test_pipeline_preserves_figure3;
+  ]

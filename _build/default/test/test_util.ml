@@ -1,0 +1,111 @@
+(** Unit and property tests for the container substrate (Vec, Bitset). *)
+
+open Sxe_util
+
+let test_vec_basics () =
+  let v = Vec.create ~dummy:0 () in
+  Alcotest.(check int) "empty length" 0 (Vec.length v);
+  let i0 = Vec.push v 10 in
+  let i1 = Vec.push v 20 in
+  Alcotest.(check int) "first index" 0 i0;
+  Alcotest.(check int) "second index" 1 i1;
+  Alcotest.(check int) "get" 20 (Vec.get v 1);
+  Vec.set v 0 99;
+  Alcotest.(check int) "set/get" 99 (Vec.get v 0);
+  Alcotest.(check (list int)) "to_list" [ 99; 20 ] (Vec.to_list v)
+
+let test_vec_growth () =
+  let v = Vec.create ~capacity:1 ~dummy:(-1) () in
+  for i = 0 to 999 do
+    ignore (Vec.push v i)
+  done;
+  Alcotest.(check int) "length after growth" 1000 (Vec.length v);
+  for i = 0 to 999 do
+    assert (Vec.get v i = i)
+  done;
+  Alcotest.(check int) "fold sum" (999 * 1000 / 2) (Vec.fold ( + ) 0 v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec: index 3 out of bounds (len 3)")
+    (fun () -> ignore (Vec.get v 3))
+
+let test_bitset_basics () =
+  let s = Bitset.create 130 in
+  Alcotest.(check bool) "initially empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 64;
+  Bitset.add s 129;
+  Alcotest.(check bool) "mem 64" true (Bitset.mem s 64);
+  Alcotest.(check bool) "not mem 63" false (Bitset.mem s 63);
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  Bitset.remove s 64;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 64);
+  Alcotest.(check (list int)) "elements sorted" [ 0; 129 ] (Bitset.elements s)
+
+let test_bitset_fill () =
+  let s = Bitset.create 67 in
+  Bitset.fill s;
+  Alcotest.(check int) "fill cardinal" 67 (Bitset.cardinal s);
+  Alcotest.(check bool) "last element" true (Bitset.mem s 66)
+
+let test_bitset_ops () =
+  let a = Bitset.create 100 and b = Bitset.create 100 in
+  List.iter (Bitset.add a) [ 1; 2; 3; 50 ];
+  List.iter (Bitset.add b) [ 2; 3; 4; 99 ];
+  let u = Bitset.copy a in
+  ignore (Bitset.union_into ~dst:u b);
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 50; 99 ] (Bitset.elements u);
+  let i = Bitset.copy a in
+  ignore (Bitset.inter_into ~dst:i b);
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.elements i);
+  let d = Bitset.copy a in
+  ignore (Bitset.diff_into ~dst:d b);
+  Alcotest.(check (list int)) "diff" [ 1; 50 ] (Bitset.elements d);
+  (* change reporting *)
+  let c = Bitset.copy a in
+  Alcotest.(check bool) "no-change union" false (Bitset.union_into ~dst:c a);
+  Alcotest.(check bool) "changing union" true (Bitset.union_into ~dst:c b)
+
+let test_bitset_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 11 in
+  Alcotest.check_raises "universe mismatch" (Invalid_argument "Bitset: universe mismatch")
+    (fun () -> ignore (Bitset.union_into ~dst:a b))
+
+(* property: bitset ops agree with a reference implementation over int sets *)
+let prop_bitset_model =
+  let open QCheck in
+  Test.make ~name:"bitset agrees with set model" ~count:200
+    (triple (list (int_bound 127)) (list (int_bound 127)) (list (int_bound 127)))
+    (fun (xs, ys, zs) ->
+      let module S = Set.Make (Int) in
+      let mk l =
+        let s = Bitset.create 128 in
+        List.iter (Bitset.add s) l;
+        s
+      in
+      let a = mk xs and b = mk ys in
+      List.iter (Bitset.remove a) zs;
+      let sa = S.diff (S.of_list xs) (S.of_list zs) and sb = S.of_list ys in
+      let u = Bitset.copy a in
+      ignore (Bitset.union_into ~dst:u b);
+      let i = Bitset.copy a in
+      ignore (Bitset.inter_into ~dst:i b);
+      let d = Bitset.copy a in
+      ignore (Bitset.diff_into ~dst:d b);
+      Bitset.elements u = S.elements (S.union sa sb)
+      && Bitset.elements i = S.elements (S.inter sa sb)
+      && Bitset.elements d = S.elements (S.diff sa sb)
+      && Bitset.cardinal a = S.cardinal sa)
+
+let suite =
+  [
+    Alcotest.test_case "vec basics" `Quick test_vec_basics;
+    Alcotest.test_case "vec growth" `Quick test_vec_growth;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+    Alcotest.test_case "bitset fill" `Quick test_bitset_fill;
+    Alcotest.test_case "bitset ops" `Quick test_bitset_ops;
+    Alcotest.test_case "bitset mismatch" `Quick test_bitset_mismatch;
+    QCheck_alcotest.to_alcotest prop_bitset_model;
+  ]

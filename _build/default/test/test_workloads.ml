@@ -1,0 +1,100 @@
+(** Integration tests over the seventeen benchmark kernels: every workload
+    compiles, runs trap-free, and behaves identically under every variant;
+    the full algorithm eliminates a large share of dynamic extensions on
+    the array-heavy programs. *)
+
+let fuel = 500_000_000L
+
+let reference (w : Sxe_workloads.Registry.t) =
+  let prog = Sxe_lang.Frontend.compile w.source in
+  Sxe_vm.Interp.run ~mode:`Canonical ~fuel ~count_cycles:false prog
+
+let compile_and_run config (w : Sxe_workloads.Registry.t) =
+  let prog = Sxe_lang.Frontend.compile w.source in
+  let stats = Sxe_core.Pass.compile config prog in
+  Sxe_ir.Validate.check_prog prog;
+  (Sxe_vm.Interp.run ~mode:`Faithful ~fuel ~count_cycles:false prog, stats)
+
+let quick_variants () =
+  [
+    Sxe_core.Config.baseline ();
+    Sxe_core.Config.gen_use ();
+    Sxe_core.Config.first_algorithm ();
+    Sxe_core.Config.new_all ();
+  ]
+
+let test_workload (w : Sxe_workloads.Registry.t) () =
+  let r = reference w in
+  Alcotest.(check (option string)) (w.name ^ " runs trap-free") None r.Sxe_vm.Interp.trap;
+  List.iter
+    (fun config ->
+      let out, _ = compile_and_run config w in
+      if not (Sxe_vm.Interp.equivalent r out) then
+        Alcotest.failf "%s under %s diverges (trap=%s vs %s)" w.name
+          config.Sxe_core.Config.name
+          (Option.value ~default:"none" out.Sxe_vm.Interp.trap)
+          (Option.value ~default:"none" r.Sxe_vm.Interp.trap))
+    (quick_variants ())
+
+let test_full_matrix_on_compress () =
+  let w = Sxe_workloads.Registry.find ~scale:1 "compress" in
+  let ms = Sxe_harness.Experiment.run_workload ~use_profile:true w in
+  List.iter
+    (fun (m : Sxe_harness.Experiment.measurement) ->
+      Alcotest.(check bool) (m.variant ^ " equivalent") true m.equivalent)
+    ms;
+  let find v = List.find (fun (m : Sxe_harness.Experiment.measurement) -> m.variant = v) ms in
+  let base = (find "baseline").dyn_sext32 in
+  let full = (find "new algorithm (all)").dyn_sext32 in
+  Alcotest.(check bool) "large elimination on compress" true
+    (Int64.to_float full < 0.5 *. Int64.to_float base)
+
+let test_full_matrix_on_numeric_sort () =
+  let w = Sxe_workloads.Registry.find ~scale:1 "Numeric Sort" in
+  let ms = Sxe_harness.Experiment.run_workload ~use_profile:true w in
+  List.iter
+    (fun (m : Sxe_harness.Experiment.measurement) ->
+      Alcotest.(check bool) (m.variant ^ " equivalent") true m.equivalent)
+    ms;
+  let find v = List.find (fun (m : Sxe_harness.Experiment.measurement) -> m.variant = v) ms in
+  (* monotone structure: ud/du with everything <= array-only <= baseline *)
+  let base = (find "baseline").dyn_sext32 in
+  let arr = (find "array").dyn_sext32 in
+  let full = (find "new algorithm (all)").dyn_sext32 in
+  Alcotest.(check bool) "array <= baseline" true (Int64.compare arr base <= 0);
+  Alcotest.(check bool) "full <= array" true (Int64.compare full arr <= 0)
+
+let test_compile_time_breakdown () =
+  let w = Sxe_workloads.Registry.find ~scale:1 "db" in
+  let b = Sxe_harness.Experiment.compile_time_breakdown ~repeat:2 w in
+  let total = b.signext_pct +. b.chains_pct +. b.others_pct in
+  Alcotest.(check bool) "percentages sum to ~100" true (total > 99.0 && total < 101.0);
+  Alcotest.(check bool) "signext share below half" true (b.signext_pct < 50.0)
+
+let test_scaled_workload () =
+  (* the scale knob grows inputs without breaking determinism *)
+  let w1 = Sxe_workloads.Registry.find ~scale:1 "Huffman" in
+  let w3 = Sxe_workloads.Registry.find ~scale:3 "Huffman" in
+  let r1 = reference w1 and r3 = reference w3 in
+  Alcotest.(check (option string)) "scale 1 clean" None r1.Sxe_vm.Interp.trap;
+  Alcotest.(check (option string)) "scale 3 clean" None r3.Sxe_vm.Interp.trap;
+  Alcotest.(check bool) "scale 3 does more work" true
+    (Int64.compare r3.Sxe_vm.Interp.executed r1.Sxe_vm.Interp.executed > 0);
+  let out3, _ = compile_and_run (Sxe_core.Config.new_all ()) w3 in
+  Alcotest.(check bool) "scaled optimized equivalent" true (Sxe_vm.Interp.equivalent r3 out3)
+
+let suite =
+  List.map
+    (fun (w : Sxe_workloads.Registry.t) ->
+      Alcotest.test_case ("workload " ^ w.name) `Slow (test_workload w))
+    (Sxe_workloads.Registry.all ~scale:1 ())
+  @ List.map
+      (fun (w : Sxe_workloads.Registry.t) ->
+        Alcotest.test_case ("extra " ^ w.name) `Slow (test_workload w))
+      (Sxe_workloads.Registry.extras ~scale:1 ())
+  @ [
+      Alcotest.test_case "full matrix: compress" `Slow test_full_matrix_on_compress;
+      Alcotest.test_case "full matrix: Numeric Sort" `Slow test_full_matrix_on_numeric_sort;
+      Alcotest.test_case "compile-time breakdown" `Slow test_compile_time_breakdown;
+      Alcotest.test_case "scaled workload" `Slow test_scaled_workload;
+    ]
