@@ -5,7 +5,9 @@
      run       compile and execute on the 64-bit machine model
      variants  compare all paper variants on one file
      workloads list the built-in benchmark programs
-     emit      compile and print pseudo-assembly for IA64 or PPC64 *)
+     emit      compile and print pseudo-assembly for IA64 or PPC64
+     fuzz      differential fuzzing of every variant against the reference
+               semantics, with shrinking and corpus replay *)
 
 open Cmdliner
 
@@ -247,7 +249,180 @@ let emit_cmd =
     (Cmd.info "emit" ~doc)
     Term.(const run $ file_arg $ variant_arg $ arch_arg $ maxlen_arg)
 
+(* -- fuzz ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let doc =
+    "Differentially fuzz every optimizer variant against the reference semantics."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates random MiniJ programs and raw IR control-flow graphs (plus \
+         mutated versions of the latter), compiles each under every paper variant, \
+         runs them on the 64-bit machine model, and reports any observable \
+         divergence from the canonical 32-bit reference semantics. Failures are \
+         minimized by a greedy structural shrinker and, with $(b,--corpus), \
+         persisted and replayed as a regression set. See docs/FUZZING.md.";
+    ]
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Number of cases.")
+  in
+  let mutate_n_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "mutate" ] ~docv:"N"
+          ~doc:"Mutations applied per mutated-IR case (0 disables the mutation stage).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Corpus directory: entries are replayed as a regression set before \
+             fuzzing, and new minimized failures are persisted there.")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt (enum [ ("mix", `Mix); ("minij", `Minij); ("ir", `Ir); ("mutated", `Mutated) ]) `Mix
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Case kind: minij (source programs), ir (raw CFGs), mutated, or mix.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "size" ] ~docv:"N" ~doc:"Size knob for generated MiniJ programs.")
+  in
+  let replay_arg =
+    Arg.(
+      value & flag
+      & info [ "replay" ] ~doc:"Only replay the corpus; generate no new cases.")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures without minimizing.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"BUG"
+          ~doc:
+            "Self-test: sabotage every compiled variant with a deliberate bug \
+             (skip-div-extend, skip-add-extend, drop-all-extends) and verify the \
+             oracle catches it.")
+  in
+  let both_arch_arg =
+    Arg.(
+      value & flag
+      & info [ "both-arches" ] ~doc:"Check the PPC64 model in addition to IA64.")
+  in
+  let run seed count mutations corpus kind size replay no_shrink inject arch both =
+    let sabotage =
+      match inject with
+      | None -> None
+      | Some s -> (
+          match Sxe_fuzz.Inject.of_string s with
+          | Some b -> Some b
+          | None ->
+              Printf.eprintf "error: unknown bug %S\n" s;
+              exit 2)
+    in
+    let archs = if both then [ Sxe_core.Arch.ia64; Sxe_core.Arch.ppc64 ] else [ arch ] in
+    let kinds =
+      match kind with
+      | `Mix -> [ Sxe_fuzz.Driver.Minij_case; Ir_case; Mutated_case ]
+      | `Minij -> [ Sxe_fuzz.Driver.Minij_case ]
+      | `Ir -> [ Sxe_fuzz.Driver.Ir_case ]
+      | `Mutated -> [ Sxe_fuzz.Driver.Mutated_case ]
+    in
+    let failed = ref false in
+    (match corpus with
+    | (None | Some _) when replay && corpus = None ->
+        Printf.eprintf "error: --replay requires --corpus DIR\n";
+        exit 2
+    | Some dir when not (Sys.file_exists dir) && replay ->
+        Printf.eprintf "error: corpus directory %S does not exist\n" dir;
+        exit 2
+    | _ -> ());
+    (* 1. corpus replay: the regression set must stay green *)
+    (match corpus with
+    | Some dir when Sys.file_exists dir ->
+        let results =
+          Sxe_fuzz.Driver.replay ~archs ?sabotage:(Option.map Sxe_fuzz.Inject.apply sabotage) dir
+        in
+        let n = List.length (Sxe_fuzz.Corpus.load_dir dir) in
+        if results = [] then Printf.printf "corpus: %d entries replayed, all green\n%!" n
+        else begin
+          failed := true;
+          List.iter
+            (fun (name, fs) ->
+              Printf.printf "corpus: %s FAILS\n" name;
+              List.iter
+                (fun f -> Format.printf "  %a@." Sxe_fuzz.Oracle.pp_failure f)
+                fs)
+            results
+        end
+    | _ -> ());
+    (* 2. fresh campaign *)
+    if not replay then begin
+      let o =
+        {
+          Sxe_fuzz.Driver.default_options with
+          seed;
+          count;
+          mutations;
+          kinds;
+          archs;
+          size;
+          corpus_dir = corpus;
+          sabotage;
+          shrink = not no_shrink;
+          log = (fun s -> Printf.printf "%s\n%!" s);
+        }
+      in
+      let report = Sxe_fuzz.Driver.run o in
+      Printf.printf
+        "fuzz: %d cases (%d minij, %d ir, %d mutated), %d failing\n%!"
+        report.Sxe_fuzz.Driver.cases report.minij_cases report.ir_cases
+        report.mutated_cases
+        (List.length report.failures);
+      List.iter
+        (fun (fr : Sxe_fuzz.Driver.failure_report) ->
+          failed := true;
+          Printf.printf "\n== case %d (%s, seed %d) ==\n" fr.index
+            (Sxe_fuzz.Driver.string_of_kind fr.kind)
+            fr.case_seed;
+          List.iter (fun f -> Format.printf "  %a@." Sxe_fuzz.Oracle.pp_failure f) fr.failures;
+          (match fr.shrunk with
+          | Some p ->
+              Printf.printf "shrunk to %d instructions:\n%s\n"
+                (Sxe_fuzz.Shrink.instr_total p)
+                (Sxe_ir.Printer.prog_to_string p)
+          | None -> ());
+          match fr.saved with
+          | Some path -> Printf.printf "saved: %s\n" path
+          | None -> ())
+        report.failures
+    end;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      const run $ seed_arg $ count_arg $ mutate_n_arg $ corpus_arg $ kind_arg $ size_arg
+      $ replay_arg $ no_shrink_arg $ inject_arg $ arch_arg $ both_arch_arg)
+
 let () =
   let doc = "effective sign extension elimination (PLDI 2002) — reference implementation" in
   let info = Cmd.info "sxopt" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; variants_cmd; workloads_cmd; emit_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; run_cmd; variants_cmd; workloads_cmd; emit_cmd; fuzz_cmd ]))

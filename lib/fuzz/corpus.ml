@@ -1,0 +1,372 @@
+(** Corpus persistence: minimized failures (and interesting seeds) are
+    written to a directory and replayed as a regression set.
+
+    Two entry kinds, distinguished by extension:
+    - [NAME.minij] — MiniJ source text, compiled through the frontend;
+    - [NAME.sxir] — a raw IR program in the line-oriented format below,
+      which round-trips exactly (including [has_loop_hint] and register
+      types, which the optimizer's behaviour depends on).
+
+    The [.sxir] grammar is one token-separated line per instruction,
+    mirroring the {!Sxe_ir.Instr.op} constructors; lines starting with
+    [#] are comments. Instruction ids are regenerated on load — only the
+    order matters. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+open Sxe_ir.Instr
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* -- token spellings ------------------------------------------------- *)
+
+let ty_of_string = function
+  | "i32" -> I32
+  | "i64" -> I64
+  | "f64" -> F64
+  | "ref" -> Ref
+  | s -> fail "bad type %S" s
+
+let width_of_string = function
+  | "8" -> W8
+  | "16" -> W16
+  | "32" -> W32
+  | "64" -> W64
+  | s -> fail "bad width %S" s
+
+let aelem_of_string = function
+  | "i8" -> AI8
+  | "i16" -> AI16
+  | "i32" -> AI32
+  | "i64" -> AI64
+  | "f64" -> AF64
+  | "ref" -> ARef
+  | s -> fail "bad element type %S" s
+
+let cond_of_string = function
+  | "eq" -> Eq
+  | "ne" -> Ne
+  | "lt" -> Lt
+  | "le" -> Le
+  | "gt" -> Gt
+  | "ge" -> Ge
+  | s -> fail "bad condition %S" s
+
+let binop_of_string = function
+  | "add" -> Add
+  | "sub" -> Sub
+  | "mul" -> Mul
+  | "div" -> Div
+  | "rem" -> Rem
+  | "and" -> And
+  | "or" -> Or
+  | "xor" -> Xor
+  | "shl" -> Shl
+  | "ashr" -> AShr
+  | "lshr" -> LShr
+  | s -> fail "bad binop %S" s
+
+let unop_of_string = function
+  | "neg" -> Neg
+  | "not" -> Not
+  | s -> fail "bad unop %S" s
+
+let fbinop_of_string = function
+  | "fadd" -> FAdd
+  | "fsub" -> FSub
+  | "fmul" -> FMul
+  | "fdiv" -> FDiv
+  | s -> fail "bad fbinop %S" s
+
+let string_of_lext = function LZero -> "zero" | LSign -> "sign"
+
+let lext_of_string = function
+  | "zero" -> LZero
+  | "sign" -> LSign
+  | s -> fail "bad load extension %S" s
+
+(* -- writing ---------------------------------------------------------- *)
+
+let string_of_op (op : op) : string =
+  let r = string_of_int in
+  let spaced l = String.concat " " l in
+  match op with
+  | Const { dst; ty; v } -> spaced [ "const"; r dst; string_of_ty ty; Int64.to_string v ]
+  | FConst { dst; v } -> spaced [ "fconst"; r dst; Printf.sprintf "%Lx" (Int64.bits_of_float v) ]
+  | Mov { dst; src; ty } -> spaced [ "mov"; r dst; r src; string_of_ty ty ]
+  | Unop { dst; op; src; w } ->
+      spaced [ "unop"; r dst; string_of_unop op; r src; string_of_width w ]
+  | Binop { dst; op; l; r = rr; w } ->
+      spaced [ "binop"; r dst; string_of_binop op; r l; r rr; string_of_width w ]
+  | Cmp { dst; cond; l; r = rr; w } ->
+      spaced [ "cmp"; r dst; string_of_cond cond; r l; r rr; string_of_width w ]
+  | Sext { r = rr; from } -> spaced [ "sext"; r rr; string_of_width from ]
+  | Zext { r = rr; from } -> spaced [ "zext"; r rr; string_of_width from ]
+  | JustExt { r = rr } -> spaced [ "justext"; r rr ]
+  | FBinop { dst; op; l; r = rr } ->
+      spaced [ "fbinop"; r dst; string_of_fbinop op; r l; r rr ]
+  | FNeg { dst; src } -> spaced [ "fneg"; r dst; r src ]
+  | FCmp { dst; cond; l; r = rr } ->
+      spaced [ "fcmp"; r dst; string_of_cond cond; r l; r rr ]
+  | I2D { dst; src } -> spaced [ "i2d"; r dst; r src ]
+  | L2D { dst; src } -> spaced [ "l2d"; r dst; r src ]
+  | D2I { dst; src } -> spaced [ "d2i"; r dst; r src ]
+  | D2L { dst; src } -> spaced [ "d2l"; r dst; r src ]
+  | NewArr { dst; elem; len } -> spaced [ "newarr"; r dst; string_of_aelem elem; r len ]
+  | ArrLoad { dst; arr; idx; elem; lext } ->
+      spaced [ "arrload"; r dst; r arr; r idx; string_of_aelem elem; string_of_lext lext ]
+  | ArrStore { arr; idx; src; elem } ->
+      spaced [ "arrstore"; r arr; r idx; r src; string_of_aelem elem ]
+  | ArrLen { dst; arr } -> spaced [ "arrlen"; r dst; r arr ]
+  | GLoad { dst; sym; ty; lext } ->
+      spaced [ "gload"; r dst; sym; string_of_ty ty; string_of_lext lext ]
+  | GStore { sym; src; ty } -> spaced [ "gstore"; sym; r src; string_of_ty ty ]
+  | Call { dst; fn; args; ret } ->
+      spaced
+        ([
+           "call";
+           (match dst with Some d -> r d | None -> "_");
+           fn;
+           (match ret with Some t -> string_of_ty t | None -> "_");
+           string_of_int (List.length args);
+         ]
+        @ List.concat_map (fun (a, t) -> [ r a; string_of_ty t ]) args)
+
+let string_of_term = function
+  | Jmp l -> Printf.sprintf "term jmp %d" l
+  | Br { cond; l; r; w; ifso; ifnot } ->
+      Printf.sprintf "term br %s %d %d %s %d %d" (string_of_cond cond) l r
+        (string_of_width w) ifso ifnot
+  | Ret None -> "term ret"
+  | Ret (Some (r, ty)) -> Printf.sprintf "term retv %d %s" r (string_of_ty ty)
+
+let prog_to_string (p : Prog.t) : string =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "sxir v1";
+  line "main %s" p.Prog.main;
+  let globals =
+    List.sort compare (Hashtbl.fold (fun n ty acc -> (n, ty) :: acc) p.Prog.globals [])
+  in
+  List.iter (fun (n, ty) -> line "global %s %s" n (string_of_ty ty)) globals;
+  Prog.iter_funcs
+    (fun (f : Cfg.func) ->
+      line "func %s %s %s"
+        f.Cfg.name
+        (match f.Cfg.ret with Some t -> string_of_ty t | None -> "_")
+        (if f.Cfg.has_loop_hint then "loop" else "noloop");
+      line "params %s" (String.concat " " (List.map (fun (r, _) -> string_of_int r) f.Cfg.params));
+      let tys = ref [] in
+      for k = Cfg.num_regs f - 1 downto 0 do
+        tys := string_of_ty (Cfg.reg_ty f k) :: !tys
+      done;
+      line "regs %s" (String.concat " " !tys);
+      Cfg.iter_blocks
+        (fun b ->
+          line "block %d" b.Cfg.bid;
+          List.iter (fun (i : Instr.t) -> line "  %s" (string_of_op i.op)) b.Cfg.body;
+          line "  %s" (string_of_term b.Cfg.term))
+        f;
+      line "endfunc")
+    p;
+  Buffer.contents buf
+
+(* -- reading ---------------------------------------------------------- *)
+
+let parse_op (toks : string list) : op =
+  let ri = int_of_string in
+  match toks with
+  | [ "const"; dst; ty; v ] -> Const { dst = ri dst; ty = ty_of_string ty; v = Int64.of_string v }
+  | [ "fconst"; dst; bits ] ->
+      FConst { dst = ri dst; v = Int64.float_of_bits (Int64.of_string ("0x" ^ bits)) }
+  | [ "mov"; dst; src; ty ] -> Mov { dst = ri dst; src = ri src; ty = ty_of_string ty }
+  | [ "unop"; dst; op; src; w ] ->
+      Unop { dst = ri dst; op = unop_of_string op; src = ri src; w = width_of_string w }
+  | [ "binop"; dst; op; l; r; w ] ->
+      Binop
+        { dst = ri dst; op = binop_of_string op; l = ri l; r = ri r; w = width_of_string w }
+  | [ "cmp"; dst; cond; l; r; w ] ->
+      Cmp
+        {
+          dst = ri dst;
+          cond = cond_of_string cond;
+          l = ri l;
+          r = ri r;
+          w = width_of_string w;
+        }
+  | [ "sext"; r; from ] -> Sext { r = ri r; from = width_of_string from }
+  | [ "zext"; r; from ] -> Zext { r = ri r; from = width_of_string from }
+  | [ "justext"; r ] -> JustExt { r = ri r }
+  | [ "fbinop"; dst; op; l; r ] ->
+      FBinop { dst = ri dst; op = fbinop_of_string op; l = ri l; r = ri r }
+  | [ "fneg"; dst; src ] -> FNeg { dst = ri dst; src = ri src }
+  | [ "fcmp"; dst; cond; l; r ] ->
+      FCmp { dst = ri dst; cond = cond_of_string cond; l = ri l; r = ri r }
+  | [ "i2d"; dst; src ] -> I2D { dst = ri dst; src = ri src }
+  | [ "l2d"; dst; src ] -> L2D { dst = ri dst; src = ri src }
+  | [ "d2i"; dst; src ] -> D2I { dst = ri dst; src = ri src }
+  | [ "d2l"; dst; src ] -> D2L { dst = ri dst; src = ri src }
+  | [ "newarr"; dst; elem; len ] ->
+      NewArr { dst = ri dst; elem = aelem_of_string elem; len = ri len }
+  | [ "arrload"; dst; arr; idx; elem; lext ] ->
+      ArrLoad
+        {
+          dst = ri dst;
+          arr = ri arr;
+          idx = ri idx;
+          elem = aelem_of_string elem;
+          lext = lext_of_string lext;
+        }
+  | [ "arrstore"; arr; idx; src; elem ] ->
+      ArrStore { arr = ri arr; idx = ri idx; src = ri src; elem = aelem_of_string elem }
+  | [ "arrlen"; dst; arr ] -> ArrLen { dst = ri dst; arr = ri arr }
+  | [ "gload"; dst; sym; ty; lext ] ->
+      GLoad { dst = ri dst; sym; ty = ty_of_string ty; lext = lext_of_string lext }
+  | [ "gstore"; sym; src; ty ] -> GStore { sym; src = ri src; ty = ty_of_string ty }
+  | "call" :: dst :: fn :: ret :: nargs :: rest ->
+      let n = ri nargs in
+      let rec args k = function
+        | [] when k = 0 -> []
+        | a :: t :: rest when k > 0 -> (ri a, ty_of_string t) :: args (k - 1) rest
+        | _ -> fail "call: bad argument list"
+      in
+      Call
+        {
+          dst = (if dst = "_" then None else Some (ri dst));
+          fn;
+          ret = (if ret = "_" then None else Some (ty_of_string ret));
+          args = args n rest;
+        }
+  | _ -> fail "bad instruction: %s" (String.concat " " toks)
+
+let parse_term (toks : string list) : terminator =
+  let ri = int_of_string in
+  match toks with
+  | [ "term"; "jmp"; l ] -> Jmp (ri l)
+  | [ "term"; "br"; cond; l; r; w; ifso; ifnot ] ->
+      Br
+        {
+          cond = cond_of_string cond;
+          l = ri l;
+          r = ri r;
+          w = width_of_string w;
+          ifso = ri ifso;
+          ifnot = ri ifnot;
+        }
+  | [ "term"; "ret" ] -> Ret None
+  | [ "term"; "retv"; r; ty ] -> Ret (Some (ri r, ty_of_string ty))
+  | _ -> fail "bad terminator: %s" (String.concat " " toks)
+
+let tokens line =
+  String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+
+let prog_of_string (text : string) : Prog.t =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  match lines with
+  | magic :: rest when String.trim magic = "sxir v1" ->
+      let p = Prog.create () in
+      let rec top = function
+        | [] -> ()
+        | line :: rest -> (
+            match tokens line with
+            | [ "main"; m ] ->
+                p.Prog.main <- m;
+                top rest
+            | [ "global"; n; ty ] ->
+                Prog.declare_global p n (ty_of_string ty);
+                top rest
+            | "func" :: name :: ret :: hint :: [] -> func name ret hint rest
+            | _ -> fail "unexpected line %S" line)
+      and func name ret hint rest =
+        let ret = if ret = "_" then None else Some (ty_of_string ret) in
+        (* params/regs lines *)
+        let params_line, regs_line, rest =
+          match rest with
+          | pl :: rl :: rest -> (pl, rl, rest)
+          | _ -> fail "truncated function %s" name
+        in
+        let param_regs =
+          match tokens params_line with
+          | "params" :: rs -> List.map int_of_string rs
+          | _ -> fail "expected params line in %s" name
+        in
+        let reg_tys =
+          match tokens regs_line with
+          | "regs" :: ts -> List.map ty_of_string ts
+          | _ -> fail "expected regs line in %s" name
+        in
+        let f = Cfg.create ~name ~params:[] ~ret in
+        List.iter (fun ty -> ignore (Cfg.fresh_reg f ty)) reg_tys;
+        let params = List.map (fun r -> (r, Cfg.reg_ty f r)) param_regs in
+        let f = { f with Cfg.params = params } in
+        f.Cfg.has_loop_hint <- hint = "loop";
+        (* blocks *)
+        let rec blocks cur rest =
+          match rest with
+          | [] -> fail "unterminated function %s" name
+          | line :: rest -> (
+              match tokens line with
+              | [ "block"; bid ] ->
+                  let b = Cfg.add_block f in
+                  if b <> int_of_string bid then fail "non-dense block id %s" bid;
+                  blocks (Some (Cfg.block f b)) rest
+              | [ "endfunc" ] ->
+                  Prog.add_func p f;
+                  top rest
+              | "term" :: _ -> (
+                  match cur with
+                  | None -> fail "terminator outside block"
+                  | Some b ->
+                      b.Cfg.term <- parse_term (tokens line);
+                      blocks cur rest)
+              | toks -> (
+                  match cur with
+                  | None -> fail "instruction outside block"
+                  | Some b ->
+                      Cfg.append_instr b (Cfg.mk_instr f (parse_op toks));
+                      blocks cur rest))
+        in
+        blocks None rest
+      in
+      top rest;
+      p
+  | _ -> fail "missing 'sxir v1' header"
+
+(* -- directory layout -------------------------------------------------- *)
+
+let case_of_file path : Oracle.case =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  if Filename.check_suffix path ".sxir" then Oracle.Ir (prog_of_string text)
+  else Oracle.Minij text
+
+(** [save ~dir ~name case] writes one corpus entry (creating [dir] if
+    needed) and returns its path. [header] lines are written as comments
+    ([#] for [.sxir], [//] for [.minij]). *)
+let save ~dir ~name ?(header = []) (case : Oracle.case) : string =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let ext, body, comment =
+    match case with
+    | Oracle.Minij src -> (".minij", src, "//")
+    | Oracle.Ir p -> (".sxir", prog_to_string p, "#")
+  in
+  let path = Filename.concat dir (name ^ ext) in
+  let hdr =
+    String.concat "" (List.map (fun l -> Printf.sprintf "%s %s\n" comment l) header)
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (hdr ^ body));
+  path
+
+(** All corpus entries of [dir], name-sorted: [(filename, case)]. *)
+let load_dir (dir : string) : (string * Oracle.case) list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".minij" || Filename.check_suffix f ".sxir")
+    |> List.map (fun f -> (f, case_of_file (Filename.concat dir f)))

@@ -1,0 +1,141 @@
+(** Random raw-IR function generator: CFG shapes MiniJ's structured
+    frontend cannot produce (multi-way joins, cross edges, a shared latch
+    entered from the middle of the graph).
+
+    To keep every generated program terminating — fuel truncation would
+    make outcomes spuriously diverge between variants — the graph is a
+    forward-only DAG plus exactly one counted back edge through a
+    dedicated latch block, as in the original in-test generator this
+    module replaces.
+
+    The [features] mask gates instruction classes the same way
+    {!Gen_minij.features} gates source constructs. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+module B = Builder
+
+type features = {
+  div : bool;  (** guarded 32-bit division (observes full registers) *)
+  floats : bool;  (** i2d + checksum_double calls *)
+  calls : bool;  (** checksum calls on int registers *)
+  arrays : bool;  (** masked loads/stores of a 16-element i32 array *)
+}
+
+let all_features = { div = true; floats = true; calls = true; arrays = true }
+let minimal_features = { div = false; floats = false; calls = false; arrays = false }
+
+(** [generate ?name ?features ?nregs ?nblocks rng] builds one validated
+    function [i32 -> i32]. *)
+let generate ?(name = "rand") ?(features = all_features) ?(nregs = 5) ?(nblocks = 6) rng
+    : Cfg.func =
+  let fs = features in
+  let nregs = max 2 nregs and nblocks = max 3 nblocks in
+  let b, params = B.create ~name ~params:[ I32 ] ~ret:I32 () in
+  let p0 = List.hd params in
+  let regs = Array.make nregs p0 in
+  for k = 0 to nregs - 1 do
+    regs.(k) <- B.iconst b (7 * (k + 1))
+  done;
+  let counter = B.iconst b 60 in
+  let mask = B.iconst b 15 in
+  let one = B.iconst b 1 in
+  let arr =
+    if fs.arrays then Some (B.newarr b AI32 (B.iconst b 16)) else None
+  in
+  let blocks = Array.make (nblocks + 1) 0 in
+  for k = 1 to nblocks do
+    blocks.(k) <- B.new_block b
+  done;
+  let latch = blocks.(nblocks) in
+  let reg () = regs.(Rng.int rng nregs) in
+  (* one random mid block is rerouted through the latch *)
+  let looper = if nblocks > 2 then 1 + Rng.int rng (nblocks - 2) else -1 in
+  let ops =
+    [ (3, `Add); (2, `Sub); (2, `Mul); (2, `And); (2, `Xor); (1, `Shl); (2, `Sext); (2, `Mov) ]
+    @ (if fs.div then [ (1, `Div) ] else [])
+    @ (if fs.floats then [ (1, `F) ] else [])
+    @ (if fs.calls then [ (1, `Call) ] else [])
+    @ if fs.arrays then [ (1, `ALoad); (1, `AStore) ] else []
+  in
+  let emit_op () =
+    match Rng.frequency rng ops with
+    | `Add -> B.binop_to b Add ~dst:(reg ()) (reg ()) (reg ())
+    | `Sub -> B.binop_to b Sub ~dst:(reg ()) (reg ()) p0
+    | `Mul -> B.binop_to b Mul ~dst:(reg ()) (reg ()) (reg ())
+    | `And -> B.binop_to b And ~dst:(reg ()) (reg ()) (reg ())
+    | `Xor -> B.binop_to b Xor ~dst:(reg ()) (reg ()) (reg ())
+    | `Shl -> B.binop_to b Shl ~dst:(reg ()) (reg ()) mask
+    | `Sext -> ignore (B.sext b (reg ()))
+    | `Mov -> B.mov_to b ~dst:(reg ()) ~src:(reg ()) I32
+    | `Div ->
+        (* odd (hence nonzero) divisor: division by zero would merely trap
+           identically everywhere, but a trap ends the program early and
+           wastes the rest of the graph *)
+        let d = B.or_ b (reg ()) one in
+        B.binop_to b Div ~dst:(reg ()) (reg ()) d
+    | `F ->
+        let d = B.i2d b (reg ()) in
+        ignore (B.call b "checksum_double" [ (d, F64) ])
+    | `Call -> ignore (B.call b "checksum" [ (reg (), I32) ])
+    | `ALoad ->
+        let a = Option.get arr in
+        let idx = B.and_ b (reg ()) mask in
+        let v = B.arrload b AI32 a idx in
+        B.mov_to b ~dst:(reg ()) ~src:v I32
+    | `AStore ->
+        let a = Option.get arr in
+        let idx = B.and_ b (reg ()) mask in
+        B.arrstore b AI32 a idx (reg ())
+  in
+  let fill k =
+    if k > 0 then B.switch b blocks.(k);
+    for _ = 1 to Rng.int rng 4 do
+      emit_op ()
+    done;
+    (* forward-only targets, excluding the latch (only [looper] enters
+       it) — this is what guarantees termination *)
+    let fwd () =
+      if k + 1 >= nblocks - 1 then blocks.(nblocks - 1)
+      else blocks.(k + 1 + Rng.int rng (nblocks - 1 - k))
+    in
+    if k = nblocks - 1 then B.retv b I32 (reg ())
+    else if k = looper then B.jmp b latch
+    else
+      match Rng.int rng 4 with
+      | 0 -> B.jmp b (fwd ())
+      | 1 -> B.retv b I32 (reg ())
+      | _ ->
+          let cond = Rng.oneof rng [ Lt; Le; Gt; Ge; Eq; Ne ] in
+          B.br b cond (reg ()) (reg ()) ~ifso:(fwd ()) ~ifnot:(fwd ())
+  in
+  for k = 0 to nblocks - 1 do
+    fill k
+  done;
+  (* latch: decrement the counter; loop back to an early block or exit *)
+  B.switch b latch;
+  B.binop_to b Sub ~dst:counter counter one;
+  (* never back to block 0: the entry initializes the loop counter *)
+  let back = blocks.(if looper > 1 then 1 + Rng.int rng looper else max looper 1) in
+  B.br b Gt counter one ~ifso:back ~ifnot:blocks.(looper + 1);
+  let f = B.func b in
+  Validate.check f;
+  f
+
+(** Wrap [f] into a runnable program: [main] calls it with [-77] and
+    checksums the result. *)
+let wrap (f : Cfg.func) : Prog.t =
+  let p = Prog.create ~main:"main" () in
+  Prog.add_func p f;
+  let bm, _ = B.create ~name:"main" ~params:[] () in
+  let arg = B.const bm ~ty:I32 (-77L) in
+  (match B.call bm ~ret:I32 f.Cfg.name [ (arg, I32) ] with
+  | Some r -> ignore (B.call bm "checksum" [ (r, I32) ])
+  | None -> assert false);
+  B.ret bm;
+  Prog.add_func p (B.func bm);
+  p
+
+(** Wrapped program of a bare integer seed (reproducibility entry point). *)
+let of_seed ?features ?nregs ?nblocks seed =
+  wrap (generate ?features ?nregs ?nblocks (Rng.create ~seed))

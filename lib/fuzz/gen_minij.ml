@@ -1,0 +1,239 @@
+(** Random MiniJ program generator.
+
+    Generalizes the generator that used to live inside
+    [test/test_differential.ml]: programs are produced from a {!Rng.t}
+    (hence reproducible from an integer seed), sized by [size], and gated
+    by a {!features} mask so campaigns can focus on one risk area — e.g.
+    arrays only, or division/shift heavy code, or pure straight-line
+    arithmetic.
+
+    Every generated program is a complete [void main()] that ends by
+    checksumming all live state, so any divergence between optimizer
+    variants is observable through the interpreter's checksum/output. *)
+
+type features = {
+  arrays : bool;  (** array allocation, loads, stores (index extension risk) *)
+  calls : bool;  (** checksum/print builtin calls mid-program (ABI risk) *)
+  longs : bool;  (** 64-bit arithmetic and int<->long conversions *)
+  doubles : bool;  (** double arithmetic and int<->double conversions *)
+  divisions : bool;  (** [/] and [%], which observe full registers *)
+  shifts : bool;  (** [<<], [>>], [>>>] *)
+  narrow : bool;  (** [(byte)] / [(short)] casts *)
+  branches : bool;  (** [if]/[else] statements *)
+  loops : bool;  (** counted inner [for] loops *)
+}
+
+let all_features =
+  {
+    arrays = true;
+    calls = true;
+    longs = true;
+    doubles = true;
+    divisions = true;
+    shifts = true;
+    narrow = true;
+    branches = true;
+    loops = true;
+  }
+
+(** Straight-line integer arithmetic only. *)
+let minimal_features =
+  {
+    arrays = false;
+    calls = false;
+    longs = false;
+    doubles = false;
+    divisions = false;
+    shifts = false;
+    narrow = false;
+    branches = false;
+    loops = false;
+  }
+
+let interesting_ints =
+  [ 0; 1; 2; 3; 7; 15; 255; 65535; -1; -2; -128; 12345; 2147483647; -2147483647 - 1 ]
+
+let ivars = [ "i0"; "i1"; "i2"; "i3" ]
+
+let gen_int_lit rng =
+  if Rng.bool rng then string_of_int (Rng.oneof rng interesting_ints)
+  else string_of_int (Rng.int rng 1001)
+
+let rec gen_iexpr fs rng depth =
+  let leaf () =
+    let choices =
+      [ (3, `Lit); (3, `Var) ]
+      @ (if fs.arrays then [ (1, `ALoad); (1, `BLoad) ] else [])
+    in
+    match Rng.frequency rng choices with
+    | `Lit -> gen_int_lit rng
+    | `Var -> Rng.oneof rng ivars
+    | `ALoad -> "a[k & 15]"
+    | `BLoad -> "b[k & 7]"
+  in
+  if depth <= 0 then leaf ()
+  else
+    let choices =
+      [ (3, `Leaf); (4, `Arith); (1, `Cmp) ]
+      @ (if fs.shifts then [ (2, `Shift) ] else [])
+      @ (if fs.divisions then [ (2, `DivRem) ] else [])
+      @ (if fs.longs then [ (1, `ViaLong) ] else [])
+      @ (if fs.narrow then [ (1, `Byte); (1, `Short) ] else [])
+      @ if fs.doubles then [ (1, `ViaDouble) ] else []
+    in
+    let sub () = gen_iexpr fs rng (depth - 1) in
+    match Rng.frequency rng choices with
+    | `Leaf -> leaf ()
+    | `Arith ->
+        let op = Rng.oneof rng [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+        let l = sub () in
+        let r = sub () in
+        Printf.sprintf "(%s %s %s)" l op r
+    | `Shift ->
+        let op = Rng.oneof rng [ "<<"; ">>"; ">>>" ] in
+        let l = sub () in
+        let r = sub () in
+        Printf.sprintf "(%s %s (%s & 31))" l op r
+    | `DivRem ->
+        let op = Rng.oneof rng [ "/"; "%" ] in
+        let l = sub () in
+        let r = sub () in
+        Printf.sprintf "(%s %s (%s | 1))" l op r
+    | `ViaLong -> Printf.sprintf "((int) ((long) %s * 3L))" (sub ())
+    | `Byte -> Printf.sprintf "((byte) %s)" (sub ())
+    | `Short -> Printf.sprintf "((short) %s)" (sub ())
+    | `ViaDouble -> Printf.sprintf "((int) (double) %s)" (sub ())
+    | `Cmp ->
+        let c = Rng.oneof rng [ "<"; "<="; "=="; "!="; ">"; ">=" ] in
+        let l = sub () in
+        let r = sub () in
+        Printf.sprintf "(%s %s %s)" l c r
+
+let gen_cond fs rng depth =
+  let c = Rng.oneof rng [ "<"; "<="; "=="; "!="; ">"; ">=" ] in
+  let l = gen_iexpr fs rng depth in
+  let r = gen_iexpr fs rng depth in
+  Printf.sprintf "%s %s %s" l c r
+
+let rec gen_stmt fs rng depth =
+  let assign () =
+    let v = Rng.oneof rng ivars in
+    Printf.sprintf "%s = %s;" v (gen_iexpr fs rng 2)
+  in
+  let astore () =
+    let i = Rng.oneof rng ivars in
+    Printf.sprintf "a[%s & 15] = %s;" i (gen_iexpr fs rng 2)
+  in
+  let bstore () =
+    let i = Rng.oneof rng ivars in
+    Printf.sprintf "b[%s & 7] = %s;" i (gen_iexpr fs rng 2)
+  in
+  let obs () =
+    let v = Rng.oneof rng ivars in
+    let choices =
+      (if fs.calls then [ (2, `Checksum) ] else [])
+      @ (if fs.calls && fs.doubles then [ (1, `ChecksumD) ] else [])
+      @ (if fs.longs then [ (1, `LongAcc) ] else [])
+      @ (if fs.doubles then [ (1, `DoubleAcc) ] else [])
+      @ [ (1, `Assign) ]
+    in
+    match Rng.frequency rng choices with
+    | `Checksum -> Printf.sprintf "checksum(%s);" v
+    | `ChecksumD -> Printf.sprintf "checksum_double((double) %s);" v
+    | `LongAcc -> Printf.sprintf "l0 = l0 + (long) %s;" v
+    | `DoubleAcc -> Printf.sprintf "d0 = d0 + (double) %s;" v
+    | `Assign -> assign ()
+  in
+  if depth <= 0 then
+    let choices =
+      [ (2, `Assign); (1, `Obs) ]
+      @ if fs.arrays then [ (1, `AStore); (1, `BStore) ] else []
+    in
+    match Rng.frequency rng choices with
+    | `Assign -> assign ()
+    | `AStore -> astore ()
+    | `BStore -> bstore ()
+    | `Obs -> obs ()
+  else
+    let choices =
+      [ (4, `Assign); (2, `Obs) ]
+      @ (if fs.arrays then [ (2, `AStore); (1, `BStore) ] else [])
+      @ (if fs.branches then [ (2, `If) ] else [])
+      @ if fs.loops then [ (2, `For) ] else []
+    in
+    match Rng.frequency rng choices with
+    | `Assign -> assign ()
+    | `AStore -> astore ()
+    | `BStore -> bstore ()
+    | `Obs -> obs ()
+    | `If ->
+        let c = gen_cond fs rng 1 in
+        let body =
+          List.init (Rng.range rng 1 3) (fun _ -> gen_stmt fs rng (depth - 1))
+        in
+        let els =
+          List.init (Rng.range rng 0 2) (fun _ -> gen_stmt fs rng (depth - 1))
+        in
+        Printf.sprintf "if (%s) { %s } else { %s }" c (String.concat " " body)
+          (String.concat " " els)
+    | `For ->
+        let n = Rng.range rng 1 12 in
+        let v = Rng.oneof rng [ "q"; "w" ] in
+        let body =
+          List.init (Rng.range rng 1 3) (fun _ -> gen_stmt fs rng (depth - 1))
+        in
+        Printf.sprintf "for (int %s = 0; %s < %d; %s = %s + 1) { %s }" v v n v v
+          (String.concat " " body)
+
+(** [generate ?features ?size rng] produces one MiniJ program.
+
+    [size] scales the number of loop-body statements (1 + size/2 .. 1 +
+    size) and the expression/statement nesting depth (capped at 3). *)
+let generate ?(features = all_features) ?(size = 6) rng =
+  let fs = features in
+  let depth = min 3 (max 1 (size / 3)) in
+  let nstmts = Rng.range rng (max 1 (1 + (size / 2))) (max 1 (1 + size)) in
+  let inits = List.map (fun _ -> gen_int_lit rng) ivars in
+  let stmts = List.init nstmts (fun _ -> gen_stmt fs rng depth) in
+  let init_lines =
+    List.map2 (fun v e -> Printf.sprintf "int %s = %s;" v e) ivars inits
+  in
+  let arr_decl =
+    if fs.arrays then "int[] a = new int[16];\n  byte[] b = new byte[8];" else ""
+  in
+  let arr_churn =
+    if fs.arrays then "a[k & 15] = k * -1640531535 + i0;\n    b[k & 7] = k * 37 + i1;"
+    else ""
+  in
+  let arr_obs =
+    if fs.arrays then
+      "for (int k = 0; k < 16; k = k + 1) { checksum(a[k]); }\n\
+      \  for (int k = 0; k < 8; k = k + 1) { checksum(b[k]); }"
+    else ""
+  in
+  Printf.sprintf
+    {|
+void main() {
+  %s
+  %s
+  long l0 = 0L; long l1 = 7L;
+  double d0 = 0.0; double d1 = 1.5;
+  for (int k = 0; k < 12; k = k + 1) {
+    %s
+    %s
+    i2 = i2 + 1;
+  }
+  checksum(i0); checksum(i1); checksum(i2); checksum(i3);
+  checksum(l0); checksum_double(d0); checksum_double(d1); checksum(l1);
+  %s
+}
+|}
+    arr_decl
+    (String.concat "\n  " init_lines)
+    arr_churn
+    (String.concat "\n    " stmts)
+    arr_obs
+
+(** Program of a bare integer seed: the reproducibility entry point used
+    by the QCheck properties and [sxopt fuzz]. *)
+let of_seed ?features ?size seed = generate ?features ?size (Rng.create ~seed)

@@ -1,0 +1,79 @@
+(** Deliberate-bug injection: sabotage an already-optimized program the
+    way a broken elimination pass would, so the oracle, the shrinker and
+    the CI smoke job can prove the differential harness actually catches
+    unsound transformations.
+
+    Injections run {e after} the variant pipeline and keep the IR valid —
+    they only delete [Sext] instructions, i.e. they simulate an optimizer
+    that wrongly proved extensions redundant. *)
+
+open Sxe_ir
+open Sxe_ir.Instr
+
+type bug =
+  | Skip_div_extend
+      (** delete every extension of a register consumed by a 32-bit
+          division or remainder — garbage upper bits flow into an
+          instruction that observes the full register *)
+  | Skip_add_extend
+      (** delete every extension that immediately follows an additive
+          (Add/Sub/Mul) definition of the same register — exactly the
+          defs whose upper bits overflow can corrupt *)
+  | Drop_all_extends  (** delete every sign extension outright *)
+
+let all_bugs = [ Skip_div_extend; Skip_add_extend; Drop_all_extends ]
+
+let to_string = function
+  | Skip_div_extend -> "skip-div-extend"
+  | Skip_add_extend -> "skip-add-extend"
+  | Drop_all_extends -> "drop-all-extends"
+
+let of_string = function
+  | "skip-div-extend" -> Some Skip_div_extend
+  | "skip-add-extend" -> Some Skip_add_extend
+  | "drop-all-extends" -> Some Drop_all_extends
+  | _ -> None
+
+let remove_sexts_if pred (f : Cfg.func) =
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.op with
+          | Sext { r; from = Types.W32 } when pred r -> ignore (Cfg.remove_instr b i.iid)
+          | _ -> ())
+        b.Cfg.body)
+    f
+
+let apply_func bug (f : Cfg.func) =
+  match bug with
+  | Skip_div_extend ->
+      (* registers consumed by any W32 division/remainder *)
+      let div_srcs = Hashtbl.create 8 in
+      Cfg.iter_instrs
+        (fun _ i ->
+          match i.op with
+          | Binop { op = Div | Rem; l; r; w = Types.W32; _ } ->
+              Hashtbl.replace div_srcs l ();
+              Hashtbl.replace div_srcs r ()
+          | _ -> ())
+        f;
+      remove_sexts_if (Hashtbl.mem div_srcs) f
+  | Skip_add_extend ->
+      Cfg.iter_blocks
+        (fun b ->
+          let rec go = function
+            | ({ op = Binop { op = Add | Sub | Mul; dst; w = Types.W32; _ }; _ } as x)
+              :: { op = Sext { r; from = Types.W32 }; iid; _ }
+              :: rest
+              when r = dst ->
+                ignore (Cfg.remove_instr b iid);
+                go (x :: rest)
+            | _ :: rest -> go rest
+            | [] -> ()
+          in
+          go b.Cfg.body)
+        f
+  | Drop_all_extends -> remove_sexts_if (fun _ -> true) f
+
+let apply bug (p : Prog.t) = Prog.iter_funcs (apply_func bug) p

@@ -1,0 +1,304 @@
+(** IR mutation engine.
+
+    Two families:
+
+    - {!mutate} applies a random {e validity-preserving} mutation. The
+      mutated function is still well-formed IR, so it can serve as a fresh
+      differential test case: the oracle re-derives the reference
+      behaviour from the mutated program itself, so mutations are free to
+      change semantics — they only have to keep the program executable.
+      This reaches shapes the grammar-directed generators never emit
+      (dropped or doubled extensions, sign- vs zero-extending loads,
+      permuted block layouts, degenerate branches).
+
+    - {!break_} applies a deliberately {e invalidating} mutation, used to
+      check that {!Sxe_ir.Validate} actually rejects malformed CFGs. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+open Sxe_ir.Instr
+
+type kind =
+  | Swap_operands  (** swap [l]/[r] of a commutative binop *)
+  | Flip_branch  (** negate a [Br] condition and swap its targets *)
+  | Drop_extend  (** delete one [Sext]/[Zext]/[JustExt] *)
+  | Dup_extend  (** duplicate one [Sext] in place *)
+  | Narrow_extend  (** [Sext] from W32 -> W16/W8 *)
+  | Toggle_lext  (** flip [LZero]/[LSign] on a load *)
+  | Tweak_const  (** replace an i32 constant with a boundary value *)
+  | Swap_op  (** replace a binop operator by one of the same shape *)
+  | Permute_blocks  (** exchange two non-entry blocks (with relabeling) *)
+  | Degrade_branch  (** turn a [Br] into a [Jmp] to one of its targets *)
+
+let all_kinds =
+  [
+    Swap_operands; Flip_branch; Drop_extend; Dup_extend; Narrow_extend; Toggle_lext;
+    Tweak_const; Swap_op; Permute_blocks; Degrade_branch;
+  ]
+
+let string_of_kind = function
+  | Swap_operands -> "swap-operands"
+  | Flip_branch -> "flip-branch"
+  | Drop_extend -> "drop-extend"
+  | Dup_extend -> "dup-extend"
+  | Narrow_extend -> "narrow-extend"
+  | Toggle_lext -> "toggle-lext"
+  | Tweak_const -> "tweak-const"
+  | Swap_op -> "swap-op"
+  | Permute_blocks -> "permute-blocks"
+  | Degrade_branch -> "degrade-branch"
+
+let boundary_consts =
+  [ 0L; 1L; -1L; 2L; 15L; 255L; 65535L; 0x7fffffffL; -2147483648L; -2L ]
+
+(* candidate sites, per kind *)
+
+let instr_sites f pred =
+  let out = ref [] in
+  Cfg.iter_instrs (fun b i -> if pred i.op then out := (b, i) :: !out) f;
+  List.rev !out
+
+let pick rng = function [] -> None | l -> Some (Rng.oneof rng l)
+
+let commutative = function Add | Mul | And | Or | Xor -> true | _ -> false
+
+let apply_raw rng kind (f : Cfg.func) : bool =
+  match kind with
+  | Swap_operands -> (
+      match
+        pick rng
+          (instr_sites f (function Binop { op; _ } -> commutative op | _ -> false))
+      with
+      | Some (_, i) ->
+          (match i.op with
+          | Binop c -> i.op <- Binop { c with l = c.r; r = c.l }
+          | _ -> assert false);
+          true
+      | None -> false)
+  | Flip_branch -> (
+      let sites = ref [] in
+      Cfg.iter_blocks
+        (fun b -> match b.Cfg.term with Br _ -> sites := b :: !sites | _ -> ())
+        f;
+      match pick rng !sites with
+      | Some b ->
+          (match b.Cfg.term with
+          | Br c ->
+              b.Cfg.term <-
+                Br { c with cond = negate_cond c.cond; ifso = c.ifnot; ifnot = c.ifso }
+          | _ -> assert false);
+          true
+      | None -> false)
+  | Drop_extend -> (
+      match
+        pick rng
+          (instr_sites f (function Sext _ | Zext _ | JustExt _ -> true | _ -> false))
+      with
+      | Some (b, i) -> Cfg.remove_instr b i.iid
+      | None -> false)
+  | Dup_extend -> (
+      match pick rng (instr_sites f (function Sext _ -> true | _ -> false)) with
+      | Some (b, i) ->
+          Cfg.insert_after b ~anchor:i.iid (Cfg.mk_instr f i.op);
+          true
+      | None -> false)
+  | Narrow_extend -> (
+      match
+        pick rng (instr_sites f (function Sext { from = W32; _ } -> true | _ -> false))
+      with
+      | Some (_, i) ->
+          (match i.op with
+          | Sext { r; _ } ->
+              i.op <- Sext { r; from = (if Rng.bool rng then W16 else W8) }
+          | _ -> assert false);
+          true
+      | None -> false)
+  | Toggle_lext -> (
+      match
+        pick rng
+          (instr_sites f (function
+            | ArrLoad { elem = AI8 | AI16 | AI32; _ } -> true
+            | GLoad { ty = I32; _ } -> true
+            | _ -> false))
+      with
+      | Some (_, i) ->
+          let flip = function LZero -> LSign | LSign -> LZero in
+          (match i.op with
+          | ArrLoad c -> i.op <- ArrLoad { c with lext = flip c.lext }
+          | GLoad c -> i.op <- GLoad { c with lext = flip c.lext }
+          | _ -> assert false);
+          true
+      | None -> false)
+  | Tweak_const -> (
+      match
+        pick rng (instr_sites f (function Const { ty = I32; _ } -> true | _ -> false))
+      with
+      | Some (_, i) ->
+          (match i.op with
+          | Const c -> i.op <- Const { c with v = Rng.oneof rng boundary_consts }
+          | _ -> assert false);
+          true
+      | None -> false)
+  | Swap_op -> (
+      match pick rng (instr_sites f (function Binop _ -> true | _ -> false)) with
+      | Some (_, i) ->
+          (match i.op with
+          | Binop c ->
+              (* stay within the non-trapping operators: turning an [Add]
+                 into a [Div] could introduce division by zero, which is a
+                 legitimate behaviour change but ends runs too early *)
+              let others =
+                List.filter (fun o -> o <> c.op) [ Add; Sub; Mul; And; Or; Xor ]
+              in
+              i.op <- Binop { c with op = Rng.oneof rng others }
+          | _ -> assert false);
+          true
+      | None -> false)
+  | Permute_blocks ->
+      let n = Cfg.num_blocks f in
+      if n < 3 then false
+      else begin
+        let b1 = 1 + Rng.int rng (n - 1) in
+        let b2 = 1 + Rng.int rng (n - 1) in
+        if b1 = b2 then false
+        else begin
+          let blk1 = Cfg.block f b1 and blk2 = Cfg.block f b2 in
+          let body1 = blk1.Cfg.body and term1 = blk1.Cfg.term in
+          blk1.Cfg.body <- blk2.Cfg.body;
+          blk1.Cfg.term <- blk2.Cfg.term;
+          blk2.Cfg.body <- body1;
+          blk2.Cfg.term <- term1;
+          (* relabel every edge so the graph is isomorphic to the input *)
+          let remap l = if l = b1 then b2 else if l = b2 then b1 else l in
+          Cfg.iter_blocks
+            (fun b ->
+              b.Cfg.term <-
+                (match b.Cfg.term with
+                | Jmp l -> Jmp (remap l)
+                | Br c -> Br { c with ifso = remap c.ifso; ifnot = remap c.ifnot }
+                | Ret _ as t -> t))
+            f;
+          true
+        end
+      end
+  | Degrade_branch -> (
+      let sites = ref [] in
+      Cfg.iter_blocks
+        (fun b -> match b.Cfg.term with Br _ -> sites := b :: !sites | _ -> ())
+        f;
+      match pick rng !sites with
+      | Some b ->
+          (match b.Cfg.term with
+          | Br { ifso; ifnot; _ } ->
+              b.Cfg.term <- Jmp (if Rng.bool rng then ifso else ifnot)
+          | _ -> assert false);
+          true
+      | None -> false)
+
+(** Try to apply one mutation of [kind] at a random applicable site;
+    [false] if the function has no such site. Control-flow mutations can
+    reroute execution past a register's only definition; the optimizer is
+    entitled to assume definite assignment (the frontend guarantees it),
+    so such a result would diverge for reasons that are not bugs. Any
+    mutation that breaks definite assignment is therefore rolled back and
+    reported as not applied. *)
+let apply rng kind (f : Cfg.func) : bool =
+  let snapshot = Clone.clone_func f in
+  let applied = apply_raw rng kind f in
+  if applied && Validate.def_errors f <> [] then begin
+    for bid = 0 to Cfg.num_blocks f - 1 do
+      let b = Cfg.block f bid and s = Cfg.block snapshot bid in
+      b.Cfg.body <- s.Cfg.body;
+      b.Cfg.term <- s.Cfg.term
+    done;
+    false
+  end
+  else applied
+
+(** Apply one random applicable mutation; returns the kind applied, or
+    [None] if no kind had a site (practically impossible on generated
+    functions). *)
+let mutate rng (f : Cfg.func) : kind option =
+  let rec go = function
+    | [] -> None
+    | kinds ->
+        let k = Rng.oneof rng kinds in
+        if apply rng k f then Some k else go (List.filter (fun k' -> k' <> k) kinds)
+  in
+  go all_kinds
+
+(** Apply up to [n] random mutations; returns those applied, in order. *)
+let mutate_n rng n (f : Cfg.func) : kind list =
+  List.filter_map (fun _ -> mutate rng f) (List.init (max 0 n) Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Invalidating mutations: the validator's test diet                    *)
+(* ------------------------------------------------------------------ *)
+
+type breakage =
+  | Dangling_succ  (** terminator target outside the block range *)
+  | Wrong_width  (** W64 ALU op over i32 registers *)
+  | Use_before_def  (** a read of a register no path defines *)
+  | Type_confusion  (** float op over an integer register *)
+  | Bad_ret  (** missing or wrongly-typed return value *)
+
+let all_breakages =
+  [ Dangling_succ; Wrong_width; Use_before_def; Type_confusion; Bad_ret ]
+
+let string_of_breakage = function
+  | Dangling_succ -> "dangling-succ"
+  | Wrong_width -> "wrong-width"
+  | Use_before_def -> "use-before-def"
+  | Type_confusion -> "type-confusion"
+  | Bad_ret -> "bad-ret"
+
+(** Damage [f] so that {!Sxe_ir.Validate} (or its definite-assignment
+    check, for [Use_before_def]) must reject it. Returns [false] if the
+    function offers no site for this breakage. *)
+let break_ rng (breakage : breakage) (f : Cfg.func) : bool =
+  match breakage with
+  | Dangling_succ ->
+      let b = Cfg.block f (Rng.int rng (Cfg.num_blocks f)) in
+      b.Cfg.term <- Jmp (Cfg.num_blocks f + 3);
+      true
+  | Wrong_width -> (
+      match
+        pick rng (instr_sites f (function Binop { w = W32; _ } -> true | _ -> false))
+      with
+      | Some (_, i) ->
+          (match i.op with
+          | Binop c -> i.op <- Binop { c with w = W64 }
+          | _ -> assert false);
+          true
+      | None -> false)
+  | Use_before_def ->
+      let undef = Cfg.fresh_reg f I32 in
+      let dst = Cfg.fresh_reg f I32 in
+      let b = Cfg.block f (Cfg.entry f) in
+      Cfg.prepend_instr b (Cfg.mk_instr f (Mov { dst; src = undef; ty = I32 }));
+      true
+  | Type_confusion -> (
+      match
+        pick rng (instr_sites f (function Const { ty = I32; _ } -> true | _ -> false))
+      with
+      | Some (_, i) ->
+          (match i.op with
+          | Const { dst; _ } -> i.op <- FNeg { dst; src = dst }
+          | _ -> assert false);
+          true
+      | None -> false)
+  | Bad_ret ->
+      let sites = ref [] in
+      Cfg.iter_blocks
+        (fun b -> match b.Cfg.term with Ret _ -> sites := b :: !sites | _ -> ())
+        f;
+      (match (pick rng !sites, f.Cfg.ret) with
+      | Some b, Some _ ->
+          b.Cfg.term <- Ret None;
+          true
+      | Some b, None ->
+          (* void function: return some register as a bogus i32 value *)
+          let r = Cfg.fresh_reg f F64 in
+          b.Cfg.term <- Ret (Some (r, I32));
+          true
+      | None, _ -> false)

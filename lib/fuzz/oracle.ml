@@ -1,0 +1,198 @@
+(** The differential oracle.
+
+    A test case is a MiniJ source text or a raw 32-bit-form IR program.
+    The oracle derives the reference behaviour by running the case in the
+    interpreter's [`Canonical] mode (source-language semantics), then
+    compiles a clone under every requested optimizer variant on every
+    requested architecture model, runs it in [`Faithful] mode (the 64-bit
+    machine where garbage upper bits are observable), and classifies every
+    divergence. A sound optimizer produces an empty failure list on every
+    case the generators can emit. *)
+
+open Sxe_ir
+
+type case = Minij of string | Ir of Prog.t
+
+type cls =
+  | Output  (** printed output differs *)
+  | Checksum  (** checksum builtins accumulated a different value *)
+  | Trap  (** one side trapped, or trapped differently *)
+  | Ret_val  (** [main]'s return value differs *)
+  | Invalid  (** the optimized program fails IR validation *)
+  | Crash  (** the compiler itself raised *)
+  | Cost  (** the full algorithm executed more extensions than baseline *)
+
+let string_of_cls = function
+  | Output -> "output"
+  | Checksum -> "checksum"
+  | Trap -> "trap"
+  | Ret_val -> "ret"
+  | Invalid -> "invalid-ir"
+  | Crash -> "crash"
+  | Cost -> "cost"
+
+type failure = {
+  variant : string;
+  arch : string;
+  cls : cls;
+  detail : string;
+}
+
+let pp_failure ppf (f : failure) =
+  Format.fprintf ppf "[%s/%s] %s: %s" f.variant f.arch (string_of_cls f.cls) f.detail
+
+let default_fuel = 400_000L
+
+(** The twelve measured variants of Tables 1-2 for one architecture. *)
+let all_variants ?arch ?maxlen () : Sxe_core.Config.t list =
+  [
+    Sxe_core.Config.baseline ?arch ?maxlen ();
+    Sxe_core.Config.gen_use ?arch ?maxlen ();
+    Sxe_core.Config.first_algorithm ?arch ?maxlen ();
+    Sxe_core.Config.basic_ud_du ?arch ?maxlen ();
+    Sxe_core.Config.insert ?arch ?maxlen ();
+    Sxe_core.Config.order ?arch ?maxlen ();
+    Sxe_core.Config.insert_order ?arch ?maxlen ();
+    Sxe_core.Config.array ?arch ?maxlen ();
+    Sxe_core.Config.array_insert ?arch ?maxlen ();
+    Sxe_core.Config.array_order ?arch ?maxlen ();
+    Sxe_core.Config.all_pde ?arch ?maxlen ();
+    Sxe_core.Config.new_all ?arch ?maxlen ();
+  ]
+
+(** Raw 32-bit-form IR of a case (shared, do not mutate: clone first). *)
+let prog_of_case = function
+  | Minij src -> Sxe_lang.Frontend.compile src
+  | Ir p -> p
+
+let reference ?(fuel = default_fuel) (base : Prog.t) =
+  Sxe_vm.Interp.run ~mode:`Canonical ~fuel ~count_cycles:false (Clone.clone_prog base)
+
+let fuel_exhausted (o : Sxe_vm.Interp.outcome) =
+  o.Sxe_vm.Interp.trap = Some "fuel-exhausted"
+
+let classify (ref_ : Sxe_vm.Interp.outcome) (out : Sxe_vm.Interp.outcome) :
+    (cls * string) option =
+  let open Sxe_vm.Interp in
+  (* fuel exhaustion on either side is inconclusive, not a divergence:
+     the runs were truncated at different program points, so comparing
+     their observations is meaningless. Generated cases terminate by
+     construction; only mutated control flow and shrinker candidates can
+     loop, and those probes should simply not count. *)
+  if fuel_exhausted ref_ || fuel_exhausted out then None
+  else if out.trap <> ref_.trap then
+    Some
+      ( Trap,
+        Printf.sprintf "reference trap=%s, variant trap=%s"
+          (Option.value ~default:"none" ref_.trap)
+          (Option.value ~default:"none" out.trap) )
+  else if not (Int64.equal out.checksum ref_.checksum) then
+    Some (Checksum, Printf.sprintf "reference=%Ld, variant=%Ld" ref_.checksum out.checksum)
+  else if out.output <> ref_.output then
+    Some
+      ( Output,
+        Printf.sprintf "reference %d bytes, variant %d bytes"
+          (String.length ref_.output) (String.length out.output) )
+  else if out.ret <> ref_.ret then
+    Some
+      ( Ret_val,
+        Printf.sprintf "reference=%s, variant=%s"
+          (match ref_.ret with None -> "none" | Some v -> Int64.to_string v)
+          (match out.ret with None -> "none" | Some v -> Int64.to_string v) )
+  else None
+
+(** Compile a clone of [base] under [config], optionally sabotage the
+    result, validate, run faithfully, and compare against [ref_]. *)
+let run_variant ?(fuel = default_fuel) ?sabotage ~ref_ (config : Sxe_core.Config.t)
+    (base : Prog.t) : Sxe_vm.Interp.outcome option * failure option =
+  let variant = config.Sxe_core.Config.name in
+  let arch = config.Sxe_core.Config.arch.Sxe_core.Arch.name in
+  let fail cls detail = Some { variant; arch; cls; detail } in
+  match
+    let p = Clone.clone_prog base in
+    let _ = Sxe_core.Pass.compile config p in
+    (match sabotage with Some f -> f p | None -> ());
+    p
+  with
+  | exception e -> (None, fail Crash (Printexc.to_string e))
+  | p -> (
+      let errs = Prog.fold_funcs (fun acc f -> acc @ Validate.errors f) [] p in
+      match errs with
+      | _ :: _ -> (None, fail Invalid (String.concat "; " errs))
+      | [] -> (
+          match Sxe_vm.Interp.run ~mode:`Faithful ~fuel ~count_cycles:false p with
+          | exception e -> (None, fail Crash (Printexc.to_string e))
+          | out -> (
+              match classify ref_ out with
+              | Some (cls, detail) -> (Some out, fail cls detail)
+              | None -> (Some out, None))))
+
+(** Run the full oracle over one case. [variants] overrides the variant
+    list builder (used by the shrinker to re-check just the failing
+    configuration); [sabotage] injects a bug after every variant's
+    pipeline. The cost check (full algorithm must not execute more 32-bit
+    extensions than baseline) runs when [check_cost] holds and both
+    configurations are present in the variant list. It defaults to MiniJ
+    cases only: the paper's dynamic-cost claim is about compiler-shaped
+    input (extensions introduced by step 1 from well-typed source), not
+    arbitrary hand-built CFGs, where the insertion heuristics can
+    occasionally place an extension on a hotter edge. *)
+let check ?(fuel = default_fuel) ?(archs = [ Sxe_core.Arch.ia64 ])
+    ?(variants = fun arch -> all_variants ~arch ()) ?sabotage ?check_cost (case : case)
+    : failure list =
+  let check_cost =
+    match check_cost with
+    | Some b -> b
+    | None -> ( match case with Minij _ -> true | Ir _ -> false)
+  in
+  match prog_of_case case with
+  | exception e ->
+      [ { variant = "frontend"; arch = "-"; cls = Crash; detail = Printexc.to_string e } ]
+  | base -> (
+      match reference ~fuel base with
+      | exception e ->
+          [ { variant = "reference"; arch = "-"; cls = Crash; detail = Printexc.to_string e } ]
+      | ref_ ->
+          List.concat_map
+            (fun arch ->
+              let outcomes = Hashtbl.create 16 in
+              let failures =
+                List.filter_map
+                  (fun (config : Sxe_core.Config.t) ->
+                    let out, failure =
+                      run_variant ~fuel ?sabotage ~ref_ config base
+                    in
+                    Option.iter
+                      (fun o -> Hashtbl.replace outcomes config.Sxe_core.Config.name o)
+                      out;
+                    failure)
+                  (variants arch)
+              in
+              let cost_failures =
+                let find n = Hashtbl.find_opt outcomes n in
+                if not check_cost then []
+                else
+                  match
+                  ( find (Sxe_core.Config.baseline ()).Sxe_core.Config.name,
+                    find (Sxe_core.Config.new_all ()).Sxe_core.Config.name )
+                with
+                | Some b, Some full
+                  when b.Sxe_vm.Interp.trap = None
+                       && full.Sxe_vm.Interp.trap = None
+                       && Int64.compare full.Sxe_vm.Interp.sext32 b.Sxe_vm.Interp.sext32
+                          > 0 ->
+                    [
+                      {
+                        variant = (Sxe_core.Config.new_all ()).Sxe_core.Config.name;
+                        arch = arch.Sxe_core.Arch.name;
+                        cls = Cost;
+                        detail =
+                          Printf.sprintf
+                            "full algorithm executed %Ld sext32, baseline %Ld"
+                            full.Sxe_vm.Interp.sext32 b.Sxe_vm.Interp.sext32;
+                      };
+                    ]
+                | _ -> []
+              in
+              failures @ cost_failures)
+            archs)

@@ -1,0 +1,73 @@
+(** Deterministic splittable PRNG (splitmix64) for the fuzzing subsystem.
+
+    Every generator, mutation and fuzzing campaign is driven by one of
+    these states, so a failure is reproducible from its integer seed alone
+    — unlike [Random.State], the stream is fixed by this module and does
+    not depend on the OCaml runtime version. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+(** Next raw 64-bit output. *)
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+(** A fresh generator whose stream is independent of further draws from
+    [t]; used to give each fuzz case its own generator. *)
+let split t = { state = mix (Int64.logxor (next64 t) 0xA5A5A5A5A5A5A5A5L) }
+
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int n))
+
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+(** [chance t num den] is true with probability [num/den]. *)
+let chance t num den = int t den < num
+
+let oneof t lst =
+  match lst with
+  | [] -> invalid_arg "Rng.oneof: empty list"
+  | _ -> List.nth lst (int t (List.length lst))
+
+(** Weighted choice: picks a [(weight, value)] entry with probability
+    proportional to its weight. *)
+let frequency t lst =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 lst in
+  if total <= 0 then invalid_arg "Rng.frequency: weights sum to zero";
+  let k = int t total in
+  let rec go k = function
+    | [] -> assert false
+    | (w, v) :: rest -> if k < w then v else go (k - w) rest
+  in
+  go k lst
+
+(** Fisher–Yates shuffle (returns a fresh list). *)
+let shuffle t lst =
+  let a = Array.of_list lst in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(** Derive the per-case seed of case [i] of a campaign with seed [seed].
+    Pure, so corpus entries can record just [(seed, i)]. *)
+let case_seed ~seed i = Int64.to_int (Int64.logand (mix (Int64.of_int ((seed * 1_000_003) + i)) ) 0x3FFFFFFFFFFFFFFFL)

@@ -1,0 +1,28 @@
+(** Deterministic splittable PRNG (splitmix64) driving all fuzz
+    generation; reproducible from an integer seed across runs and OCaml
+    versions. *)
+
+type t
+
+val create : seed:int -> t
+val next64 : t -> int64
+val split : t -> t
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]; requires [n > 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> int -> int -> bool
+(** [chance t num den] is true with probability [num/den]. *)
+
+val oneof : t -> 'a list -> 'a
+val frequency : t -> (int * 'a) list -> 'a
+val shuffle : t -> 'a list -> 'a list
+
+val case_seed : seed:int -> int -> int
+(** Seed of the [i]-th case of a campaign, derived purely from the
+    campaign seed. *)

@@ -1,0 +1,220 @@
+(** Greedy structural shrinker.
+
+    Minimizes a failing IR program while preserving the failure, so
+    reported counterexamples are human-readable. Candidate moves:
+
+    - delete one instruction;
+    - forward a [Mov]'s uses to its source and delete the copy (the IR
+      is non-SSA and a [Mov] may truncate or re-extend, so this is
+      optimistic: an unsound forward changes behaviour or width and is
+      rejected by [keep] / the validators);
+    - collapse a conditional branch to one of its targets;
+    - thread a jump landing on a conditional-branch block straight to
+      one of the branch's successors (kills back edges, so a loop whose
+      critical code runs once becomes straight-line and its counter
+      scaffolding dies);
+    - empty a whole block;
+    - constant-fold one instruction to the value it last produced in a
+      canonical reference run (value-snapshot folding).
+
+    The folding moves are what let a long dataflow chain collapse: every
+    instruction not essential to the divergence folds to a constant and
+    the chain feeding it dies, while folding the critical instruction
+    (the one whose faithful-mode garbage the failure observes) destroys
+    the divergence and is rejected by [keep].
+
+    Each move is accepted only if the result still validates — including
+    definite assignment, which the optimizer is entitled to assume — and
+    the [keep] predicate (usually "the oracle still reports the same
+    divergence") holds. Passes repeat until a full sweep accepts
+    nothing. *)
+
+open Sxe_ir
+
+(** Total instruction count over all functions (terminators excluded). *)
+let instr_total (p : Prog.t) = Prog.fold_funcs (fun n f -> n + Cfg.instr_count f) 0 p
+
+type move =
+  | Remove_instr of string * int  (** function name, instruction id *)
+  | Fwd_mov of string * int  (** forward a [Mov]'s uses to its source *)
+  | Collapse_br of string * int * bool  (** function, block, pick-ifso *)
+  | Thread_jmp of string * int * bool
+      (** function, block whose [Jmp] target ends in [Br]; pick-ifso *)
+  | Empty_block of string * int  (** function, block *)
+  | Const_fold of string * int * int64  (** function, instruction id, value *)
+
+(** Last value each (function, iid) defined during a canonical run;
+    instructions that never executed are absent. *)
+let observed_values ~fuel (p : Prog.t) : (string * int, int64) Hashtbl.t =
+  let tbl = Hashtbl.create 256 in
+  let watch fn iid v = Hashtbl.replace tbl (fn, iid) v in
+  ignore
+    (Sxe_vm.Interp.run ~mode:`Canonical ~fuel ~count_cycles:false ~watch
+       (Clone.clone_prog p));
+  tbl
+
+(** [op] is a pure integer computation worth folding to a constant. *)
+let foldable (op : Instr.op) =
+  match op with
+  | Instr.Binop _ | Instr.Unop _ | Instr.Mov { ty = Types.I32 | Types.I64; _ }
+  | Instr.Cmp _ | Instr.ArrLoad _ | Instr.ArrLen _
+  | Instr.GLoad { ty = Types.I32 | Types.I64; _ }
+  | Instr.D2I _ | Instr.D2L _ ->
+      true
+  | _ -> false
+
+let moves_of ?values (p : Prog.t) : move list =
+  Prog.fold_funcs
+    (fun acc (f : Cfg.func) ->
+      let ms = ref [] in
+      Cfg.iter_blocks
+        (fun b ->
+          List.iter
+            (fun (i : Instr.t) ->
+              ms := Remove_instr (f.name, i.iid) :: !ms;
+              (match i.op with
+              | Instr.Mov { dst; src; _ } when dst <> src ->
+                  ms := Fwd_mov (f.name, i.iid) :: !ms
+              | _ -> ());
+              match values with
+              | Some tbl when foldable i.op -> (
+                  match Hashtbl.find_opt tbl (f.name, i.iid) with
+                  | Some v -> ms := Const_fold (f.name, i.iid, v) :: !ms
+                  | None -> ())
+              | _ -> ())
+            b.body;
+          (match b.Cfg.term with
+          | Instr.Br _ ->
+              ms := Collapse_br (f.name, b.bid, true) :: Collapse_br (f.name, b.bid, false) :: !ms
+          | Instr.Jmp t when t >= 0 && t < Cfg.num_blocks f -> (
+              match (Cfg.block f t).Cfg.term with
+              | Instr.Br _ ->
+                  ms :=
+                    Thread_jmp (f.name, b.bid, true)
+                    :: Thread_jmp (f.name, b.bid, false) :: !ms
+              | _ -> ())
+          | _ -> ());
+          if List.length b.body > 1 then ms := Empty_block (f.name, b.bid) :: !ms)
+        f;
+      acc @ List.rev !ms)
+    [] p
+
+(** Apply [m] to [p] in place; [false] if the move no longer applies. *)
+let apply_move (p : Prog.t) (m : move) : bool =
+  match m with
+  | Remove_instr (fn, iid) -> (
+      match Prog.find_func_opt p fn with
+      | None -> false
+      | Some f -> (
+          match Cfg.find_instr f iid with
+          | exception Not_found -> false
+          | b, _ -> Cfg.remove_instr b iid))
+  | Fwd_mov (fn, iid) -> (
+      match Prog.find_func_opt p fn with
+      | None -> false
+      | Some f -> (
+          match Cfg.find_instr f iid with
+          | exception Not_found -> false
+          | b, i -> (
+              match i.Instr.op with
+              | Instr.Mov { dst; src; _ } when dst <> src ->
+                  let resolve r = if r = dst then src else r in
+                  Cfg.iter_blocks
+                    (fun blk ->
+                      List.iter
+                        (fun (j : Instr.t) ->
+                          if j.Instr.iid <> iid then
+                            j.Instr.op <- Instr.map_uses resolve j.Instr.op)
+                        blk.Cfg.body;
+                      blk.Cfg.term <- Instr.map_uses_term resolve blk.Cfg.term)
+                    f;
+                  ignore (Cfg.remove_instr b iid);
+                  true
+              | _ -> false)))
+  | Collapse_br (fn, bid, ifso) -> (
+      match Prog.find_func_opt p fn with
+      | None -> false
+      | Some f ->
+          if bid >= Cfg.num_blocks f then false
+          else
+            let b = Cfg.block f bid in
+            (match b.Cfg.term with
+            | Instr.Br { ifso = s; ifnot = n; _ } ->
+                b.Cfg.term <- Instr.Jmp (if ifso then s else n);
+                true
+            | _ -> false))
+  | Thread_jmp (fn, bid, ifso) -> (
+      match Prog.find_func_opt p fn with
+      | None -> false
+      | Some f ->
+          if bid >= Cfg.num_blocks f then false
+          else
+            let b = Cfg.block f bid in
+            (match b.Cfg.term with
+            | Instr.Jmp t when t >= 0 && t < Cfg.num_blocks f -> (
+                match (Cfg.block f t).Cfg.term with
+                | Instr.Br { ifso = s; ifnot = n; _ } ->
+                    b.Cfg.term <- Instr.Jmp (if ifso then s else n);
+                    true
+                | _ -> false)
+            | _ -> false))
+  | Empty_block (fn, bid) -> (
+      match Prog.find_func_opt p fn with
+      | None -> false
+      | Some f ->
+          if bid >= Cfg.num_blocks f then false
+          else
+            let b = Cfg.block f bid in
+            if b.Cfg.body = [] then false
+            else begin
+              b.Cfg.body <- [];
+              true
+            end)
+  | Const_fold (fn, iid, v) -> (
+      match Prog.find_func_opt p fn with
+      | None -> false
+      | Some f -> (
+          match Cfg.find_instr f iid with
+          | exception Not_found -> false
+          | _, i -> (
+              if not (foldable i.Instr.op) then false
+              else
+                match Instr.def i.Instr.op with
+                | Some dst -> (
+                    match Cfg.reg_ty f dst with
+                    | (Types.I32 | Types.I64) as ty ->
+                        (* canonical I32 values are already sign-extended,
+                           so they satisfy the validator's range check *)
+                        i.Instr.op <- Instr.Const { dst; ty; v };
+                        true
+                    | _ -> false)
+                | None -> false)))
+
+(** [minimize ~keep p] greedily shrinks [p]. [keep] must hold on [p]
+    itself; the result still satisfies [keep]. [p] is not mutated.
+    [fuel] bounds the value-snapshot reference runs. *)
+let minimize ?(max_rounds = 8) ?(fuel = 400_000L) ~keep (p : Prog.t) : Prog.t =
+  let cur = ref (Clone.clone_prog p) in
+  let rounds = ref 0 in
+  let progress = ref true in
+  while !progress && !rounds < max_rounds do
+    incr rounds;
+    progress := false;
+    let values = observed_values ~fuel !cur in
+    List.iter
+      (fun m ->
+        let candidate = Clone.clone_prog !cur in
+        if apply_move candidate m then
+          let valid =
+            Prog.fold_funcs
+              (fun ok f ->
+                ok && Validate.errors f = [] && Validate.def_errors f = [])
+              true candidate
+          in
+          if valid && keep candidate then begin
+            cur := candidate;
+            progress := true
+          end)
+      (moves_of ~values !cur)
+  done;
+  !cur

@@ -143,6 +143,90 @@ let errors (f : Cfg.func) : string list =
     f;
   List.rev !errs
 
+(* -- definite assignment ------------------------------------------- *)
+
+let def_errors (f : Cfg.func) : string list =
+  let open Sxe_util in
+  let nregs = Cfg.num_regs f in
+  let nblocks = Cfg.num_blocks f in
+  let labels_ok =
+    let ok = ref true in
+    Cfg.iter_blocks
+      (fun b ->
+        List.iter (fun s -> if s < 0 || s >= nblocks then ok := false) (Cfg.succs b))
+      f;
+    !ok
+  in
+  (* dangling labels are [errors]' report; the dataflow below would index
+     out of bounds on them *)
+  if nblocks = 0 || nregs = 0 || not labels_ok then []
+  else begin
+    let errs = ref [] in
+    let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+    let reachable = Cfg.reachable f in
+    (* IN(entry) = params; IN(b) = ∩ OUT(preds); OUT(b) = IN(b) ∪ defs(b) *)
+    let in_ = Array.init nblocks (fun _ -> Bitset.create nregs) in
+    let out = Array.init nblocks (fun _ -> Bitset.create nregs) in
+    Array.iter Bitset.fill in_;
+    Array.iter Bitset.fill out;
+    let entry = Cfg.entry f in
+    Bitset.clear in_.(entry);
+    List.iter (fun (r, _) -> Bitset.add in_.(entry) r) f.Cfg.params;
+    let preds = Cfg.preds f in
+    let flow bid =
+      let s = Bitset.copy in_.(bid) in
+      List.iter
+        (fun (i : Instr.t) ->
+          match Instr.def i.op with Some d when d < nregs -> Bitset.add s d | _ -> ())
+        (Cfg.block f bid).Cfg.body;
+      s
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun bid ->
+          if bid <> entry then begin
+            let m = Bitset.create nregs in
+            Bitset.fill m;
+            List.iter
+              (fun p -> if reachable.(p) then ignore (Bitset.inter_into ~dst:m out.(p)))
+              preds.(bid);
+            List.iter (fun (r, _) -> Bitset.add m r) f.Cfg.params;
+            if not (Bitset.equal m in_.(bid)) then begin
+              Bitset.assign ~dst:in_.(bid) m;
+              changed := true
+            end
+          end;
+          let o = flow bid in
+          if not (Bitset.equal o out.(bid)) then begin
+            Bitset.assign ~dst:out.(bid) o;
+            changed := true
+          end)
+        (Cfg.rpo f)
+    done;
+    (* report: walk each reachable block with its running defined set *)
+    List.iter
+      (fun bid ->
+        let b = Cfg.block f bid in
+        let s = Bitset.copy in_.(bid) in
+        let use ctx r =
+          if r >= 0 && r < nregs && not (Bitset.mem s r) then
+            err "%s: r%d used before definite assignment" ctx r
+        in
+        List.iter
+          (fun (i : Instr.t) ->
+            let ctx = Printf.sprintf "B%d/%d" bid i.Instr.iid in
+            List.iter (use ctx) (Instr.uses i.Instr.op);
+            match Instr.def i.Instr.op with
+            | Some d when d < nregs -> Bitset.add s d
+            | _ -> ())
+          b.Cfg.body;
+        List.iter (use (Printf.sprintf "B%d/term" bid)) (Instr.term_uses b.Cfg.term))
+      (Cfg.rpo f);
+    List.rev !errs
+  end
+
 let check f =
   match errors f with
   | [] -> ()

@@ -10,3 +10,10 @@ val check : Cfg.func -> unit
 (** Raises [Failure] listing all violations. *)
 
 val check_prog : Prog.t -> unit
+
+val def_errors : Cfg.func -> string list
+(** Definite-assignment check: reports every use (in a reachable block) of
+    a register that is not defined on {e every} path from the entry.
+    Parameters count as defined at the entry. Kept separate from {!errors}
+    because optimizer phases may transiently leave partially-defined IR;
+    freshly generated or mutated IR (the fuzzer's diet) must pass it. *)

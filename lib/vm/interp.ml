@@ -61,6 +61,10 @@ type state = {
   fuel : int64;
   count_cycles : bool;
   trace : Format.formatter option;
+  watch : (string -> int -> int64 -> unit) option;
+      (** called as [watch fname iid value] after every executed
+          instruction that defines an integer register; used by the
+          shrinker's value-snapshot constant folding *)
 }
 
 type varg = VI of int64 | VF of float
@@ -242,12 +246,25 @@ let rec exec_func st fname (args : varg list) : varg option =
             | _, None, _ -> ()
             | _ -> raise (Trap "bad-return")))
   in
+  let exec_instr (i : Instr.t) =
+    exec_instr i;
+    match st.watch with
+    | Some w -> (
+        match Instr.def i.Instr.op with
+        | Some d when d < Array.length ri && Cfg.reg_ty f d <> F64 ->
+            w fname i.Instr.iid ri.(d)
+        | _ -> ())
+    | None -> ()
+  in
   let bid = ref (Cfg.entry f) in
   let result = ref None in
   let running = ref true in
   while !running do
     let b = Cfg.block f !bid in
     List.iter exec_instr b.Cfg.body;
+    (* terminators consume fuel too: a loop whose blocks have empty
+       bodies must still hit the fuel bound *)
+    tick ();
     charge (Cost.of_term b.Cfg.term);
     let goto l =
       (match st.profile with
@@ -296,7 +313,7 @@ and builtin st fn (args : varg list) : varg option option =
 let builtin_names = [ "print_int"; "print_long"; "print_double"; "checksum"; "checksum_double" ]
 
 let run ?(mode = `Faithful) ?(fuel = 2_000_000_000L) ?(count_cycles = true) ?profile ?trace
-    (prog : Prog.t) : outcome =
+    ?watch (prog : Prog.t) : outcome =
   let st =
     {
       prog;
@@ -315,6 +332,7 @@ let run ?(mode = `Faithful) ?(fuel = 2_000_000_000L) ?(count_cycles = true) ?pro
       fuel;
       count_cycles;
       trace;
+      watch;
     }
   in
   let trap, ret =

@@ -37,6 +37,7 @@ val run :
   ?count_cycles:bool ->
   ?profile:Profile.t ->
   ?trace:Format.formatter ->
+  ?watch:(string -> int -> int64 -> unit) ->
   Sxe_ir.Prog.t ->
   outcome
 (** Execute the program's [main].
@@ -46,10 +47,13 @@ val run :
       32-bit definition; running {e unconverted} IR in this mode gives
       source-language (MiniJ/Java) semantics.
 
-    [fuel] bounds executed instructions (trap ["fuel-exhausted"]);
-    [profile] records branch-edge counts for profile-directed order
-    determination; [count_cycles:false] skips the cost model; [trace]
-    streams every executed instruction with its input registers. *)
+    [fuel] bounds executed instructions — terminators included — (trap
+    ["fuel-exhausted"]); [profile] records branch-edge counts for
+    profile-directed order determination; [count_cycles:false] skips the
+    cost model; [trace] streams every executed instruction with its
+    input registers; [watch fname iid v] is called after every executed
+    instruction defining an integer register (value-snapshot hooks for
+    the fuzzer's shrinker). *)
 
 val equivalent : outcome -> outcome -> bool
 (** Observable equality: output, checksum, trap and return value (the

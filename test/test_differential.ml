@@ -1,196 +1,112 @@
-(** Differential property tests: random MiniJ programs must behave
-    identically (output, checksum, trap) under every optimization variant
-    and on both architecture models. This is the suite that would expose
-    an unsound elimination: the interpreter's faithful mode makes garbage
-    upper bits observable through conversions, calls, divisions and
-    effective addresses. *)
+(** Differential property tests, driven by the [sxe_fuzz] subsystem.
+
+    Random MiniJ programs and raw-IR CFGs must behave identically
+    (output, checksum, trap, return value) under every optimization
+    variant and on both architecture models. The generators, oracle and
+    shrinker all live in [lib/fuzz]; this file only binds them to QCheck
+    seeds so failures reproduce from the printed seed alone and are
+    reported as a minimized program. *)
 
 open QCheck
-
-(* ------------------------------------------------------------------ *)
-(* Random MiniJ program generator                                       *)
-(* ------------------------------------------------------------------ *)
-
-let interesting_ints =
-  [ 0; 1; 2; 3; 7; 15; 255; 65535; -1; -2; -128; 12345; 2147483647; -2147483647 - 1 ]
-
-let gen_int_lit : string Gen.t =
-  Gen.oneof
-    [
-      Gen.map string_of_int (Gen.oneofl interesting_ints);
-      Gen.map string_of_int (Gen.int_bound 1000);
-    ]
-
-let ivars = [ "i0"; "i1"; "i2"; "i3" ]
-let lvars = [ "l0"; "l1" ]
-let dvars = [ "d0"; "d1" ]
-
-let rec gen_iexpr depth : string Gen.t =
-  let leaf =
-    Gen.oneof [ gen_int_lit; Gen.oneofl ivars; Gen.return "a[k & 15]"; Gen.return "b[k & 7]" ]
-  in
-  if depth <= 0 then leaf
-  else
-    Gen.frequency
-      [
-        (3, leaf);
-        ( 4,
-          let op = Gen.oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
-          Gen.map3
-            (fun l op r -> Printf.sprintf "(%s %s %s)" l op r)
-            (gen_iexpr (depth - 1)) op (gen_iexpr (depth - 1)) );
-        ( 2,
-          let op = Gen.oneofl [ "<<"; ">>"; ">>>" ] in
-          Gen.map3
-            (fun l op r -> Printf.sprintf "(%s %s (%s & 31))" l op r)
-            (gen_iexpr (depth - 1)) op (gen_iexpr (depth - 1)) );
-        ( 2,
-          let op = Gen.oneofl [ "/"; "%" ] in
-          Gen.map3
-            (fun l op r -> Printf.sprintf "(%s %s (%s | 1))" l op r)
-            (gen_iexpr (depth - 1)) op (gen_iexpr (depth - 1)) );
-        (1, Gen.map (fun e -> Printf.sprintf "((int) ((long) %s * 3L))" e) (gen_iexpr (depth - 1)));
-        (1, Gen.map (fun e -> Printf.sprintf "((byte) %s)" e) (gen_iexpr (depth - 1)));
-        (1, Gen.map (fun e -> Printf.sprintf "((short) %s)" e) (gen_iexpr (depth - 1)));
-        (1, Gen.map (fun e -> Printf.sprintf "((int) (double) %s)" e) (gen_iexpr (depth - 1)));
-        ( 1,
-          let cmp = Gen.oneofl [ "<"; "<="; "=="; "!="; ">"; ">=" ] in
-          Gen.map3
-            (fun l c r -> Printf.sprintf "(%s %s %s)" l c r)
-            (gen_iexpr (depth - 1)) cmp (gen_iexpr (depth - 1)) );
-      ]
-
-let gen_cond depth : string Gen.t =
-  let cmp = Gen.oneofl [ "<"; "<="; "=="; "!="; ">"; ">=" ] in
-  Gen.map3 (fun l c r -> Printf.sprintf "%s %s %s" l c r) (gen_iexpr depth) cmp
-    (gen_iexpr depth)
-
-let rec gen_stmt depth : string Gen.t =
-  let assign =
-    Gen.map2 (fun v e -> Printf.sprintf "%s = %s;" v e) (Gen.oneofl ivars) (gen_iexpr 2)
-  in
-  let astore =
-    Gen.map2
-      (fun i e -> Printf.sprintf "a[%s & 15] = %s;" i e)
-      (Gen.oneofl ivars) (gen_iexpr 2)
-  in
-  let bstore =
-    Gen.map2
-      (fun i e -> Printf.sprintf "b[%s & 7] = %s;" i e)
-      (Gen.oneofl ivars) (gen_iexpr 2)
-  in
-  let obs =
-    Gen.oneof
-      [
-        Gen.map (fun v -> Printf.sprintf "checksum(%s);" v) (Gen.oneofl ivars);
-        Gen.map (fun v -> Printf.sprintf "checksum_double((double) %s);" v) (Gen.oneofl ivars);
-        Gen.map (fun v -> Printf.sprintf "l0 = l0 + (long) %s; " v) (Gen.oneofl ivars);
-        Gen.map (fun v -> Printf.sprintf "d0 = d0 + (double) %s;" v) (Gen.oneofl ivars);
-      ]
-  in
-  if depth <= 0 then Gen.oneof [ assign; astore; bstore; obs ]
-  else
-    Gen.frequency
-      [
-        (4, assign);
-        (2, astore);
-        (1, bstore);
-        (2, obs);
-        ( 2,
-          Gen.map3
-            (fun c body els ->
-              Printf.sprintf "if (%s) { %s } else { %s }" c (String.concat " " body)
-                (String.concat " " els))
-            (gen_cond 1)
-            (Gen.list_size (Gen.int_range 1 3) (gen_stmt (depth - 1)))
-            (Gen.list_size (Gen.int_range 0 2) (gen_stmt (depth - 1))) );
-        ( 2,
-          Gen.map3
-            (fun n v body ->
-              Printf.sprintf "for (int %s = 0; %s < %d; %s = %s + 1) { %s }" v v n v v
-                (String.concat " " body))
-            (Gen.int_range 1 12)
-            (Gen.oneofl [ "q"; "w" ])
-            (Gen.list_size (Gen.int_range 1 3) (gen_stmt (depth - 1))) );
-      ]
-
-let gen_program : string Gen.t =
-  Gen.map2
-    (fun inits stmts ->
-      let init_lines =
-        List.map2 (fun v e -> Printf.sprintf "int %s = %s;" v e) ivars inits
-      in
-      Printf.sprintf
-        {|
-void main() {
-  int[] a = new int[16];
-  byte[] b = new byte[8];
-  %s
-  long l0 = 0L; long l1 = 7L;
-  double d0 = 0.0; double d1 = 1.5;
-  for (int k = 0; k < 12; k = k + 1) {
-    a[k & 15] = k * -1640531535 + i0;
-    b[k & 7] = k * 37 + i1;
-    %s
-    i2 = i2 + 1;
-  }
-  checksum(i0); checksum(i1); checksum(i2); checksum(i3);
-  checksum(l0); checksum_double(d0); checksum_double(d1); checksum(l1);
-  for (int k = 0; k < 16; k = k + 1) { checksum(a[k]); }
-  for (int k = 0; k < 8; k = k + 1) { checksum(b[k]); }
-}
-|}
-        (String.concat "\n  " init_lines)
-        (String.concat "\n    " stmts))
-    (Gen.list_size (Gen.return 4) gen_int_lit)
-    (Gen.list_size (Gen.int_range 1 6) (gen_stmt 2))
-
-let arbitrary_program = make ~print:(fun s -> s) gen_program
-
-(* ------------------------------------------------------------------ *)
-(* Properties                                                           *)
-(* ------------------------------------------------------------------ *)
+open Sxe_fuzz
 
 let fuel = 400_000L
+let seed_gen = Gen.int_bound 0x3FFFFFFF
 
-let outcome_of config src =
-  let prog = Sxe_lang.Frontend.compile src in
-  let _ = Sxe_core.Pass.compile config prog in
-  Sxe_ir.Validate.check_prog prog;
-  Sxe_vm.Interp.run ~mode:`Faithful ~fuel ~count_cycles:false prog
+(** Arbitrary over case seeds; the printer shows the derived program so
+    a bare QCheck counterexample is already actionable. *)
+let arb_minij =
+  make
+    ~print:(fun s -> Printf.sprintf "seed %d:\n%s" s (Gen_minij.of_seed s))
+    seed_gen
+
+let arb_ir =
+  make
+    ~print:(fun s ->
+      Printf.sprintf "seed %d:\n%s" s
+        (Sxe_ir.Printer.prog_to_string (Gen_ir.of_seed s)))
+    seed_gen
+
+let minij_case s = Oracle.Minij (Gen_minij.of_seed s)
+let ir_case s = Oracle.Ir (Gen_ir.of_seed s)
+
+let mutated_case s =
+  let rng = Rng.create ~seed:s in
+  let f = Gen_ir.generate rng in
+  ignore (Mutate.mutate_n rng 3 f);
+  Sxe_ir.Validate.check f;
+  Oracle.Ir (Gen_ir.wrap f)
+
+(** Run the oracle; on divergence, shrink against the first witness and
+    fail with the seed, the classified failures, and the minimized
+    program (satisfies the "print seed + shrunk offender" rule). *)
+let oracle_holds ?archs ?variants (case : Oracle.case) (seed : int) =
+  match Oracle.check ~fuel ?archs ?variants case with
+  | [] -> true
+  | fs ->
+      let o =
+        {
+          Driver.default_options with
+          archs =
+            (match archs with
+            | Some a -> a
+            | None -> [ Sxe_core.Arch.ia64 ]);
+        }
+      in
+      let shrunk = Driver.shrink_failure o case fs in
+      Test.fail_reportf "seed %d diverged:@.%a@.shrunk to %d instructions:@.%s"
+        seed
+        (Format.pp_print_list Oracle.pp_failure)
+        fs
+        (Shrink.instr_total shrunk)
+        (Sxe_ir.Printer.prog_to_string shrunk)
 
 let prop_all_variants_equivalent =
-  Test.make ~name:"all variants observationally equal (IA64)" ~count:120 arbitrary_program
-    (fun src ->
-      let reference = Helpers.reference_outcome ~fuel src in
-      List.for_all
-        (fun config -> Sxe_vm.Interp.equivalent reference (outcome_of config src))
-        (Helpers.all_variants ()))
+  Test.make ~name:"all variants observationally equal (IA64)" ~count:120 arb_minij
+    (fun s -> oracle_holds (minij_case s) s)
 
 let prop_ppc64_equivalent =
-  Test.make ~name:"all variants observationally equal (PPC64)" ~count:60 arbitrary_program
-    (fun src ->
-      let reference = Helpers.reference_outcome ~fuel src in
-      List.for_all
-        (fun config -> Sxe_vm.Interp.equivalent reference (outcome_of config src))
-        (Helpers.all_variants ~arch:Sxe_core.Arch.ppc64 ()))
+  Test.make ~name:"all variants observationally equal (PPC64)" ~count:60 arb_minij
+    (fun s -> oracle_holds ~archs:[ Sxe_core.Arch.ppc64 ] (minij_case s) s)
 
 let prop_small_maxlen_equivalent =
-  Test.make ~name:"aggressive maxlen stays sound" ~count:60 arbitrary_program (fun src ->
-      let reference = Helpers.reference_outcome ~fuel src in
-      List.for_all
-        (fun config -> Sxe_vm.Interp.equivalent reference (outcome_of config src))
-        [ Sxe_core.Config.new_all ~maxlen:0x7fff0001L (); Sxe_core.Config.array ~maxlen:65536L () ])
+  Test.make ~name:"aggressive maxlen stays sound" ~count:60 arb_minij (fun s ->
+      oracle_holds
+        ~variants:(fun _ ->
+          [
+            Sxe_core.Config.new_all ~maxlen:0x7fff0001L ();
+            Sxe_core.Config.array ~maxlen:65536L ();
+          ])
+        (minij_case s) s)
 
 let prop_full_never_worse_than_baseline =
+  (* with baseline and the full algorithm both present, the oracle's
+     cost check fires whenever the full algorithm executes more 32-bit
+     extensions than baseline *)
   Test.make ~name:"new algorithm never executes more extensions than baseline" ~count:80
-    arbitrary_program (fun src ->
-      let base = outcome_of (Sxe_core.Config.baseline ()) src in
-      let full = outcome_of (Sxe_core.Config.new_all ()) src in
-      Int64.compare full.Sxe_vm.Interp.sext32 base.Sxe_vm.Interp.sext32 <= 0)
+    arb_minij (fun s ->
+      oracle_holds
+        ~variants:(fun arch ->
+          [ Sxe_core.Config.baseline ~arch (); Sxe_core.Config.new_all ~arch () ])
+        (minij_case s) s)
+
+let prop_random_ir_pipeline =
+  Test.make ~name:"random IR CFGs survive the full pipeline" ~count:100 arb_ir
+    (fun s -> oracle_holds (ir_case s) s)
+
+let prop_mutated_ir_pipeline =
+  Test.make ~name:"mutated IR CFGs survive the full pipeline" ~count:100 arb_ir
+    (fun s -> oracle_holds (mutated_case s) s)
+
+(* Pipeline-internals properties: these exercise entry points the oracle
+   does not (step 2 alone, re-running elimination, the gen-def
+   invariant), so they run the interpreter directly. *)
+
+let outcome_of mode prog = Sxe_vm.Interp.run ~mode ~fuel ~count_cycles:false prog
 
 let prop_step2_only_preserves =
-  Test.make ~name:"step 2 alone preserves semantics" ~count:120 arbitrary_program (fun src ->
+  Test.make ~name:"step 2 alone preserves semantics" ~count:120 arb_minij (fun s ->
+      let src = Gen_minij.of_seed s in
       let reference = Helpers.reference_outcome ~fuel src in
       let prog = Sxe_lang.Frontend.compile src in
       let stats = Sxe_core.Stats.create () in
@@ -199,12 +115,12 @@ let prop_step2_only_preserves =
         prog;
       Sxe_opt.Pipeline.run prog;
       Sxe_ir.Validate.check_prog prog;
-      let out = Sxe_vm.Interp.run ~mode:`Faithful ~fuel ~count_cycles:false prog in
-      Sxe_vm.Interp.equivalent reference out)
+      Sxe_vm.Interp.equivalent reference (outcome_of `Faithful prog))
 
 let prop_pipeline_idempotent =
-  Test.make ~name:"re-running step 3 on optimized code stays sound" ~count:60
-    arbitrary_program (fun src ->
+  Test.make ~name:"re-running step 3 on optimized code stays sound" ~count:60 arb_minij
+    (fun s ->
+      let src = Gen_minij.of_seed s in
       let reference = Helpers.reference_outcome ~fuel src in
       let prog = Sxe_lang.Frontend.compile src in
       let _ = Sxe_core.Pass.compile (Sxe_core.Config.new_all ()) prog in
@@ -214,133 +130,31 @@ let prop_pipeline_idempotent =
         (fun f -> ignore (Sxe_core.Eliminate.run (Sxe_core.Config.new_all ()) f stats))
         prog;
       Sxe_ir.Validate.check_prog prog;
-      let out = Sxe_vm.Interp.run ~mode:`Faithful ~fuel ~count_cycles:false prog in
-      Sxe_vm.Interp.equivalent reference out)
+      Sxe_vm.Interp.equivalent reference (outcome_of `Faithful prog))
 
 let prop_gen_def_invariant =
-  Test.make ~name:"after step 1, faithful = canonical execution" ~count:80
-    arbitrary_program (fun src ->
+  Test.make ~name:"after step 1, faithful = canonical execution" ~count:80 arb_minij
+    (fun s ->
       (* the gen-def invariant: every 32-bit register is extended at every
          point, so the 64-bit machine and the reference 32-bit machine
          agree instruction by instruction *)
-      let prog = Sxe_lang.Frontend.compile src in
+      let prog = Sxe_lang.Frontend.compile (Gen_minij.of_seed s) in
       let stats = Sxe_core.Stats.create () in
       Sxe_ir.Prog.iter_funcs
         (fun f -> Sxe_core.Convert.run (Sxe_core.Config.baseline ()) f stats)
         prog;
-      let a = Sxe_vm.Interp.run ~mode:`Faithful ~fuel ~count_cycles:false prog in
-      let b = Sxe_vm.Interp.run ~mode:`Canonical ~fuel ~count_cycles:false prog in
+      let a = outcome_of `Faithful prog in
+      let b = outcome_of `Canonical (Sxe_ir.Clone.clone_prog prog) in
       Sxe_vm.Interp.equivalent a b)
-
-(* Random raw-IR functions: CFG shapes MiniJ cannot produce. To keep
-   every run terminating (fuel truncation would make outputs spuriously
-   diverge), the generated graph is a forward-only DAG plus one counted
-   back edge through a dedicated latch block. *)
-let build_random_ir nregs nblocks (recipe : int list) : Sxe_ir.Cfg.func =
-  let open Sxe_ir in
-  let open Sxe_ir.Types in
-  let module B = Builder in
-  let b, params = B.create ~name:"rand" ~params:[ I32 ] ~ret:I32 () in
-  let p0 = List.hd params in
-  let regs = Array.make nregs p0 in
-  for k = 0 to nregs - 1 do
-    regs.(k) <- B.iconst b (7 * (k + 1))
-  done;
-  let counter = B.iconst b 60 in
-  let blocks = Array.make (nblocks + 1) 0 in
-  for k = 1 to nblocks do
-    blocks.(k) <- B.new_block b
-  done;
-  let latch = blocks.(nblocks) in
-  let r = ref recipe in
-  let next () = match !r with [] -> 3 | x :: rest -> r := rest; abs x in
-  let reg () = regs.(next () mod nregs) in
-  (* one random mid block is rerouted through the latch *)
-  let looper = if nblocks > 2 then 1 + (next () mod (nblocks - 2)) else -1 in
-  let fill k =
-    if k > 0 then B.switch b blocks.(k);
-    for _ = 1 to next () mod 4 do
-      match next () mod 6 with
-      | 0 -> ignore (B.sext b (reg ()))
-      | 1 -> B.binop_to b Add ~dst:(reg ()) (reg ()) (reg ())
-      | 2 -> B.mov_to b ~dst:(reg ()) ~src:(reg ()) I32
-      | 3 -> B.binop_to b And ~dst:(reg ()) (reg ()) (reg ())
-      | 4 -> B.binop_to b Sub ~dst:(reg ()) (reg ()) p0
-      | _ ->
-          let d = B.i2d b (reg ()) in
-          ignore (B.call b "checksum_double" [ (d, F64) ])
-    done;
-    (* forward-only targets guarantee a DAG *)
-    (* forward-only targets, excluding the latch (only [looper] enters
-       it) — this is what guarantees termination *)
-    let fwd () =
-      if k + 1 >= nblocks - 1 then blocks.(nblocks - 1)
-      else blocks.(k + 1 + (next () mod (nblocks - 1 - k)))
-    in
-    if k = nblocks - 1 then B.retv b I32 (reg ())
-    else if k = looper then B.jmp b latch
-    else
-      match next () mod 4 with
-      | 0 -> B.jmp b (fwd ())
-      | 1 -> B.retv b I32 (reg ())
-      | _ -> B.br b Lt (reg ()) (reg ()) ~ifso:(fwd ()) ~ifnot:(fwd ())
-  in
-  for k = 0 to nblocks - 1 do
-    fill k
-  done;
-  (* latch: decrement the counter; loop back to an early block or exit *)
-  B.switch b latch;
-  let one = B.iconst b 1 in
-  B.binop_to b Sub ~dst:counter counter one;
-  (* never back to block 0: the entry initializes the loop counter *)
-  let back = blocks.(if looper > 1 then 1 + (next () mod looper) else max looper 1) in
-  B.br b Gt counter one ~ifso:back ~ifnot:blocks.(looper + 1);
-  let f = B.func b in
-  Sxe_ir.Validate.check f;
-  f
-
-let prop_random_ir_pipeline =
-  Test.make ~name:"random IR CFGs survive the full pipeline" ~count:100
-    (make ~print:(fun l -> String.concat "," (List.map string_of_int l))
-       Gen.(small_list int))
-    (fun recipe ->
-      let wrap f =
-        let p = Sxe_ir.Prog.create ~main:"main" () in
-        Sxe_ir.Prog.add_func p f;
-        let bm, _ = Sxe_ir.Builder.create ~name:"main" ~params:[] () in
-        let arg = Sxe_ir.Builder.const bm ~ty:Sxe_ir.Types.I32 (-77L) in
-        (match
-           Sxe_ir.Builder.call bm ~ret:Sxe_ir.Types.I32 "rand"
-             [ (arg, Sxe_ir.Types.I32) ]
-         with
-        | Some r -> ignore (Sxe_ir.Builder.call bm "checksum" [ (r, Sxe_ir.Types.I32) ])
-        | None -> assert false);
-        Sxe_ir.Builder.ret bm;
-        Sxe_ir.Prog.add_func p (Sxe_ir.Builder.func bm);
-        p
-      in
-      let f0 = build_random_ir 5 6 recipe in
-      let reference =
-        Sxe_vm.Interp.run ~mode:`Canonical ~fuel:200_000L ~count_cycles:false
-          (wrap (Sxe_ir.Clone.clone_func f0))
-      in
-      List.for_all
-        (fun config ->
-          let p = wrap (Sxe_ir.Clone.clone_func f0) in
-          let _ = Sxe_core.Pass.compile config p in
-          Sxe_ir.Validate.check_prog p;
-          let out = Sxe_vm.Interp.run ~mode:`Faithful ~fuel:200_000L ~count_cycles:false p in
-          Sxe_vm.Interp.equivalent reference out)
-        (Helpers.all_variants ()))
 
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_random_ir_pipeline;
+    QCheck_alcotest.to_alcotest prop_mutated_ir_pipeline;
     QCheck_alcotest.to_alcotest prop_all_variants_equivalent;
     QCheck_alcotest.to_alcotest prop_pipeline_idempotent;
     QCheck_alcotest.to_alcotest prop_gen_def_invariant;
     QCheck_alcotest.to_alcotest prop_ppc64_equivalent;
     QCheck_alcotest.to_alcotest prop_small_maxlen_equivalent;
     QCheck_alcotest.to_alcotest prop_full_never_worse_than_baseline;
-    QCheck_alcotest.to_alcotest prop_step2_only_preserves;
   ]

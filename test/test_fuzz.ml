@@ -1,0 +1,360 @@
+(** Unit tests for the [lib/fuzz] subsystem: the deterministic PRNG, the
+    MiniJ/IR generators, the mutation engine, the breakage injectors, the
+    differential oracle (including its self-test sabotage hooks), the
+    structural shrinker, and corpus persistence. *)
+
+open Sxe_fuzz
+
+let fuel = 200_000L
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:99 and b = Rng.create ~seed:99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done;
+  let c = Rng.create ~seed:100 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (Rng.next64 (Rng.create ~seed:99) <> Rng.next64 c)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    Alcotest.(check bool) "int in [0,7)" true (v >= 0 && v < 7);
+    let w = Rng.range r 3 9 in
+    Alcotest.(check bool) "range in [3,9]" true (w >= 3 && w <= 9)
+  done
+
+let test_rng_frequency () =
+  let r = Rng.create ~seed:7 in
+  let hits = Array.make 2 0 in
+  for _ = 1 to 2000 do
+    let k = Rng.frequency r [ (9, 0); (1, 1) ] in
+    hits.(k) <- hits.(k) + 1
+  done;
+  Alcotest.(check bool) "9:1 weighting respected" true (hits.(0) > hits.(1) * 4)
+
+let test_rng_shuffle () =
+  let r = Rng.create ~seed:11 in
+  let xs = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let ys = Rng.shuffle r xs in
+  Alcotest.(check (list int)) "permutation" xs (List.sort compare ys)
+
+let test_case_seed_distinct () =
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 999 do
+    Hashtbl.replace seen (Rng.case_seed ~seed:42 i) ()
+  done;
+  Alcotest.(check int) "1000 distinct case seeds" 1000 (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_minij_deterministic () =
+  Alcotest.(check string) "same seed, same program" (Gen_minij.of_seed 123)
+    (Gen_minij.of_seed 123);
+  Alcotest.(check bool) "different seed, different program" true
+    (Gen_minij.of_seed 123 <> Gen_minij.of_seed 124)
+
+let test_gen_minij_compiles () =
+  for s = 0 to 30 do
+    let src = Gen_minij.of_seed s in
+    let prog = Sxe_lang.Frontend.compile src in
+    Sxe_ir.Validate.check_prog prog;
+    let out = Sxe_vm.Interp.run ~mode:`Canonical ~fuel ~count_cycles:false prog in
+    Alcotest.(check (option string))
+      (Printf.sprintf "seed %d runs clean" s)
+      None out.Sxe_vm.Interp.trap
+  done
+
+let test_gen_minij_features () =
+  (* with every feature off, the program still compiles and runs *)
+  let rng = Rng.create ~seed:3 in
+  let src = Gen_minij.generate ~features:Gen_minij.minimal_features ~size:4 rng in
+  let prog = Sxe_lang.Frontend.compile src in
+  let out = Sxe_vm.Interp.run ~mode:`Canonical ~fuel ~count_cycles:false prog in
+  Alcotest.(check (option string)) "minimal featureset runs clean" None
+    out.Sxe_vm.Interp.trap
+
+let test_gen_ir_valid () =
+  for s = 0 to 50 do
+    let f = Gen_ir.generate (Rng.create ~seed:s) in
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d validates" s)
+      [] (Sxe_ir.Validate.errors f);
+    let p = Gen_ir.wrap f in
+    let out = Sxe_vm.Interp.run ~mode:`Canonical ~fuel ~count_cycles:false p in
+    (* generated functions are termination-safe by construction: traps
+       other than fuel exhaustion would indicate a generator bug *)
+    Alcotest.(check (option string))
+      (Printf.sprintf "seed %d terminates" s)
+      None out.Sxe_vm.Interp.trap
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Mutation engine                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutations_preserve_validity () =
+  List.iter
+    (fun kind ->
+      let applied = ref 0 in
+      for s = 0 to 20 do
+        let rng = Rng.create ~seed:(1000 + s) in
+        let f = Gen_ir.generate rng in
+        if Mutate.apply rng kind f then begin
+          incr applied;
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s keeps IR valid (seed %d)" (Mutate.string_of_kind kind) s)
+            [] (Sxe_ir.Validate.errors f);
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s keeps definite assignment (seed %d)"
+               (Mutate.string_of_kind kind) s)
+            [] (Sxe_ir.Validate.def_errors f)
+        end
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s applies at least once" (Mutate.string_of_kind kind))
+        true (!applied > 0))
+    Mutate.all_kinds
+
+let test_permute_blocks_preserves_behaviour () =
+  (* block permutation is an isomorphism: canonical behaviour is identical *)
+  let tried = ref 0 in
+  for s = 0 to 20 do
+    let rng = Rng.create ~seed:(2000 + s) in
+    let f = Gen_ir.generate rng in
+    let g = Sxe_ir.Clone.clone_func f in
+    if Mutate.apply rng Mutate.Permute_blocks g then begin
+      incr tried;
+      let run h =
+        Sxe_vm.Interp.run ~mode:`Canonical ~fuel ~count_cycles:false
+          (Gen_ir.wrap (Sxe_ir.Clone.clone_func h))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "permutation preserves behaviour (seed %d)" s)
+        true
+        (Sxe_vm.Interp.equivalent (run f) (run g))
+    end
+  done;
+  Alcotest.(check bool) "permutation applied at least once" true (!tried > 0)
+
+let test_breakages_detected () =
+  List.iter
+    (fun b ->
+      let caught = ref 0 and applied = ref 0 in
+      for s = 0 to 30 do
+        let rng = Rng.create ~seed:(3000 + s) in
+        let f = Gen_ir.generate rng in
+        if Mutate.break_ rng b f then begin
+          incr applied;
+          let errs = Sxe_ir.Validate.errors f @ Sxe_ir.Validate.def_errors f in
+          if errs <> [] then incr caught
+        end
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s applies" (Mutate.string_of_breakage b))
+        true (!applied > 0);
+      Alcotest.(check int)
+        (Printf.sprintf "%s always caught by validation" (Mutate.string_of_breakage b))
+        !applied !caught)
+    Mutate.all_breakages
+
+(* ------------------------------------------------------------------ *)
+(* Oracle                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_oracle_clean_on_sound_pipeline () =
+  for s = 0 to 10 do
+    let case = Oracle.Minij (Gen_minij.of_seed s) in
+    Alcotest.(check int)
+      (Printf.sprintf "no divergence on seed %d" s)
+      0
+      (List.length (Oracle.check ~fuel case))
+  done
+
+let test_oracle_catches_injected_bug () =
+  (* self-test: deleting the extension after a W32 add/sub/mul must be
+     flagged on at least one case of a small campaign *)
+  let o =
+    {
+      Driver.default_options with
+      seed = 42;
+      count = 20;
+      sabotage = Some Inject.Skip_add_extend;
+      shrink = false;
+    }
+  in
+  let report = Driver.run o in
+  Alcotest.(check bool) "injected bug detected" true (report.Driver.failures <> [])
+
+let test_oracle_trap_classified () =
+  (* a program whose faithful run wild-accesses memory is classified as a
+     trap divergence, not a crash *)
+  let case = Oracle.Minij "void main() { int x = 2147483647; x = x + 1; checksum(x); }"
+  in
+  Alcotest.(check int) "overflow checksum case is sound under the real pipeline" 0
+    (List.length (Oracle.check ~fuel case))
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrinker_minimizes_injected_failure () =
+  let o =
+    {
+      Driver.default_options with
+      seed = 42;
+      count = 20;
+      sabotage = Some Inject.Skip_add_extend;
+    }
+  in
+  let report = Driver.run o in
+  match report.Driver.failures with
+  | [] -> Alcotest.fail "expected the injected bug to be caught"
+  | fr :: _ -> (
+      match fr.Driver.shrunk with
+      | None -> Alcotest.fail "expected a shrunk witness"
+      | Some p ->
+          let n = Shrink.instr_total p in
+          Alcotest.(check bool)
+            (Printf.sprintf "shrunk to %d <= 15 instructions" n)
+            true (n <= 15);
+          (* the shrunk program still exhibits the divergence *)
+          let sab = Inject.apply Inject.Skip_add_extend in
+          Alcotest.(check bool) "shrunk witness still diverges" true
+            (Oracle.check ~sabotage:sab (Oracle.Ir p) <> []))
+
+let test_shrinker_respects_keep () =
+  (* with an always-true keep, shrinking terminates and yields a valid,
+     much smaller program *)
+  let p = Gen_ir.of_seed 8 in
+  let n0 = Shrink.instr_total p in
+  let q = Shrink.minimize ~keep:(fun _ -> true) p in
+  let n1 = Shrink.instr_total q in
+  Alcotest.(check bool) "shrunk smaller" true (n1 < n0);
+  Sxe_ir.Prog.iter_funcs Sxe_ir.Validate.check q;
+  (* original untouched *)
+  Alcotest.(check int) "input program not mutated" n0 (Shrink.instr_total p)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir () =
+  let d = Filename.temp_file "sxe_corpus" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let test_corpus_roundtrip_ir () =
+  for s = 0 to 20 do
+    let p = Gen_ir.of_seed s in
+    let text = Corpus.prog_to_string p in
+    let q = Corpus.prog_of_string text in
+    Alcotest.(check string)
+      (Printf.sprintf "round-trip stable (seed %d)" s)
+      text (Corpus.prog_to_string q);
+    let run x = Sxe_vm.Interp.run ~mode:`Canonical ~fuel ~count_cycles:false x in
+    Alcotest.(check bool)
+      (Printf.sprintf "round-trip behaviour (seed %d)" s)
+      true
+      (Sxe_vm.Interp.equivalent (run (Sxe_ir.Clone.clone_prog p)) (run q))
+  done
+
+let test_corpus_save_load () =
+  let dir = temp_dir () in
+  let p = Gen_ir.of_seed 4 in
+  let path_ir = Corpus.save ~dir ~name:"case-ir" ~header:[ "hello" ] (Oracle.Ir p) in
+  let src = Gen_minij.of_seed 5 in
+  let path_mj = Corpus.save ~dir ~name:"case-mj" (Oracle.Minij src) in
+  Alcotest.(check bool) "ir file exists" true (Sys.file_exists path_ir);
+  Alcotest.(check bool) "minij file exists" true (Sys.file_exists path_mj);
+  let entries = Corpus.load_dir dir in
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  List.iter
+    (fun (name, case) ->
+      match case with
+      | Oracle.Minij s -> Alcotest.(check string) name src s
+      | Oracle.Ir q ->
+          Alcotest.(check string) name (Corpus.prog_to_string p) (Corpus.prog_to_string q))
+    entries;
+  (* replay: both entries are sound, so no failures *)
+  Alcotest.(check int) "replay clean" 0 (List.length (Driver.replay dir));
+  List.iter (fun (n, _) -> Sys.remove (Filename.concat dir n)) entries;
+  Unix.rmdir dir
+
+let test_corpus_parse_error () =
+  Alcotest.check_raises "bad magic rejected"
+    (Corpus.Parse_error "missing 'sxir v1' header")
+    (fun () -> ignore (Corpus.prog_of_string "bogus\n"))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_deterministic () =
+  let o = { Driver.default_options with seed = 7; count = 12 } in
+  let a = Driver.run o and b = Driver.run o in
+  Alcotest.(check int) "same case mix (minij)" a.Driver.minij_cases b.Driver.minij_cases;
+  Alcotest.(check int) "same case mix (ir)" a.Driver.ir_cases b.Driver.ir_cases;
+  Alcotest.(check int) "no failures on sound pipeline" 0 (List.length a.Driver.failures)
+
+let test_campaign_saves_corpus () =
+  let dir = temp_dir () in
+  let o =
+    {
+      Driver.default_options with
+      seed = 42;
+      count = 20;
+      sabotage = Some Inject.Skip_add_extend;
+      corpus_dir = Some dir;
+    }
+  in
+  let report = Driver.run o in
+  Alcotest.(check bool) "failure found" true (report.Driver.failures <> []);
+  let saved = List.filter_map (fun f -> f.Driver.saved) report.Driver.failures in
+  Alcotest.(check bool) "witness persisted" true (saved <> []);
+  (* the persisted witness replays as failing under the same sabotage *)
+  let still = Driver.replay ~sabotage:(Inject.apply Inject.Skip_add_extend) dir in
+  Alcotest.(check bool) "persisted witness still diverges" true (still <> []);
+  List.iter Sys.remove saved;
+  Unix.rmdir dir
+
+let suite =
+  [
+    Alcotest.test_case "rng: determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng: frequency weights" `Quick test_rng_frequency;
+    Alcotest.test_case "rng: shuffle is a permutation" `Quick test_rng_shuffle;
+    Alcotest.test_case "rng: case seeds distinct" `Quick test_case_seed_distinct;
+    Alcotest.test_case "gen_minij: deterministic" `Quick test_gen_minij_deterministic;
+    Alcotest.test_case "gen_minij: compiles and runs" `Quick test_gen_minij_compiles;
+    Alcotest.test_case "gen_minij: minimal featureset" `Quick test_gen_minij_features;
+    Alcotest.test_case "gen_ir: valid and terminating" `Quick test_gen_ir_valid;
+    Alcotest.test_case "mutate: validity preserved" `Quick test_mutations_preserve_validity;
+    Alcotest.test_case "mutate: permutation is behaviour-preserving" `Quick
+      test_permute_blocks_preserves_behaviour;
+    Alcotest.test_case "mutate: breakages detected by validation" `Quick
+      test_breakages_detected;
+    Alcotest.test_case "oracle: clean on sound pipeline" `Quick
+      test_oracle_clean_on_sound_pipeline;
+    Alcotest.test_case "oracle: catches injected bug" `Quick
+      test_oracle_catches_injected_bug;
+    Alcotest.test_case "oracle: overflow stays sound" `Quick test_oracle_trap_classified;
+    Alcotest.test_case "shrink: injected failure minimized" `Slow
+      test_shrinker_minimizes_injected_failure;
+    Alcotest.test_case "shrink: respects keep and terminates" `Quick
+      test_shrinker_respects_keep;
+    Alcotest.test_case "corpus: IR round-trip" `Quick test_corpus_roundtrip_ir;
+    Alcotest.test_case "corpus: save/load/replay" `Quick test_corpus_save_load;
+    Alcotest.test_case "corpus: parse errors reported" `Quick test_corpus_parse_error;
+    Alcotest.test_case "driver: campaign deterministic" `Quick test_campaign_deterministic;
+    Alcotest.test_case "driver: failures persisted to corpus" `Quick
+      test_campaign_saves_corpus;
+  ]

@@ -16,6 +16,8 @@ let () =
       ("codegen", Test_codegen.suite);
       ("inline", Test_inline.suite);
       ("harness", Test_harness.suite);
+      ("validate", Test_validate.suite);
+      ("fuzz", Test_fuzz.suite);
       ("differential", Test_differential.suite);
       ("workloads", Test_workloads.suite);
     ]

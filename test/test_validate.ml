@@ -1,0 +1,221 @@
+(** Negative tests for IR validation: deliberately malformed CFGs must be
+    rejected with a diagnostic naming the offending site. The fuzzing
+    oracle leans on [Validate.errors] to classify optimizer output that
+    went structurally wrong, so these checks pin down exactly what the
+    validator can see. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+module B = Builder
+
+let has_err pat errs =
+  List.exists
+    (fun e ->
+      let n = String.length e and m = String.length pat in
+      let rec go i = i + m <= n && (String.sub e i m = pat || go (i + 1)) in
+      go 0)
+    errs
+
+let check_has name pat errs =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s reported (got: %s)" name (String.concat "; " errs))
+    true (has_err pat errs)
+
+(** A minimal well-formed function to corrupt. *)
+let make_base () =
+  let b, _ = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let x = B.iconst b 5 in
+  let y = B.iconst b 7 in
+  let z = B.binop b Add x y in
+  B.retv b I32 z;
+  B.func b
+
+let test_wellformed_base () =
+  let f = make_base () in
+  Alcotest.(check (list string)) "base has no errors" [] (Validate.errors f);
+  Alcotest.(check (list string)) "base has no def errors" [] (Validate.def_errors f)
+
+let test_dangling_successor () =
+  let f = make_base () in
+  let b0 = Cfg.block f (Cfg.entry f) in
+  b0.Cfg.term <- Instr.Jmp 99;
+  check_has "dangling jmp" "label B99 out of range" (Validate.errors f);
+  let g = make_base () in
+  let r = List.hd (List.map fst g.Cfg.params) in
+  (Cfg.block g (Cfg.entry g)).Cfg.term <-
+    Instr.Br { cond = Eq; l = r; r; w = W32; ifso = 0; ifnot = -3 };
+  check_has "dangling br" "label B-3 out of range" (Validate.errors g)
+
+let test_wrong_width_operand () =
+  (* a W64 binop over I32 registers *)
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.iconst b 1 in
+  let y = B.iconst b 2 in
+  let z = B.binop b Add x y in
+  B.retv b I32 z;
+  let f = B.func b in
+  Cfg.iter_blocks
+    (fun blk ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Binop bo -> i.Instr.op <- Instr.Binop { bo with w = W64 }
+          | _ -> ())
+        blk.Cfg.body)
+    f;
+  check_has "width mismatch" "has type i32, expected i64" (Validate.errors f)
+
+let test_sub32_alu_width () =
+  let f = make_base () in
+  Cfg.iter_blocks
+    (fun blk ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Binop bo -> i.Instr.op <- Instr.Binop { bo with w = W8 }
+          | _ -> ())
+        blk.Cfg.body)
+    f;
+  check_has "sub-32-bit width" "sub-32-bit alu width" (Validate.errors f)
+
+let test_register_out_of_range () =
+  let f = make_base () in
+  let blk = Cfg.block f (Cfg.entry f) in
+  (match blk.Cfg.body with
+  | (i : Instr.t) :: _ -> (
+      match i.Instr.op with
+      | Instr.Const c -> i.Instr.op <- Instr.Const { c with dst = 999 }
+      | _ -> Alcotest.fail "expected const first")
+  | [] -> Alcotest.fail "expected non-empty body");
+  check_has "register range" "register r999 out of range" (Validate.errors f)
+
+let test_i32_constant_range () =
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.const b ~ty:I32 0x1_0000_0000L in
+  B.retv b I32 x;
+  check_has "i32 const range" "out of range" (Validate.errors (B.func b))
+
+let test_extend_from_w64 () =
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.iconst b 3 in
+  B.retv b I32 x;
+  let f = B.func b in
+  let blk = Cfg.block f (Cfg.entry f) in
+  blk.Cfg.body <-
+    blk.Cfg.body @ [ Cfg.mk_instr f (Instr.Sext { r = x; from = W64 }) ];
+  check_has "extend width" "extend from width 64" (Validate.errors f)
+
+let test_return_type_mismatch () =
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.iconst b 1 in
+  B.retv b I32 x;
+  let f = B.func b in
+  (Cfg.block f (Cfg.entry f)).Cfg.term <- Instr.Ret None;
+  check_has "missing return" "missing return value" (Validate.errors f)
+
+let test_use_before_def_straightline () =
+  (* read a register that is never written: the type checker cannot see
+     it, the definite-assignment analysis must *)
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.iconst b 1 in
+  B.retv b I32 x;
+  let f = B.func b in
+  let ghost = Cfg.fresh_reg f I32 in
+  let blk = Cfg.block f (Cfg.entry f) in
+  blk.Cfg.body <-
+    Cfg.mk_instr f (Instr.Mov { dst = x; src = ghost; ty = I32 }) :: blk.Cfg.body;
+  Alcotest.(check (list string)) "type checker is blind to it" [] (Validate.errors f);
+  check_has "use before def"
+    (Printf.sprintf "r%d used before definite assignment" ghost)
+    (Validate.def_errors f)
+
+let test_use_before_def_one_branch () =
+  (* defined on one path only: a must-analysis rejects the merge use *)
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let p = List.hd params in
+  let join = B.new_block b in
+  let deflt = B.new_block b in
+  let f_partial = Cfg.fresh_reg (B.func b) I32 in
+  B.br b Gt p p ~ifso:deflt ~ifnot:join;
+  B.switch b deflt;
+  B.mov_to b ~dst:f_partial ~src:p I32;
+  B.jmp b join;
+  B.switch b join;
+  B.retv b I32 f_partial;
+  let f = B.func b in
+  Alcotest.(check (list string)) "structurally fine" [] (Validate.errors f);
+  check_has "partial definition"
+    (Printf.sprintf "r%d used before definite assignment" f_partial)
+    (Validate.def_errors f)
+
+let test_def_on_both_branches_ok () =
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let p = List.hd params in
+  let t = B.new_block b and e = B.new_block b and join = B.new_block b in
+  let v = Cfg.fresh_reg (B.func b) I32 in
+  B.br b Gt p p ~ifso:t ~ifnot:e;
+  B.switch b t;
+  B.mov_to b ~dst:v ~src:p I32;
+  B.jmp b join;
+  B.switch b e;
+  B.mov_to b ~dst:v ~src:p I32;
+  B.jmp b join;
+  B.switch b join;
+  B.retv b I32 v;
+  let f = B.func b in
+  Alcotest.(check (list string)) "no def errors when both paths define" []
+    (Validate.def_errors f)
+
+let test_loop_carried_def_ok () =
+  (* defined before the loop, used inside it: the back edge must not
+     erase the definition (fixpoint over the cycle) *)
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let p = List.hd params in
+  let head = B.new_block b and body = B.new_block b and exit_ = B.new_block b in
+  let acc = B.iconst b 0 in
+  B.jmp b head;
+  B.switch b head;
+  B.br b Gt acc p ~ifso:exit_ ~ifnot:body;
+  B.switch b body;
+  B.binop_to b Add ~dst:acc acc p;
+  B.jmp b head;
+  B.switch b exit_;
+  B.retv b I32 acc;
+  let f = B.func b in
+  Alcotest.(check (list string)) "loop-carried def accepted" []
+    (Validate.def_errors f)
+
+let test_fuzz_breakages_all_detected () =
+  (* tie-in with the mutation engine: every structural breakage it can
+     make must surface through one of the two validators *)
+  List.iter
+    (fun br ->
+      let rng = Sxe_fuzz.Rng.create ~seed:17 in
+      let f = Sxe_fuzz.Gen_ir.generate (Sxe_fuzz.Rng.create ~seed:17) in
+      if Sxe_fuzz.Mutate.break_ rng br f then
+        Alcotest.(check bool)
+          (Sxe_fuzz.Mutate.string_of_breakage br ^ " detected")
+          true
+          (Validate.errors f <> [] || Validate.def_errors f <> []))
+    Sxe_fuzz.Mutate.all_breakages
+
+let suite =
+  [
+    Alcotest.test_case "well-formed base accepted" `Quick test_wellformed_base;
+    Alcotest.test_case "dangling successor" `Quick test_dangling_successor;
+    Alcotest.test_case "wrong-width operand" `Quick test_wrong_width_operand;
+    Alcotest.test_case "sub-32-bit alu width" `Quick test_sub32_alu_width;
+    Alcotest.test_case "register out of range" `Quick test_register_out_of_range;
+    Alcotest.test_case "i32 constant out of range" `Quick test_i32_constant_range;
+    Alcotest.test_case "extend from w64" `Quick test_extend_from_w64;
+    Alcotest.test_case "return type mismatch" `Quick test_return_type_mismatch;
+    Alcotest.test_case "use before def: straight line" `Quick
+      test_use_before_def_straightline;
+    Alcotest.test_case "use before def: one branch only" `Quick
+      test_use_before_def_one_branch;
+    Alcotest.test_case "defined on both branches accepted" `Quick
+      test_def_on_both_branches_ok;
+    Alcotest.test_case "loop-carried definition accepted" `Quick test_loop_carried_def_ok;
+    Alcotest.test_case "fuzz breakages all detected" `Quick
+      test_fuzz_breakages_all_detected;
+  ]
