@@ -8,7 +8,10 @@
      dune exec bench/main.exe -- bechamel     -- pass-timing benchmarks only
 
    Artifacts: table1 table2 fig11 fig12 fig13 fig14 table3 theorems archcmp inline
-   bechamel; 'profile' (opt-in) ablates profile-directed order determination. *)
+   bechamel json; 'profile' (opt-in) ablates profile-directed order determination.
+   'json' re-runs the interpreter-bound Bechamel tests and dumps machine-readable
+   timings (plus the wall-clock spent building the evaluation matrices) to
+   BENCH_vm.json, for CI trend tracking. *)
 
 let scale = ref 1
 let selected : string list ref = ref []
@@ -34,11 +37,20 @@ let want what = !selected = [] || List.mem what !selected || List.mem "all" !sel
 (* Table / figure regeneration                                         *)
 (* ------------------------------------------------------------------ *)
 
-let jbm_matrix =
-  lazy (Sxe_harness.Experiment.run_suite ~scale:!scale Sxe_workloads.Registry.Jbytemark)
+(* Wall-clock seconds spent actually computing the two evaluation matrices
+   (recorded at the first force; later forces reuse the lazy value). The
+   'json' artifact reports the sum. *)
+let matrix_wall = ref 0.0
 
-let spec_matrix =
-  lazy (Sxe_harness.Experiment.run_suite ~scale:!scale Sxe_workloads.Registry.Specjvm)
+let timed_matrix suite =
+  lazy
+    (let t0 = Unix.gettimeofday () in
+     let m = Sxe_harness.Experiment.run_suite ~scale:!scale suite in
+     matrix_wall := !matrix_wall +. (Unix.gettimeofday () -. t0);
+     m)
+
+let jbm_matrix = timed_matrix Sxe_workloads.Registry.Jbytemark
+let spec_matrix = timed_matrix Sxe_workloads.Registry.Specjvm
 
 let check_matrix name matrix =
   List.iter
@@ -190,12 +202,44 @@ let inline_ablation () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel benchmarks: one per table                                   *)
+(* Bechamel benchmarks                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let bechamel () =
+(* Runs each test under the monotonic clock and returns [(name, ns/run)]
+   from the OLS estimate (nan when the estimate is unavailable), printing
+   as it goes. Shared by the human-readable 'bechamel' artifact and the
+   machine-readable 'json' one. *)
+let run_bechamel tests =
   let open Bechamel in
   let open Toolkit in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~kde:(Some 10) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  List.concat_map
+    (fun test ->
+      let a = analyze (benchmark test) in
+      let acc = ref [] in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Printf.printf "  %-48s %12.0f ns/run\n%!" name est;
+              acc := (name, est) :: !acc
+          | _ ->
+              Printf.printf "  %-48s (no estimate)\n%!" name;
+              acc := (name, Float.nan) :: !acc)
+        a;
+      List.rev !acc)
+    tests
+
+let pass_tests () =
+  let open Bechamel in
   let compile_suite suite config () =
     List.iter
       (fun (w : Sxe_workloads.Registry.t) ->
@@ -210,43 +254,99 @@ let bechamel () =
     let prog = Sxe_lang.Frontend.compile w.Sxe_workloads.Registry.source in
     ignore (Sxe_core.Pass.compile (Sxe_core.Config.new_all ()) prog)
   in
-  let tests =
-    [
-      Test.make ~name:"table1: compile jBYTEmark (new algorithm)"
-        (Staged.stage
-           (compile_suite Sxe_workloads.Registry.Jbytemark (Sxe_core.Config.new_all ())));
-      Test.make ~name:"table2: compile SPECjvm98 (new algorithm)"
-        (Staged.stage
-           (compile_suite Sxe_workloads.Registry.Specjvm (Sxe_core.Config.new_all ())));
-      Test.make ~name:"table3: full pipeline, one method-rich program"
-        (Staged.stage phases_one);
-      Test.make ~name:"baseline: compile jBYTEmark (no step 3)"
-        (Staged.stage
-           (compile_suite Sxe_workloads.Registry.Jbytemark (Sxe_core.Config.baseline ())));
-    ]
-  in
-  let benchmark test =
-    let instances = Instance.[ monotonic_clock ] in
-    let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~kde:(Some 10) () in
-    Benchmark.all cfg instances test
-  in
-  let analyze results =
-    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
-    Analyze.all ols Instance.monotonic_clock results
-  in
+  [
+    Test.make ~name:"table1: compile jBYTEmark (new algorithm)"
+      (Staged.stage
+         (compile_suite Sxe_workloads.Registry.Jbytemark (Sxe_core.Config.new_all ())));
+    Test.make ~name:"table2: compile SPECjvm98 (new algorithm)"
+      (Staged.stage
+         (compile_suite Sxe_workloads.Registry.Specjvm (Sxe_core.Config.new_all ())));
+    Test.make ~name:"table3: full pipeline, one method-rich program"
+      (Staged.stage phases_one);
+    Test.make ~name:"baseline: compile jBYTEmark (no step 3)"
+      (Staged.stage
+         (compile_suite Sxe_workloads.Registry.Jbytemark (Sxe_core.Config.baseline ())));
+  ]
+
+(* Interpreter-bound tests: the same optimized program executed by the
+   structural engine and by the pre-decoded engine. Compilation happens
+   once, outside the staged thunk, so these time pure execution (the
+   decode itself is amortized by the per-function cache after the first
+   iteration — exactly the steady state the engine is designed for). *)
+let vm_workloads = [ "compress"; "Numeric Sort" ]
+
+let vm_tests () =
+  let open Bechamel in
+  List.concat_map
+    (fun wname ->
+      let w = Sxe_workloads.Registry.find ~scale:1 wname in
+      let prog = Sxe_lang.Frontend.compile w.Sxe_workloads.Registry.source in
+      ignore (Sxe_core.Pass.compile (Sxe_core.Config.new_all ()) prog);
+      let run engine () = ignore (Sxe_vm.Interp.run ~engine prog) in
+      [
+        Test.make
+          ~name:(Printf.sprintf "vm: run %s (structural)" wname)
+          (Staged.stage (run `Structural));
+        Test.make
+          ~name:(Printf.sprintf "vm: run %s (precode)" wname)
+          (Staged.stage (run `Precode));
+      ])
+    vm_workloads
+
+let bechamel () =
   Printf.printf "Bechamel pass-timing benchmarks (monotonic clock, ns/run):\n%!";
-  List.iter
-    (fun test ->
-      let results = benchmark test in
-      let a = analyze results in
-      Hashtbl.iter
-        (fun name ols ->
-          match Bechamel.Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "  %-48s %12.0f ns/run\n%!" name est
-          | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
-        a)
-    tests;
+  ignore (run_bechamel (pass_tests ()));
+  Printf.printf "Bechamel interpreter benchmarks (monotonic clock, ns/run):\n%!";
+  ignore (run_bechamel (vm_tests ()));
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_vm.json: machine-readable interpreter timings for CI           *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_artifact () =
+  (* Force both matrices so matrix_wall_s covers the full evaluation,
+     whether or not a table artifact ran in this invocation. *)
+  ignore (Lazy.force jbm_matrix);
+  ignore (Lazy.force spec_matrix);
+  Printf.printf "Bechamel interpreter benchmarks for BENCH_vm.json (ns/run):\n%!";
+  let results = run_bechamel (vm_tests ()) in
+  let ns name = match List.assoc_opt name results with Some v -> v | None -> Float.nan in
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.1f" v in
+  let oc = open_out "BENCH_vm.json" in
+  Printf.fprintf oc "{\n  \"scale\": %d,\n  \"matrix_wall_s\": %.3f,\n" !scale !matrix_wall;
+  Printf.fprintf oc "  \"tests\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name) (num v)
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  },\n  \"speedup\": {\n";
+  List.iteri
+    (fun i wname ->
+      let s = ns (Printf.sprintf "vm: run %s (structural)" wname) in
+      let p = ns (Printf.sprintf "vm: run %s (precode)" wname) in
+      let ratio = s /. p in
+      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape wname)
+        (if Float.is_nan ratio then "null" else Printf.sprintf "%.2f" ratio)
+        (if i = List.length vm_workloads - 1 then "" else ","))
+    vm_workloads;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_vm.json (matrix wall-clock %.3f s)\n\n%!" !matrix_wall
 
 let () =
   if want "table1" then table1 ();
@@ -260,4 +360,5 @@ let () =
   if want "archcmp" then archcmp ();
   if want "inline" then inline_ablation ();
   if List.mem "profile" !selected then profile_ablation ();
-  if want "bechamel" then bechamel ()
+  if want "bechamel" then bechamel ();
+  if want "json" then json_artifact ()

@@ -262,9 +262,12 @@ let fuzz_cmd =
         "Generates random MiniJ programs and raw IR control-flow graphs (plus \
          mutated versions of the latter), compiles each under every paper variant, \
          runs them on the 64-bit machine model, and reports any observable \
-         divergence from the canonical 32-bit reference semantics. Failures are \
-         minimized by a greedy structural shrinker and, with $(b,--corpus), \
-         persisted and replayed as a regression set. See docs/FUZZING.md.";
+         divergence from the canonical 32-bit reference semantics. Every run is \
+         executed by both interpreter engines (structural and pre-decoded) and \
+         any disagreement — dynamic counters included — is reported as a \
+         distinct 'engine' divergence. Failures are minimized by a greedy \
+         structural shrinker and, with $(b,--corpus), persisted and replayed as \
+         a regression set. See docs/FUZZING.md.";
     ]
   in
   let seed_arg =

@@ -72,7 +72,7 @@ let strength_reduce (f : Cfg.func) =
   let chains = Sxe_analysis.Chains.build f in
   let rewritten = ref 0 in
   Cfg.iter_instrs
-    (fun _ i ->
+    (fun b i ->
       match i.Instr.op with
       | Instr.Binop { dst; op = Mul; l; r; w = W32 } ->
           (* if either operand is defined by a power-of-two constant
@@ -84,8 +84,11 @@ let strength_reduce (f : Cfg.func) =
               when log2_of c.v <> None
                    && List.length (Sxe_analysis.Chains.du_of_instr chains cdef) = 1 ->
                 let k = Option.get (log2_of c.v) in
+                (* [cdef] may live in another block; patch it raw and bump
+                   the generation manually, then rewrite [i] via the API *)
                 cdef.Instr.op <- Instr.Const { c with v = Int64.of_int k };
-                i.Instr.op <- Instr.Binop { dst; op = Shl; l = other; r = x; w = W32 };
+                Cfg.invalidate f;
+                Cfg.set_op b i (Instr.Binop { dst; op = Shl; l = other; r = x; w = W32 });
                 incr rewritten;
                 true
             | _ -> false

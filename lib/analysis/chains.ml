@@ -76,8 +76,8 @@ let build (f : Cfg.func) =
           match Instr.def i.op with
           | None -> ()
           | Some r -> cur.(r) <- [ DIns i ])
-        b.body;
-      List.iter (fun r -> record_use (UTerm b.bid) r) (Instr.term_uses b.term))
+        (Cfg.body b);
+      List.iter (fun r -> record_use (UTerm b.bid) r) (Instr.term_uses (Cfg.term b)))
     f;
   { func = f; ud; du; block_of }
 

@@ -76,24 +76,42 @@ let solve ~(f : Sxe_ir.Cfg.func) ~dir ~meet ~universe ~transfer ~boundary =
       acc
     end
   in
-  let changed = ref true in
-  let iters = ref 0 in
-  while !changed do
-    incr iters;
-    if !iters > (2 * (n + universe)) + 32 then failwith "Dataflow.solve: no convergence";
-    changed := false;
-    List.iter
-      (fun bid ->
-        if reachable.(bid) then begin
-          let i = compute_in bid in
-          Bitset.assign ~dst:inb.(bid) i;
-          let o = transfer bid i in
-          if not (Bitset.equal o outb.(bid)) then begin
-            Bitset.assign ~dst:outb.(bid) o;
-            changed := true
-          end
-        end)
-      order
+  (* Worklist iteration: seed every reachable block once, in an order that
+     tends to propagate facts in a single sweep (rpo forward, postorder
+     backward); after that, re-process a block only when the output fact of
+     one of its fact sources actually changed. Dependents of [bid] are the
+     blocks whose [compute_in] reads [outb.(bid)]: successors for a forward
+     problem, predecessors for a backward one. *)
+  let dependents bid = match dir with Forward -> succs bid | Backward -> preds.(bid) in
+  let q = Queue.create () in
+  let inq = Array.make n false in
+  List.iter
+    (fun bid ->
+      if reachable.(bid) then begin
+        Queue.add bid q;
+        inq.(bid) <- true
+      end)
+    order;
+  let pops = ref 0 in
+  let limit = ((n + 1) * (universe + 2) * 4) + 64 in
+  while not (Queue.is_empty q) do
+    incr pops;
+    if !pops > limit then failwith "Dataflow.solve: no convergence";
+    let bid = Queue.pop q in
+    inq.(bid) <- false;
+    let i = compute_in bid in
+    Bitset.assign ~dst:inb.(bid) i;
+    let o = transfer bid i in
+    if not (Bitset.equal o outb.(bid)) then begin
+      Bitset.assign ~dst:outb.(bid) o;
+      List.iter
+        (fun d ->
+          if reachable.(d) && not inq.(d) then begin
+            Queue.add d q;
+            inq.(d) <- true
+          end)
+        (dependents bid)
+    end
   done;
   match dir with
   | Forward -> { inb; outb }

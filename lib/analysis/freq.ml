@@ -40,7 +40,7 @@ let estimate ?(edge_prob = fun ~src:_ ~dst:_ -> None) (f : Sxe_ir.Cfg.func) =
     match edge_prob ~src ~dst with
     | Some p -> p
     | None -> (
-        match (Sxe_ir.Cfg.block f src).term with
+        match (Sxe_ir.Cfg.term (Sxe_ir.Cfg.block f src)) with
         | Sxe_ir.Instr.Br { ifso; ifnot; _ } when ifso <> ifnot -> (
             (* loop-branch heuristic: the edge that stays inside [src]'s
                innermost loop is taken most of the time *)

@@ -17,12 +17,12 @@ let compute (f : Cfg.func) =
     (* backward through the block: live-in = transfer of live-out *)
     let live = Bitset.copy out in
     let b = Cfg.block f bid in
-    List.iter (fun r -> Bitset.add live r) (Instr.term_uses b.Cfg.term);
+    List.iter (fun r -> Bitset.add live r) (Instr.term_uses (Cfg.term b));
     List.iter
       (fun (i : Instr.t) ->
         (match Instr.def i.Instr.op with Some d -> Bitset.remove live d | None -> ());
         List.iter (fun r -> Bitset.add live r) (Instr.uses i.Instr.op))
-      (List.rev b.Cfg.body);
+      (List.rev (Cfg.body b));
     live
   in
   let boundary = Bitset.create universe in
@@ -40,7 +40,7 @@ let live_out t bid = t.sol.Dataflow.outb.(bid)
 let live_after_each t bid : (int * Bitset.t) list =
   let b = Cfg.block t.func bid in
   let live = Bitset.copy (live_out t bid) in
-  List.iter (fun r -> Bitset.add live r) (Instr.term_uses b.Cfg.term);
+  List.iter (fun r -> Bitset.add live r) (Instr.term_uses (Cfg.term b));
   let acc = ref [] in
   List.iter
     (fun (i : Instr.t) ->
@@ -49,5 +49,5 @@ let live_after_each t bid : (int * Bitset.t) list =
       acc := (i.Instr.iid, Bitset.copy live) :: !acc;
       (match Instr.def i.Instr.op with Some d -> Bitset.remove live d | None -> ());
       List.iter (fun r -> Bitset.add live r) (Instr.uses i.Instr.op))
-    (List.rev b.Cfg.body);
+    (List.rev (Cfg.body b));
   !acc

@@ -279,7 +279,7 @@ let compute (f : Cfg.func) =
     | Some st -> st
     | None ->
         let st = Array.copy entry_states.(bid) in
-        List.iter (fun i -> transfer ~tracked st i) (Cfg.block f bid).body;
+        List.iter (fun i -> transfer ~tracked st i) (Cfg.body (Cfg.block f bid));
         out_cache.(bid) <- Some st;
         st
   in
@@ -296,7 +296,7 @@ let compute (f : Cfg.func) =
           List.map
             (fun p ->
               let o = out_state p in
-              refine_for_edge ~tracked o (Cfg.block f p).term bid)
+              refine_for_edge ~tracked o (Cfg.term (Cfg.block f p)) bid)
             ps
         in
         let acc = Array.copy (List.hd contribs) in
@@ -386,7 +386,7 @@ let before t ~bid ~iid r =
             go rest
           end
     in
-    go (Cfg.block t.func bid).body
+    go (Cfg.body (Cfg.block t.func bid))
   end
 
 (** Range of the value produced by instruction [iid] (which must define a
@@ -401,7 +401,7 @@ let after t ~bid ~iid r =
           transfer ~tracked:t.tracked st i;
           if i.iid = iid then sget st r else go rest
     in
-    go (Cfg.block t.func bid).body
+    go (Cfg.body (Cfg.block t.func bid))
   end
 
 (** Does [r]'s 32-bit value lie within [lo, hi] just before [iid]? *)

@@ -32,7 +32,7 @@ let compute (f : Cfg.func) =
   List.iter (fun (r, _) -> add (DParam r)) f.params;
   Cfg.iter_blocks
     (fun b ->
-      List.iter (fun i -> if Instr.def i.Instr.op <> None then add (DIns i)) b.body)
+      List.iter (fun i -> if Instr.def i.Instr.op <> None then add (DIns i)) (Cfg.body b))
     f;
   let defs = Array.of_list (List.rev !defs) in
   let universe = Array.length defs in
@@ -56,7 +56,7 @@ let compute (f : Cfg.func) =
               ignore (Bitset.diff_into ~dst:gen.(b.bid) defs_of_reg.(r));
               Bitset.add gen.(b.bid) id;
               ignore (Bitset.union_into ~dst:kill.(b.bid) defs_of_reg.(r)))
-        b.body)
+        (Cfg.body b))
     f;
   let boundary = Bitset.create universe in
   List.iteri (fun i _ -> Bitset.add boundary i) f.params;

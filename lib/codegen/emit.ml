@@ -232,8 +232,8 @@ let emit_func ~(arch : Sxe_core.Arch.t) (f : Cfg.func) : asm =
   Cfg.iter_blocks
     (fun b ->
       label ".B%d_%d" b.Cfg.bid (Hashtbl.hash f.Cfg.name mod 997);
-      List.iter emit_instr b.Cfg.body;
-      emit_term b.Cfg.bid b.Cfg.term)
+      List.iter emit_instr (Cfg.body b);
+      emit_term b.Cfg.bid (Cfg.term b))
     f;
   { fname = f.Cfg.name; lines = List.rev !buf }
 

@@ -311,7 +311,7 @@ let rec analyze_use ctx (use : Chains.use_site) ~tracked ~analyze_array:aa : boo
     match use with
     | Chains.UTerm bid ->
         List.mem tracked
-          (Instr.required_ext_uses_term ~reg_ty (Cfg.block ctx.f bid).Cfg.term)
+          (Instr.required_ext_uses_term ~reg_ty (Cfg.term (Cfg.block ctx.f bid)))
     | Chains.UIns i -> (
         match Instr.array_index_use i.op with
         | Some (_, idx) when idx = tracked ->

@@ -41,13 +41,13 @@ let step1_guaranteed (f : Cfg.func) (op : Instr.op) =
 
 let apply_arch_loads (arch : Arch.t) (f : Cfg.func) =
   Cfg.iter_instrs
-    (fun _ i ->
+    (fun b i ->
       match i.Instr.op with
       | Instr.ArrLoad ({ elem = AI8 | AI16 | AI32; _ } as c) ->
           let w = Types.width_of_aelem c.elem in
-          i.Instr.op <- Instr.ArrLoad { c with lext = arch.load_ext w }
+          Cfg.set_op b i (Instr.ArrLoad { c with lext = arch.load_ext w })
       | Instr.GLoad ({ ty = I32; _ } as c) ->
-          i.Instr.op <- Instr.GLoad { c with lext = arch.load_ext W32 }
+          Cfg.set_op b i (Instr.GLoad { c with lext = arch.load_ext W32 })
       | _ -> ())
     f
 
@@ -65,9 +65,9 @@ let gen_def (f : Cfg.func) (stats : Stats.t) =
                 stats.Stats.generated <- stats.Stats.generated + 1;
                 [ i; Cfg.mk_instr f (Instr.Sext { r = d; from = W32 }) ]
             | _ -> [ i ])
-          b.Cfg.body
+          (Cfg.body b)
       in
-      b.Cfg.body <- body)
+      Cfg.set_body b body)
     f
 
 let gen_use (f : Cfg.func) (stats : Stats.t) =
@@ -107,9 +107,9 @@ let gen_use (f : Cfg.func) (stats : Stats.t) =
               in
               if extended then Hashtbl.replace ext d () else Hashtbl.remove ext d
           | None -> ())
-        b.Cfg.body;
-      List.iter need (Instr.required_ext_uses_term ~reg_ty b.Cfg.term);
-      b.Cfg.body <- List.rev !out)
+        (Cfg.body b);
+      List.iter need (Instr.required_ext_uses_term ~reg_ty (Cfg.term b));
+      Cfg.set_body b (List.rev !out))
     f
 
 let run (config : Config.t) (f : Cfg.func) (stats : Stats.t) =

@@ -48,8 +48,8 @@ let run (f : Cfg.func) (stats : Stats.t) =
   let transfer bid (dout : Bitset.t) =
     let d = Bitset.copy dout in
     let b = Cfg.block f bid in
-    List.iter (fun r -> Bitset.add d r) (Instr.required_ext_uses_term ~reg_ty b.Cfg.term);
-    List.iter (fun i -> step ~reg_ty i d) (List.rev b.Cfg.body);
+    List.iter (fun r -> Bitset.add d r) (Instr.required_ext_uses_term ~reg_ty (Cfg.term b));
+    List.iter (fun i -> step ~reg_ty i d) (List.rev (Cfg.body b));
     d
   in
   let boundary = Bitset.create universe in
@@ -61,7 +61,7 @@ let run (f : Cfg.func) (stats : Stats.t) =
   Cfg.iter_blocks
     (fun b ->
       let d = Bitset.copy sol.Sxe_analysis.Dataflow.outb.(b.Cfg.bid) in
-      List.iter (fun r -> Bitset.add d r) (Instr.required_ext_uses_term ~reg_ty b.Cfg.term);
+      List.iter (fun r -> Bitset.add d r) (Instr.required_ext_uses_term ~reg_ty (Cfg.term b));
       let doomed = ref [] in
       List.iter
         (fun (i : Instr.t) ->
@@ -70,7 +70,7 @@ let run (f : Cfg.func) (stats : Stats.t) =
               doomed := i.Instr.iid :: !doomed
           | _ -> ());
           step ~reg_ty i d)
-        (List.rev b.Cfg.body);
+        (List.rev (Cfg.body b));
       List.iter
         (fun iid ->
           if Cfg.remove_instr b iid then

@@ -40,7 +40,7 @@ let run ?edge_prob (config : Config.t) (f : Cfg.func) (stats : Stats.t) =
           match i.Instr.op with
           | Instr.Sext _ | Instr.Zext _ -> exts := (b.Cfg.bid, pos, i) :: !exts
           | _ -> ())
-        b.Cfg.body)
+        (Cfg.body b))
     f;
   let exts = List.rev !exts in
   let ordered =

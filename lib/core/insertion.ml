@@ -56,9 +56,9 @@ let insert_where (f : Cfg.func) (stats : Stats.t) ~should_insert =
               if Instr.def_always_extended i.Instr.op then Hashtbl.replace ext d ()
               else Hashtbl.remove ext d
           | None -> ())
-        b.Cfg.body;
-      List.iter (maybe_insert (`T b.Cfg.bid)) (Instr.required_ext_uses_term ~reg_ty b.Cfg.term);
-      b.Cfg.body <- List.rev !out)
+        (Cfg.body b);
+      List.iter (maybe_insert (`T b.Cfg.bid)) (Instr.required_ext_uses_term ~reg_ty (Cfg.term b));
+      Cfg.set_body b (List.rev !out))
     f
 
 let simple (f : Cfg.func) (stats : Stats.t) =
@@ -151,8 +151,8 @@ let dummies (f : Cfg.func) (stats : Stats.t) =
               invalidate dst;
               Hashtbl.replace copy_of dst src
           | op -> ( match Instr.def op with Some d -> invalidate d | None -> ()))
-        b.Cfg.body;
-      b.Cfg.body <- List.rev !out)
+        (Cfg.body b);
+      Cfg.set_body b (List.rev !out))
     f
 
 let run (config : Config.t) (f : Cfg.func) (stats : Stats.t) =

@@ -166,8 +166,8 @@ let prog_to_string (p : Prog.t) : string =
       Cfg.iter_blocks
         (fun b ->
           line "block %d" b.Cfg.bid;
-          List.iter (fun (i : Instr.t) -> line "  %s" (string_of_op i.op)) b.Cfg.body;
-          line "  %s" (string_of_term b.Cfg.term))
+          List.iter (fun (i : Instr.t) -> line "  %s" (string_of_op i.op)) (Cfg.body b);
+          line "  %s" (string_of_term (Cfg.term b)))
         f;
       line "endfunc")
     p;
@@ -323,7 +323,7 @@ let prog_of_string (text : string) : Prog.t =
                   match cur with
                   | None -> fail "terminator outside block"
                   | Some b ->
-                      b.Cfg.term <- parse_term (tokens line);
+                      Cfg.set_term b (parse_term (tokens line));
                       blocks cur rest)
               | toks -> (
                   match cur with

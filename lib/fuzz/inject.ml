@@ -42,7 +42,7 @@ let remove_sexts_if pred (f : Cfg.func) =
           match i.op with
           | Sext { r; from = Types.W32 } when pred r -> ignore (Cfg.remove_instr b i.iid)
           | _ -> ())
-        b.Cfg.body)
+        (Cfg.body b))
     f
 
 let apply_func bug (f : Cfg.func) =
@@ -72,7 +72,7 @@ let apply_func bug (f : Cfg.func) =
             | _ :: rest -> go rest
             | [] -> ()
           in
-          go b.Cfg.body)
+          go (Cfg.body b))
         f
   | Drop_all_extends -> remove_sexts_if (fun _ -> true) f
 

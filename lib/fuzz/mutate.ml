@@ -69,23 +69,23 @@ let apply_raw rng kind (f : Cfg.func) : bool =
         pick rng
           (instr_sites f (function Binop { op; _ } -> commutative op | _ -> false))
       with
-      | Some (_, i) ->
+      | Some (b, i) ->
           (match i.op with
-          | Binop c -> i.op <- Binop { c with l = c.r; r = c.l }
+          | Binop c -> Cfg.set_op b i (Binop { c with l = c.r; r = c.l })
           | _ -> assert false);
           true
       | None -> false)
   | Flip_branch -> (
       let sites = ref [] in
       Cfg.iter_blocks
-        (fun b -> match b.Cfg.term with Br _ -> sites := b :: !sites | _ -> ())
+        (fun b -> match (Cfg.term b) with Br _ -> sites := b :: !sites | _ -> ())
         f;
       match pick rng !sites with
       | Some b ->
-          (match b.Cfg.term with
+          (match (Cfg.term b) with
           | Br c ->
-              b.Cfg.term <-
-                Br { c with cond = negate_cond c.cond; ifso = c.ifnot; ifnot = c.ifso }
+              Cfg.set_term b
+                (Br { c with cond = negate_cond c.cond; ifso = c.ifnot; ifnot = c.ifso })
           | _ -> assert false);
           true
       | None -> false)
@@ -106,10 +106,10 @@ let apply_raw rng kind (f : Cfg.func) : bool =
       match
         pick rng (instr_sites f (function Sext { from = W32; _ } -> true | _ -> false))
       with
-      | Some (_, i) ->
+      | Some (b, i) ->
           (match i.op with
           | Sext { r; _ } ->
-              i.op <- Sext { r; from = (if Rng.bool rng then W16 else W8) }
+              Cfg.set_op b i (Sext { r; from = (if Rng.bool rng then W16 else W8) })
           | _ -> assert false);
           true
       | None -> false)
@@ -121,11 +121,11 @@ let apply_raw rng kind (f : Cfg.func) : bool =
             | GLoad { ty = I32; _ } -> true
             | _ -> false))
       with
-      | Some (_, i) ->
+      | Some (b, i) ->
           let flip = function LZero -> LSign | LSign -> LZero in
           (match i.op with
-          | ArrLoad c -> i.op <- ArrLoad { c with lext = flip c.lext }
-          | GLoad c -> i.op <- GLoad { c with lext = flip c.lext }
+          | ArrLoad c -> Cfg.set_op b i (ArrLoad { c with lext = flip c.lext })
+          | GLoad c -> Cfg.set_op b i (GLoad { c with lext = flip c.lext })
           | _ -> assert false);
           true
       | None -> false)
@@ -133,15 +133,15 @@ let apply_raw rng kind (f : Cfg.func) : bool =
       match
         pick rng (instr_sites f (function Const { ty = I32; _ } -> true | _ -> false))
       with
-      | Some (_, i) ->
+      | Some (b, i) ->
           (match i.op with
-          | Const c -> i.op <- Const { c with v = Rng.oneof rng boundary_consts }
+          | Const c -> Cfg.set_op b i (Const { c with v = Rng.oneof rng boundary_consts })
           | _ -> assert false);
           true
       | None -> false)
   | Swap_op -> (
       match pick rng (instr_sites f (function Binop _ -> true | _ -> false)) with
-      | Some (_, i) ->
+      | Some (b, i) ->
           (match i.op with
           | Binop c ->
               (* stay within the non-trapping operators: turning an [Add]
@@ -150,7 +150,7 @@ let apply_raw rng kind (f : Cfg.func) : bool =
               let others =
                 List.filter (fun o -> o <> c.op) [ Add; Sub; Mul; And; Or; Xor ]
               in
-              i.op <- Binop { c with op = Rng.oneof rng others }
+              Cfg.set_op b i (Binop { c with op = Rng.oneof rng others })
           | _ -> assert false);
           true
       | None -> false)
@@ -163,17 +163,17 @@ let apply_raw rng kind (f : Cfg.func) : bool =
         if b1 = b2 then false
         else begin
           let blk1 = Cfg.block f b1 and blk2 = Cfg.block f b2 in
-          let body1 = blk1.Cfg.body and term1 = blk1.Cfg.term in
-          blk1.Cfg.body <- blk2.Cfg.body;
-          blk1.Cfg.term <- blk2.Cfg.term;
-          blk2.Cfg.body <- body1;
-          blk2.Cfg.term <- term1;
+          let body1 = (Cfg.body blk1) and term1 = (Cfg.term blk1) in
+          Cfg.set_body blk1 (Cfg.body blk2);
+          Cfg.set_term blk1 (Cfg.term blk2);
+          Cfg.set_body blk2 body1;
+          Cfg.set_term blk2 term1;
           (* relabel every edge so the graph is isomorphic to the input *)
           let remap l = if l = b1 then b2 else if l = b2 then b1 else l in
           Cfg.iter_blocks
             (fun b ->
-              b.Cfg.term <-
-                (match b.Cfg.term with
+              Cfg.set_term b
+                (match (Cfg.term b) with
                 | Jmp l -> Jmp (remap l)
                 | Br c -> Br { c with ifso = remap c.ifso; ifnot = remap c.ifnot }
                 | Ret _ as t -> t))
@@ -184,13 +184,13 @@ let apply_raw rng kind (f : Cfg.func) : bool =
   | Degrade_branch -> (
       let sites = ref [] in
       Cfg.iter_blocks
-        (fun b -> match b.Cfg.term with Br _ -> sites := b :: !sites | _ -> ())
+        (fun b -> match (Cfg.term b) with Br _ -> sites := b :: !sites | _ -> ())
         f;
       match pick rng !sites with
       | Some b ->
-          (match b.Cfg.term with
+          (match (Cfg.term b) with
           | Br { ifso; ifnot; _ } ->
-              b.Cfg.term <- Jmp (if Rng.bool rng then ifso else ifnot)
+              Cfg.set_term b (Jmp (if Rng.bool rng then ifso else ifnot))
           | _ -> assert false);
           true
       | None -> false)
@@ -208,8 +208,8 @@ let apply rng kind (f : Cfg.func) : bool =
   if applied && Validate.def_errors f <> [] then begin
     for bid = 0 to Cfg.num_blocks f - 1 do
       let b = Cfg.block f bid and s = Cfg.block snapshot bid in
-      b.Cfg.body <- s.Cfg.body;
-      b.Cfg.term <- s.Cfg.term
+      Cfg.set_body b (Cfg.body s);
+      Cfg.set_term b (Cfg.term s)
     done;
     false
   end
@@ -259,15 +259,15 @@ let break_ rng (breakage : breakage) (f : Cfg.func) : bool =
   match breakage with
   | Dangling_succ ->
       let b = Cfg.block f (Rng.int rng (Cfg.num_blocks f)) in
-      b.Cfg.term <- Jmp (Cfg.num_blocks f + 3);
+      Cfg.set_term b (Jmp (Cfg.num_blocks f + 3));
       true
   | Wrong_width -> (
       match
         pick rng (instr_sites f (function Binop { w = W32; _ } -> true | _ -> false))
       with
-      | Some (_, i) ->
+      | Some (b, i) ->
           (match i.op with
-          | Binop c -> i.op <- Binop { c with w = W64 }
+          | Binop c -> Cfg.set_op b i (Binop { c with w = W64 })
           | _ -> assert false);
           true
       | None -> false)
@@ -281,24 +281,24 @@ let break_ rng (breakage : breakage) (f : Cfg.func) : bool =
       match
         pick rng (instr_sites f (function Const { ty = I32; _ } -> true | _ -> false))
       with
-      | Some (_, i) ->
+      | Some (b, i) ->
           (match i.op with
-          | Const { dst; _ } -> i.op <- FNeg { dst; src = dst }
+          | Const { dst; _ } -> Cfg.set_op b i (FNeg { dst; src = dst })
           | _ -> assert false);
           true
       | None -> false)
   | Bad_ret ->
       let sites = ref [] in
       Cfg.iter_blocks
-        (fun b -> match b.Cfg.term with Ret _ -> sites := b :: !sites | _ -> ())
+        (fun b -> match (Cfg.term b) with Ret _ -> sites := b :: !sites | _ -> ())
         f;
       (match (pick rng !sites, f.Cfg.ret) with
       | Some b, Some _ ->
-          b.Cfg.term <- Ret None;
+          Cfg.set_term b (Ret None);
           true
       | Some b, None ->
           (* void function: return some register as a bogus i32 value *)
           let r = Cfg.fresh_reg f F64 in
-          b.Cfg.term <- Ret (Some (r, I32));
+          Cfg.set_term b (Ret (Some (r, I32)));
           true
       | None, _ -> false)

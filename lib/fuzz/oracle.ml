@@ -21,6 +21,9 @@ type cls =
   | Invalid  (** the optimized program fails IR validation *)
   | Crash  (** the compiler itself raised *)
   | Cost  (** the full algorithm executed more extensions than baseline *)
+  | Engine
+      (** the structural and pre-decoded execution engines disagreed on
+          the same program — a VM bug, not an optimizer bug *)
 
 let string_of_cls = function
   | Output -> "output"
@@ -30,6 +33,7 @@ let string_of_cls = function
   | Invalid -> "invalid-ir"
   | Crash -> "crash"
   | Cost -> "cost"
+  | Engine -> "engine"
 
 type failure = {
   variant : string;
@@ -71,6 +75,47 @@ let reference ?(fuel = default_fuel) (base : Prog.t) =
 let fuel_exhausted (o : Sxe_vm.Interp.outcome) =
   o.Sxe_vm.Interp.trap = Some "fuel-exhausted"
 
+(** Run [p] under both execution engines and compare every outcome
+    field — output, checksum, trap, return value AND the dynamic
+    counters (executed, sext32, sext_sub, cycles). The engines promise
+    bit-identical outcomes, so unlike optimizer comparisons this check
+    is exact: even a fuel-exhausted run must be truncated at the same
+    instruction. Returns the precode outcome plus a description of the
+    first field that differs, if any. *)
+let engine_cross ?(fuel = default_fuel) ~mode (p : Prog.t) :
+    Sxe_vm.Interp.outcome * string option =
+  let open Sxe_vm.Interp in
+  let pre = run ~mode ~fuel ~engine:`Precode p in
+  let st = run ~mode ~fuel ~engine:`Structural p in
+  let diff =
+    if st.trap <> pre.trap then
+      Some
+        (Printf.sprintf "trap: structural=%s, precode=%s"
+           (Option.value ~default:"none" st.trap)
+           (Option.value ~default:"none" pre.trap))
+    else if st.output <> pre.output then
+      Some
+        (Printf.sprintf "output: structural %d bytes, precode %d bytes"
+           (String.length st.output) (String.length pre.output))
+    else if not (Int64.equal st.checksum pre.checksum) then
+      Some (Printf.sprintf "checksum: structural=%Ld, precode=%Ld" st.checksum pre.checksum)
+    else if st.ret <> pre.ret then
+      Some
+        (Printf.sprintf "ret: structural=%s, precode=%s"
+           (match st.ret with None -> "none" | Some v -> Int64.to_string v)
+           (match pre.ret with None -> "none" | Some v -> Int64.to_string v))
+    else if not (Int64.equal st.executed pre.executed) then
+      Some (Printf.sprintf "executed: structural=%Ld, precode=%Ld" st.executed pre.executed)
+    else if not (Int64.equal st.sext32 pre.sext32) then
+      Some (Printf.sprintf "sext32: structural=%Ld, precode=%Ld" st.sext32 pre.sext32)
+    else if not (Int64.equal st.sext_sub pre.sext_sub) then
+      Some (Printf.sprintf "sext_sub: structural=%Ld, precode=%Ld" st.sext_sub pre.sext_sub)
+    else if not (Int64.equal st.cycles pre.cycles) then
+      Some (Printf.sprintf "cycles: structural=%Ld, precode=%Ld" st.cycles pre.cycles)
+    else None
+  in
+  (pre, diff)
+
 let classify (ref_ : Sxe_vm.Interp.outcome) (out : Sxe_vm.Interp.outcome) :
     (cls * string) option =
   let open Sxe_vm.Interp in
@@ -102,7 +147,9 @@ let classify (ref_ : Sxe_vm.Interp.outcome) (out : Sxe_vm.Interp.outcome) :
   else None
 
 (** Compile a clone of [base] under [config], optionally sabotage the
-    result, validate, run faithfully, and compare against [ref_]. *)
+    result, validate, run faithfully under both execution engines
+    (divergence between them is an [Engine] failure), and compare the
+    outcome against [ref_]. *)
 let run_variant ?(fuel = default_fuel) ?sabotage ~ref_ (config : Sxe_core.Config.t)
     (base : Prog.t) : Sxe_vm.Interp.outcome option * failure option =
   let variant = config.Sxe_core.Config.name in
@@ -120,9 +167,10 @@ let run_variant ?(fuel = default_fuel) ?sabotage ~ref_ (config : Sxe_core.Config
       match errs with
       | _ :: _ -> (None, fail Invalid (String.concat "; " errs))
       | [] -> (
-          match Sxe_vm.Interp.run ~mode:`Faithful ~fuel ~count_cycles:false p with
+          match engine_cross ~fuel ~mode:`Faithful p with
           | exception e -> (None, fail Crash (Printexc.to_string e))
-          | out -> (
+          | out, Some detail -> (Some out, fail Engine detail)
+          | out, None -> (
               match classify ref_ out with
               | Some (cls, detail) -> (Some out, fail cls detail)
               | None -> (Some out, None))))
@@ -149,11 +197,19 @@ let check ?(fuel = default_fuel) ?(archs = [ Sxe_core.Arch.ia64 ])
   | exception e ->
       [ { variant = "frontend"; arch = "-"; cls = Crash; detail = Printexc.to_string e } ]
   | base -> (
-      match reference ~fuel base with
+      (* The reference run is itself engine-cross-checked: canonical mode
+         exercises the pre-decoded engine's baked-in re-extension. *)
+      match engine_cross ~fuel ~mode:`Canonical (Clone.clone_prog base) with
       | exception e ->
           [ { variant = "reference"; arch = "-"; cls = Crash; detail = Printexc.to_string e } ]
-      | ref_ ->
-          List.concat_map
+      | ref_, ref_engine ->
+          let ref_engine_failures =
+            match ref_engine with
+            | Some detail -> [ { variant = "reference"; arch = "-"; cls = Engine; detail } ]
+            | None -> []
+          in
+          ref_engine_failures
+          @ List.concat_map
             (fun arch ->
               let outcomes = Hashtbl.create 16 in
               let failures =

@@ -82,19 +82,19 @@ let moves_of ?values (p : Prog.t) : move list =
                   | Some v -> ms := Const_fold (f.name, i.iid, v) :: !ms
                   | None -> ())
               | _ -> ())
-            b.body;
-          (match b.Cfg.term with
+            (Cfg.body b);
+          (match (Cfg.term b) with
           | Instr.Br _ ->
               ms := Collapse_br (f.name, b.bid, true) :: Collapse_br (f.name, b.bid, false) :: !ms
           | Instr.Jmp t when t >= 0 && t < Cfg.num_blocks f -> (
-              match (Cfg.block f t).Cfg.term with
+              match Cfg.term (Cfg.block f t) with
               | Instr.Br _ ->
                   ms :=
                     Thread_jmp (f.name, b.bid, true)
                     :: Thread_jmp (f.name, b.bid, false) :: !ms
               | _ -> ())
           | _ -> ());
-          if List.length b.body > 1 then ms := Empty_block (f.name, b.bid) :: !ms)
+          if List.length (Cfg.body b) > 1 then ms := Empty_block (f.name, b.bid) :: !ms)
         f;
       acc @ List.rev !ms)
     [] p
@@ -124,9 +124,9 @@ let apply_move (p : Prog.t) (m : move) : bool =
                       List.iter
                         (fun (j : Instr.t) ->
                           if j.Instr.iid <> iid then
-                            j.Instr.op <- Instr.map_uses resolve j.Instr.op)
-                        blk.Cfg.body;
-                      blk.Cfg.term <- Instr.map_uses_term resolve blk.Cfg.term)
+                            Cfg.set_op blk j (Instr.map_uses resolve j.Instr.op))
+                        (Cfg.body blk);
+                      Cfg.set_term blk (Instr.map_uses_term resolve (Cfg.term blk)))
                     f;
                   ignore (Cfg.remove_instr b iid);
                   true
@@ -138,9 +138,9 @@ let apply_move (p : Prog.t) (m : move) : bool =
           if bid >= Cfg.num_blocks f then false
           else
             let b = Cfg.block f bid in
-            (match b.Cfg.term with
+            (match (Cfg.term b) with
             | Instr.Br { ifso = s; ifnot = n; _ } ->
-                b.Cfg.term <- Instr.Jmp (if ifso then s else n);
+                Cfg.set_term b (Instr.Jmp (if ifso then s else n));
                 true
             | _ -> false))
   | Thread_jmp (fn, bid, ifso) -> (
@@ -150,11 +150,11 @@ let apply_move (p : Prog.t) (m : move) : bool =
           if bid >= Cfg.num_blocks f then false
           else
             let b = Cfg.block f bid in
-            (match b.Cfg.term with
+            (match (Cfg.term b) with
             | Instr.Jmp t when t >= 0 && t < Cfg.num_blocks f -> (
-                match (Cfg.block f t).Cfg.term with
+                match Cfg.term (Cfg.block f t) with
                 | Instr.Br { ifso = s; ifnot = n; _ } ->
-                    b.Cfg.term <- Instr.Jmp (if ifso then s else n);
+                    Cfg.set_term b (Instr.Jmp (if ifso then s else n));
                     true
                 | _ -> false)
             | _ -> false))
@@ -165,9 +165,9 @@ let apply_move (p : Prog.t) (m : move) : bool =
           if bid >= Cfg.num_blocks f then false
           else
             let b = Cfg.block f bid in
-            if b.Cfg.body = [] then false
+            if (Cfg.body b) = [] then false
             else begin
-              b.Cfg.body <- [];
+              Cfg.set_body b [];
               true
             end)
   | Const_fold (fn, iid, v) -> (
@@ -176,7 +176,7 @@ let apply_move (p : Prog.t) (m : move) : bool =
       | Some f -> (
           match Cfg.find_instr f iid with
           | exception Not_found -> false
-          | _, i -> (
+          | blk, i -> (
               if not (foldable i.Instr.op) then false
               else
                 match Instr.def i.Instr.op with
@@ -185,7 +185,7 @@ let apply_move (p : Prog.t) (m : move) : bool =
                     | (Types.I32 | Types.I64) as ty ->
                         (* canonical I32 values are already sign-extended,
                            so they satisfy the validator's range check *)
-                        i.Instr.op <- Instr.Const { dst; ty; v };
+                        Cfg.set_op blk i (Instr.Const { dst; ty; v });
                         true
                     | _ -> false)
                 | None -> false)))

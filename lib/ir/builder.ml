@@ -164,7 +164,7 @@ let call b ?ret fn args =
 
 (* -- terminators ------------------------------------------------------ *)
 
-let set_term b term = (Cfg.block b.func b.cur).Cfg.term <- term
+let set_term b term = Cfg.set_term (Cfg.block b.func b.cur) term
 let jmp b l = set_term b (Instr.Jmp l)
 
 let br b ?(w = W32) cond l r ~ifso ~ifnot =

@@ -2,18 +2,45 @@
 
     Blocks are identified by dense integer ids ([bid]); block 0 is the
     entry. A block's successors are derived from its terminator;
-    predecessors are computed on demand. Instruction bodies are ordered
-    lists of {!Instr.t}; insertion and deletion splice the list, and every
-    instruction carries a function-unique id used to key analysis side
-    tables. *)
+    predecessors (and the other whole-graph analyses) are memoized — see
+    {!section:view}. Instruction bodies are ordered lists of {!Instr.t};
+    insertion and deletion splice the list, and every instruction carries a
+    function-unique id used to key analysis side tables.
+
+    {b Mutation protocol.} Every structural mutation — appending or
+    splicing instructions, replacing a terminator, rewriting an
+    instruction's [op] in place, adding a block — must go through this
+    module's API ([append_instr], [set_term], [set_op], ...). Each mutator
+    bumps the owning function's generation counter, which invalidates the
+    memoized analysis view and any cached pre-decoded execution form
+    ({!Sxe_vm.Precode}). The record fields backing bodies and terminators
+    are deliberately not exposed under their old names so that stale direct
+    writes fail to compile; read through {!body} and {!term}. *)
 
 open Sxe_util
 
 type block = {
   bid : int;
-  mutable body : Instr.t list;
-  mutable term : Instr.terminator;
+  mutable bpre : Instr.t list;
+      (** body prefix, in program order; logical body = bpre @ rev bapp *)
+  mutable bapp : Instr.t list;
+      (** pending appended instructions, reversed — makes [append_instr]
+          amortized O(1) instead of the former [body @ [i]] O(n) *)
+  mutable bterm : Instr.terminator;
+  gen : int ref;  (** the owning function's generation counter (shared) *)
 }
+
+(** Memoized whole-graph facts; recomputed when the generation moves. *)
+type view = {
+  v_preds : int list array;
+  v_postorder : int list;
+  v_rpo : int list;
+  v_reachable : bool array;
+}
+
+(** Engine-owned cache slot (e.g. {!Sxe_vm.Precode} decoded code). Open so
+    [sxe_ir] needs no dependency on the VM. *)
+type vm_cache = ..
 
 type func = {
   name : string;
@@ -25,9 +52,13 @@ type func = {
   mutable has_loop_hint : bool;
       (** set by the frontend when the source method contains a loop; the
           paper applies insertion (phase (3)-1) only to such methods. *)
+  version : int ref;
+      (** generation counter, bumped by every mutation through this API *)
+  mutable cached_view : (int * view) option;  (** [(version, view)] *)
+  mutable vm_cache : vm_cache option;
 }
 
-let dummy_block = { bid = -1; body = []; term = Instr.Ret None }
+let dummy_block = { bid = -1; bpre = []; bapp = []; bterm = Instr.Ret None; gen = ref 0 }
 
 let create ~name ~params ~ret =
   let reg_tys = Vec.create ~dummy:Types.I32 () in
@@ -40,19 +71,28 @@ let create ~name ~params ~ret =
     reg_tys;
     next_iid = 0;
     has_loop_hint = false;
+    version = ref 0;
+    cached_view = None;
+    vm_cache = None;
   }
 
 let entry _f = 0
+let version f = !(f.version)
+let invalidate f = incr f.version
 
 let add_block f =
   let bid = Vec.length f.blocks in
-  ignore (Vec.push f.blocks { bid; body = []; term = Instr.Ret None });
+  ignore (Vec.push f.blocks { bid; bpre = []; bapp = []; bterm = Instr.Ret None; gen = f.version });
+  incr f.version;
   bid
 
 let block f bid = Vec.get f.blocks bid
 let num_blocks f = Vec.length f.blocks
 
-let fresh_reg f ty = Vec.push f.reg_tys ty
+let fresh_reg f ty =
+  incr f.version;
+  Vec.push f.reg_tys ty
+
 let reg_ty f r = Vec.get f.reg_tys r
 let num_regs f = Vec.length f.reg_tys
 
@@ -62,11 +102,49 @@ let mk_instr f op =
   { Instr.iid; op }
 
 (* ------------------------------------------------------------------ *)
+(* Bodies, terminators, in-place rewrites                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [body b] is [b]'s instruction list in program order (flushing any
+    pending appends first). Treat the result as immutable. *)
+let body b =
+  (match b.bapp with
+  | [] -> ()
+  | app ->
+      b.bpre <- b.bpre @ List.rev app;
+      b.bapp <- []);
+  b.bpre
+
+let set_body b is =
+  b.bpre <- is;
+  b.bapp <- [];
+  incr b.gen
+
+let term b = b.bterm
+
+let set_term b t =
+  b.bterm <- t;
+  incr b.gen
+
+(** [set_op b i op] rewrites instruction [i] (residing in [b]) in place.
+    UD/DU chain entries keyed by [i.iid] remain valid; cached views and
+    decoded code are invalidated. *)
+let set_op b (i : Instr.t) op =
+  i.Instr.op <- op;
+  incr b.gen
+
+(* ------------------------------------------------------------------ *)
 (* Instruction list surgery                                            *)
 (* ------------------------------------------------------------------ *)
 
-let append_instr b (i : Instr.t) = b.body <- b.body @ [ i ]
-let prepend_instr b (i : Instr.t) = b.body <- i :: b.body
+(** Amortized O(1): pushes onto the reversed append buffer. *)
+let append_instr b (i : Instr.t) =
+  b.bapp <- i :: b.bapp;
+  incr b.gen
+
+let prepend_instr b (i : Instr.t) =
+  b.bpre <- i :: b.bpre;
+  incr b.gen
 
 (** [insert_before b ~anchor i] places [i] immediately before the
     instruction with id [anchor] in [b]. Raises [Not_found] if [anchor] is
@@ -77,7 +155,7 @@ let insert_before b ~anchor (i : Instr.t) =
     | x :: rest when x.Instr.iid = anchor -> i :: x :: rest
     | x :: rest -> x :: go rest
   in
-  b.body <- go b.body
+  set_body b (go (body b))
 
 (** [insert_after b ~anchor i] places [i] immediately after instruction
     [anchor]. *)
@@ -87,7 +165,7 @@ let insert_after b ~anchor (i : Instr.t) =
     | x :: rest when x.Instr.iid = anchor -> x :: i :: rest
     | x :: rest -> x :: go rest
   in
-  b.body <- go b.body
+  set_body b (go (body b))
 
 (** [insert_before_term b i] appends [i] at the end of [b]'s body (i.e.
     immediately before the terminator). *)
@@ -96,19 +174,20 @@ let insert_before_term = append_instr
 (** [remove_instr b iid] deletes the instruction with id [iid] from [b];
     returns [true] if it was present. *)
 let remove_instr b iid =
-  let present = List.exists (fun (x : Instr.t) -> x.iid = iid) b.body in
-  if present then b.body <- List.filter (fun (x : Instr.t) -> x.iid <> iid) b.body;
+  let is = body b in
+  let present = List.exists (fun (x : Instr.t) -> x.iid = iid) is in
+  if present then set_body b (List.filter (fun (x : Instr.t) -> x.iid <> iid) is);
   present
 
 (* ------------------------------------------------------------------ *)
 (* Graph structure                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let succs b = Instr.term_succs b.term
+let succs b = Instr.term_succs b.bterm
 
-(** [preds f] is the predecessor table: [preds.(b)] lists the blocks with an
-    edge into [b], in no particular order, without duplicates. *)
-let preds f =
+(* The raw computations, over the current terminators. *)
+
+let compute_preds f =
   let n = num_blocks f in
   let tbl = Array.make n [] in
   Vec.iter
@@ -119,9 +198,7 @@ let preds f =
     f.blocks;
   tbl
 
-(** [postorder f] lists reachable blocks in DFS postorder starting from the
-    entry. *)
-let postorder f =
+let compute_postorder f =
   let n = num_blocks f in
   let seen = Array.make n false in
   let out = ref [] in
@@ -135,11 +212,7 @@ let postorder f =
   if n > 0 then go (entry f);
   List.rev !out
 
-(** Reverse postorder: the canonical forward-analysis iteration order. *)
-let rpo f = List.rev (postorder f)
-
-(** Blocks reachable from the entry. *)
-let reachable f =
+let compute_reachable f =
   let n = num_blocks f in
   let seen = Array.make n false in
   let rec go bid =
@@ -151,13 +224,47 @@ let reachable f =
   if n > 0 then go (entry f);
   seen
 
+(** The memoized analysis view: preds / postorder / rpo / reachable
+    computed at most once per generation. Callers must not mutate the
+    returned arrays; mutate the CFG through this module's API and the next
+    call recomputes fresh structures. *)
+let view f =
+  match f.cached_view with
+  | Some (v, w) when v = !(f.version) -> w
+  | _ ->
+      let po = compute_postorder f in
+      let w =
+        {
+          v_preds = compute_preds f;
+          v_postorder = po;
+          v_rpo = List.rev po;
+          v_reachable = compute_reachable f;
+        }
+      in
+      f.cached_view <- Some (!(f.version), w);
+      w
+
+(** [preds f] is the predecessor table: [preds.(b)] lists the blocks with an
+    edge into [b], in no particular order, without duplicates. *)
+let preds f = (view f).v_preds
+
+(** [postorder f] lists reachable blocks in DFS postorder starting from the
+    entry. *)
+let postorder f = (view f).v_postorder
+
+(** Reverse postorder: the canonical forward-analysis iteration order. *)
+let rpo f = (view f).v_rpo
+
+(** Blocks reachable from the entry. *)
+let reachable f = (view f).v_reachable
+
 let iter_blocks fn f = Vec.iter fn f.blocks
 
 let iter_instrs fn f =
-  Vec.iter (fun b -> List.iter (fun i -> fn b i) b.body) f.blocks
+  Vec.iter (fun b -> List.iter (fun i -> fn b i) (body b)) f.blocks
 
 let fold_instrs fn acc f =
-  Vec.fold (fun acc b -> List.fold_left (fun acc i -> fn acc b i) acc b.body) acc f.blocks
+  Vec.fold (fun acc b -> List.fold_left (fun acc i -> fn acc b i) acc (body b)) acc f.blocks
 
 (** Total number of instructions (excluding terminators). *)
 let instr_count f = fold_instrs (fun n _ _ -> n + 1) 0 f

@@ -1,15 +1,35 @@
 (** Functions as control-flow graphs of basic blocks.
 
     Blocks have dense integer ids; block 0 is the entry. Successors derive
-    from terminators; predecessors are computed on demand. Instruction
-    bodies are ordered lists of {!Instr.t} with function-unique ids keying
-    analysis side tables. *)
+    from terminators; predecessors and the other whole-graph facts are
+    memoized per generation. Instruction bodies are ordered lists of
+    {!Instr.t} with function-unique ids keying analysis side tables.
+
+    {b Mutation protocol:} all structural mutation goes through this API
+    ([append_instr], [set_term], [set_op], [set_body], ...). Each mutator
+    bumps the function's generation counter, invalidating the memoized
+    {!preds}/{!rpo}/{!postorder}/{!reachable} view and any cached decoded
+    execution form held in [vm_cache]. Bodies and terminators are read
+    through {!body} and {!term}. *)
 
 type block = {
   bid : int;
-  mutable body : Instr.t list;
-  mutable term : Instr.terminator;
+  mutable bpre : Instr.t list;  (** internal: use {!body} / {!set_body} *)
+  mutable bapp : Instr.t list;  (** internal: reversed pending appends *)
+  mutable bterm : Instr.terminator;  (** internal: use {!term} / {!set_term} *)
+  gen : int ref;  (** the owning function's generation counter (shared) *)
 }
+
+type view = {
+  v_preds : int list array;
+  v_postorder : int list;
+  v_rpo : int list;
+  v_reachable : bool array;
+}
+
+type vm_cache = ..
+(** Engine-owned cache slot (see {!Sxe_vm.Precode}); open so [sxe_ir]
+    carries no VM dependency. *)
 
 type func = {
   name : string;
@@ -20,6 +40,9 @@ type func = {
   mutable next_iid : int;
   mutable has_loop_hint : bool;
       (** set by the frontend when the source method contains a loop *)
+  version : int ref;  (** generation counter; see {!version} *)
+  mutable cached_view : (int * view) option;
+  mutable vm_cache : vm_cache option;
 }
 
 val dummy_block : block
@@ -32,6 +55,15 @@ val add_block : func -> int
 val block : func -> int -> block
 val num_blocks : func -> int
 
+val version : func -> int
+(** Current generation. Moves on every mutation made through this API;
+    caches keyed by it (the analysis view, decoded VM code) revalidate by
+    comparing generations. *)
+
+val invalidate : func -> unit
+(** Manually bump the generation. Only needed by code that mutates the IR
+    outside this API (there should be none; kept as an escape hatch). *)
+
 val fresh_reg : func -> Types.ty -> Instr.reg
 val reg_ty : func -> Instr.reg -> Types.ty
 val num_regs : func -> int
@@ -39,9 +71,24 @@ val num_regs : func -> int
 val mk_instr : func -> Instr.op -> Instr.t
 (** Allocate a fresh instruction id; does not place the instruction. *)
 
+(** {1 Bodies, terminators, in-place rewrites} *)
+
+val body : block -> Instr.t list
+(** The block's instructions in program order. Treat as immutable. *)
+
+val set_body : block -> Instr.t list -> unit
+val term : block -> Instr.terminator
+val set_term : block -> Instr.terminator -> unit
+
+val set_op : block -> Instr.t -> Instr.op -> unit
+(** Rewrite an instruction's [op] in place ([i] must reside in [b]).
+    Chain entries keyed by [i.iid] stay valid; caches are invalidated. *)
+
 (** {1 Instruction list surgery} *)
 
 val append_instr : block -> Instr.t -> unit
+(** Amortized O(1) (buffered; flushed on the next {!body} read). *)
+
 val prepend_instr : block -> Instr.t -> unit
 
 val insert_before : block -> anchor:int -> Instr.t -> unit
@@ -54,9 +101,14 @@ val insert_before_term : block -> Instr.t -> unit
 val remove_instr : block -> int -> bool
 (** Delete by instruction id; [true] if it was present. *)
 
-(** {1 Graph structure} *)
+(** {1 Graph structure}
+
+    [preds], [postorder], [rpo] and [reachable] are memoized: computed
+    once per generation, shared between callers. Do not mutate the
+    returned structures. *)
 
 val succs : block -> int list
+val view : func -> view
 val preds : func -> int list array
 val postorder : func -> int list
 val rpo : func -> int list

@@ -2,11 +2,13 @@
 
     The optimizer mutates IR in place; experiments that compile the same
     source under several variants clone the freshly-lowered program once
-    per variant. Instruction ids and register numbers are preserved. *)
+    per variant. Instruction ids and register numbers are preserved. The
+    clone starts at generation 0 with cold caches. *)
 
 open Sxe_util
 
 let clone_func (f : Cfg.func) : Cfg.func =
+  let version = ref 0 in
   let blocks = Vec.create ~capacity:(Vec.length f.Cfg.blocks) ~dummy:Cfg.dummy_block () in
   Vec.iter
     (fun (b : Cfg.block) ->
@@ -14,8 +16,13 @@ let clone_func (f : Cfg.func) : Cfg.func =
         (Vec.push blocks
            {
              Cfg.bid = b.Cfg.bid;
-             body = List.map (fun (i : Instr.t) -> { Instr.iid = i.Instr.iid; op = i.Instr.op }) b.Cfg.body;
-             term = b.Cfg.term;
+             bpre =
+               List.map
+                 (fun (i : Instr.t) -> { Instr.iid = i.Instr.iid; op = i.Instr.op })
+                 (Cfg.body b);
+             bapp = [];
+             bterm = Cfg.term b;
+             gen = version;
            }))
     f.Cfg.blocks;
   {
@@ -26,6 +33,9 @@ let clone_func (f : Cfg.func) : Cfg.func =
     reg_tys = Vec.copy f.Cfg.reg_tys;
     next_iid = f.Cfg.next_iid;
     has_loop_hint = f.Cfg.has_loop_hint;
+    version;
+    cached_view = None;
+    vm_cache = None;
   }
 
 let clone_prog (p : Prog.t) : Prog.t =

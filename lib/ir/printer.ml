@@ -72,9 +72,9 @@ let pp_instr ppf (i : Instr.t) = Format.fprintf ppf "%4d: %a" i.iid pp_op i.op
 let pp_block ppf (b : Cfg.block) =
   Format.fprintf ppf "@[<v 2>B%d:@,%a%s%a@]" b.bid
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_instr)
-    b.body
-    (if b.body = [] then "" else "\n")
-    pp_term b.term
+    (Cfg.body b)
+    (if Cfg.body b = [] then "" else "\n")
+    pp_term (Cfg.term b)
 
 let pp_func ppf (f : Cfg.func) =
   let pp_params ppf ps =

@@ -138,8 +138,8 @@ let errors (f : Cfg.func) : string list =
   if nblocks = 0 then err "%s: no blocks" f.name;
   Cfg.iter_blocks
     (fun b ->
-      List.iter (check_instr b.bid) b.body;
-      check_term b.bid b.term)
+      List.iter (check_instr b.bid) (Cfg.body b);
+      check_term b.bid (Cfg.term b))
     f;
   List.rev !errs
 
@@ -178,7 +178,7 @@ let def_errors (f : Cfg.func) : string list =
       List.iter
         (fun (i : Instr.t) ->
           match Instr.def i.op with Some d when d < nregs -> Bitset.add s d | _ -> ())
-        (Cfg.block f bid).Cfg.body;
+        (Cfg.body (Cfg.block f bid));
       s
     in
     let changed = ref true in
@@ -221,8 +221,8 @@ let def_errors (f : Cfg.func) : string list =
             match Instr.def i.Instr.op with
             | Some d when d < nregs -> Bitset.add s d
             | _ -> ())
-          b.Cfg.body;
-        List.iter (use (Printf.sprintf "B%d/term" bid)) (Instr.term_uses b.Cfg.term))
+          (Cfg.body b);
+        List.iter (use (Printf.sprintf "B%d/term" bid)) (Instr.term_uses (Cfg.term b)))
       (Cfg.rpo f);
     List.rev !errs
   end

@@ -32,7 +32,7 @@ let fold_block (f : Cfg.func) (b : Cfg.block) =
   let set_const (i : Instr.t) dst ty v =
     let v = match ty with I32 -> canon_i32 v | _ -> v in
     if i.op <> Instr.Const { dst; ty; v } then begin
-      i.op <- Instr.Const { dst; ty; v };
+      Cfg.set_op b i (Instr.Const { dst; ty; v });
       changed := true
     end;
     set dst (CInt v)
@@ -44,12 +44,12 @@ let fold_block (f : Cfg.func) (b : Cfg.block) =
       when Int64.equal (Int64.bits_of_float v0) (Int64.bits_of_float v) ->
         ()
     | _ ->
-        i.op <- Instr.FConst { dst; v };
+        Cfg.set_op b i (Instr.FConst { dst; v });
         changed := true);
     set dst (CFloat v)
   in
   let set_mov (i : Instr.t) dst src ty =
-    i.op <- Instr.Mov { dst; src; ty };
+    Cfg.set_op b i (Instr.Mov { dst; src; ty });
     changed := true;
     match get src with Some v -> set dst v | None -> forget dst
   in
@@ -133,15 +133,15 @@ let fold_block (f : Cfg.func) (b : Cfg.block) =
     | _ -> ( (* loads, calls, allocations: unknown result *)
         match Instr.def i.op with Some d -> forget d | None -> ())
   in
-  List.iter visit b.body;
+  List.iter visit (Cfg.body b);
   (* fold a decided branch *)
-  (match b.term with
+  (match (Cfg.term b) with
   | Instr.Br { cond; l; r; w; ifso; ifnot } -> (
       match (geti l, geti r) with
       | Some lv, Some rv ->
-          b.term <- Instr.Jmp (if Eval.cmp cond w lv rv then ifso else ifnot);
+          Cfg.set_term b (Instr.Jmp (if Eval.cmp cond w lv rv then ifso else ifnot));
           changed := true
-      | _ -> if ifso = ifnot then begin b.term <- Instr.Jmp ifso; changed := true end)
+      | _ -> if ifso = ifnot then begin Cfg.set_term b (Instr.Jmp ifso); changed := true end)
   | _ -> ());
   !changed
 

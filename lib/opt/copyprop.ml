@@ -30,7 +30,7 @@ let run (f : Cfg.func) =
           hit := false;
           let op' = Instr.map_uses resolve i.op in
           if !hit then begin
-            i.op <- op';
+            Cfg.set_op b i op';
             changed := true
           end;
           (* then account for the def *)
@@ -42,11 +42,11 @@ let run (f : Cfg.func) =
                  facts *)
               Hashtbl.replace copies dst src
           | _ -> ())
-        b.body;
+        (Cfg.body b);
       hit := false;
-      let t' = Instr.map_uses_term resolve b.term in
+      let t' = Instr.map_uses_term resolve (Cfg.term b) in
       if !hit then begin
-        b.term <- t';
+        Cfg.set_term b t';
         changed := true
       end)
     f;

@@ -33,7 +33,7 @@ let run_once (f : Cfg.func) =
                 | Some l when not (Sxe_util.Bitset.mem l d) -> Some i.Instr.iid
                 | _ -> None)
             | _ -> None)
-          b.Cfg.body
+          (Cfg.body b)
       in
       if doomed <> [] then begin
         changed := true;

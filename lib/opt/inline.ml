@@ -48,11 +48,11 @@ let inline_site (caller : Cfg.func) ~bid ~(call : Instr.t) (callee : Cfg.func) =
     | (x : Instr.t) :: rest when x.Instr.iid = call.Instr.iid -> (List.rev pre, rest)
     | x :: rest -> split (x :: pre) rest
   in
-  let pre, post = split [] b.Cfg.body in
+  let pre, post = split [] (Cfg.body b) in
   let cont = Cfg.add_block caller in
   let cb = Cfg.block caller cont in
-  cb.Cfg.body <- post;
-  cb.Cfg.term <- b.Cfg.term;
+  Cfg.set_body cb post;
+  Cfg.set_term cb (Cfg.term b);
   (* fresh blocks for the callee's CFG *)
   let block_map = Array.make (Cfg.num_blocks callee) (-1) in
   for k = 0 to Cfg.num_blocks callee - 1 do
@@ -64,14 +64,14 @@ let inline_site (caller : Cfg.func) ~bid ~(call : Instr.t) (callee : Cfg.func) =
       (fun (p, ty) (a, _) -> Cfg.mk_instr caller (Instr.Mov { dst = mr p; src = a; ty }))
       callee.Cfg.params args
   in
-  b.Cfg.body <- pre @ param_movs;
-  b.Cfg.term <- Instr.Jmp block_map.(Cfg.entry callee);
+  Cfg.set_body b (pre @ param_movs);
+  Cfg.set_term b (Instr.Jmp block_map.(Cfg.entry callee));
   (* clone the body *)
   Cfg.iter_blocks
     (fun (src : Cfg.block) ->
       let nb = Cfg.block caller block_map.(src.Cfg.bid) in
-      nb.Cfg.body <-
-        List.map
+      Cfg.set_body nb
+        (List.map
           (fun (i : Instr.t) ->
             let op = Instr.map_uses mr i.Instr.op in
             let op =
@@ -101,9 +101,9 @@ let inline_site (caller : Cfg.func) ~bid ~(call : Instr.t) (callee : Cfg.func) =
               | Instr.Call c -> Instr.Call { c with dst = Option.map mr c.dst }
             in
             Cfg.mk_instr caller op)
-          src.Cfg.body;
-      nb.Cfg.term <-
-        (match src.Cfg.term with
+          (Cfg.body src));
+      Cfg.set_term nb
+        (match (Cfg.term src) with
         | Instr.Jmp l -> Instr.Jmp block_map.(l)
         | Instr.Br c ->
             Instr.Br
@@ -150,7 +150,7 @@ let run ?(max_size = default_max_size) ?(growth = default_growth) (p : Prog.t) :
                           site := Some (b.Cfg.bid, i, callee)
                       | _ -> ())
                   | _ -> ())
-                b.Cfg.body)
+                (Cfg.body b))
           caller;
         match !site with
         | Some (bid, call, callee) ->

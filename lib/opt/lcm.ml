@@ -81,7 +81,7 @@ let run (f : Cfg.func) =
                   Bitset.remove transp.(b.bid) e
                 end)
               infos)
-          b.body)
+          (Cfg.body b))
       f;
     let empty = Bitset.create nexpr in
     (* anticipability: backward, intersection *)
@@ -214,13 +214,13 @@ let run (f : Cfg.func) =
                     let upward_exposed = not (Bitset.mem killed e) in
                     if upward_exposed && Bitset.mem del e then begin
                       (* redundant: copy from the holding register *)
-                      i.op <- Instr.Mov { dst; src = treg.(e); ty = Cfg.reg_ty f dst };
+                      Cfg.set_op b i (Instr.Mov { dst; src = treg.(e); ty = Cfg.reg_ty f dst });
                       emit i
                     end
                     else begin
                       (* surviving computation: compute into t, copy out *)
                       List.iter emit (Exprs.materialize f infos.(e).template ~dst:treg.(e));
-                      i.op <- Instr.Mov { dst; src = treg.(e); ty = Cfg.reg_ty f dst };
+                      Cfg.set_op b i (Instr.Mov { dst; src = treg.(e); ty = Cfg.reg_ty f dst });
                       emit i
                     end)
                 | _ -> emit i);
@@ -229,8 +229,8 @@ let run (f : Cfg.func) =
                     if Exprs.kills i (info.key, info.operands, info.sym) then
                       Bitset.add killed e)
                   infos)
-              b.body;
-            b.body <- List.rev !new_body
+              (Cfg.body b);
+            Cfg.set_body b (List.rev !new_body)
           end)
         f;
       (* 2. insertions on edges *)

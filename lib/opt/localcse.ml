@@ -32,7 +32,7 @@ let run (f : Cfg.func) =
               | _ -> (
                   match Instr.def i.op with
                   | Some dst when dst <> src ->
-                      i.op <- Instr.Mov { dst; src; ty = Cfg.reg_ty f dst };
+                      Cfg.set_op b i (Instr.Mov { dst; src; ty = Cfg.reg_ty f dst });
                       changed := true
                   | _ -> ()))
           | _ -> ());
@@ -73,7 +73,7 @@ let run (f : Cfg.func) =
                 | _ -> ())
             | None -> ()
           end)
-        b.body;
+        (Cfg.body b);
       List.iter (fun iid -> ignore (Cfg.remove_instr b iid)) !to_delete)
     f;
   !changed

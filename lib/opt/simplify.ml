@@ -10,9 +10,9 @@ let run (f : Cfg.func) =
   let changed = ref false in
   Cfg.iter_blocks
     (fun b ->
-      if not reach.(b.bid) && (b.body <> [] || b.term <> Instr.Jmp b.bid) then begin
-        b.body <- [];
-        b.term <- Instr.Jmp b.bid;
+      if not reach.(b.bid) && ((Cfg.body b) <> [] || (Cfg.term b) <> Instr.Jmp b.bid) then begin
+        Cfg.set_body b [];
+        Cfg.set_term b (Instr.Jmp b.bid);
         changed := true
       end)
     f;

@@ -24,32 +24,32 @@ let run (f : Cfg.func) =
   (* fresh empty entry: move the old entry's contents into a new block and
      make the entry jump to it (ids must keep entry = 0) *)
   let entry = Cfg.block f (Cfg.entry f) in
-  (match entry.term with
-  | Instr.Jmp _ when entry.body = [] -> ()
+  (match (Cfg.term entry) with
+  | Instr.Jmp _ when (Cfg.body entry) = [] -> ()
   | _ ->
       let moved = Cfg.add_block f in
       let mb = Cfg.block f moved in
-      mb.body <- entry.body;
-      mb.term <- entry.term;
-      entry.body <- [];
-      entry.term <- Instr.Jmp moved);
+      Cfg.set_body mb (Cfg.body entry);
+      Cfg.set_term mb (Cfg.term entry);
+      Cfg.set_body entry [];
+      Cfg.set_term entry (Instr.Jmp moved));
   (* split critical edges *)
   let preds = Cfg.preds f in
   let multi_pred = Array.map (fun l -> List.length l > 1) preds in
   Cfg.iter_blocks
     (fun b ->
-      match b.term with
+      match (Cfg.term b) with
       | Instr.Br { ifso; ifnot; _ } when ifso <> ifnot ->
           let split target =
             if multi_pred.(target) then begin
               let nb = Cfg.add_block f in
-              (Cfg.block f nb).term <- Instr.Jmp target;
+              Cfg.set_term (Cfg.block f nb) (Instr.Jmp target);
               nb
             end
             else target
           in
           let ifso' = split ifso and ifnot' = split ifnot in
           if ifso' <> ifso || ifnot' <> ifnot then
-            b.term <- retarget (retarget b.term ~from:ifso ~to_:ifso') ~from:ifnot ~to_:ifnot'
+            Cfg.set_term b (retarget (retarget (Cfg.term b) ~from:ifso ~to_:ifso') ~from:ifnot ~to_:ifnot')
       | _ -> ())
     f

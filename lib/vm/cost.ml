@@ -28,6 +28,10 @@ let return_cost = 2
 let branch = 1
 let alloc_base = 32
 
+(** Allocation cost: base plus zero-initialization, 8 bytes per cycle. *)
+let alloc_cost ~(alloc_len : int64) =
+  alloc_base + Int64.to_int (Int64.div (max 0L alloc_len) 8L)
+
 let of_op (op : Instr.op) ~(alloc_len : int64) =
   match op with
   | Instr.Const _ | Instr.FConst _ | Instr.Mov _ -> alu
@@ -42,7 +46,7 @@ let of_op (op : Instr.op) ~(alloc_len : int64) =
   | Instr.FBinop { op = FDiv; _ } -> float_divide
   | Instr.FBinop _ | Instr.FNeg _ | Instr.FCmp _ -> float_op
   | Instr.I2D _ | Instr.L2D _ | Instr.D2I _ | Instr.D2L _ -> convert
-  | Instr.NewArr _ -> alloc_base + Int64.to_int (Int64.div (max 0L alloc_len) 8L)
+  | Instr.NewArr _ -> alloc_cost ~alloc_len
   | Instr.ArrLoad _ | Instr.ArrStore _ -> array_access
   | Instr.ArrLen _ -> array_length
   | Instr.GLoad _ | Instr.GStore _ -> global_access

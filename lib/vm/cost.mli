@@ -4,6 +4,11 @@
 val extension : int
 (** Cost of an explicit sign/zero extension (one issue slot). *)
 
+val alloc_cost : alloc_len:int64 -> int
+(** Allocation cost alone: base plus zero-initialization (8 bytes/cycle).
+    Used by the pre-decoded engine, whose static cost tables cannot know
+    the dynamic length. *)
+
 val of_op : Sxe_ir.Instr.op -> alloc_len:int64 -> int
 (** Cycles charged for one executed instruction; [alloc_len] sizes the
     zero-initialization cost of allocations. *)

@@ -26,14 +26,14 @@ open Sxe_util
 open Sxe_ir
 open Sxe_ir.Types
 
-exception Trap of string
+exception Trap = Precode.Trap
 
-type cell =
+type cell = Precode.cell =
   | IArr of { elem : aelem; data : int64 array }
   | FArr of float array
   | RArr of int array
 
-type outcome = {
+type outcome = Precode.outcome = {
   output : string;
   checksum : int64;
   trap : string option;
@@ -69,27 +69,11 @@ type state = {
 
 type varg = VI of int64 | VF of float
 
-let max_alloc = 1 lsl 26
-let max_depth = 2_500
-
-let elem_load elem lext (raw : int64) =
-  match (elem, lext) with
-  | AI8, LZero -> Eval.zext8 raw
-  | AI8, LSign -> Eval.sext8 raw
-  | AI16, LZero -> Eval.zext16 raw
-  | AI16, LSign -> Eval.sext16 raw
-  | AI32, LZero -> Eval.zext32 raw
-  | AI32, LSign -> Eval.sext32 raw
-  | (AI64 | AF64 | ARef), _ -> raw
-
-let elem_store elem (v : int64) =
-  match elem with
-  | AI8 -> Eval.zext8 v
-  | AI16 -> Eval.zext16 v
-  | AI32 -> Eval.zext32 v
-  | AI64 | AF64 | ARef -> v
-
-let checksum_mix c v = Int64.add (Int64.mul c 0x100000001b3L) v
+let max_alloc = Precode.max_alloc
+let max_depth = Precode.max_depth
+let elem_load = Precode.elem_load
+let elem_store = Precode.elem_store
+let checksum_mix = Precode.checksum_mix
 
 let rec exec_func st fname (args : varg list) : varg option =
   st.depth <- st.depth + 1;
@@ -99,13 +83,19 @@ let rec exec_func st fname (args : varg list) : varg option =
   let n = Cfg.num_regs f in
   let ri = Array.make (max n 1) 0L in
   let rf = Array.make (max n 1) 0.0 in
+  (* bind positionally via an array: [List.nth_opt args k] per parameter
+     was quadratic in arity *)
+  let argv = Array.of_list args in
+  let nargs = Array.length argv in
   List.iteri
     (fun k (r, ty) ->
-      match (ty, List.nth_opt args k) with
-      | F64, Some (VF v) -> rf.(r) <- v
-      | F64, _ -> raise (Trap "bad-call-arity")
-      | _, Some (VI v) -> ri.(r) <- v
-      | _, _ -> raise (Trap "bad-call-arity"))
+      if k >= nargs then raise (Trap "bad-call-arity")
+      else
+        match (ty, argv.(k)) with
+        | F64, VF v -> rf.(r) <- v
+        | F64, _ -> raise (Trap "bad-call-arity")
+        | _, VI v -> ri.(r) <- v
+        | _, _ -> raise (Trap "bad-call-arity"))
     f.Cfg.params;
   let canonical = st.mode = `Canonical in
   let set_i r v =
@@ -261,18 +251,18 @@ let rec exec_func st fname (args : varg list) : varg option =
   let running = ref true in
   while !running do
     let b = Cfg.block f !bid in
-    List.iter exec_instr b.Cfg.body;
+    List.iter exec_instr (Cfg.body b);
     (* terminators consume fuel too: a loop whose blocks have empty
        bodies must still hit the fuel bound *)
     tick ();
-    charge (Cost.of_term b.Cfg.term);
+    charge (Cost.of_term (Cfg.term b));
     let goto l =
       (match st.profile with
       | Some p -> Profile.record p fname ~src:!bid ~dst:l
       | None -> ());
       bid := l
     in
-    match b.Cfg.term with
+    match Cfg.term b with
     | Instr.Jmp l -> goto l
     | Instr.Br { cond; l; r; w; ifso; ifnot } ->
         goto (if Eval.cmp cond w ri.(l) ri.(r) then ifso else ifnot)
@@ -310,10 +300,10 @@ and builtin st fn (args : varg list) : varg option option =
       raise (Trap "bad-builtin-arity")
   | _ -> None
 
-let builtin_names = [ "print_int"; "print_long"; "print_double"; "checksum"; "checksum_double" ]
+let builtin_names = Precode.builtin_names
 
-let run ?(mode = `Faithful) ?(fuel = 2_000_000_000L) ?(count_cycles = true) ?profile ?trace
-    ?watch (prog : Prog.t) : outcome =
+let run_structural ?(mode = `Faithful) ?(fuel = 2_000_000_000L) ?(count_cycles = true)
+    ?profile ?trace ?watch (prog : Prog.t) : outcome =
   let st =
     {
       prog;
@@ -352,6 +342,20 @@ let run ?(mode = `Faithful) ?(fuel = 2_000_000_000L) ?(count_cycles = true) ?pro
     sext_sub = st.sext_sub;
     cycles = st.cycles;
   }
+
+(** Engine dispatch. The pre-decoded engine is the default; [trace] and
+    [watch] hooks observe individual structural instructions, so runs that
+    pass either are routed to the structural engine regardless of
+    [engine]. *)
+let run ?mode ?fuel ?count_cycles ?profile ?trace ?watch ?engine (prog : Prog.t) :
+    outcome =
+  let engine =
+    if trace <> None || watch <> None then `Structural
+    else match engine with Some e -> e | None -> `Precode
+  in
+  match engine with
+  | `Precode -> Precode.run ?mode ?fuel ?count_cycles ?profile prog
+  | `Structural -> run_structural ?mode ?fuel ?count_cycles ?profile ?trace ?watch prog
 
 (** Equality of observable behaviour: output, checksum, trap and return
     value. Counters are deliberately excluded. *)

@@ -38,6 +38,7 @@ val run :
   ?profile:Profile.t ->
   ?trace:Format.formatter ->
   ?watch:(string -> int -> int64 -> unit) ->
+  ?engine:[ `Precode | `Structural ] ->
   Sxe_ir.Prog.t ->
   outcome
 (** Execute the program's [main].
@@ -53,7 +54,13 @@ val run :
     cost model; [trace] streams every executed instruction with its
     input registers; [watch fname iid v] is called after every executed
     instruction defining an integer register (value-snapshot hooks for
-    the fuzzer's shrinker). *)
+    the fuzzer's shrinker).
+
+    [engine] selects the execution engine: [`Precode] (default) runs the
+    pre-decoded form cached per function (see {!Precode}); [`Structural]
+    interprets the linked CFG directly. Both produce bit-identical
+    outcomes, counters included. Runs with [trace] or [watch] always use
+    the structural engine — the hooks observe structural instructions. *)
 
 val equivalent : outcome -> outcome -> bool
 (** Observable equality: output, checksum, trap and return value (the

@@ -1,0 +1,773 @@
+(** Pre-decoded execution engine for the 64-bit machine.
+
+    The structural interpreter ({!Interp}) re-traverses the linked CFG on
+    every run: each tick pattern-matches a boxed {!Sxe_ir.Instr.op} record,
+    chases the block list, consults the mode/trace/watch/profile
+    configuration, and pays an [Int64] box per counter bump. This module
+    flattens each {!Sxe_ir.Cfg.func} once into arrays of decoded
+    instructions — fields pulled out of the [op] records, jump targets
+    resolved to flat code offsets, the canonical-mode re-extension decision
+    and the static cost-model weights baked in at decode time — and
+    executes them with a tight program-counter loop over native-int
+    counters.
+
+    Per-run decisions are hoisted out of the per-instruction path:
+    - [mode] selects which decoded image to use (the two modes decode to
+      different [ext] flags, cached separately);
+    - [count_cycles] always accumulates (a native-int add) and the report
+      is zeroed afterwards when disabled;
+    - [trace]/[watch] are not supported here — {!Interp.run} routes runs
+      with hooks to the structural engine;
+    - [profile] is consulted only at control-flow ops, never per
+      instruction.
+
+    Decoded code is cached on the function itself (the {!Sxe_ir.Cfg}
+    [vm_cache] slot) keyed by the function's generation counter, so the
+    12-variant evaluation matrix, profile collection and reference runs
+    re-decode only after the optimizer actually mutates a function.
+
+    Observable behaviour — output, checksum, trap, return value {e and}
+    the [executed]/[sext32]/[sext_sub]/[cycles] counters — is bit-identical
+    to the structural engine; the differential-fuzz oracle cross-checks
+    the two engines on every generated case. *)
+
+open Sxe_util
+open Sxe_ir
+open Sxe_ir.Types
+
+exception Trap of string
+
+type cell =
+  | IArr of { elem : aelem; data : int64 array }
+  | FArr of float array
+  | RArr of int array
+
+type outcome = {
+  output : string;
+  checksum : int64;
+  trap : string option;
+  ret : int64 option;
+  executed : int64;
+  sext32 : int64;
+  sext_sub : int64;
+  cycles : int64;
+}
+
+let max_alloc = 1 lsl 26
+let max_depth = 2_500
+
+let elem_load elem lext (raw : int64) =
+  match (elem, lext) with
+  | AI8, LZero -> Eval.zext8 raw
+  | AI8, LSign -> Eval.sext8 raw
+  | AI16, LZero -> Eval.zext16 raw
+  | AI16, LSign -> Eval.sext16 raw
+  | AI32, LZero -> Eval.zext32 raw
+  | AI32, LSign -> Eval.sext32 raw
+  | (AI64 | AF64 | ARef), _ -> raw
+
+let elem_store elem (v : int64) =
+  match elem with
+  | AI8 -> Eval.zext8 v
+  | AI16 -> Eval.zext16 v
+  | AI32 -> Eval.zext32 v
+  | AI64 | AF64 | ARef -> v
+
+let checksum_mix c v = Int64.add (Int64.mul c 0x100000001b3L) v
+
+let builtin_names =
+  [ "print_int"; "print_long"; "print_double"; "checksum"; "checksum_double" ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoded instructions                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** One decoded instruction. [ext] marks destinations that the canonical
+    "32-bit machine" re-extends ([I32] destination registers); faithful
+    decodes always carry [ext = false]. Register fields are plain array
+    indices; jump targets are flat code offsets ([-1] for a target outside
+    the function, which reproduces the structural engine's fetch failure
+    lazily). *)
+type pi =
+  | PNop  (** [JustExt]: ticks, costs 0, no effect *)
+  | PConstI of { dst : int; v : int64 }  (** canonical sext pre-applied *)
+  | PConstF of { dst : int; v : float }
+  | PMovI of { dst : int; src : int; ext : bool }
+  | PMovF of { dst : int; src : int }
+  | PNegI of { dst : int; src : int; ext : bool }
+  | PNotI of { dst : int; src : int; ext : bool }
+  | PAdd of { dst : int; l : int; r : int; ext : bool }
+  | PSub of { dst : int; l : int; r : int; ext : bool }
+  | PMul of { dst : int; l : int; r : int; ext : bool }
+  | PAnd of { dst : int; l : int; r : int; ext : bool }
+  | POr of { dst : int; l : int; r : int; ext : bool }
+  | PXor of { dst : int; l : int; r : int; ext : bool }
+  | PShl of { dst : int; l : int; r : int; w64 : bool; ext : bool }
+  | PAShr of { dst : int; l : int; r : int; w64 : bool; ext : bool }
+  | PLShr of { dst : int; l : int; r : int; w64 : bool; ext : bool }
+  | PDiv of { dst : int; l : int; r : int; w64 : bool; ext : bool }
+  | PRem of { dst : int; l : int; r : int; w64 : bool; ext : bool }
+  | PCmp of { dst : int; cond : cond; w64 : bool; l : int; r : int }
+  | PSext32 of { r : int }
+  | PSextSub of { r : int; sh : int }  (** shift-in/out amount: 56, 48 or 0 *)
+  | PZext of { r : int; mask : int64 }
+  | PFAdd of { dst : int; l : int; r : int }
+  | PFSub of { dst : int; l : int; r : int }
+  | PFMul of { dst : int; l : int; r : int }
+  | PFDiv of { dst : int; l : int; r : int }
+  | PFNeg of { dst : int; src : int }
+  | PFCmp of { dst : int; cond : cond; l : int; r : int }
+  | PItoF of { dst : int; src : int }  (** I2D and L2D: full-register convert *)
+  | PD2I of { dst : int; src : int }
+  | PD2L of { dst : int; src : int; ext : bool }
+  | PNewArr of { dst : int; elem : aelem; len : int; ext : bool }
+  | PArrLoad of { dst : int; arr : int; idx : int; elem : aelem; lext : lext; ext : bool }
+  | PArrStore of { arr : int; idx : int; src : int; elem : aelem }
+  | PArrLen of { dst : int; arr : int }
+  | PGLoadF of { dst : int; sym : string }
+  | PGLoadI32 of { dst : int; sym : string; sign : bool; ext : bool }
+  | PGLoadI of { dst : int; sym : string; ext : bool }
+  | PGStoreF of { sym : string; src : int }
+  | PGStoreI32 of { sym : string; src : int }
+  | PGStoreI of { sym : string; src : int }
+  | PPrintI of { r : int; post_trap : bool }
+      (** [post_trap]: the call named a destination; the builtin's effect
+          happens, then ["missing-return"] (structural order) *)
+  | PPrintF of { r : int; post_trap : bool }
+  | PCheckI of { r : int; post_trap : bool }
+  | PCheckF of { r : int; post_trap : bool }
+  | PTrapOp of { msg : string }  (** statically-doomed op, e.g. bad builtin arity *)
+  | PCallUser of { dst : int; expect : int; ext : bool; fn : string; argv : int array }
+      (** [argv]/callee params pack [(reg lsl 1) lor is_f64]; [expect]:
+          0 = no destination, 1 = int, 2 = float, 3 = always bad-return *)
+  | PJmp of { off : int; src_bid : int; dst_bid : int }
+  | PBr of {
+      cond : cond;
+      w64 : bool;
+      l : int;
+      r : int;
+      so : int;
+      no : int;
+      src_bid : int;
+      so_bid : int;
+      not_bid : int;
+    }
+  | PRet0
+  | PRetI of { r : int }
+  | PRetF of { r : int }
+
+type pfunc = {
+  fname : string;
+  nregs : int;
+  params : int array;  (** packed [(reg lsl 1) lor is_f64], in order *)
+  code : pi array;  (** blocks laid out in bid order; empty for 0 blocks *)
+  costs : int array;  (** static cycle weight per slot; 0 for [PNewArr] *)
+  src : Cfg.func;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pack_reg (r, ty) = (r lsl 1) lor (match ty with F64 -> 1 | _ -> 0)
+
+let decode ~(canonical : bool) (f : Cfg.func) : pfunc =
+  let nregs = Cfg.num_regs f in
+  (* the canonical machine re-extends I32 destinations ([Interp]'s
+     [set_i]); out-of-range destinations keep [ext = false] so the
+     register write itself raises, as the faithful structural engine
+     does on malformed IR *)
+  let ext dst = canonical && dst >= 0 && dst < nregs && Cfg.reg_ty f dst = I32 in
+  let decode_op (op : Instr.op) : pi =
+    match op with
+    | Instr.Const { dst; ty; v } -> (
+        match ty with
+        | F64 -> PConstF { dst; v = Int64.float_of_bits v }
+        | _ -> PConstI { dst; v = (if ext dst then Eval.sext32 v else v) })
+    | Instr.FConst { dst; v } -> PConstF { dst; v }
+    | Instr.Mov { dst; src; ty } -> (
+        match ty with
+        | F64 -> PMovF { dst; src }
+        | _ -> PMovI { dst; src; ext = ext dst })
+    | Instr.Unop { dst; op; src; w = _ } -> (
+        match op with
+        | Neg -> PNegI { dst; src; ext = ext dst }
+        | Not -> PNotI { dst; src; ext = ext dst })
+    | Instr.Binop { dst; op; l; r; w } -> (
+        let e = ext dst and w64 = w = W64 in
+        match op with
+        | Add -> PAdd { dst; l; r; ext = e }
+        | Sub -> PSub { dst; l; r; ext = e }
+        | Mul -> PMul { dst; l; r; ext = e }
+        | And -> PAnd { dst; l; r; ext = e }
+        | Or -> POr { dst; l; r; ext = e }
+        | Xor -> PXor { dst; l; r; ext = e }
+        | Shl -> PShl { dst; l; r; w64; ext = e }
+        | AShr -> PAShr { dst; l; r; w64; ext = e }
+        | LShr -> PLShr { dst; l; r; w64; ext = e }
+        | Div -> PDiv { dst; l; r; w64; ext = e }
+        | Rem -> PRem { dst; l; r; w64; ext = e })
+    | Instr.Cmp { dst; cond; l; r; w } ->
+        (* 0/1 results are their own sign extension: no [ext] needed *)
+        PCmp { dst; cond; w64 = w = W64; l; r }
+    | Instr.Sext { r; from } -> (
+        match from with
+        | W32 -> PSext32 { r }
+        | W8 -> PSextSub { r; sh = 56 }
+        | W16 -> PSextSub { r; sh = 48 }
+        | W64 -> PSextSub { r; sh = 0 })
+    | Instr.Zext { r; from } ->
+        PZext
+          {
+            r;
+            mask =
+              (match from with
+              | W8 -> 0xFFL
+              | W16 -> 0xFFFFL
+              | W32 -> 0xFFFF_FFFFL
+              | W64 -> -1L);
+          }
+    | Instr.JustExt _ -> PNop
+    | Instr.FBinop { dst; op; l; r } -> (
+        match op with
+        | FAdd -> PFAdd { dst; l; r }
+        | FSub -> PFSub { dst; l; r }
+        | FMul -> PFMul { dst; l; r }
+        | FDiv -> PFDiv { dst; l; r })
+    | Instr.FNeg { dst; src } -> PFNeg { dst; src }
+    | Instr.FCmp { dst; cond; l; r } -> PFCmp { dst; cond; l; r }
+    | Instr.I2D { dst; src } | Instr.L2D { dst; src } -> PItoF { dst; src }
+    | Instr.D2I { dst; src } ->
+        (* saturated to int32: arrives sign-extended, no [ext] needed *)
+        PD2I { dst; src }
+    | Instr.D2L { dst; src } -> PD2L { dst; src; ext = ext dst }
+    | Instr.NewArr { dst; elem; len } -> PNewArr { dst; elem; len; ext = ext dst }
+    | Instr.ArrLoad { dst; arr; idx; elem; lext } ->
+        PArrLoad { dst; arr; idx; elem; lext; ext = ext dst }
+    | Instr.ArrStore { arr; idx; src; elem } -> PArrStore { arr; idx; src; elem }
+    | Instr.ArrLen { dst; arr } ->
+        (* length is in [0, 2^31-1]: already extended *)
+        PArrLen { dst; arr }
+    | Instr.GLoad { dst; sym; ty; lext } -> (
+        match ty with
+        | F64 -> PGLoadF { dst; sym }
+        | I32 -> PGLoadI32 { dst; sym; sign = lext = LSign; ext = ext dst }
+        | _ -> PGLoadI { dst; sym; ext = ext dst })
+    | Instr.GStore { sym; src; ty } -> (
+        match ty with
+        | F64 -> PGStoreF { sym; src }
+        | I32 -> PGStoreI32 { sym; src }
+        | _ -> PGStoreI { sym; src })
+    | Instr.Call { dst; fn; args; ret } ->
+        if List.mem fn builtin_names then begin
+          (* builtins shadow user functions; arity and argument kinds are
+             static, so the mismatch trap is decided here and the op only
+             performs (or refuses) the effect at run time *)
+          let post_trap = dst <> None in
+          match (fn, args) with
+          | ("print_int" | "print_long"), [ (r, (I32 | I64 | Ref)) ] ->
+              PPrintI { r; post_trap }
+          | "print_double", [ (r, F64) ] -> PPrintF { r; post_trap }
+          | "checksum", [ (r, (I32 | I64 | Ref)) ] -> PCheckI { r; post_trap }
+          | "checksum_double", [ (r, F64) ] -> PCheckF { r; post_trap }
+          | _ -> PTrapOp { msg = "bad-builtin-arity" }
+        end
+        else
+          let argv = Array.of_list (List.map pack_reg args) in
+          let dst_i, expect, e =
+            match (dst, ret) with
+            | None, _ -> (-1, 0, false)
+            | Some d, Some F64 -> (d, 2, false)
+            | Some d, Some (I32 | I64 | Ref) -> (d, 1, ext d)
+            | Some d, None -> (d, 3, false)
+          in
+          PCallUser { dst = dst_i; expect; ext = e; fn; argv }
+  in
+  let nb = Cfg.num_blocks f in
+  let bodies = Array.init nb (fun bid -> Cfg.body (Cfg.block f bid)) in
+  let terms = Array.init nb (fun bid -> Cfg.term (Cfg.block f bid)) in
+  let block_start = Array.make (max nb 1) 0 in
+  let total = ref 0 in
+  for bid = 0 to nb - 1 do
+    block_start.(bid) <- !total;
+    total := !total + List.length bodies.(bid) + 1
+  done;
+  let code = Array.make !total PNop in
+  let costs = Array.make !total 0 in
+  (* a target outside the function decodes to offset -1: the jump executes
+     normally (tick, charge, profile) and the *fetch* of the missing block
+     reproduces the structural engine's failure *)
+  let target l = if l >= 0 && l < nb then block_start.(l) else -1 in
+  let pos = ref 0 in
+  let emit op cost =
+    code.(!pos) <- op;
+    costs.(!pos) <- cost;
+    incr pos
+  in
+  for bid = 0 to nb - 1 do
+    List.iter
+      (fun (i : Instr.t) ->
+        let cost =
+          match i.Instr.op with
+          | Instr.NewArr _ -> 0 (* dynamic: charged by the handler *)
+          | op -> Cost.of_op op ~alloc_len:0L
+        in
+        emit (decode_op i.Instr.op) cost)
+      bodies.(bid);
+    let t = terms.(bid) in
+    let tc = Cost.of_term t in
+    match t with
+    | Instr.Jmp l -> emit (PJmp { off = target l; src_bid = bid; dst_bid = l }) tc
+    | Instr.Br { cond; l; r; w; ifso; ifnot } ->
+        emit
+          (PBr
+             {
+               cond;
+               w64 = w = W64;
+               l;
+               r;
+               so = target ifso;
+               no = target ifnot;
+               src_bid = bid;
+               so_bid = ifso;
+               not_bid = ifnot;
+             })
+          tc
+    | Instr.Ret None -> emit PRet0 tc
+    | Instr.Ret (Some (r, ty)) ->
+        emit (match ty with F64 -> PRetF { r } | _ -> PRetI { r }) tc
+  done;
+  {
+    fname = f.Cfg.name;
+    nregs;
+    params = Array.of_list (List.map pack_reg f.Cfg.params);
+    code;
+    costs;
+    src = f;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The per-function decode cache                                       *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  mutable eversion : int;
+  mutable faithful : pfunc option;
+  mutable canonical_p : pfunc option;
+}
+
+type Cfg.vm_cache += Cached of entry
+
+(** Decoded code for [f] in the given mode, decoding at most once per
+    (generation, mode). Any mutation through the {!Cfg} API bumps the
+    generation and drops both images on the next lookup. *)
+let get_decoded ~canonical (f : Cfg.func) : pfunc =
+  let e =
+    match f.Cfg.vm_cache with
+    | Some (Cached e) ->
+        let v = Cfg.version f in
+        if e.eversion <> v then begin
+          e.eversion <- v;
+          e.faithful <- None;
+          e.canonical_p <- None
+        end;
+        e
+    | _ ->
+        let e = { eversion = Cfg.version f; faithful = None; canonical_p = None } in
+        f.Cfg.vm_cache <- Some (Cached e);
+        e
+  in
+  if canonical then
+    match e.canonical_p with
+    | Some p -> p
+    | None ->
+        let p = decode ~canonical:true f in
+        e.canonical_p <- Some p;
+        p
+  else
+    match e.faithful with
+    | Some p -> p
+    | None ->
+        let p = decode ~canonical:false f in
+        e.faithful <- Some p;
+        p
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  prog : Prog.t;
+  canonical : bool;
+  mutable depth : int;
+  heap : cell option Vec.t;
+  gi : (string, int64) Hashtbl.t;
+  gf : (string, float) Hashtbl.t;
+  buf : Buffer.t;
+  mutable checksum : int64;
+  mutable executed : int;  (** native ints: no box per tick *)
+  mutable sext32 : int;
+  mutable sext_sub : int;
+  mutable cycles : int;
+  fuel : int;
+  profile : Profile.t option;
+  fmap : (string, pfunc) Hashtbl.t;  (** per-run name resolution cache *)
+  mutable ret_kind : int;  (** callee result: 0 none, 1 int, 2 float *)
+  mutable ret_i : int64;
+  mutable ret_f : float;
+}
+
+let resolve st fn =
+  match Hashtbl.find_opt st.fmap fn with
+  | Some p -> p
+  | None ->
+      (* [find_func] raises [Invalid_argument] for a missing function,
+         which escapes the run as a crash — same as the structural engine *)
+      let p = get_decoded ~canonical:st.canonical (Prog.find_func st.prog fn) in
+      Hashtbl.replace st.fmap fn p;
+      p
+
+let arr_cell st h =
+  if Int64.equal h 0L then raise (Trap "null-pointer");
+  match Vec.get st.heap (Int64.to_int h - 1) with
+  | Some c -> c
+  | None -> raise (Trap "bad-handle")
+
+let cell_len = function
+  | IArr { data; _ } -> Array.length data
+  | FArr d -> Array.length d
+  | RArr d -> Array.length d
+
+(* bounds check on the sign-extended low 32 bits (IA64 cmp4), then the
+   effective address consumes the full register *)
+let checked_index st idx_full len =
+  let idx32 = Eval.sext32 idx_full in
+  if Int64.compare idx32 0L < 0 || Int64.compare idx32 (Int64.of_int len) >= 0 then
+    raise (Trap "array-index-out-of-bounds");
+  if st.canonical || Int64.equal idx_full idx32 then Int64.to_int idx32
+  else raise (Trap "wild-access")
+
+let out st s =
+  Buffer.add_string st.buf s;
+  Buffer.add_char st.buf '\n'
+
+let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : unit =
+  let code = p.code and costs = p.costs in
+  if Array.length code = 0 then
+    (* a function with no blocks: the structural engine fails fetching
+       block 0; reproduce its exact exception *)
+    ignore (Cfg.block p.src 0);
+  let fuel = st.fuel in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    let cpc = !pc in
+    let op = Array.unsafe_get code cpc in
+    (* tick -> fuel trap -> charge, in the structural engine's order *)
+    st.executed <- st.executed + 1;
+    if st.executed > fuel then raise (Trap "fuel-exhausted");
+    st.cycles <- st.cycles + Array.unsafe_get costs cpc;
+    incr pc;
+    match op with
+    | PNop -> ()
+    | PConstI { dst; v } -> ri.(dst) <- v
+    | PConstF { dst; v } -> rf.(dst) <- v
+    | PMovI { dst; src; ext } ->
+        let v = ri.(src) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PMovF { dst; src } -> rf.(dst) <- rf.(src)
+    | PNegI { dst; src; ext } ->
+        let v = Int64.neg ri.(src) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PNotI { dst; src; ext } ->
+        let v = Int64.lognot ri.(src) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PAdd { dst; l; r; ext } ->
+        let v = Int64.add ri.(l) ri.(r) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PSub { dst; l; r; ext } ->
+        let v = Int64.sub ri.(l) ri.(r) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PMul { dst; l; r; ext } ->
+        let v = Int64.mul ri.(l) ri.(r) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PAnd { dst; l; r; ext } ->
+        let v = Int64.logand ri.(l) ri.(r) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | POr { dst; l; r; ext } ->
+        let v = Int64.logor ri.(l) ri.(r) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PXor { dst; l; r; ext } ->
+        let v = Int64.logxor ri.(l) ri.(r) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PShl { dst; l; r; w64; ext } ->
+        let amt = Int64.to_int (Int64.logand ri.(r) (if w64 then 63L else 31L)) in
+        let v = Int64.shift_left ri.(l) amt in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PAShr { dst; l; r; w64; ext } ->
+        let amt = Int64.to_int (Int64.logand ri.(r) (if w64 then 63L else 31L)) in
+        let v = Int64.shift_right ri.(l) amt in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PLShr { dst; l; r; w64; ext } ->
+        let amt = Int64.to_int (Int64.logand ri.(r) (if w64 then 63L else 31L)) in
+        let v =
+          if w64 then Int64.shift_right_logical ri.(l) amt
+          else Int64.shift_right_logical (Eval.zext32 ri.(l)) amt
+        in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PDiv { dst; l; r; w64; ext } ->
+        let rv = ri.(r) in
+        let zero =
+          if w64 then Int64.equal rv 0L else Int64.equal (Eval.low32 rv) 0L
+        in
+        if zero then raise (Trap "division-by-zero");
+        let v =
+          if Int64.equal rv (-1L) then Int64.neg ri.(l) else Int64.div ri.(l) rv
+        in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PRem { dst; l; r; w64; ext } ->
+        let rv = ri.(r) in
+        let zero =
+          if w64 then Int64.equal rv 0L else Int64.equal (Eval.low32 rv) 0L
+        in
+        if zero then raise (Trap "division-by-zero");
+        let v = if Int64.equal rv (-1L) then 0L else Int64.rem ri.(l) rv in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PCmp { dst; cond; w64; l; r } ->
+        let lv = ri.(l) and rv = ri.(r) in
+        let lv, rv = if w64 then (lv, rv) else (Eval.sext32 lv, Eval.sext32 rv) in
+        let c = Int64.compare lv rv in
+        let b =
+          match cond with
+          | Eq -> c = 0
+          | Ne -> c <> 0
+          | Lt -> c < 0
+          | Le -> c <= 0
+          | Gt -> c > 0
+          | Ge -> c >= 0
+        in
+        ri.(dst) <- (if b then 1L else 0L)
+    | PSext32 { r } ->
+        st.sext32 <- st.sext32 + 1;
+        ri.(r) <- Eval.sext32 ri.(r)
+    | PSextSub { r; sh } ->
+        st.sext_sub <- st.sext_sub + 1;
+        ri.(r) <- Int64.shift_right (Int64.shift_left ri.(r) sh) sh
+    | PZext { r; mask } -> ri.(r) <- Int64.logand ri.(r) mask
+    | PFAdd { dst; l; r } -> rf.(dst) <- rf.(l) +. rf.(r)
+    | PFSub { dst; l; r } -> rf.(dst) <- rf.(l) -. rf.(r)
+    | PFMul { dst; l; r } -> rf.(dst) <- rf.(l) *. rf.(r)
+    | PFDiv { dst; l; r } -> rf.(dst) <- rf.(l) /. rf.(r)
+    | PFNeg { dst; src } -> rf.(dst) <- -.rf.(src)
+    | PFCmp { dst; cond; l; r } ->
+        ri.(dst) <- (if Eval.fcmp cond rf.(l) rf.(r) then 1L else 0L)
+    | PItoF { dst; src } -> rf.(dst) <- Int64.to_float ri.(src)
+    | PD2I { dst; src } -> ri.(dst) <- Eval.d2i rf.(src)
+    | PD2L { dst; src; ext } ->
+        let v = Eval.d2l rf.(src) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PNewArr { dst; elem; len; ext } ->
+        let full = ri.(len) in
+        let len32 = Eval.sext32 full in
+        (* dynamic charge (the static cost slot is 0), before the traps,
+           as the structural engine charges before executing *)
+        st.cycles <- st.cycles + Cost.alloc_cost ~alloc_len:len32;
+        if Int64.compare len32 0L < 0 then raise (Trap "negative-array-size");
+        if (not st.canonical) && not (Int64.equal full len32) then
+          raise (Trap "wild-access");
+        let n = Int64.to_int len32 in
+        if n > max_alloc then raise (Trap "allocation-too-large");
+        let cell =
+          match elem with
+          | AF64 -> FArr (Array.make n 0.0)
+          | ARef -> RArr (Array.make n 0)
+          | e -> IArr { elem = e; data = Array.make n 0L }
+        in
+        let h = Vec.push st.heap (Some cell) in
+        let v = Int64.of_int (h + 1) in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PArrLoad { dst; arr; idx; elem; lext; ext } -> (
+        let cell = arr_cell st ri.(arr) in
+        let k = checked_index st ri.(idx) (cell_len cell) in
+        match cell with
+        | IArr { data; _ } ->
+            let v = elem_load elem lext data.(k) in
+            ri.(dst) <- (if ext then Eval.sext32 v else v)
+        | FArr d -> rf.(dst) <- d.(k)
+        | RArr d ->
+            let v = Int64.of_int d.(k) in
+            ri.(dst) <- (if ext then Eval.sext32 v else v))
+    | PArrStore { arr; idx; src; elem } -> (
+        let cell = arr_cell st ri.(arr) in
+        let k = checked_index st ri.(idx) (cell_len cell) in
+        match cell with
+        | IArr { data; _ } -> data.(k) <- elem_store elem ri.(src)
+        | FArr d -> d.(k) <- rf.(src)
+        | RArr d -> d.(k) <- Int64.to_int ri.(src))
+    | PArrLen { dst; arr } ->
+        ri.(dst) <- Int64.of_int (cell_len (arr_cell st ri.(arr)))
+    | PGLoadF { dst; sym } ->
+        rf.(dst) <- (match Hashtbl.find_opt st.gf sym with Some v -> v | None -> 0.0)
+    | PGLoadI32 { dst; sym; sign; ext } ->
+        let cell =
+          match Hashtbl.find_opt st.gi sym with Some v -> v | None -> 0L
+        in
+        let v = if sign then Eval.sext32 cell else Eval.zext32 cell in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PGLoadI { dst; sym; ext } ->
+        let v = match Hashtbl.find_opt st.gi sym with Some v -> v | None -> 0L in
+        ri.(dst) <- (if ext then Eval.sext32 v else v)
+    | PGStoreF { sym; src } -> Hashtbl.replace st.gf sym rf.(src)
+    | PGStoreI32 { sym; src } -> Hashtbl.replace st.gi sym (Eval.zext32 ri.(src))
+    | PGStoreI { sym; src } -> Hashtbl.replace st.gi sym ri.(src)
+    | PPrintI { r; post_trap } ->
+        out st (Int64.to_string ri.(r));
+        if post_trap then raise (Trap "missing-return")
+    | PPrintF { r; post_trap } ->
+        out st (Printf.sprintf "%.6g" rf.(r));
+        if post_trap then raise (Trap "missing-return")
+    | PCheckI { r; post_trap } ->
+        st.checksum <- checksum_mix st.checksum ri.(r);
+        if post_trap then raise (Trap "missing-return")
+    | PCheckF { r; post_trap } ->
+        st.checksum <- checksum_mix st.checksum (Int64.bits_of_float rf.(r));
+        if post_trap then raise (Trap "missing-return")
+    | PTrapOp { msg } -> raise (Trap msg)
+    | PCallUser { dst; expect; ext; fn; argv } -> (
+        call_fn st fn ri rf argv;
+        match expect with
+        | 0 -> ()
+        | 1 ->
+            if st.ret_kind <> 1 then raise (Trap "bad-return");
+            ri.(dst) <- (if ext then Eval.sext32 st.ret_i else st.ret_i)
+        | 2 ->
+            if st.ret_kind <> 2 then raise (Trap "bad-return");
+            rf.(dst) <- st.ret_f
+        | _ -> raise (Trap "bad-return"))
+    | PJmp { off; src_bid; dst_bid } ->
+        (match st.profile with
+        | Some prof -> Profile.record prof p.fname ~src:src_bid ~dst:dst_bid
+        | None -> ());
+        if off >= 0 then pc := off
+        else begin
+          (* target outside the function: the jump executed; the fetch of
+             the missing block fails as in the structural engine *)
+          ignore (Cfg.block p.src dst_bid);
+          assert false
+        end
+    | PBr { cond; w64; l; r; so; no; src_bid; so_bid; not_bid } ->
+        let lv = ri.(l) and rv = ri.(r) in
+        let lv, rv = if w64 then (lv, rv) else (Eval.sext32 lv, Eval.sext32 rv) in
+        let c = Int64.compare lv rv in
+        let taken =
+          match cond with
+          | Eq -> c = 0
+          | Ne -> c <> 0
+          | Lt -> c < 0
+          | Le -> c <= 0
+          | Gt -> c > 0
+          | Ge -> c >= 0
+        in
+        let t_off = if taken then so else no in
+        let t_bid = if taken then so_bid else not_bid in
+        (match st.profile with
+        | Some prof -> Profile.record prof p.fname ~src:src_bid ~dst:t_bid
+        | None -> ());
+        if t_off >= 0 then pc := t_off
+        else begin
+          ignore (Cfg.block p.src t_bid);
+          assert false
+        end
+    | PRet0 ->
+        st.ret_kind <- 0;
+        running := false
+    | PRetI { r } ->
+        st.ret_kind <- 1;
+        st.ret_i <- ri.(r);
+        running := false
+    | PRetF { r } ->
+        st.ret_kind <- 2;
+        st.ret_f <- rf.(r);
+        running := false
+  done
+
+(** Call [fn], binding [argv] (packed caller registers) to the callee's
+    parameters positionally. Extra arguments are ignored; a missing or
+    kind-mismatched argument traps ["bad-call-arity"]. Parameter binding
+    writes the raw caller value — the canonical machine does not re-extend
+    at binding time (the structural engine's [List.iteri] does not either). *)
+and call_fn st fn (caller_ri : int64 array) (caller_rf : float array)
+    (argv : int array) : unit =
+  st.depth <- st.depth + 1;
+  if st.depth > max_depth then raise (Trap "stack-overflow");
+  let p = resolve st fn in
+  let ri = Array.make (max p.nregs 1) 0L in
+  let rf = Array.make (max p.nregs 1) 0.0 in
+  let params = p.params in
+  let na = Array.length argv in
+  for k = 0 to Array.length params - 1 do
+    let pk = params.(k) in
+    if k >= na then raise (Trap "bad-call-arity");
+    let a = argv.(k) in
+    if pk land 1 <> a land 1 then raise (Trap "bad-call-arity");
+    if pk land 1 = 1 then rf.(pk lsr 1) <- caller_rf.(a lsr 1)
+    else ri.(pk lsr 1) <- caller_ri.(a lsr 1)
+  done;
+  exec st p ri rf;
+  st.depth <- st.depth - 1
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(mode = `Faithful) ?(fuel = 2_000_000_000L) ?(count_cycles = true)
+    ?profile (prog : Prog.t) : outcome =
+  let fuel_i =
+    if Int64.compare fuel (Int64.of_int max_int) >= 0 then max_int
+    else Int64.to_int fuel
+  in
+  let st =
+    {
+      prog;
+      canonical = mode = `Canonical;
+      depth = 0;
+      heap = Vec.create ~dummy:None ();
+      gi = Hashtbl.create 16;
+      gf = Hashtbl.create 16;
+      buf = Buffer.create 256;
+      checksum = 0L;
+      executed = 0;
+      sext32 = 0;
+      sext_sub = 0;
+      cycles = 0;
+      fuel = fuel_i;
+      profile;
+      fmap = Hashtbl.create 16;
+      ret_kind = 0;
+      ret_i = 0L;
+      ret_f = 0.0;
+    }
+  in
+  let trap =
+    match call_fn st prog.Prog.main [||] [||] [||] with
+    | () -> None
+    | exception Trap t -> Some t
+  in
+  let ret =
+    if trap <> None then None
+    else
+      match st.ret_kind with
+      | 1 -> Some st.ret_i
+      | 2 -> Some (Int64.bits_of_float st.ret_f)
+      | _ -> None
+  in
+  {
+    output = Buffer.contents st.buf;
+    checksum = st.checksum;
+    trap;
+    ret;
+    executed = Int64.of_int st.executed;
+    sext32 = Int64.of_int st.sext32;
+    sext_sub = Int64.of_int st.sext_sub;
+    cycles = (if count_cycles then Int64.of_int st.cycles else 0L);
+  }

@@ -1,0 +1,63 @@
+(** Pre-decoded execution engine.
+
+    Flattens each function into arrays of decoded instructions (fields
+    pulled out of the IR records, jump targets resolved to flat offsets,
+    canonical-mode re-extension and static costs baked in) and executes
+    them with a tight program-counter loop over native-int counters.
+    Decoded code is cached per function, keyed by the {!Sxe_ir.Cfg}
+    generation counter, and per mode.
+
+    Observable behaviour — output, checksum, trap, return value and the
+    dynamic counters — is bit-identical to the structural {!Interp}
+    engine. [trace]/[watch] hooks are not supported here; {!Interp.run}
+    routes runs that use them to the structural engine. See [docs/VM.md]
+    for the format and the invalidation rules. *)
+
+exception Trap of string
+
+(** Heap cells, shared with the structural engine. *)
+type cell =
+  | IArr of { elem : Sxe_ir.Types.aelem; data : int64 array }
+  | FArr of float array
+  | RArr of int array
+
+type outcome = {
+  output : string;
+  checksum : int64;
+  trap : string option;
+  ret : int64 option;
+  executed : int64;
+  sext32 : int64;
+  sext_sub : int64;
+  cycles : int64;
+}
+
+val max_alloc : int
+val max_depth : int
+
+val builtin_names : string list
+
+val elem_load : Sxe_ir.Types.aelem -> Sxe_ir.Types.lext -> int64 -> int64
+val elem_store : Sxe_ir.Types.aelem -> int64 -> int64
+val checksum_mix : int64 -> int64 -> int64
+
+type pfunc
+(** A function decoded for one mode. *)
+
+val decode : canonical:bool -> Sxe_ir.Cfg.func -> pfunc
+(** Decode unconditionally (no cache). Exposed for tests and benchmarks. *)
+
+val get_decoded : canonical:bool -> Sxe_ir.Cfg.func -> pfunc
+(** Decode through the per-function cache: at most one decode per
+    (generation, mode); any mutation through the {!Sxe_ir.Cfg} API
+    invalidates both modes. *)
+
+val run :
+  ?mode:[ `Faithful | `Canonical ] ->
+  ?fuel:int64 ->
+  ?count_cycles:bool ->
+  ?profile:Profile.t ->
+  Sxe_ir.Prog.t ->
+  outcome
+(** Execute the program's [main]; same contract as {!Interp.run} minus the
+    [trace]/[watch] hooks. *)

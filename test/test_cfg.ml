@@ -112,15 +112,15 @@ let test_instr_surgery () =
   B.retv b I32 s;
   let f = B.func b in
   let blk = Cfg.block f 0 in
-  let n0 = List.length blk.Cfg.body in
-  let mid = List.nth blk.Cfg.body 1 in
+  let n0 = List.length (Cfg.body blk) in
+  let mid = List.nth (Cfg.body blk) 1 in
   let extra = Cfg.mk_instr f (Instr.Sext { r = x; from = W32 }) in
   Cfg.insert_before blk ~anchor:mid.Instr.iid extra;
-  Alcotest.(check int) "insert grows body" (n0 + 1) (List.length blk.Cfg.body);
+  Alcotest.(check int) "insert grows body" (n0 + 1) (List.length (Cfg.body blk));
   Alcotest.(check int) "inserted at position 1" extra.Instr.iid
-    (List.nth blk.Cfg.body 1).Instr.iid;
+    (List.nth (Cfg.body blk) 1).Instr.iid;
   Alcotest.(check bool) "remove" true (Cfg.remove_instr blk extra.Instr.iid);
-  Alcotest.(check int) "remove shrinks" n0 (List.length blk.Cfg.body);
+  Alcotest.(check int) "remove shrinks" n0 (List.length (Cfg.body blk));
   Alcotest.(check bool) "remove missing is false" false (Cfg.remove_instr blk 9999)
 
 let suite =

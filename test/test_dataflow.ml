@@ -30,7 +30,7 @@ let test_reaching_and_chains () =
   (* defs of i reaching the loop's subtract: entry extension or loop
      extension *)
   let blk = Cfg.block f 1 in
-  let sub = List.nth blk.Cfg.body 1 in
+  let sub = List.nth (Cfg.body blk) 1 in
   (match sub.Instr.op with Instr.Binop { op = Sub; _ } -> () | _ -> Alcotest.fail "shape");
   let defs = Chains.ud_at_instr chains sub i in
   let keys = List.sort compare (List.map Reaching.def_key defs) in
@@ -50,7 +50,7 @@ let test_incremental_deletion_hand () =
      the back edge) *)
   let blk = Cfg.block f 1 in
   let sub = List.hd (List.filter (fun (x : Instr.t) ->
-      match x.Instr.op with Instr.Binop { op = Sub; _ } -> true | _ -> false) blk.Cfg.body)
+      match x.Instr.op with Instr.Binop { op = Sub; _ } -> true | _ -> false) (Cfg.body blk))
   in
   let defs = Chains.ud_at_instr chains sub i in
   let keys = List.sort compare (List.map Reaching.def_key defs) in
@@ -173,8 +173,8 @@ let test_liveness () =
   Alcotest.(check bool) "y live-in" true (Sxe_util.Bitset.mem li y);
   let after = Liveness.live_after_each live 0 in
   (* t is live after its definition; the dead add's result is not *)
-  let t_def = List.nth (Cfg.block f 0).Cfg.body 0 in
-  let dead_def = List.nth (Cfg.block f 0).Cfg.body 1 in
+  let t_def = List.nth (Cfg.body (Cfg.block f 0)) 0 in
+  let dead_def = List.nth (Cfg.body (Cfg.block f 0)) 1 in
   let after_of iid = List.assoc iid after in
   Alcotest.(check bool) "t live after def" true (Sxe_util.Bitset.mem (after_of t_def.Instr.iid) t);
   Alcotest.(check bool) "dead result not live" false

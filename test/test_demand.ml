@@ -28,7 +28,7 @@ let test_keeps_latest () =
   ignore (run_demand f);
   Alcotest.(check int) "one extension left" 1 (count_sext f);
   (* and it is the one immediately before the conversion *)
-  let body = (Cfg.block f 0).Cfg.body in
+  let body = (Cfg.body (Cfg.block f 0)) in
   let idx_of p =
     let rec go k = function
       | [] -> -1

@@ -13,6 +13,7 @@ let () =
       ("figures", Test_figures.suite);
       ("lang", Test_lang.suite);
       ("vm", Test_vm.suite);
+      ("precode", Test_precode.suite);
       ("codegen", Test_codegen.suite);
       ("inline", Test_inline.suite);
       ("harness", Test_harness.suite);

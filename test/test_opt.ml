@@ -78,11 +78,11 @@ let test_constfold_branch () =
   B.retv b I32 y;
   let f = B.func b in
   ignore (Sxe_opt.Constfold.run f);
-  (match (Cfg.block f 0).Cfg.term with
+  (match (Cfg.term (Cfg.block f 0)) with
   | Instr.Jmp l -> Alcotest.(check int) "branch folded to taken side" t l
   | _ -> Alcotest.fail "branch not folded");
   ignore (Sxe_opt.Simplify.run f);
-  Alcotest.(check bool) "unreachable emptied" true ((Cfg.block f e).Cfg.body = [])
+  Alcotest.(check bool) "unreachable emptied" true ((Cfg.body (Cfg.block f e)) = [])
 
 let test_copyprop () =
   let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
@@ -221,7 +221,7 @@ let test_split_edges () =
   Sxe_opt.Split_edges.run f;
   (* entry must now be empty with a single successor *)
   let entry = Cfg.block f (Cfg.entry f) in
-  Alcotest.(check bool) "entry empty" true (entry.Cfg.body = []);
+  Alcotest.(check bool) "entry empty" true ((Cfg.body entry) = []);
   Alcotest.(check int) "entry single succ" 1 (List.length (Cfg.succs entry));
   (* no critical edges remain *)
   let preds = Cfg.preds f in

@@ -9,7 +9,7 @@ module B = Builder
 let range_of_last_def f reg =
   (* range of [reg] after the last instruction of the entry block *)
   let blk = Cfg.block f 0 in
-  let last = List.nth blk.Cfg.body (List.length blk.Cfg.body - 1) in
+  let last = List.nth (Cfg.body blk) (List.length (Cfg.body blk) - 1) in
   let t = Range.compute f in
   Range.after t ~bid:0 ~iid:last.Instr.iid reg
 
@@ -61,7 +61,7 @@ let test_branch_refinement () =
   (* at the entry of b2, x is in [0, 9] *)
   let lo, hi =
     let blk = Cfg.block f b2 in
-    let first = List.hd blk.Cfg.body in
+    let first = List.hd (Cfg.body blk) in
     Range.before t ~bid:b2 ~iid:first.Instr.iid x
   in
   Alcotest.(check (pair int64 int64)) "refined x" (0L, 9L) (lo, hi)
@@ -85,7 +85,7 @@ let test_loop_counter () =
   let f = B.func b in
   let t = Range.compute f in
   let blk = Cfg.block f body in
-  let first = List.hd blk.Cfg.body in
+  let first = List.hd (Cfg.body blk) in
   let lo, hi = Range.before t ~bid:body ~iid:first.Instr.iid i in
   ignore probe;
   Alcotest.(check (pair int64 int64)) "loop body counter" (0L, 99L) (lo, hi);
@@ -111,7 +111,7 @@ let test_array_refinement () =
   let f = B.func b in
   let t = Range.compute f in
   let blk = Cfg.block f 0 in
-  let add = List.nth blk.Cfg.body 1 in
+  let add = List.nth (Cfg.body blk) 1 in
   let lo, hi = Range.before t ~bid:0 ~iid:add.Instr.iid i in
   Alcotest.(check int64) "lower bound" 0L lo;
   Alcotest.(check int64) "upper bound" (Int64.sub Range.i32_max 1L) hi
@@ -164,9 +164,9 @@ let prop_range_sound =
              0 * prime + v = v *)
           let v = out.Sxe_vm.Interp.checksum in
           let blk = Cfg.block f 0 in
-          if blk.Cfg.body = [] then true
+          if (Cfg.body blk) = [] then true
           else begin
-            let last = List.nth blk.Cfg.body (List.length blk.Cfg.body - 1) in
+            let last = List.nth (Cfg.body blk) (List.length (Cfg.body blk) - 1) in
             match Instr.def last.Instr.op with
             | Some d ->
                 let lo, hi = Range.after t ~bid:0 ~iid:last.Instr.iid d in

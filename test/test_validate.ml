@@ -38,12 +38,13 @@ let test_wellformed_base () =
 let test_dangling_successor () =
   let f = make_base () in
   let b0 = Cfg.block f (Cfg.entry f) in
-  b0.Cfg.term <- Instr.Jmp 99;
+  Cfg.set_term b0 (Instr.Jmp 99);
   check_has "dangling jmp" "label B99 out of range" (Validate.errors f);
   let g = make_base () in
   let r = List.hd (List.map fst g.Cfg.params) in
-  (Cfg.block g (Cfg.entry g)).Cfg.term <-
-    Instr.Br { cond = Eq; l = r; r; w = W32; ifso = 0; ifnot = -3 };
+  Cfg.set_term
+    (Cfg.block g (Cfg.entry g))
+    (Instr.Br { cond = Eq; l = r; r; w = W32; ifso = 0; ifnot = -3 });
   check_has "dangling br" "label B-3 out of range" (Validate.errors g)
 
 let test_wrong_width_operand () =
@@ -59,9 +60,9 @@ let test_wrong_width_operand () =
       List.iter
         (fun (i : Instr.t) ->
           match i.Instr.op with
-          | Instr.Binop bo -> i.Instr.op <- Instr.Binop { bo with w = W64 }
+          | Instr.Binop bo -> Cfg.set_op blk i (Instr.Binop { bo with w = W64 })
           | _ -> ())
-        blk.Cfg.body)
+        (Cfg.body blk))
     f;
   check_has "width mismatch" "has type i32, expected i64" (Validate.errors f)
 
@@ -72,19 +73,19 @@ let test_sub32_alu_width () =
       List.iter
         (fun (i : Instr.t) ->
           match i.Instr.op with
-          | Instr.Binop bo -> i.Instr.op <- Instr.Binop { bo with w = W8 }
+          | Instr.Binop bo -> Cfg.set_op blk i (Instr.Binop { bo with w = W8 })
           | _ -> ())
-        blk.Cfg.body)
+        (Cfg.body blk))
     f;
   check_has "sub-32-bit width" "sub-32-bit alu width" (Validate.errors f)
 
 let test_register_out_of_range () =
   let f = make_base () in
   let blk = Cfg.block f (Cfg.entry f) in
-  (match blk.Cfg.body with
+  (match (Cfg.body blk) with
   | (i : Instr.t) :: _ -> (
       match i.Instr.op with
-      | Instr.Const c -> i.Instr.op <- Instr.Const { c with dst = 999 }
+      | Instr.Const c -> Cfg.set_op blk i (Instr.Const { c with dst = 999 })
       | _ -> Alcotest.fail "expected const first")
   | [] -> Alcotest.fail "expected non-empty body");
   check_has "register range" "register r999 out of range" (Validate.errors f)
@@ -101,8 +102,8 @@ let test_extend_from_w64 () =
   B.retv b I32 x;
   let f = B.func b in
   let blk = Cfg.block f (Cfg.entry f) in
-  blk.Cfg.body <-
-    blk.Cfg.body @ [ Cfg.mk_instr f (Instr.Sext { r = x; from = W64 }) ];
+  Cfg.set_body blk
+    ((Cfg.body blk) @ [ Cfg.mk_instr f (Instr.Sext { r = x; from = W64 }) ]);
   check_has "extend width" "extend from width 64" (Validate.errors f)
 
 let test_return_type_mismatch () =
@@ -110,7 +111,7 @@ let test_return_type_mismatch () =
   let x = B.iconst b 1 in
   B.retv b I32 x;
   let f = B.func b in
-  (Cfg.block f (Cfg.entry f)).Cfg.term <- Instr.Ret None;
+  Cfg.set_term (Cfg.block f (Cfg.entry f)) (Instr.Ret None);
   check_has "missing return" "missing return value" (Validate.errors f)
 
 let test_use_before_def_straightline () =
@@ -122,8 +123,8 @@ let test_use_before_def_straightline () =
   let f = B.func b in
   let ghost = Cfg.fresh_reg f I32 in
   let blk = Cfg.block f (Cfg.entry f) in
-  blk.Cfg.body <-
-    Cfg.mk_instr f (Instr.Mov { dst = x; src = ghost; ty = I32 }) :: blk.Cfg.body;
+  Cfg.set_body blk
+    (Cfg.mk_instr f (Instr.Mov { dst = x; src = ghost; ty = I32 }) :: (Cfg.body blk));
   Alcotest.(check (list string)) "type checker is blind to it" [] (Validate.errors f);
   check_has "use before def"
     (Printf.sprintf "r%d used before definite assignment" ghost)
