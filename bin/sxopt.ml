@@ -7,7 +7,13 @@
      workloads list the built-in benchmark programs
      emit      compile and print pseudo-assembly for IA64 or PPC64
      fuzz      differential fuzzing of every variant against the reference
-               semantics, with shrinking and corpus replay *)
+               semantics, with shrinking and corpus replay
+     certify   statically verify optimized output with the extension-state
+               certifier (translation validation)
+     lint      run the IR lint rules over optimized output
+
+   Every subcommand exits nonzero on internal errors (and certify/lint
+   on findings), so CI can trust exit status. *)
 
 open Cmdliner
 
@@ -97,6 +103,13 @@ let with_frontend_errors f =
       exit 1
   | Sys_error msg ->
       Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | e ->
+      (* internal error: still a nonzero exit, never a success status *)
+      Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
       exit 1
 
 (* -- compile ----------------------------------------------------------- *)
@@ -198,7 +211,9 @@ let variants_cmd =
         Printf.printf "%-22s %14Ld %10d %12Ld %6s\n" m.variant m.dyn_sext32
           m.static_remaining m.cycles
           (if m.equivalent then "yes" else "NO!"))
-      ms
+      ms;
+    if List.exists (fun (m : Sxe_harness.Experiment.measurement) -> not m.equivalent) ms
+    then exit 1
   in
   Cmd.v
     (Cmd.info "variants" ~doc)
@@ -422,10 +437,266 @@ let fuzz_cmd =
       const run $ seed_arg $ count_arg $ mutate_n_arg $ corpus_arg $ kind_arg $ size_arg
       $ replay_arg $ no_shrink_arg $ inject_arg $ arch_arg $ both_arch_arg)
 
+(* -- certify / lint -------------------------------------------------------- *)
+
+(* Shared input/variant plumbing of the two static-checking subcommands:
+   inputs come from a FILE (MiniJ or .sxir), --workloads (all built-in
+   benchmarks, extras included) and/or --corpus DIR; each input is
+   compiled under the selected variant(s) and the checker runs on the
+   optimized output. *)
+
+let opt_file_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"MiniJ source ('-' for stdin) or $(b,.sxir) IR file to check.")
+
+let workloads_flag =
+  Arg.(
+    value & flag
+    & info [ "workloads" ]
+        ~doc:"Check all built-in benchmark workloads (registry and extras).")
+
+let corpus_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR" ~doc:"Check every entry of a fuzz corpus directory.")
+
+let all_variants_flag =
+  Arg.(
+    value & flag
+    & info [ "all-variants" ]
+        ~doc:"Check under every paper variant instead of just $(b,--variant).")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+
+let check_inputs file workloads corpus : (string * Sxe_ir.Prog.t) list =
+  let of_case name case =
+    (name, Sxe_ir.Clone.clone_prog (Sxe_fuzz.Oracle.prog_of_case case))
+  in
+  let from_file =
+    match file with
+    | None -> []
+    | Some "-" -> [ ("<stdin>", Sxe_lang.Frontend.compile (read_source "-")) ]
+    | Some f -> [ of_case f (Sxe_fuzz.Corpus.case_of_file f) ]
+  in
+  let from_workloads =
+    if not workloads then []
+    else
+      List.map
+        (fun (w : Sxe_workloads.Registry.t) ->
+          (w.name, Sxe_lang.Frontend.compile w.source))
+        (Sxe_workloads.Registry.all () @ Sxe_workloads.Registry.extras ())
+  in
+  let from_corpus =
+    match corpus with
+    | None -> []
+    | Some dir ->
+        if not (Sys.file_exists dir) then begin
+          Printf.eprintf "error: corpus directory %S does not exist\n" dir;
+          exit 2
+        end;
+        List.map (fun (n, c) -> of_case n c) (Sxe_fuzz.Corpus.load_dir dir)
+  in
+  match from_file @ from_workloads @ from_corpus with
+  | [] ->
+      Printf.eprintf "error: nothing to check (give FILE, --workloads or --corpus)\n";
+      exit 2
+  | inputs -> inputs
+
+let check_configs variant arch maxlen all_variants : Sxe_core.Config.t list =
+  if all_variants then Sxe_fuzz.Oracle.all_variants ~arch ~maxlen ()
+  else [ config_of ~arch ~maxlen variant ]
+
+(* Compile [input] under [config] and hand the optimized program to
+   [check]; compiler crashes count as findings, not tool crashes. *)
+let compiled_check ~(check : Sxe_ir.Prog.t -> 'a list) ~(crash : string -> 'a)
+    (config : Sxe_core.Config.t) (p : Sxe_ir.Prog.t) : 'a list =
+  let p = Sxe_ir.Clone.clone_prog p in
+  match Sxe_core.Pass.compile config p with
+  | exception e -> [ crash (Printexc.to_string e) ]
+  | _ -> check p
+
+let certify_cmd =
+  let doc = "Statically certify optimized output (translation validation)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles each input under the selected optimizer variant(s) and runs the \
+         extension-state certifier over the result: an abstract interpretation \
+         proving that every instruction observing upper register bits sees a \
+         sign-extended value and that every array index is covered by the \
+         paper's Theorems 1-4. Any unprovable use is reported with its \
+         location, abstract state and a defining-instruction witness path. \
+         Exits 1 on any certification error, 2 on usage errors.";
+    ]
+  in
+  let run file variant arch maxlen all_variants workloads corpus json =
+    with_frontend_errors @@ fun () ->
+    let inputs = check_inputs file workloads corpus in
+    let configs = check_configs variant arch maxlen all_variants in
+    let failed = ref false in
+    let json_items = ref [] in
+    List.iter
+      (fun (name, base) ->
+        List.iter
+          (fun (config : Sxe_core.Config.t) ->
+            let vname = config.Sxe_core.Config.name in
+            let errs =
+              compiled_check config base
+                ~check:(fun p -> Sxe_check.Check.certify_prog ~maxlen p)
+                ~crash:(fun msg ->
+                  {
+                    Sxe_check.Certify.fname = "<compiler crash: " ^ msg ^ ">";
+                    bid = 0;
+                    iid = None;
+                    reg = -1;
+                    need = Sxe_check.Certify.Needs_extended;
+                    state = Sxe_check.Extstate.garbage;
+                    witness = [];
+                  })
+            in
+            if errs <> [] then failed := true;
+            if json then
+              json_items :=
+                Printf.sprintf "{\"input\":%s,\"variant\":%s,\"errors\":%s}"
+                  ("\"" ^ String.escaped name ^ "\"")
+                  ("\"" ^ String.escaped vname ^ "\"")
+                  (Sxe_check.Check.errors_to_json errs)
+                :: !json_items
+            else if errs = [] then
+              Printf.printf "certify: %s / %s: ok\n" name vname
+            else begin
+              Printf.printf "certify: %s / %s: %d error(s)\n" name vname
+                (List.length errs);
+              List.iter
+                (fun e ->
+                  Printf.printf "  %s\n" (Sxe_check.Certify.error_to_string e))
+                errs
+            end)
+          configs)
+      inputs;
+    if json then
+      Printf.printf "[%s]\n" (String.concat "," (List.rev !json_items));
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "certify" ~doc ~man)
+    Term.(
+      const run $ opt_file_arg $ variant_arg $ arch_arg $ maxlen_arg
+      $ all_variants_flag $ workloads_flag $ corpus_flag $ json_flag)
+
+let lint_cmd =
+  let doc = "Run the IR lint rules over optimized output." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles each input under the selected optimizer variant(s) and runs \
+         the registered lint rules (redundant extensions, leftover dummy \
+         extensions, unreachable blocks, critical edges, copy chains, \
+         constant-foldable compares) over the result. Warnings and infos are \
+         hygiene diagnostics; only error-severity findings fail the run \
+         (exit 1) unless $(b,--strict) promotes warnings.";
+    ]
+  in
+  let strict_flag =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit nonzero on warning-severity findings too.")
+  in
+  let rules_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"R1,R2"
+          ~doc:"Comma-separated rule subset (default: every registered rule).")
+  in
+  let run file variant arch maxlen all_variants workloads corpus json strict rules =
+    with_frontend_errors @@ fun () ->
+    let inputs = check_inputs file workloads corpus in
+    let configs = check_configs variant arch maxlen all_variants in
+    let rules =
+      match rules with
+      | None -> Sxe_check.Lint.rules ()
+      | Some s ->
+          List.map
+            (fun n ->
+              match Sxe_check.Lint.find_rule (String.trim n) with
+              | Some r -> r
+              | None ->
+                  Printf.eprintf "error: unknown lint rule %S (have: %s)\n" n
+                    (String.concat ", "
+                       (List.map
+                          (fun (r : Sxe_check.Lint.rule) -> r.Sxe_check.Lint.name)
+                          (Sxe_check.Lint.rules ())));
+                  exit 2)
+            (String.split_on_char ',' s)
+    in
+    let failed = ref false in
+    let json_items = ref [] in
+    List.iter
+      (fun (name, base) ->
+        List.iter
+          (fun (config : Sxe_core.Config.t) ->
+            let vname = config.Sxe_core.Config.name in
+            let findings =
+              compiled_check config base
+                ~check:(fun p -> Sxe_check.Check.lint_prog ~maxlen ~rules p)
+                ~crash:(fun msg ->
+                  {
+                    Sxe_check.Lint.rule = "compiler-crash";
+                    severity = Sxe_check.Lint.Error;
+                    fname = "-";
+                    bid = 0;
+                    iid = None;
+                    message = msg;
+                  })
+            in
+            let worst = Sxe_check.Lint.max_severity findings in
+            (match worst with
+            | Some Sxe_check.Lint.Error -> failed := true
+            | Some Sxe_check.Lint.Warning when strict -> failed := true
+            | _ -> ());
+            if json then
+              json_items :=
+                Printf.sprintf "{\"input\":%s,\"variant\":%s,\"findings\":%s}"
+                  ("\"" ^ String.escaped name ^ "\"")
+                  ("\"" ^ String.escaped vname ^ "\"")
+                  (Sxe_check.Check.findings_to_json findings)
+                :: !json_items
+            else begin
+              Printf.printf "lint: %s / %s: %d finding(s)\n" name vname
+                (List.length findings);
+              List.iter
+                (fun fi ->
+                  Printf.printf "  %s\n" (Sxe_check.Lint.finding_to_string fi))
+                findings
+            end)
+          configs)
+      inputs;
+    if json then
+      Printf.printf "[%s]\n" (String.concat "," (List.rev !json_items));
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(
+      const run $ opt_file_arg $ variant_arg $ arch_arg $ maxlen_arg
+      $ all_variants_flag $ workloads_flag $ corpus_flag $ json_flag
+      $ strict_flag $ rules_arg)
+
 let () =
   let doc = "effective sign extension elimination (PLDI 2002) — reference implementation" in
   let info = Cmd.info "sxopt" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; variants_cmd; workloads_cmd; emit_cmd; fuzz_cmd ]))
+          [
+            compile_cmd; run_cmd; variants_cmd; workloads_cmd; emit_cmd; fuzz_cmd;
+            certify_cmd; lint_cmd;
+          ]))

@@ -33,9 +33,14 @@ let solve ~(f : Sxe_ir.Cfg.func) ~dir ~meet ~universe ~transfer ~boundary =
     (match meet with Inter -> Bitset.fill s | Union -> ());
     s
   in
-  (* "input" side per direction *)
+  (* Interior facts start at top on BOTH sides: for an [Inter] problem
+     the solution of interest is the greatest fixpoint, and an
+     empty-initialized [outb] would feed bottom into the first meet at
+     a loop header (through its back edge), collapsing the header — and
+     everything after it — to the least fixpoint instead. For [Union],
+     [top ()] is empty and this is the usual bottom start. *)
   let inb = Array.init n (fun _ -> top ()) in
-  let outb = Array.init n (fun _ -> Bitset.create universe) in
+  let outb = Array.init n (fun _ -> top ()) in
   let order =
     match dir with
     | Forward -> Sxe_ir.Cfg.rpo f

@@ -1,0 +1,205 @@
+(** Translation validation for sign-extension elimination.
+
+    Runs the extension-state interpreter ({!Transfer}) to its greatest
+    fixpoint with {!Sxe_analysis.Dataflow}, then re-walks every block
+    and demands, at each use point that observes upper register bits
+    (the same demand set the paper's insertion/demand phases use), that
+    the operand is provably extended — and at each array access that
+    the index is provably subscript-safe per Theorems 1–4. Any failure
+    is reported with its location, the offending register's abstract
+    state, and a short backward witness of the definitions that state
+    flowed from.
+
+    Boundary: registers start as zero in the VM (sign- and
+    zero-extended); [I32] parameters arrive sign-extended per the ABI
+    but with unknown sign. The [Inter] meet with an all-ones interior
+    makes the fixpoint coinductive, matching the eliminator's
+    "assume extended until refuted" memoization, so loop-carried
+    extendedness is recovered exactly where the eliminator assumed it. *)
+
+open Sxe_ir
+module Bitset = Sxe_util.Bitset
+module Dataflow = Sxe_analysis.Dataflow
+
+type need = Needs_extended | Needs_subscript
+
+type error = {
+  fname : string;
+  bid : int;
+  iid : int option;  (** [None]: the failing use is in the terminator *)
+  reg : Instr.reg;
+  need : need;
+  state : Extstate.t;
+  witness : (int * int) list;
+      (** [(bid, iid)] definition chain from the use back toward the
+          origin of the unproven state, most recent first *)
+}
+
+type solution = { env : Transfer.env; res : Dataflow.result }
+
+let solve ?maxlen (f : Cfg.func) : solution =
+  let env = Transfer.make ?maxlen f in
+  let universe = Extstate.universe ~nregs:(Transfer.nregs env) in
+  let boundary = Bitset.create universe in
+  Bitset.fill boundary;
+  List.iter
+    (fun (r, ty) ->
+      if ty = Types.I32 then Extstate.set boundary r Extstate.extended)
+    f.Cfg.params;
+  let copies = Transfer.copies_create () in
+  let transfer bid input = Transfer.block_transfer env copies bid input in
+  let res =
+    Dataflow.solve ~f ~dir:Dataflow.Forward ~meet:Dataflow.Inter ~universe
+      ~transfer ~boundary
+  in
+  { env; res }
+
+(* ------------------------------------------------------------------ *)
+(* Witness reconstruction                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Why does [reg] lack [fact] at a program point? Walk backward to the
+   most recent definition, follow I32 copies through their source, and
+   cross to a predecessor whose exit state also lacks the fact when the
+   block has no defining instruction. Bounded and cycle-checked; a
+   truncated witness is still a valid prefix. *)
+let witness (sol : solution) ~bid ~(stop : int option) reg
+    ~(fact : Extstate.t -> bool) : (int * int) list =
+  let f = Transfer.func sol.env in
+  let preds = Cfg.preds f in
+  let acc = ref [] in
+  let visited = Hashtbl.create 16 in
+  let rec go bid stop tracked depth =
+    if depth < 16 && not (Hashtbl.mem visited (bid, tracked)) then begin
+      Hashtbl.replace visited (bid, tracked) ();
+      let prefix =
+        match stop with
+        | None -> Cfg.body (Cfg.block f bid)
+        | Some s ->
+            let rec take = function
+              | [] -> []
+              | (x : Instr.t) :: _ when x.iid = s -> []
+              | x :: rest -> x :: take rest
+            in
+            take (Cfg.body (Cfg.block f bid))
+      in
+      match
+        List.find_opt
+          (fun (x : Instr.t) -> Instr.def x.op = Some tracked)
+          (List.rev prefix)
+      with
+      | Some d -> (
+          acc := (bid, d.Instr.iid) :: !acc;
+          match d.Instr.op with
+          | Instr.Mov { src; ty = Types.I32; _ } when Cfg.reg_ty f src = Types.I32 ->
+              go bid (Some d.Instr.iid) src (depth + 1)
+          | _ -> ())
+      | None -> (
+          let lacks p = not (fact (Extstate.get sol.res.Dataflow.outb.(p) tracked)) in
+          match List.find_opt lacks preds.(bid) with
+          | Some p -> go p None tracked (depth + 1)
+          | None -> ())
+    end
+  in
+  go bid stop reg 0;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* The certification walk                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Replay each reachable block from its fixpoint entry state, handing
+    the visitor every instruction (and the terminator) together with a
+    lookup of the abstract state {e before} it executes. Also the
+    workhorse of the state-sensitive lint rules. *)
+let scan (sol : solution)
+    (visit :
+      bid:int ->
+      state:(Instr.reg -> Extstate.t) ->
+      [ `I of Instr.t | `T of Instr.terminator ] ->
+      unit) =
+  let f = Transfer.func sol.env in
+  let copies = Transfer.copies_create () in
+  List.iter
+    (fun bid ->
+      let st = Bitset.copy sol.res.Dataflow.inb.(bid) in
+      Transfer.copies_reset copies;
+      let b = Cfg.block f bid in
+      List.iter
+        (fun (i : Instr.t) ->
+          visit ~bid ~state:(fun r -> Extstate.get st r) (`I i);
+          Transfer.step sol.env copies st i)
+        (Cfg.body b);
+      visit ~bid ~state:(fun r -> Extstate.get st r) (`T (Cfg.term b)))
+    (Cfg.rpo f)
+
+let errors_of_solution (sol : solution) : error list =
+  let f = Transfer.func sol.env in
+  let reg_ty r = Cfg.reg_ty f r in
+  let errs = ref [] in
+  let add ~bid ~iid reg need state =
+    let fact =
+      match need with
+      | Needs_extended -> fun (s : Extstate.t) -> s.Extstate.ext
+      | Needs_subscript -> fun (s : Extstate.t) -> s.Extstate.asafe
+    in
+    let witness = witness sol ~bid ~stop:iid reg ~fact in
+    errs := { fname = f.Cfg.name; bid; iid; reg; need; state; witness } :: !errs
+  in
+  scan sol (fun ~bid ~state item ->
+      match item with
+      | `I i ->
+          List.iter
+            (fun r ->
+              if not (state r).Extstate.ext then
+                add ~bid ~iid:(Some i.Instr.iid) r Needs_extended (state r))
+            (Instr.required_ext_uses ~reg_ty i.Instr.op);
+          (* the index state is demanded before the access refines it,
+             so a deleted-but-needed extension is reported exactly once
+             here rather than cascading downstream. *)
+          (match Instr.array_index_use i.Instr.op with
+          | Some (_, idx)
+            when reg_ty idx = Types.I32 && not (state idx).Extstate.asafe ->
+              add ~bid ~iid:(Some i.Instr.iid) idx Needs_subscript (state idx)
+          | _ -> ())
+      | `T t ->
+          List.iter
+            (fun r ->
+              if not (state r).Extstate.ext then
+                add ~bid ~iid:None r Needs_extended (state r))
+            (Instr.required_ext_uses_term ~reg_ty t));
+  List.rev !errs
+
+let certify ?maxlen (f : Cfg.func) : error list =
+  errors_of_solution (solve ?maxlen f)
+
+let certify_prog ?maxlen (p : Prog.t) : error list =
+  List.concat_map (certify ?maxlen) (List.rev (Prog.fold_funcs (fun acc f -> f :: acc) [] p))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let loc_to_string ~bid ~iid =
+  match iid with
+  | Some i -> Printf.sprintf "B%d/i%d" bid i
+  | None -> Printf.sprintf "B%d/term" bid
+
+let error_to_string (e : error) =
+  let what =
+    match e.need with
+    | Needs_extended -> "must be sign-extended"
+    | Needs_subscript -> "indexes an array without Theorems 1-4 applying"
+  in
+  let w =
+    match e.witness with
+    | [] -> ""
+    | ds ->
+        " (defined at "
+        ^ String.concat " <- "
+            (List.map (fun (b, i) -> loc_to_string ~bid:b ~iid:(Some i)) ds)
+        ^ ")"
+  in
+  Printf.sprintf "%s %s: r%d %s but is %s%s" e.fname
+    (loc_to_string ~bid:e.bid ~iid:e.iid)
+    e.reg what (Extstate.describe e.state) w

@@ -1,0 +1,42 @@
+(** Translation validation for sign-extension elimination: prove, by
+    forward abstract interpretation, that every use observing upper
+    register bits sees a sign-extended value and every array index is
+    covered by Theorems 1–4. An empty error list certifies the
+    function. *)
+
+type need = Needs_extended | Needs_subscript
+
+type error = {
+  fname : string;
+  bid : int;
+  iid : int option;  (** [None]: the failing use is in the terminator *)
+  reg : Sxe_ir.Instr.reg;
+  need : need;
+  state : Extstate.t;  (** abstract state of [reg] at the use *)
+  witness : (int * int) list;
+      (** [(bid, iid)] definition chain from the use back toward the
+          origin of the unproven state, most recent first *)
+}
+
+type solution
+(** A solved instance: fixpoint plus environment, reusable by lints. *)
+
+val solve : ?maxlen:int64 -> Sxe_ir.Cfg.func -> solution
+val errors_of_solution : solution -> error list
+
+val scan :
+  solution ->
+  (bid:int ->
+  state:(Sxe_ir.Instr.reg -> Extstate.t) ->
+  [ `I of Sxe_ir.Instr.t | `T of Sxe_ir.Instr.terminator ] ->
+  unit) ->
+  unit
+(** Replay every reachable block from its fixpoint entry state, handing
+    the visitor each instruction / terminator with a lookup of the
+    abstract state just before it. *)
+
+val certify : ?maxlen:int64 -> Sxe_ir.Cfg.func -> error list
+val certify_prog : ?maxlen:int64 -> Sxe_ir.Prog.t -> error list
+
+val loc_to_string : bid:int -> iid:int option -> string
+val error_to_string : error -> string

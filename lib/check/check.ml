@@ -1,0 +1,89 @@
+(** Facade of the extension-state verifier.
+
+    [certify] / [lint] re-export the workhorses; [stage_gate] is the
+    translation-validation hook the compilation pipeline calls after
+    each phase when paranoid checking is on. Paranoid mode is keyed off
+    the [SXE_CHECK] environment variable (read per call so tests can
+    toggle it): unset, empty or ["0"] means off. *)
+
+exception Certification_failed of string
+(** Raised by {!stage_gate}: a pipeline stage produced a function the
+    certifier rejects. The message names the stage and the findings. *)
+
+let paranoid () =
+  match Sys.getenv_opt "SXE_CHECK" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let certify = Certify.certify
+let certify_prog = Certify.certify_prog
+let lint = Lint.run_func
+let lint_prog = Lint.run_prog
+
+(** Certify [f] and raise {!Certification_failed} naming [stage] on any
+    error. Callers gate on {!paranoid} (or a test harness calls it
+    unconditionally). *)
+let stage_gate ?maxlen ~stage (f : Sxe_ir.Cfg.func) =
+  match Certify.certify ?maxlen f with
+  | [] -> ()
+  | errs ->
+      raise
+        (Certification_failed
+           (Printf.sprintf "after %s: %s" stage
+              (String.concat "; " (List.map Certify.error_to_string errs))))
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (machine-readable CLI / CI output)                   *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_loc ~bid ~iid =
+  let iid = match iid with Some i -> string_of_int i | None -> "null" in
+  Printf.sprintf "\"bid\":%d,\"iid\":%s" bid iid
+
+let error_to_json (e : Certify.error) =
+  Printf.sprintf
+    "{\"func\":%s,%s,\"reg\":%d,\"need\":%s,\"state\":%s,\"witness\":[%s],\"message\":%s}"
+    (json_str e.Certify.fname)
+    (json_loc ~bid:e.Certify.bid ~iid:e.Certify.iid)
+    e.Certify.reg
+    (json_str
+       (match e.Certify.need with
+       | Certify.Needs_extended -> "extended"
+       | Certify.Needs_subscript -> "subscript"))
+    (json_str (Extstate.describe e.Certify.state))
+    (String.concat ","
+       (List.map
+          (fun (b, i) -> Printf.sprintf "{\"bid\":%d,\"iid\":%d}" b i)
+          e.Certify.witness))
+    (json_str (Certify.error_to_string e))
+
+let errors_to_json errs =
+  "[" ^ String.concat "," (List.map error_to_json errs) ^ "]"
+
+let finding_to_json (fi : Lint.finding) =
+  Printf.sprintf "{\"rule\":%s,\"severity\":%s,\"func\":%s,%s,\"message\":%s}"
+    (json_str fi.Lint.rule)
+    (json_str (Lint.severity_to_string fi.Lint.severity))
+    (json_str fi.Lint.fname)
+    (json_loc ~bid:fi.Lint.bid ~iid:fi.Lint.iid)
+    (json_str fi.Lint.message)
+
+let findings_to_json fs =
+  "[" ^ String.concat "," (List.map finding_to_json fs) ^ "]"

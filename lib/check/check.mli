@@ -1,0 +1,25 @@
+(** Facade: certification entry points, the pipeline's paranoid-mode
+    gate, and JSON rendering for tooling. *)
+
+exception Certification_failed of string
+
+val paranoid : unit -> bool
+(** Is paranoid per-stage certification enabled ([SXE_CHECK] set to
+    anything but empty/["0"])? Read per call. *)
+
+val certify : ?maxlen:int64 -> Sxe_ir.Cfg.func -> Certify.error list
+val certify_prog : ?maxlen:int64 -> Sxe_ir.Prog.t -> Certify.error list
+
+val lint :
+  ?maxlen:int64 -> ?rules:Lint.rule list -> Sxe_ir.Cfg.func -> Lint.finding list
+
+val lint_prog :
+  ?maxlen:int64 -> ?rules:Lint.rule list -> Sxe_ir.Prog.t -> Lint.finding list
+
+val stage_gate : ?maxlen:int64 -> stage:string -> Sxe_ir.Cfg.func -> unit
+(** Certify and raise {!Certification_failed} naming [stage] on error. *)
+
+val error_to_json : Certify.error -> string
+val errors_to_json : Certify.error list -> string
+val finding_to_json : Lint.finding -> string
+val findings_to_json : Lint.finding list -> string

@@ -1,0 +1,61 @@
+(** The extension-state lattice of the certifier.
+
+    One abstract value per [I32] register, three independent boolean
+    facts packed as three {!Sxe_util.Bitset} bits per register:
+
+    - [ext] — the register is sign-extended: its full 64-bit contents
+      equal the sign extension of its low 32 bits (the invariant the
+      paper's [extend()] establishes);
+    - [zup] — the upper 32 bits are zero (Theorem 1's hypothesis);
+    - [asafe] — the register may index a bounds-checked array access
+      without a preceding extension (Theorems 1–4: either extended, or
+      upper-zero, or an additive expression the theorems cover).
+
+    [ext] and [zup] each imply [asafe], and [ext ∧ zup] means the value
+    is a non-negative int32 (both extensions coincide). The bit order
+    makes set intersection the lattice meet, so {!Sxe_analysis.Dataflow}
+    with [Inter] computes the greatest fixpoint — the analogue of the
+    eliminator's coinductive ("assume extended until refuted")
+    memoization. All-bits-clear is "garbage upper half", the bottom
+    element for precision and the safe default.
+
+    Bits of non-[I32] registers are never consulted; wider registers are
+    full-width by construction (the paper's machine model). *)
+
+type t = { ext : bool; zup : bool; asafe : bool }
+
+let garbage = { ext = false; zup = false; asafe = false }
+let extended = { ext = true; zup = false; asafe = true }
+let zero_upper = { ext = false; zup = true; asafe = true }
+
+(** Sign- and zero-extended at once: a non-negative int32 (e.g. the
+    zero a fresh VM register holds). *)
+let nonneg = { ext = true; zup = true; asafe = true }
+
+let bit_ext r = 3 * r
+let bit_zup r = (3 * r) + 1
+let bit_asafe r = (3 * r) + 2
+let universe ~nregs = 3 * nregs
+
+let get (s : Sxe_util.Bitset.t) r =
+  {
+    ext = Sxe_util.Bitset.mem s (bit_ext r);
+    zup = Sxe_util.Bitset.mem s (bit_zup r);
+    asafe = Sxe_util.Bitset.mem s (bit_asafe r);
+  }
+
+(** [set s r v] stores [v], closing under the implications
+    [ext → asafe] and [zup → asafe] so the packed form stays canonical
+    (the closure is preserved by intersection, hence by the meet). *)
+let set (s : Sxe_util.Bitset.t) r { ext; zup; asafe } =
+  let put b v = if v then Sxe_util.Bitset.add s b else Sxe_util.Bitset.remove s b in
+  put (bit_ext r) ext;
+  put (bit_zup r) zup;
+  put (bit_asafe r) (asafe || ext || zup)
+
+let describe { ext; zup; asafe } =
+  if ext && zup then "a non-negative int32 (sign- and zero-extended)"
+  else if ext then "sign-extended"
+  else if zup then "zero in its upper half"
+  else if asafe then "subscript-safe but not sign-extended"
+  else "possibly garbage in its upper half"

@@ -1,0 +1,24 @@
+(** Extension-state abstract values: three boolean facts per [I32]
+    register ([ext] / [zup] / [asafe]), packed three bits per register
+    into a {!Sxe_util.Bitset} so that set intersection is the lattice
+    meet. See the implementation header for the lattice reading. *)
+
+type t = { ext : bool; zup : bool; asafe : bool }
+
+val garbage : t
+val extended : t
+val zero_upper : t
+
+val nonneg : t
+(** Sign- and zero-extended at once: a non-negative int32. *)
+
+val universe : nregs:int -> int
+(** Bitset universe size for a function with [nregs] registers. *)
+
+val get : Sxe_util.Bitset.t -> Sxe_ir.Instr.reg -> t
+
+val set : Sxe_util.Bitset.t -> Sxe_ir.Instr.reg -> t -> unit
+(** Stores the value, closing under [ext → asafe] and [zup → asafe]. *)
+
+val describe : t -> string
+(** Human-readable rendering for certification error messages. *)

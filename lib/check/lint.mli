@@ -1,0 +1,42 @@
+(** Pluggable IR lint framework: a global registry of rules run over a
+    solved certification instance. See the implementation header for
+    the severity policy; the built-in rules are [redundant-sext],
+    [dead-justext], [unreachable-block], [critical-edge], [mov-chain]
+    and [const-cmp]. *)
+
+type severity = Info | Warning | Error
+
+val severity_to_string : severity -> string
+
+type finding = {
+  rule : string;
+  severity : severity;
+  fname : string;
+  bid : int;
+  iid : int option;
+  message : string;
+}
+
+type rule = {
+  name : string;
+  doc : string;
+  severity : severity;  (** default severity of the rule's findings *)
+  check : Certify.solution -> Sxe_ir.Cfg.func -> finding list;
+}
+
+val register : rule -> unit
+(** Add (or replace, by name) a rule in the registry. *)
+
+val rules : unit -> rule list
+val find_rule : string -> rule option
+
+val run_func :
+  ?maxlen:int64 -> ?rules:rule list -> Sxe_ir.Cfg.func -> finding list
+(** Solve the certification instance once and run [rules] (default:
+    the full registry) over it. *)
+
+val run_prog :
+  ?maxlen:int64 -> ?rules:rule list -> Sxe_ir.Prog.t -> finding list
+
+val finding_to_string : finding -> string
+val max_severity : finding list -> severity option

@@ -1,0 +1,253 @@
+(** Abstract transfer functions of the extension-state interpreter.
+
+    Each rule mirrors one proof path of the eliminator
+    ([Sxe_core.Analyze]): the structural facts of
+    {!Sxe_ir.Instr.def_always_extended} / [def_upper_zero], the
+    conditional facts of [extended_if_srcs_extended], the range-based
+    upgrades of [AnalyzeDEF] case 1, and the array Theorems 1–4 for the
+    [asafe] bit. Whatever the eliminator can prove about a definition,
+    these rules can re-prove about its uses — that parity is what makes
+    certification of optimized output complete in practice, and every
+    rule is individually sound for the VM semantics, which is what makes
+    it a certifier at all.
+
+    Range-derived facts are precomputed once per function (the range
+    analysis replays blocks per query, far too slow to call inside a
+    fixpoint iteration). *)
+
+open Sxe_ir
+open Sxe_ir.Types
+module Bitset = Sxe_util.Bitset
+module Range = Sxe_analysis.Range
+
+(* Range facts of one instruction. [nonneg_after] upgrades a destination
+   known extended-or-upper-zero to both (a non-negative int32 reads back
+   equal under either extension); the rest are the addend-interval
+   hypotheses of Theorems 2-4 and the non-negative-operand rule for
+   [And]. *)
+type rfacts = {
+  nonneg_after : bool;
+  nn_l : bool;  (** [And]: left operand provably in [0, 2{^31}-1] before *)
+  nn_r : bool;
+  t4_l : bool;  (** [Add]/[Sub]: left addend within [maxlen - 2{^31}, 2{^31}-1] *)
+  t4_r : bool;
+  t3_l : bool;  (** Theorem 3 with the {e left} operand upper-zero *)
+  t3_r : bool;
+}
+
+let no_facts =
+  {
+    nonneg_after = false;
+    nn_l = false;
+    nn_r = false;
+    t4_l = false;
+    t4_r = false;
+    t3_l = false;
+    t3_r = false;
+  }
+
+type env = {
+  f : Cfg.func;
+  nregs : int;
+  facts : (int, rfacts) Hashtbl.t;  (** keyed by instruction [iid] *)
+}
+
+let nregs env = env.nregs
+let func env = env.f
+
+let nonneg32 (lo, hi) = lo >= 0L && hi <= Range.i32_max
+
+let make ?(maxlen = Types.max_array_length) (f : Cfg.func) : env =
+  let ranges = Range.compute f in
+  let facts = Hashtbl.create 64 in
+  let i32 r = Cfg.reg_ty f r = I32 in
+  (* Theorem 4 hypothesis for an addend interval: adding it to a valid
+     subscript of any array (length <= maxlen) cannot wrap an int32 nor
+     reach below -(2^31 - maxlen), so the 32-bit sum still indexes or
+     bounds-faults identically with or without extension. Theorem 2 is
+     the [lo >= 0] special case. *)
+  let t4_lo = Int64.sub maxlen 0x8000_0000L in
+  let in_t4 (lo, hi) = lo >= t4_lo && hi <= Range.i32_max in
+  let in_t2 (lo, hi) = lo >= 0L && hi <= Range.i32_max in
+  let neg (lo, hi) = (Int64.neg hi, Int64.neg lo) in
+  Cfg.iter_instrs
+    (fun b i ->
+      let bid = b.Cfg.bid in
+      let iid = i.Instr.iid in
+      let before r = Range.before ranges ~bid ~iid r in
+      let base =
+        match Instr.def i.Instr.op with
+        | Some d when i32 d ->
+            { no_facts with nonneg_after = nonneg32 (Range.after ranges ~bid ~iid d) }
+        | _ -> no_facts
+      in
+      let fs =
+        match i.Instr.op with
+        | Instr.Binop { op = And; l; r; w = W32; _ } ->
+            { base with nn_l = nonneg32 (before l); nn_r = nonneg32 (before r) }
+        | Instr.Binop { op = (Add | Sub) as bop; l; r; w = W32; _ } ->
+            let addend_l = before l in
+            let addend_r = if bop = Sub then neg (before r) else before r in
+            {
+              base with
+              t4_l = in_t4 addend_l;
+              t4_r = in_t4 addend_r;
+              (* Theorem 3: one operand upper-zero, the other a
+                 non-positive addend no smaller than -(2^31 - 1). For
+                 [Sub] only the left operand can play the upper-zero
+                 role (the subtrahend enters negated). *)
+              t3_l = in_t2 (neg addend_r);
+              t3_r = bop = Add && in_t2 (neg addend_l);
+            }
+        | _ -> base
+      in
+      if fs <> no_facts then Hashtbl.replace facts iid fs)
+    f;
+  { f; nregs = Cfg.num_regs f; facts }
+
+(* ------------------------------------------------------------------ *)
+(* Intra-block copy classes                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Registers holding the same full 64-bit value, tracked through [I32]
+    register-to-register copies within a block — the certifier's
+    analogue of the eliminator following [Mov] chains. When an array
+    access proves its index extended (see below), every register in the
+    index's class is refined with it. *)
+type copies = { mutable next : int; tok : (int, int) Hashtbl.t }
+
+let copies_create () = { next = 0; tok = Hashtbl.create 8 }
+
+let copies_reset c =
+  c.next <- 0;
+  Hashtbl.reset c.tok
+
+(* Absent entries map to a per-register negative token, distinct from
+   the positive generated ones: registers start in singleton classes. *)
+let tok_of c r = match Hashtbl.find_opt c.tok r with Some t -> t | None -> -r - 1
+
+let fresh_tok c r =
+  c.next <- c.next + 1;
+  Hashtbl.replace c.tok r c.next
+
+let copy_tok c ~dst ~src = if dst <> src then Hashtbl.replace c.tok dst (tok_of c src)
+let same_value c a b = a = b || tok_of c a = tok_of c b
+
+(* ------------------------------------------------------------------ *)
+(* One instruction                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let step env (copies : copies) (st : Bitset.t) (i : Instr.t) =
+  let i32 r = Cfg.reg_ty env.f r = I32 in
+  let get r = Extstate.get st r in
+  let fs =
+    match Hashtbl.find_opt env.facts i.Instr.iid with Some f -> f | None -> no_facts
+  in
+  (* A bounds-checked access proves its index: the check passes only if
+     the low 32 bits are a valid subscript, and the effective address
+     consumes the full register, so past the access the surviving value
+     is non-negative with the upper half matching — else the access
+     would have faulted as a wild access. This is the static analogue of
+     the JustExt dummy the inserter records after array accesses, and it
+     is what keeps [a\[i\]; i = i + 1] loops certifiable after their
+     extension is deleted. The whole copy class of the index is refined. *)
+  (match Instr.array_index_use i.Instr.op with
+  | Some (_, idx) when i32 idx ->
+      for r = 0 to env.nregs - 1 do
+        if i32 r && same_value copies r idx then Extstate.set st r Extstate.nonneg
+      done
+  | _ -> ());
+  match i.Instr.op with
+  | Instr.Mov { dst; src; ty = I32 } when i32 src && i32 dst ->
+      Extstate.set st dst (get src);
+      copy_tok copies ~dst ~src
+  | Instr.JustExt { r } ->
+      (* analysis marker: asserts extendedness, changes no bits, so the
+         copy class survives. *)
+      let s = get r in
+      Extstate.set st r { s with Extstate.ext = true; asafe = true }
+  | op -> (
+      match Instr.def op with
+      | Some dst when i32 dst ->
+          let e, z, a =
+            match op with
+            | Instr.Const { v; _ } ->
+                ( v >= Int64.of_int32 Int32.min_int && v <= Int64.of_int32 Int32.max_int,
+                  v >= 0L && v < 0x1_0000_0000L,
+                  false )
+            | Instr.Mov _ ->
+                (* l2i truncation: the I64 source's upper half is live
+                   garbage from the I32 point of view. *)
+                (false, false, false)
+            | Instr.Sext { from = W32; _ } ->
+                (* re-extending leaves an upper-zero value upper-zero
+                   only if it was already non-negative. *)
+                let s = get dst in
+                (true, s.Extstate.ext && s.Extstate.zup, false)
+            | Instr.Sext _ -> (true, false, false)
+            | Instr.Zext { from = W32; _ } ->
+                let s = get dst in
+                (s.Extstate.ext && s.Extstate.zup, true, false)
+            | Instr.Zext _ -> (true, true, false) (* in [0, 65535] *)
+            | Instr.Unop { op = Not; src; w = W32; _ } ->
+                ((get src).Extstate.ext, false, false)
+            | Instr.Binop { op = And; l; r; w = W32; _ } ->
+                let sl = get l and sr = get r in
+                (* sign-extended if both operands are, or if either is a
+                   provably non-negative int32 whose register reads the
+                   same under either extension (AnalyzeDEF's And rule):
+                   the sign bit of the result is then 0 and the upper
+                   half is anded against zero or all-ones consistently. *)
+                let clears s nn = nn && (s.Extstate.ext || s.Extstate.zup) in
+                ( (sl.Extstate.ext && sr.Extstate.ext)
+                  || clears sl fs.nn_l || clears sr fs.nn_r,
+                  sl.Extstate.zup || sr.Extstate.zup,
+                  false )
+            | Instr.Binop { op = Or | Xor; l; r; w = W32; _ } ->
+                let sl = get l and sr = get r in
+                (sl.Extstate.ext && sr.Extstate.ext, sl.Extstate.zup && sr.Extstate.zup, false)
+            | Instr.Binop { op = Add | Sub; l; r; w = W32; _ } ->
+                (* overflow escapes the int32 range, so neither
+                   extendedness nor upper-zero survives — but Theorems
+                   2-4 still certify the sum as a subscript. *)
+                let sl = get l and sr = get r in
+                let t2_t4 =
+                  sl.Extstate.ext && sr.Extstate.ext && (fs.t4_l || fs.t4_r)
+                in
+                let t3 =
+                  (sl.Extstate.zup && fs.t3_l) || (sr.Extstate.zup && fs.t3_r)
+                in
+                (false, false, t2_t4 || t3)
+            | Instr.Binop { op = Div | Rem; w = W32; _ } ->
+                (true, false, false) (* extended inputs: genuine int32 result *)
+            | Instr.Binop { op = AShr; w = W32; _ } -> (true, false, false)
+            | Instr.Binop _ | Instr.Unop _ -> (false, false, false)
+            | Instr.Cmp _ | Instr.FCmp _ -> (true, true, false) (* 0/1 *)
+            | Instr.D2I _ -> (true, false, false) (* saturated to int32 *)
+            | Instr.ArrLen _ -> (true, true, false) (* in [0, 2^31-1] *)
+            | Instr.ArrLoad { elem = AI8 | AI16; lext; _ } ->
+                (true, lext = LZero, false) (* at most 16 bits: extended either way *)
+            | Instr.ArrLoad { elem = AI32; lext; _ } ->
+                (lext = LSign, lext = LZero, false)
+            | Instr.ArrLoad _ -> (false, false, false)
+            | Instr.GLoad { ty = I32; lext; _ } -> (lext = LSign, lext = LZero, false)
+            | Instr.Call _ -> (true, false, false)
+                (* assume-guarantee per the ABI: I32 results arrive
+                   extended from the callee's Ret, which the certifier
+                   checks in the callee. *)
+            | _ -> (false, false, false)
+          in
+          (* range upgrade: a non-negative int32 that is extended or
+             upper-zero is both. *)
+          let e, z = if (e || z) && fs.nonneg_after then (true, true) else (e, z) in
+          Extstate.set st dst { Extstate.ext = e; zup = z; asafe = a || e || z };
+          fresh_tok copies dst
+      | _ -> ())
+
+(** Block transfer for {!Sxe_analysis.Dataflow.solve}: fold {!step} over
+    the body. Copy classes are intra-block (reset per invocation). *)
+let block_transfer env (copies : copies) bid (input : Bitset.t) =
+  let st = Bitset.copy input in
+  copies_reset copies;
+  List.iter (step env copies st) (Cfg.body (Cfg.block env.f bid));
+  st

@@ -1,0 +1,29 @@
+(** Abstract transfer functions of the extension-state interpreter: one
+    rule per IR operation, mirroring the eliminator's proof paths
+    (structural extendedness, range upgrades, array Theorems 1–4). *)
+
+type env
+(** Per-function context: precomputed range-derived facts. *)
+
+val make : ?maxlen:int64 -> Sxe_ir.Cfg.func -> env
+(** Runs the range analysis and precomputes per-instruction facts.
+    [maxlen] is the assumed maximum array length (Theorem 4), default
+    {!Sxe_ir.Types.max_array_length}. *)
+
+val nregs : env -> int
+val func : env -> Sxe_ir.Cfg.func
+
+type copies
+(** Intra-block copy classes: registers holding the same 64-bit value. *)
+
+val copies_create : unit -> copies
+val copies_reset : copies -> unit
+val same_value : copies -> Sxe_ir.Instr.reg -> Sxe_ir.Instr.reg -> bool
+
+val step : env -> copies -> Sxe_util.Bitset.t -> Sxe_ir.Instr.t -> unit
+(** Advance the state over one instruction, in place. Refines the whole
+    copy class of a bounds-checked array index before applying the
+    destination rule. *)
+
+val block_transfer : env -> copies -> int -> Sxe_util.Bitset.t -> Sxe_util.Bitset.t
+(** Transfer function shape expected by {!Sxe_analysis.Dataflow.solve}. *)

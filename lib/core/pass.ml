@@ -7,7 +7,16 @@
     sign-extension optimization). Timings are wall-clock, accumulated into
     the returned {!Stats.t}: [time_signext] covers insertion, ordering and
     elimination; [time_chains] the UD/DU chain (and range) construction;
-    everything else lands in [time_convert]/[time_general]. *)
+    everything else lands in [time_convert]/[time_general].
+
+    Translation validation: after each stage the driver notifies
+    [?stage_check] (tooling hook, e.g. the fuzz oracle's staged
+    well-formedness checks), and — when {!Sxe_check.Check.paranoid} is
+    enabled via the [SXE_CHECK] environment variable — certifies the
+    function with the extension-state verifier, raising
+    {!Sxe_check.Check.Certification_failed} naming the stage that broke
+    the invariant. Stages run from "convert" on (unconverted 32-bit-form
+    IR legitimately fails certification). *)
 
 type profile_source = string -> src:int -> dst:int -> float option
 (** measured branch probability per (function, edge), from the VM's
@@ -15,14 +24,24 @@ type profile_source = string -> src:int -> dst:int -> float option
 
 let now = Unix.gettimeofday
 
-let compile_func ?(profile : profile_source option) (config : Config.t)
-    (f : Sxe_ir.Cfg.func) (stats : Stats.t) =
+let compile_func ?(profile : profile_source option)
+    ?(stage_check : (stage:string -> Sxe_ir.Cfg.func -> unit) option)
+    (config : Config.t) (f : Sxe_ir.Cfg.func) (stats : Stats.t) =
+  let paranoid = Sxe_check.Check.paranoid () in
+  let notify stage =
+    (match stage_check with Some fn -> fn ~stage f | None -> ());
+    if paranoid then
+      Sxe_check.Check.stage_gate ~maxlen:config.Config.maxlen ~stage f
+  in
+  let observing = paranoid || stage_check <> None in
   let t0 = now () in
   Convert.run config f stats;
   let t1 = now () in
   stats.Stats.time_convert <- stats.Stats.time_convert +. (t1 -. t0);
+  notify "convert";
   let sext_before_step2 = Eliminate.count_sext32 f in
-  Sxe_opt.Pipeline.run_func ~pre:config.Config.pre f;
+  let check = if observing then Some (fun pass -> notify ("step2:" ^ pass)) else None in
+  Sxe_opt.Pipeline.run_func ~pre:config.Config.pre ?check f;
   stats.Stats.eliminated_by_pre <-
     stats.Stats.eliminated_by_pre + max 0 (sext_before_step2 - Eliminate.count_sext32 f);
   let t2 = now () in
@@ -38,18 +57,19 @@ let compile_func ?(profile : profile_source option) (config : Config.t)
       chains_time := Eliminate.run ?edge_prob config f stats);
   let t3 = now () in
   stats.Stats.time_chains <- stats.Stats.time_chains +. !chains_time;
-  stats.Stats.time_signext <- stats.Stats.time_signext +. (t3 -. t2 -. !chains_time)
+  stats.Stats.time_signext <- stats.Stats.time_signext +. (t3 -. t2 -. !chains_time);
+  if config.Config.elimination <> Config.Elim_none then notify "signext"
 
 (** Compile a whole program under [config]; returns fresh statistics.
     The input program is mutated — clone first (see {!Sxe_ir.Clone}) when
     compiling the same source under several variants. *)
-let compile ?profile (config : Config.t) (p : Sxe_ir.Prog.t) : Stats.t =
+let compile ?profile ?stage_check (config : Config.t) (p : Sxe_ir.Prog.t) : Stats.t =
   let stats = Stats.create () in
   if config.Config.inline then begin
     let t0 = now () in
     ignore (Sxe_opt.Inline.run p);
     stats.Stats.time_general <- stats.Stats.time_general +. (now () -. t0)
   end;
-  Sxe_ir.Prog.iter_funcs (fun f -> compile_func ?profile config f stats) p;
+  Sxe_ir.Prog.iter_funcs (fun f -> compile_func ?profile ?stage_check config f stats) p;
   stats.Stats.remaining <- Eliminate.count_sext32_prog p;
   stats

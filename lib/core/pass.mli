@@ -7,9 +7,21 @@ type profile_source = string -> src:int -> dst:int -> float option
 (** Measured branch probability per (function, edge), e.g.
     {!Sxe_vm.Profile.as_source}. *)
 
-val compile_func : ?profile:profile_source -> Config.t -> Sxe_ir.Cfg.func -> Stats.t -> unit
+val compile_func :
+  ?profile:profile_source ->
+  ?stage_check:(stage:string -> Sxe_ir.Cfg.func -> unit) ->
+  Config.t -> Sxe_ir.Cfg.func -> Stats.t -> unit
+(** [stage_check] observes the function after each compilation stage
+    (["convert"], ["step2:<pass>"] per changed Step-2 pass, ["signext"]
+    after Step 3) — the fuzz oracle's staged-validation hook. When
+    [SXE_CHECK] is set ({!Sxe_check.Check.paranoid}), every stage is
+    additionally certified by the extension-state verifier and a
+    failure raises {!Sxe_check.Check.Certification_failed}. *)
 
-val compile : ?profile:profile_source -> Config.t -> Sxe_ir.Prog.t -> Stats.t
+val compile :
+  ?profile:profile_source ->
+  ?stage_check:(stage:string -> Sxe_ir.Cfg.func -> unit) ->
+  Config.t -> Sxe_ir.Prog.t -> Stats.t
 (** Compile a whole program under the configuration; returns fresh
     statistics (timings, extension counts, theorem census). The input
     program is mutated — clone first ({!Sxe_ir.Clone}) to compile the

@@ -19,11 +19,20 @@ type cls =
   | Trap  (** one side trapped, or trapped differently *)
   | Ret_val  (** [main]'s return value differs *)
   | Invalid  (** the optimized program fails IR validation *)
+  | Illformed
+      (** an intermediate stage broke IR validation (the detail names
+          the stage, so shrinking targets the offending pass) even if a
+          later pass repaired the program *)
   | Crash  (** the compiler itself raised *)
   | Cost  (** the full algorithm executed more extensions than baseline *)
   | Engine
       (** the structural and pre-decoded execution engines disagreed on
           the same program — a VM bug, not an optimizer bug *)
+  | Certify
+      (** static/dynamic verdict divergence: the extension-state
+          certifier rejects a variant whose differential run is clean,
+          or a dynamic miscompare slipped past certification — either
+          direction is a finding *)
 
 let string_of_cls = function
   | Output -> "output"
@@ -31,9 +40,11 @@ let string_of_cls = function
   | Trap -> "trap"
   | Ret_val -> "ret"
   | Invalid -> "invalid-ir"
+  | Illformed -> "ill-formed"
   | Crash -> "crash"
   | Cost -> "cost"
   | Engine -> "engine"
+  | Certify -> "certify"
 
 type failure = {
   variant : string;
@@ -146,34 +157,79 @@ let classify (ref_ : Sxe_vm.Interp.outcome) (out : Sxe_vm.Interp.outcome) :
           (match out.ret with None -> "none" | Some v -> Int64.to_string v) )
   else None
 
-(** Compile a clone of [base] under [config], optionally sabotage the
-    result, validate, run faithfully under both execution engines
-    (divergence between them is an [Engine] failure), and compare the
-    outcome against [ref_]. *)
+(** Compile a clone of [base] under [config] — validating the IR after
+    every compilation stage, so a pass that transiently breaks
+    well-formedness is caught and named even if a later pass repairs the
+    program ([Illformed]) — optionally sabotage the result, validate,
+    certify with the extension-state verifier, run faithfully under both
+    execution engines (divergence between them is an [Engine] failure),
+    and compare the outcome against [ref_]. The static and dynamic
+    verdicts must agree: a certifier rejection of a differentially clean
+    program, or a dynamic miscompare the certifier waved through, is a
+    [Certify] failure. *)
 let run_variant ?(fuel = default_fuel) ?sabotage ~ref_ (config : Sxe_core.Config.t)
-    (base : Prog.t) : Sxe_vm.Interp.outcome option * failure option =
+    (base : Prog.t) : Sxe_vm.Interp.outcome option * failure list =
   let variant = config.Sxe_core.Config.name in
   let arch = config.Sxe_core.Config.arch.Sxe_core.Arch.name in
-  let fail cls detail = Some { variant; arch; cls; detail } in
+  let fail cls detail = { variant; arch; cls; detail } in
+  let staged = ref [] in
+  let stage_check ~stage f =
+    match Validate.errors f with
+    | [] -> ()
+    | errs ->
+        if not (List.exists (fun (fl : failure) -> fl.cls = Illformed) !staged) then
+          staged :=
+            fail Illformed
+              (Printf.sprintf "after %s: %s" stage (String.concat "; " errs))
+            :: !staged
+  in
   match
     let p = Clone.clone_prog base in
-    let _ = Sxe_core.Pass.compile config p in
+    let _ = Sxe_core.Pass.compile ~stage_check config p in
     (match sabotage with Some f -> f p | None -> ());
     p
   with
-  | exception e -> (None, fail Crash (Printexc.to_string e))
+  | exception e -> (None, !staged @ [ fail Crash (Printexc.to_string e) ])
   | p -> (
+      let staged = !staged in
       let errs = Prog.fold_funcs (fun acc f -> acc @ Validate.errors f) [] p in
       match errs with
-      | _ :: _ -> (None, fail Invalid (String.concat "; " errs))
+      | _ :: _ -> (None, staged @ [ fail Invalid (String.concat "; " errs) ])
       | [] -> (
+          let static_errs =
+            match Sxe_check.Check.certify_prog p with
+            | errs -> List.map Sxe_check.Certify.error_to_string errs
+            | exception e ->
+                [ "certifier raised: " ^ Printexc.to_string e ]
+          in
           match engine_cross ~fuel ~mode:`Faithful p with
-          | exception e -> (None, fail Crash (Printexc.to_string e))
-          | out, Some detail -> (Some out, fail Engine detail)
+          | exception e -> (None, staged @ [ fail Crash (Printexc.to_string e) ])
+          | out, Some detail -> (Some out, staged @ [ fail Engine detail ])
           | out, None -> (
-              match classify ref_ out with
-              | Some (cls, detail) -> (Some out, fail cls detail)
-              | None -> (Some out, None))))
+              match (classify ref_ out, static_errs) with
+              | Some (cls, detail), [] ->
+                  ( Some out,
+                    staged
+                    @ [
+                        fail cls detail;
+                        fail Certify
+                          (Printf.sprintf
+                             "dynamic %s divergence but certification passed"
+                             (string_of_cls cls));
+                      ] )
+              | Some (cls, detail), _ :: _ ->
+                  (* both verdicts agree the variant is broken: the
+                     dynamic class is the actionable one *)
+                  (Some out, staged @ [ fail cls detail ])
+              | None, (_ :: _ as es) ->
+                  ( Some out,
+                    staged
+                    @ [
+                        fail Certify
+                          ("statically rejected, differential run clean: "
+                          ^ String.concat "; " es);
+                      ] )
+              | None, [] -> (Some out, staged))))
 
 (** Run the full oracle over one case. [variants] overrides the variant
     list builder (used by the shrinker to re-check just the failing
@@ -213,15 +269,15 @@ let check ?(fuel = default_fuel) ?(archs = [ Sxe_core.Arch.ia64 ])
             (fun arch ->
               let outcomes = Hashtbl.create 16 in
               let failures =
-                List.filter_map
+                List.concat_map
                   (fun (config : Sxe_core.Config.t) ->
-                    let out, failure =
+                    let out, failures =
                       run_variant ~fuel ?sabotage ~ref_ config base
                     in
                     Option.iter
                       (fun o -> Hashtbl.replace outcomes config.Sxe_core.Config.name o)
                       out;
-                    failure)
+                    failures)
                   (variants arch)
               in
               let cost_failures =

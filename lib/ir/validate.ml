@@ -64,6 +64,9 @@ let errors (f : Cfg.func) : string list =
         match i.op with Binop { r; _ } -> want ctx r opty | _ -> ())
     | Cmp { dst; l; r; w; _ } ->
         let opty = match w with W64 -> I64 | _ -> I32 in
+        (match w with
+        | W8 | W16 -> err "%s: sub-32-bit compare width" ctx
+        | W32 | W64 -> ());
         want ctx dst I32;
         want ctx l opty;
         want ctx r opty
@@ -123,6 +126,9 @@ let errors (f : Cfg.func) : string list =
     | Jmp l -> label_ok ctx l
     | Br { l; r; w; ifso; ifnot; _ } ->
         let opty = match w with W64 -> I64 | _ -> I32 in
+        (match w with
+        | W8 | W16 -> err "%s: sub-32-bit branch compare width" ctx
+        | W32 | W64 -> ());
         want ctx l opty;
         want ctx r opty;
         label_ok ctx ifso;

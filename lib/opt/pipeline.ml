@@ -4,27 +4,39 @@
     fixpoint, then runs lazy-code-motion PRE once followed by a cleanup
     round. Every variant in the evaluation tables — including the baseline
     — runs this pipeline, exactly as in the paper (where even the baseline
-    benefits from PRE removing some extensions). *)
+    benefits from PRE removing some extensions).
 
-let iterate (f : Sxe_ir.Cfg.func) =
+    [?check] is a per-pass observation hook (named after the pass that
+    just ran, only when it changed the function): the compilation driver
+    uses it for paranoid translation validation, the fuzz oracle for
+    staged well-formedness checks. *)
+
+let no_check : string -> unit = fun _ -> ()
+
+let iterate ?(check = no_check) (f : Sxe_ir.Cfg.func) =
   let rounds = ref 0 in
   let continue_ = ref true in
+  let run name pass =
+    let changed = pass f in
+    if changed then check name;
+    changed
+  in
   while !continue_ && !rounds < 12 do
     incr rounds;
-    let c1 = Constfold.run f in
-    let c2 = Copyprop.run f in
-    let c3 = Localcse.run f in
-    let c4 = Simplify.run f in
-    let c5 = Dce.run f in
-    let c6 = Deadstore.run f in
+    let c1 = run "constfold" Constfold.run in
+    let c2 = run "copyprop" Copyprop.run in
+    let c3 = run "localcse" Localcse.run in
+    let c4 = run "simplify" Simplify.run in
+    let c5 = run "dce" Dce.run in
+    let c6 = run "deadstore" Deadstore.run in
     continue_ := c1 || c2 || c3 || c4 || c5 || c6
   done
 
-let run_func ?(pre = true) (f : Sxe_ir.Cfg.func) =
-  iterate f;
+let run_func ?(pre = true) ?(check = no_check) (f : Sxe_ir.Cfg.func) =
+  iterate ~check f;
   if pre then begin
-    ignore (Lcm.run f);
-    iterate f
+    if Lcm.run f then check "lcm";
+    iterate ~check f
   end
 
 let run ?pre (p : Sxe_ir.Prog.t) = Sxe_ir.Prog.iter_funcs (run_func ?pre) p

@@ -4,6 +4,10 @@
     measured variant — including the baseline — runs this pipeline, as in
     the paper. *)
 
-val iterate : Sxe_ir.Cfg.func -> unit
-val run_func : ?pre:bool -> Sxe_ir.Cfg.func -> unit
+val iterate : ?check:(string -> unit) -> Sxe_ir.Cfg.func -> unit
+
+val run_func : ?pre:bool -> ?check:(string -> unit) -> Sxe_ir.Cfg.func -> unit
+(** [check] is called with the pass name after each pass that changed
+    the function (and after ["lcm"]) — a hook for staged validation. *)
+
 val run : ?pre:bool -> Sxe_ir.Prog.t -> unit

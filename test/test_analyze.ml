@@ -195,6 +195,45 @@ void main() {
   ignore (run_ok src prog);
   Alcotest.(check bool) "subscript extension kept" true (stats.Sxe_core.Stats.remaining >= 1)
 
+let test_array_declines_unprovable_range () =
+  (* AnalyzeARRAY's side condition is the range proof 0 <= j <= 0x7ffffffe.
+     Here j = x + y of two extended but otherwise unknown loads: the sum is
+     neither provably extended (Add destroys it) nor range-bounded, so no
+     theorem may fire and the subscript extension must stay; masking the
+     operands first bounds the sum and lets it go. *)
+  let open Sxe_ir in
+  let open Sxe_ir.Types in
+  let module B = Builder in
+  let build masked =
+    let b, params = B.create ~name:"ad" ~params:[ Ref ] ~ret:I32 () in
+    let a = List.hd params in
+    let x0 = B.gload b ~lext:LSign I32 "gx" in
+    let y0 = B.gload b ~lext:LSign I32 "gy" in
+    let x, y =
+      if masked then
+        let m = B.iconst b 0xFF in
+        (B.and_ b x0 m, B.and_ b y0 m)
+      else (x0, y0)
+    in
+    let j = B.add b x y in
+    ignore (B.sext b j);
+    let v = B.arrload b AI32 a j in
+    B.retv b I32 v;
+    B.func b
+  in
+  let eliminate f =
+    Validate.check f;
+    let stats = Sxe_core.Stats.create () in
+    let _ = Sxe_core.Eliminate.run (Sxe_core.Config.array ()) f stats in
+    (Sxe_core.Eliminate.count_sext32 f, stats)
+  in
+  let kept, stats = eliminate (build false) in
+  Alcotest.(check int) "unprovable subscript extension kept" 1 kept;
+  Alcotest.(check int) "no theorem fired" 0
+    (Array.fold_left ( + ) 0 stats.Sxe_core.Stats.by_theorem);
+  let kept_masked, _ = eliminate (build true) in
+  Alcotest.(check int) "bounded subscript extension eliminated" 0 kept_masked
+
 (* [opaque = true] launders the allocation through a call so the access
    cannot see the array's length; Theorem 4 then depends on the configured
    maxlen, as in Figure 10's discussion. *)
@@ -374,6 +413,8 @@ let suite =
     Alcotest.test_case "Theorem 1: zero-extended index" `Quick test_theorem1_upper_zero;
     Alcotest.test_case "Theorem 3: subtraction" `Quick test_theorem3_sub_from_zero_extended;
     Alcotest.test_case "no theorem: extension kept" `Quick test_unbounded_subscript_kept;
+    Alcotest.test_case "AnalyzeARRAY declines unprovable range" `Quick
+      test_array_declines_unprovable_range;
     Alcotest.test_case "Figure 10: maxlen-dependent" `Quick test_figure10_maxlen;
     Alcotest.test_case "maxlen from allocation" `Quick test_known_allocation_refines_maxlen;
     Alcotest.test_case "8-bit extension elimination" `Quick test_sub_width_elimination;

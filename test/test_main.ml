@@ -18,6 +18,7 @@ let () =
       ("inline", Test_inline.suite);
       ("harness", Test_harness.suite);
       ("validate", Test_validate.suite);
+      ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);
       ("differential", Test_differential.suite);
       ("workloads", Test_workloads.suite);

@@ -101,6 +101,35 @@ let test_loop_counter () =
   in
   ignore rlo
 
+let test_loop_variable_bound () =
+  (* for (i = 0; i < n; i++) with n itself only branch-bounded: widening
+     first pushes i to the type maximum, then the narrowing passes must
+     recover the [i < n] body bound from the back edge *)
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let n = List.hd params in
+  let thousand = B.iconst b 1000 in
+  let zero = B.iconst b 0 in
+  let i = B.mov b ~ty:I32 zero in
+  let one = B.iconst b 1 in
+  let h = B.new_block b and body = B.new_block b and ex = B.new_block b in
+  B.br b Lt n thousand ~ifso:h ~ifnot:ex;
+  B.switch b h;
+  B.br b Lt i n ~ifso:body ~ifnot:ex;
+  B.switch b body;
+  let probe = B.add b i zero in
+  B.binop_to b Add ~dst:i i one;
+  B.jmp b h;
+  B.switch b ex;
+  B.retv b I32 i;
+  let f = B.func b in
+  let t = Range.compute f in
+  let first = List.hd (Cfg.body (Cfg.block f body)) in
+  ignore probe;
+  let lo, hi = Range.before t ~bid:body ~iid:first.Instr.iid i in
+  Alcotest.(check int64) "body lower bound survives widening" 0L lo;
+  (* n < 1000 on the loop path, so i < n keeps i <= 998 in the body *)
+  Alcotest.(check int64) "body upper bound recovered from i < n" 998L hi
+
 let test_array_refinement () =
   (* after a[i], i is within [0, 2^31-2] *)
   let b, params = B.create ~name:"f" ~params:[ Ref; I32 ] ~ret:I32 () in
@@ -181,6 +210,7 @@ let suite =
     Alcotest.test_case "rem range" `Quick test_rem_range;
     Alcotest.test_case "branch refinement" `Quick test_branch_refinement;
     Alcotest.test_case "loop counter" `Quick test_loop_counter;
+    Alcotest.test_case "loop with variable bound" `Quick test_loop_variable_bound;
     Alcotest.test_case "array access refinement" `Quick test_array_refinement;
     QCheck_alcotest.to_alcotest prop_range_sound;
   ]

@@ -79,6 +79,32 @@ let test_sub32_alu_width () =
     f;
   check_has "sub-32-bit width" "sub-32-bit alu width" (Validate.errors f)
 
+let test_sub32_compare_width () =
+  (* there is no 8/16-bit compare on the modeled target: Cmp and Br must
+     be W32/W64 only *)
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let x = List.hd params in
+  let c = B.cmp b Lt x x in
+  B.retv b I32 c;
+  let f = B.func b in
+  Cfg.iter_blocks
+    (fun blk ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Cmp co -> Cfg.set_op blk i (Instr.Cmp { co with w = W16 })
+          | _ -> ())
+        (Cfg.body blk))
+    f;
+  check_has "sub-32-bit compare" "sub-32-bit compare width" (Validate.errors f);
+  let g = make_base () in
+  let r = List.hd (List.map fst g.Cfg.params) in
+  Cfg.set_term
+    (Cfg.block g (Cfg.entry g))
+    (Instr.Br { cond = Eq; l = r; r; w = W8; ifso = 0; ifnot = 0 });
+  check_has "sub-32-bit branch compare" "sub-32-bit branch compare width"
+    (Validate.errors g)
+
 let test_register_out_of_range () =
   let f = make_base () in
   let blk = Cfg.block f (Cfg.entry f) in
@@ -206,6 +232,7 @@ let suite =
     Alcotest.test_case "dangling successor" `Quick test_dangling_successor;
     Alcotest.test_case "wrong-width operand" `Quick test_wrong_width_operand;
     Alcotest.test_case "sub-32-bit alu width" `Quick test_sub32_alu_width;
+    Alcotest.test_case "sub-32-bit compare width" `Quick test_sub32_compare_width;
     Alcotest.test_case "register out of range" `Quick test_register_out_of_range;
     Alcotest.test_case "i32 constant out of range" `Quick test_i32_constant_range;
     Alcotest.test_case "extend from w64" `Quick test_extend_from_w64;
