@@ -5,31 +5,61 @@
      dune exec bench/main.exe                 -- everything (default scale)
      dune exec bench/main.exe -- table1       -- one artifact
      dune exec bench/main.exe -- --scale 2 table2 fig13
+     dune exec bench/main.exe -- --jobs 4 json
      dune exec bench/main.exe -- bechamel     -- pass-timing benchmarks only
 
    Artifacts: table1 table2 fig11 fig12 fig13 fig14 table3 theorems archcmp inline
    bechamel json; 'profile' (opt-in) ablates profile-directed order determination.
    'json' re-runs the interpreter-bound Bechamel tests and dumps machine-readable
-   timings (plus the wall-clock spent building the evaluation matrices) to
-   BENCH_vm.json, for CI trend tracking. *)
+   timings (plus the wall-clock spent building the evaluation matrices,
+   sequentially and at --jobs width) to BENCH_vm.json, for CI trend tracking.
+   --jobs N (or SXE_JOBS) builds the evaluation matrices on N domains. *)
 
 let scale = ref 1
+let jobs = ref 0 (* 0 = unset: resolved to SXE_JOBS or 1 after parsing *)
 let selected : string list ref = ref []
 
+let artifacts =
+  [ "table1"; "table2"; "fig11"; "fig12"; "fig13"; "fig14"; "table3"; "theorems";
+    "archcmp"; "inline"; "profile"; "bechamel"; "json"; "all" ]
+
+let usage_error msg =
+  Printf.eprintf "error: %s\n" msg;
+  Printf.eprintf "usage: main.exe [--scale N] [--jobs N] [--quick] [ARTIFACT...]\n";
+  Printf.eprintf "artifacts: %s\n" (String.concat " " artifacts);
+  exit 2
+
 let () =
+  let posint flag store rest k =
+    match rest with
+    | [] -> usage_error (Printf.sprintf "%s requires a value" flag)
+    | n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            store v;
+            k rest
+        | _ ->
+            usage_error
+              (Printf.sprintf "%s: expected a positive integer, got %S" flag n))
+  in
   let rec parse = function
     | [] -> ()
-    | "--scale" :: n :: rest ->
-        scale := int_of_string n;
-        parse rest
+    | "--scale" :: rest -> posint "--scale" (fun v -> scale := v) rest parse
+    | "--jobs" :: rest -> posint "--jobs" (fun v -> jobs := v) rest parse
     | "--quick" :: rest ->
         scale := 1;
         parse rest
     | x :: rest ->
+        if not (List.mem x artifacts) then
+          usage_error (Printf.sprintf "unknown artifact %S" x);
         selected := x :: !selected;
         parse rest
   in
-  parse (List.tl (Array.to_list Sys.argv))
+  parse (List.tl (Array.to_list Sys.argv));
+  if !jobs = 0 then
+    jobs :=
+      (try Sxe_par.Pool.default_jobs ()
+       with Invalid_argument msg -> usage_error msg)
 
 let want what = !selected = [] || List.mem what !selected || List.mem "all" !selected
 
@@ -45,7 +75,7 @@ let matrix_wall = ref 0.0
 let timed_matrix suite =
   lazy
     (let t0 = Unix.gettimeofday () in
-     let m = Sxe_harness.Experiment.run_suite ~scale:!scale suite in
+     let m = Sxe_harness.Experiment.run_suite ~scale:!scale ~jobs:!jobs suite in
      matrix_wall := !matrix_wall +. (Unix.gettimeofday () -. t0);
      m)
 
@@ -317,6 +347,15 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* One fresh build of both evaluation matrices at the given domain
+   count, timed. Used for the sequential-vs-parallel scaling datapoint
+   (the lazy matrices above are useless for that: they memoize). *)
+let time_matrices ~jobs () =
+  let t0 = Unix.gettimeofday () in
+  ignore (Sxe_harness.Experiment.run_suite ~scale:!scale ~jobs Sxe_workloads.Registry.Jbytemark);
+  ignore (Sxe_harness.Experiment.run_suite ~scale:!scale ~jobs Sxe_workloads.Registry.Specjvm);
+  Unix.gettimeofday () -. t0
+
 let json_artifact () =
   (* Force both matrices so matrix_wall_s covers the full evaluation,
      whether or not a table artifact ran in this invocation. *)
@@ -324,6 +363,15 @@ let json_artifact () =
   ignore (Lazy.force spec_matrix);
   Printf.printf "Bechamel interpreter benchmarks for BENCH_vm.json (ns/run):\n%!";
   let results = run_bechamel (vm_tests ()) in
+  Printf.printf "timing evaluation-matrix build: sequential...\n%!";
+  let seq_s = time_matrices ~jobs:1 () in
+  let par_s =
+    if !jobs > 1 then begin
+      Printf.printf "timing evaluation-matrix build: %d domains...\n%!" !jobs;
+      time_matrices ~jobs:!jobs ()
+    end
+    else seq_s
+  in
   let ns name = match List.assoc_opt name results with Some v -> v | None -> Float.nan in
   let num v = if Float.is_nan v then "null" else Printf.sprintf "%.1f" v in
   let oc = open_out "BENCH_vm.json" in
@@ -344,9 +392,16 @@ let json_artifact () =
         (if Float.is_nan ratio then "null" else Printf.sprintf "%.2f" ratio)
         (if i = List.length vm_workloads - 1 then "" else ","))
     vm_workloads;
+  Printf.fprintf oc "  },\n  \"parallel\": {\n";
+  Printf.fprintf oc "    \"jobs\": %d,\n" !jobs;
+  Printf.fprintf oc "    \"matrix_wall_s_seq\": %.3f,\n" seq_s;
+  Printf.fprintf oc "    \"matrix_wall_s_par\": %.3f,\n" par_s;
+  Printf.fprintf oc "    \"speedup\": %.2f\n" (seq_s /. par_s);
   Printf.fprintf oc "  }\n}\n";
   close_out oc;
-  Printf.printf "wrote BENCH_vm.json (matrix wall-clock %.3f s)\n\n%!" !matrix_wall
+  Printf.printf
+    "wrote BENCH_vm.json (matrix wall-clock %.3f s; seq %.3f s, %d-domain %.3f s, %.2fx)\n\n%!"
+    !matrix_wall seq_s !jobs par_s (seq_s /. par_s)
 
 let () =
   if want "table1" then table1 ();

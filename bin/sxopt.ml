@@ -96,6 +96,25 @@ let profile_arg =
     & info [ "profile" ]
         ~doc:"Collect a branch profile from a baseline run and feed order determination.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent cases/matrix cells (default: \
+           $(b,SXE_JOBS) or 1). Output is byte-identical to --jobs 1.")
+
+(* 0 = unset: fall back to SXE_JOBS (or 1). Bad values are usage errors. *)
+let resolve_jobs n =
+  match if n = 0 then Sxe_par.Pool.default_jobs () else n with
+  | n when n >= 1 -> n
+  | _ ->
+      Printf.eprintf "error: --jobs must be at least 1\n";
+      exit 2
+  | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+
 let with_frontend_errors f =
   try f () with
   | Sxe_lang.Frontend.Error msg ->
@@ -341,7 +360,8 @@ let fuzz_cmd =
       value & flag
       & info [ "both-arches" ] ~doc:"Check the PPC64 model in addition to IA64.")
   in
-  let run seed count mutations corpus kind size replay no_shrink inject arch both =
+  let run seed count mutations corpus kind size replay no_shrink inject arch both jobs =
+    let jobs = resolve_jobs jobs in
     let sabotage =
       match inject with
       | None -> None
@@ -373,7 +393,9 @@ let fuzz_cmd =
     (match corpus with
     | Some dir when Sys.file_exists dir ->
         let results =
-          Sxe_fuzz.Driver.replay ~archs ?sabotage:(Option.map Sxe_fuzz.Inject.apply sabotage) dir
+          Sxe_fuzz.Driver.replay ~archs
+            ?sabotage:(Option.map Sxe_fuzz.Inject.apply sabotage)
+            ~jobs dir
         in
         let n = List.length (Sxe_fuzz.Corpus.load_dir dir) in
         if results = [] then Printf.printf "corpus: %d entries replayed, all green\n%!" n
@@ -403,6 +425,7 @@ let fuzz_cmd =
           sabotage;
           shrink = not no_shrink;
           log = (fun s -> Printf.printf "%s\n%!" s);
+          jobs;
         }
       in
       let report = Sxe_fuzz.Driver.run o in
@@ -435,7 +458,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc ~man)
     Term.(
       const run $ seed_arg $ count_arg $ mutate_n_arg $ corpus_arg $ kind_arg $ size_arg
-      $ replay_arg $ no_shrink_arg $ inject_arg $ arch_arg $ both_arch_arg)
+      $ replay_arg $ no_shrink_arg $ inject_arg $ arch_arg $ both_arch_arg $ jobs_arg)
 
 (* -- certify / lint -------------------------------------------------------- *)
 
@@ -511,6 +534,17 @@ let check_configs variant arch maxlen all_variants : Sxe_core.Config.t list =
   if all_variants then Sxe_fuzz.Oracle.all_variants ~arch ~maxlen ()
   else [ config_of ~arch ~maxlen variant ]
 
+(* The (input, variant) cells of the checking matrix, in the order the
+   sequential nested loops visited them: inputs outer, variants inner.
+   Inputs are frozen first so concurrent workers can clone one base
+   program without racing on the body-append flush. *)
+let check_cells inputs configs =
+  List.iter (fun (_, p) -> Sxe_ir.Clone.freeze_prog p) inputs;
+  List.concat_map
+    (fun (name, base) ->
+      List.map (fun (c : Sxe_core.Config.t) -> (name, base, c)) configs)
+    inputs
+
 (* Compile [input] under [config] and hand the optimized program to
    [check]; compiler crashes count as findings, not tool crashes. *)
 let compiled_check ~(check : Sxe_ir.Prog.t -> 'a list) ~(crash : string -> 'a)
@@ -535,51 +569,51 @@ let certify_cmd =
          Exits 1 on any certification error, 2 on usage errors.";
     ]
   in
-  let run file variant arch maxlen all_variants workloads corpus json =
+  let run file variant arch maxlen all_variants workloads corpus json jobs =
     with_frontend_errors @@ fun () ->
+    let jobs = resolve_jobs jobs in
     let inputs = check_inputs file workloads corpus in
     let configs = check_configs variant arch maxlen all_variants in
+    let cells = check_cells inputs configs in
     let failed = ref false in
     let json_items = ref [] in
-    List.iter
-      (fun (name, base) ->
+    let check_cell (name, base, (config : Sxe_core.Config.t)) =
+      let errs =
+        compiled_check config base
+          ~check:(fun p -> Sxe_check.Check.certify_prog ~maxlen p)
+          ~crash:(fun msg ->
+            {
+              Sxe_check.Certify.fname = "<compiler crash: " ^ msg ^ ">";
+              bid = 0;
+              iid = None;
+              reg = -1;
+              need = Sxe_check.Certify.Needs_extended;
+              state = Sxe_check.Extstate.garbage;
+              witness = [];
+            })
+      in
+      (name, config.Sxe_core.Config.name, errs)
+    in
+    let consume _ (name, vname, errs) =
+      if errs <> [] then failed := true;
+      if json then
+        json_items :=
+          Printf.sprintf "{\"input\":%s,\"variant\":%s,\"errors\":%s}"
+            ("\"" ^ String.escaped name ^ "\"")
+            ("\"" ^ String.escaped vname ^ "\"")
+            (Sxe_check.Check.errors_to_json errs)
+          :: !json_items
+      else if errs = [] then Printf.printf "certify: %s / %s: ok\n" name vname
+      else begin
+        Printf.printf "certify: %s / %s: %d error(s)\n" name vname
+          (List.length errs);
         List.iter
-          (fun (config : Sxe_core.Config.t) ->
-            let vname = config.Sxe_core.Config.name in
-            let errs =
-              compiled_check config base
-                ~check:(fun p -> Sxe_check.Check.certify_prog ~maxlen p)
-                ~crash:(fun msg ->
-                  {
-                    Sxe_check.Certify.fname = "<compiler crash: " ^ msg ^ ">";
-                    bid = 0;
-                    iid = None;
-                    reg = -1;
-                    need = Sxe_check.Certify.Needs_extended;
-                    state = Sxe_check.Extstate.garbage;
-                    witness = [];
-                  })
-            in
-            if errs <> [] then failed := true;
-            if json then
-              json_items :=
-                Printf.sprintf "{\"input\":%s,\"variant\":%s,\"errors\":%s}"
-                  ("\"" ^ String.escaped name ^ "\"")
-                  ("\"" ^ String.escaped vname ^ "\"")
-                  (Sxe_check.Check.errors_to_json errs)
-                :: !json_items
-            else if errs = [] then
-              Printf.printf "certify: %s / %s: ok\n" name vname
-            else begin
-              Printf.printf "certify: %s / %s: %d error(s)\n" name vname
-                (List.length errs);
-              List.iter
-                (fun e ->
-                  Printf.printf "  %s\n" (Sxe_check.Certify.error_to_string e))
-                errs
-            end)
-          configs)
-      inputs;
+          (fun e -> Printf.printf "  %s\n" (Sxe_check.Certify.error_to_string e))
+          errs
+      end
+    in
+    Sxe_par.Pool.with_pool ~jobs (fun pool ->
+        Sxe_par.Pool.consume_map pool check_cell ~consume cells);
     if json then
       Printf.printf "[%s]\n" (String.concat "," (List.rev !json_items));
     if !failed then exit 1
@@ -588,7 +622,7 @@ let certify_cmd =
     (Cmd.info "certify" ~doc ~man)
     Term.(
       const run $ opt_file_arg $ variant_arg $ arch_arg $ maxlen_arg
-      $ all_variants_flag $ workloads_flag $ corpus_flag $ json_flag)
+      $ all_variants_flag $ workloads_flag $ corpus_flag $ json_flag $ jobs_arg)
 
 let lint_cmd =
   let doc = "Run the IR lint rules over optimized output." in
@@ -616,8 +650,9 @@ let lint_cmd =
       & info [ "rules" ] ~docv:"R1,R2"
           ~doc:"Comma-separated rule subset (default: every registered rule).")
   in
-  let run file variant arch maxlen all_variants workloads corpus json strict rules =
+  let run file variant arch maxlen all_variants workloads corpus json strict rules jobs =
     with_frontend_errors @@ fun () ->
+    let jobs = resolve_jobs jobs in
     let inputs = check_inputs file workloads corpus in
     let configs = check_configs variant arch maxlen all_variants in
     let rules =
@@ -637,48 +672,48 @@ let lint_cmd =
                   exit 2)
             (String.split_on_char ',' s)
     in
+    let cells = check_cells inputs configs in
     let failed = ref false in
     let json_items = ref [] in
-    List.iter
-      (fun (name, base) ->
+    let lint_cell (name, base, (config : Sxe_core.Config.t)) =
+      let findings =
+        compiled_check config base
+          ~check:(fun p -> Sxe_check.Check.lint_prog ~maxlen ~rules p)
+          ~crash:(fun msg ->
+            {
+              Sxe_check.Lint.rule = "compiler-crash";
+              severity = Sxe_check.Lint.Error;
+              fname = "-";
+              bid = 0;
+              iid = None;
+              message = msg;
+            })
+      in
+      (name, config.Sxe_core.Config.name, findings)
+    in
+    let consume _ (name, vname, findings) =
+      let worst = Sxe_check.Lint.max_severity findings in
+      (match worst with
+      | Some Sxe_check.Lint.Error -> failed := true
+      | Some Sxe_check.Lint.Warning when strict -> failed := true
+      | _ -> ());
+      if json then
+        json_items :=
+          Printf.sprintf "{\"input\":%s,\"variant\":%s,\"findings\":%s}"
+            ("\"" ^ String.escaped name ^ "\"")
+            ("\"" ^ String.escaped vname ^ "\"")
+            (Sxe_check.Check.findings_to_json findings)
+          :: !json_items
+      else begin
+        Printf.printf "lint: %s / %s: %d finding(s)\n" name vname
+          (List.length findings);
         List.iter
-          (fun (config : Sxe_core.Config.t) ->
-            let vname = config.Sxe_core.Config.name in
-            let findings =
-              compiled_check config base
-                ~check:(fun p -> Sxe_check.Check.lint_prog ~maxlen ~rules p)
-                ~crash:(fun msg ->
-                  {
-                    Sxe_check.Lint.rule = "compiler-crash";
-                    severity = Sxe_check.Lint.Error;
-                    fname = "-";
-                    bid = 0;
-                    iid = None;
-                    message = msg;
-                  })
-            in
-            let worst = Sxe_check.Lint.max_severity findings in
-            (match worst with
-            | Some Sxe_check.Lint.Error -> failed := true
-            | Some Sxe_check.Lint.Warning when strict -> failed := true
-            | _ -> ());
-            if json then
-              json_items :=
-                Printf.sprintf "{\"input\":%s,\"variant\":%s,\"findings\":%s}"
-                  ("\"" ^ String.escaped name ^ "\"")
-                  ("\"" ^ String.escaped vname ^ "\"")
-                  (Sxe_check.Check.findings_to_json findings)
-                :: !json_items
-            else begin
-              Printf.printf "lint: %s / %s: %d finding(s)\n" name vname
-                (List.length findings);
-              List.iter
-                (fun fi ->
-                  Printf.printf "  %s\n" (Sxe_check.Lint.finding_to_string fi))
-                findings
-            end)
-          configs)
-      inputs;
+          (fun fi -> Printf.printf "  %s\n" (Sxe_check.Lint.finding_to_string fi))
+          findings
+      end
+    in
+    Sxe_par.Pool.with_pool ~jobs (fun pool ->
+        Sxe_par.Pool.consume_map pool lint_cell ~consume cells);
     if json then
       Printf.printf "[%s]\n" (String.concat "," (List.rev !json_items));
     if !failed then exit 1
@@ -688,7 +723,7 @@ let lint_cmd =
     Term.(
       const run $ opt_file_arg $ variant_arg $ arch_arg $ maxlen_arg
       $ all_variants_flag $ workloads_flag $ corpus_flag $ json_flag
-      $ strict_flag $ rules_arg)
+      $ strict_flag $ rules_arg $ jobs_arg)
 
 let () =
   let doc = "effective sign extension elimination (PLDI 2002) — reference implementation" in

@@ -37,14 +37,6 @@ type rule = {
   check : Certify.solution -> Cfg.func -> finding list;
 }
 
-let registry : rule list ref = ref []
-
-let register (r : rule) =
-  registry := List.filter (fun r' -> r'.name <> r.name) !registry @ [ r ]
-
-let rules () = !registry
-let find_rule name = List.find_opt (fun r -> r.name = name) !registry
-
 (* ------------------------------------------------------------------ *)
 (* Built-in rules                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -224,10 +216,31 @@ let const_cmp : rule =
     doc = "materialized compare of two block-local constants";
     severity = Info; check }
 
-let () =
-  List.iter register
-    [ redundant_sext; dead_justext; unreachable_block; critical_edge;
-      mov_chain; const_cmp ]
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The built-ins are an immutable base list: the registry starts from
+   this value instead of being built up by module-initialization-time
+   [register] calls, so no reader can ever observe a half-initialized
+   (or torn) rule list. *)
+let builtins =
+  [ redundant_sext; dead_justext; unreachable_block; critical_edge;
+    mov_chain; const_cmp ]
+
+(* All registry access goes through [registry_mutex]: concurrent certify
+   workers read the rule list while a test (or embedding) may register
+   custom rules. OCaml mutation of a [ref] is not atomic with respect to
+   a concurrent read-modify-write, so [register] must be exclusive. *)
+let registry_mutex = Mutex.create ()
+let registry : rule list ref = ref builtins
+
+let register (r : rule) =
+  Mutex.protect registry_mutex (fun () ->
+      registry := List.filter (fun r' -> r'.name <> r.name) !registry @ [ r ])
+
+let rules () = Mutex.protect registry_mutex (fun () -> !registry)
+let find_rule name = List.find_opt (fun r -> r.name = name) (rules ())
 
 (* ------------------------------------------------------------------ *)
 (* Drivers                                                             *)

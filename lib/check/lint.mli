@@ -24,10 +24,19 @@ type rule = {
   check : Certify.solution -> Sxe_ir.Cfg.func -> finding list;
 }
 
+val builtins : rule list
+(** The built-in rules, as an immutable base list; the registry starts
+    from it. *)
+
 val register : rule -> unit
-(** Add (or replace, by name) a rule in the registry. *)
+(** Add (or replace, by name) a rule in the registry. Idempotent for a
+    given name, and safe to call concurrently with {!rules}: the registry
+    is mutex-guarded so readers in other domains never observe a torn
+    list. *)
 
 val rules : unit -> rule list
+(** A consistent snapshot of the registry (mutex-guarded). *)
+
 val find_rule : string -> rule option
 
 val run_func :

@@ -44,6 +44,10 @@ type options = {
   sabotage : Inject.bug option;  (** deliberate bug, for harness self-test *)
   shrink : bool;
   log : string -> unit;  (** progress sink (e.g. [print_endline] or [ignore]) *)
+  jobs : int;
+      (** worker domains for the campaign; cases are evaluated (and their
+          failures shrunk) in parallel but logged, persisted and reported
+          in case order, so output is byte-identical to [jobs = 1] *)
 }
 
 let default_options =
@@ -63,6 +67,7 @@ let default_options =
     sabotage = None;
     shrink = true;
     log = ignore;
+    jobs = 1;
   }
 
 let sabotage_fn (o : options) =
@@ -141,48 +146,72 @@ let shrink_failure (o : options) (case : Oracle.case) (failures : Oracle.failure
   in
   if keep base then Shrink.minimize ~fuel:shrink_fuel ~keep base else base
 
-(** Run a campaign. *)
+(** Worker-side outcome of one case: everything deterministic in
+    [(o.seed, i)], computed without touching shared state. Shrinking of a
+    failure happens here, in the worker that found it. *)
+type case_outcome = {
+  co_kind : kind;
+  co_failing : (Oracle.case * Oracle.failure list * Prog.t option) option;
+}
+
+let eval_case (o : options) i : case_outcome =
+  let kind, case = case_of_index o i in
+  match Oracle.check ~fuel:o.fuel ~archs:o.archs ?sabotage:(sabotage_fn o) case with
+  | [] -> { co_kind = kind; co_failing = None }
+  | fs ->
+      let shrunk = if o.shrink then Some (shrink_failure o case fs) else None in
+      { co_kind = kind; co_failing = Some (case, fs, shrunk) }
+
+(** Run a campaign. Cases are evaluated across [o.jobs] domains; outcomes
+    are consumed on the calling domain in case order, so the log stream,
+    the corpus writes and the report are identical whatever [o.jobs]. *)
 let run (o : options) : report =
   let minij = ref 0 and ir = ref 0 and mutated = ref 0 in
   let failures = ref [] in
-  for i = 0 to o.count - 1 do
-    let kind, case = case_of_index o i in
-    (match kind with
+  let consume i (co : case_outcome) =
+    (match co.co_kind with
     | Minij_case -> incr minij
     | Ir_case -> incr ir
     | Mutated_case -> incr mutated);
-    let fs =
-      Oracle.check ~fuel:o.fuel ~archs:o.archs ?sabotage:(sabotage_fn o) case
-    in
-    if fs <> [] then begin
-      o.log
-        (Printf.sprintf "case %d (%s, seed %d): %d divergence(s), shrinking..." i
-           (string_of_kind kind) (Rng.case_seed ~seed:o.seed i) (List.length fs));
-      let shrunk = if o.shrink then Some (shrink_failure o case fs) else None in
-      let saved =
-        match (o.corpus_dir, shrunk) with
-        | Some dir, Some p ->
-            let name = Printf.sprintf "fail-seed%d-case%03d" o.seed i in
-            let header =
-              Printf.sprintf "campaign seed %d, case %d (%s)" o.seed i
-                (string_of_kind kind)
-              :: List.map
-                   (fun f -> Format.asprintf "%a" Oracle.pp_failure f)
-                   fs
-            in
-            Some (Corpus.save ~dir ~name ~header (Oracle.Ir p))
-        | Some dir, None ->
-            let name = Printf.sprintf "fail-seed%d-case%03d" o.seed i in
-            Some (Corpus.save ~dir ~name case)
-        | None, _ -> None
-      in
-      failures :=
-        { index = i; case_seed = Rng.case_seed ~seed:o.seed i; kind; failures = fs; shrunk; saved }
-        :: !failures
-    end
-    else if (i + 1) mod 50 = 0 then
-      o.log (Printf.sprintf "%d/%d cases, no divergence" (i + 1) o.count)
-  done;
+    match co.co_failing with
+    | None ->
+        if (i + 1) mod 50 = 0 then
+          o.log (Printf.sprintf "%d/%d cases, no divergence" (i + 1) o.count)
+    | Some (case, fs, shrunk) ->
+        o.log
+          (Printf.sprintf "case %d (%s, seed %d): %d divergence(s), shrinking..." i
+             (string_of_kind co.co_kind) (Rng.case_seed ~seed:o.seed i) (List.length fs));
+        let saved =
+          match (o.corpus_dir, shrunk) with
+          | Some dir, Some p ->
+              let name = Printf.sprintf "fail-seed%d-case%03d" o.seed i in
+              let header =
+                Printf.sprintf "campaign seed %d, case %d (%s)" o.seed i
+                  (string_of_kind co.co_kind)
+                :: List.map
+                     (fun f -> Format.asprintf "%a" Oracle.pp_failure f)
+                     fs
+              in
+              Some (Corpus.save ~dir ~name ~header (Oracle.Ir p))
+          | Some dir, None ->
+              let name = Printf.sprintf "fail-seed%d-case%03d" o.seed i in
+              Some (Corpus.save ~dir ~name case)
+          | None, _ -> None
+        in
+        failures :=
+          {
+            index = i;
+            case_seed = Rng.case_seed ~seed:o.seed i;
+            kind = co.co_kind;
+            failures = fs;
+            shrunk;
+            saved;
+          }
+          :: !failures
+  in
+  Sxe_par.Pool.with_pool ~jobs:o.jobs (fun pool ->
+      Sxe_par.Pool.consume_map pool (eval_case o) ~consume
+        (List.init o.count Fun.id));
   {
     cases = o.count;
     minij_cases = !minij;
@@ -192,12 +221,12 @@ let run (o : options) : report =
   }
 
 (** Replay every corpus entry as a regression set; returns the entries
-    that (still) fail. *)
-let replay ?(fuel = Oracle.default_fuel) ?(archs = [ Sxe_core.Arch.ia64 ]) ?sabotage dir :
-    (string * Oracle.failure list) list =
-  List.filter_map
-    (fun (name, case) ->
-      match Oracle.check ~fuel ~archs ?sabotage case with
-      | [] -> None
-      | fs -> Some (name, fs))
-    (Corpus.load_dir dir)
+    that (still) fail, in directory order. *)
+let replay ?(fuel = Oracle.default_fuel) ?(archs = [ Sxe_core.Arch.ia64 ]) ?sabotage
+    ?(jobs = 1) dir : (string * Oracle.failure list) list =
+  let entries = Corpus.load_dir dir in
+  Sxe_par.Pool.with_pool ~jobs (fun pool ->
+      Sxe_par.Pool.map pool
+        (fun (name, case) -> (name, Oracle.check ~fuel ~archs ?sabotage case))
+        entries)
+  |> List.filter (fun (_, fs) -> fs <> [])

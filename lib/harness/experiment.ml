@@ -78,14 +78,22 @@ let run_workload ?(use_profile = true) ?arch ?maxlen (w : Sxe_workloads.Registry
     (fun config -> run_one ?profile ~reference config w)
     (default_variants ?arch ?maxlen ())
 
-(** The whole matrix for a suite: [(workload, measurements per variant)]. *)
-let run_suite ?(scale = 1) ?use_profile ?arch (suite : Sxe_workloads.Registry.suite) =
+(** The whole matrix for a suite: [(workload, measurements per variant)].
+    [jobs] spreads workloads over that many domains; each workload's
+    variant column stays within one worker (the reference run and branch
+    profile are shared per workload), and the matrix comes back in
+    registry order regardless of [jobs]. *)
+let run_suite ?(scale = 1) ?use_profile ?arch ?(jobs = 1)
+    (suite : Sxe_workloads.Registry.suite) =
   let ws =
     List.filter
       (fun (w : Sxe_workloads.Registry.t) -> w.suite = suite)
       (Sxe_workloads.Registry.all ~scale ())
   in
-  List.map (fun w -> (w.Sxe_workloads.Registry.name, run_workload ?use_profile ?arch w)) ws
+  Sxe_par.Pool.with_pool ~jobs (fun pool ->
+      Sxe_par.Pool.map pool
+        (fun w -> (w.Sxe_workloads.Registry.name, run_workload ?use_profile ?arch w))
+        ws)
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: compile-time breakdown                                     *)

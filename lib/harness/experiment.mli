@@ -47,8 +47,11 @@ val run_suite :
   ?scale:int ->
   ?use_profile:bool ->
   ?arch:Sxe_core.Arch.t ->
+  ?jobs:int ->
   Sxe_workloads.Registry.suite ->
   (string * measurement list) list
+(** [jobs] (default 1) spreads workloads over that many domains; the
+    result is identical to a sequential run, in registry order. *)
 
 type breakdown = {
   bench : string;

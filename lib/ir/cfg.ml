@@ -58,7 +58,14 @@ type func = {
   mutable vm_cache : vm_cache option;
 }
 
-let dummy_block = { bid = -1; bpre = []; bapp = []; bterm = Instr.Ret None; gen = ref 0 }
+(** A structurally inert placeholder for [Vec] dummy slots. Fresh per
+    call: the record is mutable and its [gen] must never alias another
+    function's counter. (A single shared dummy used to sit in the spare
+    slots of {e every} function's block vector, so a write through any
+    dummy slot mutated all CFGs at once — and with one CFG per domain it
+    was a data race.) *)
+let dummy_block () =
+  { bid = -1; bpre = []; bapp = []; bterm = Instr.Ret None; gen = ref 0 }
 
 let create ~name ~params ~ret =
   let reg_tys = Vec.create ~dummy:Types.I32 () in
@@ -67,7 +74,7 @@ let create ~name ~params ~ret =
     name;
     params;
     ret;
-    blocks = Vec.create ~dummy:dummy_block ();
+    blocks = Vec.create ~dummy:(dummy_block ()) ();
     reg_tys;
     next_iid = 0;
     has_loop_hint = false;

@@ -45,7 +45,10 @@ type func = {
   mutable vm_cache : vm_cache option;
 }
 
-val dummy_block : block
+val dummy_block : unit -> block
+(** A fresh, structurally inert placeholder block for [Vec] dummy slots.
+    A new record per call: dummies are mutable and sharing one across
+    functions would alias their spare slots (and, under domains, race). *)
 
 val create :
   name:string -> params:(Instr.reg * Types.ty) list -> ret:Types.ty option -> func

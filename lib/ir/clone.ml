@@ -9,7 +9,9 @@ open Sxe_util
 
 let clone_func (f : Cfg.func) : Cfg.func =
   let version = ref 0 in
-  let blocks = Vec.create ~capacity:(Vec.length f.Cfg.blocks) ~dummy:Cfg.dummy_block () in
+  let blocks =
+    Vec.create ~capacity:(Vec.length f.Cfg.blocks) ~dummy:(Cfg.dummy_block ()) ()
+  in
   Vec.iter
     (fun (b : Cfg.block) ->
       ignore
@@ -37,6 +39,14 @@ let clone_func (f : Cfg.func) : Cfg.func =
     cached_view = None;
     vm_cache = None;
   }
+
+(** Flush every block's pending append buffer so that later [Cfg.body]
+    reads mutate nothing. After freezing, a program that is no longer
+    mutated can safely be {e read} — and cloned — from several domains at
+    once; cloning an unfrozen program concurrently races on the flush. *)
+let freeze_func (f : Cfg.func) = Cfg.iter_blocks (fun b -> ignore (Cfg.body b)) f
+
+let freeze_prog (p : Prog.t) = Prog.iter_funcs freeze_func p
 
 let clone_prog (p : Prog.t) : Prog.t =
   let q = Prog.create ~main:p.Prog.main () in

@@ -4,3 +4,9 @@
 
 val clone_func : Cfg.func -> Cfg.func
 val clone_prog : Prog.t -> Prog.t
+
+val freeze_func : Cfg.func -> unit
+val freeze_prog : Prog.t -> unit
+(** Flush pending body-append buffers so subsequent [Cfg.body] reads are
+    mutation-free. Required before handing one program to several domains
+    to clone concurrently. *)

@@ -1,0 +1,145 @@
+(** Fixed domain pool with a mutex/condition work queue and ordered
+    result delivery. See the interface for the determinism contract. *)
+
+type task = Run of (unit -> unit) | Quit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;  (** guarded by [lock] *)
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable live : bool;
+}
+
+(* The OCaml runtime supports at most 128 simultaneous domains; leave
+   headroom for the caller and anything else the process spawned. *)
+let max_workers = 120
+
+let worker_loop p =
+  let rec take () =
+    match Queue.take_opt p.queue with
+    | Some t ->
+        Mutex.unlock p.lock;
+        t
+    | None ->
+        Condition.wait p.nonempty p.lock;
+        take ()
+  in
+  let rec go () =
+    Mutex.lock p.lock;
+    match take () with
+    | Quit -> ()
+    | Run f ->
+        (* [f] is a batch thunk and never raises: it stores its outcome,
+           errors included, into the batch's result slot. *)
+        f ();
+        go ()
+  in
+  go ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be at least 1";
+  let jobs = min jobs max_workers in
+  let p =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      workers = [];
+      live = true;
+    }
+  in
+  if jobs > 1 then p.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let jobs p = p.jobs
+
+let shutdown p =
+  if p.live then begin
+    p.live <- false;
+    Mutex.lock p.lock;
+    List.iter (fun _ -> Queue.push Quit p.queue) p.workers;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.lock;
+    List.iter Domain.join p.workers;
+    p.workers <- []
+  end
+
+let with_pool ~jobs f =
+  let p = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+let consume_map (type b) p (f : 'a -> b) ~(consume : int -> b -> unit) (xs : 'a list) =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if p.jobs = 1 || n <= 1 then
+    (* the exact sequential path: compute one, deliver one, advance *)
+    Array.iteri (fun i x -> consume i (f x)) arr
+  else begin
+    let results : (b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
+    let batch_lock = Mutex.create () in
+    let ready = Condition.create () in
+    let task i () =
+      let r =
+        match f arr.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock batch_lock;
+      results.(i) <- Some r;
+      Condition.broadcast ready;
+      Mutex.unlock batch_lock
+    in
+    Mutex.lock p.lock;
+    for i = 0 to n - 1 do
+      Queue.push (Run (task i)) p.queue
+    done;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.lock;
+    (* Deliver in index order as each result lands. On a worker error,
+       stop delivering but keep draining so the batch fully retires (the
+       pool stays reusable), then re-raise the lowest-index exception —
+       the one a sequential run would have surfaced. *)
+    let first_error = ref None in
+    for i = 0 to n - 1 do
+      Mutex.lock batch_lock;
+      let rec await () =
+        match results.(i) with
+        | Some r ->
+            results.(i) <- None;
+            r
+        | None ->
+            Condition.wait ready batch_lock;
+            await ()
+      in
+      let r = await () in
+      Mutex.unlock batch_lock;
+      match (r, !first_error) with
+      | Ok v, None -> consume i v
+      | Ok _, Some _ -> ()
+      | Error eb, None -> first_error := Some eb
+      | Error _, Some _ -> ()
+    done;
+    match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let map p f xs =
+  let out = Array.make (List.length xs) None in
+  consume_map p f ~consume:(fun i v -> out.(i) <- Some v) xs;
+  Array.to_list (Array.map Option.get out)
+
+let env_var = "SXE_JOBS"
+
+let default_jobs () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "%s=%S: expected a positive integer" env_var s))

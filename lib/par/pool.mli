@@ -1,0 +1,61 @@
+(** A fixed pool of worker domains with deterministic, ordered result
+    delivery.
+
+    The pool exists to parallelize the repo's three hot loops — the
+    evaluation matrix, the certify/lint matrix and fuzz campaigns — whose
+    work items are independent and deterministic in their index. The
+    contract is therefore strict: whatever the parallelism degree, callers
+    observe results {e in input order}, so any output derived from them is
+    byte-identical to a sequential run.
+
+    [jobs = 1] spawns no domains at all: {!map} is [List.map] and
+    {!consume_map} interleaves compute and consume exactly like the
+    sequential loop it replaces.
+
+    Worker exceptions are marshaled back to the caller: the batch runs to
+    completion (so the pool stays reusable) and the exception of the
+    {e lowest} failing index is re-raised on the calling domain with its
+    original backtrace — the same exception a sequential run would have
+    surfaced first.
+
+    Not re-entrant: calling {!map}/{!consume_map} from inside a task of
+    the same pool deadlocks. One batch at a time per pool. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs] worker domains ([jobs >= 1]; [1] spawns
+    none). The degree is capped at a safe margin below the OCaml
+    runtime's domain limit. Raises [Invalid_argument] on [jobs < 1]. *)
+
+val jobs : t -> int
+(** The effective parallelism degree. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers; idempotent. The pool must not be used
+    afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down on
+    the way out, exceptions included. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] computes [List.map f xs], distributing elements over the
+    pool's workers. Results are in input order. *)
+
+val consume_map : t -> ('a -> 'b) -> consume:(int -> 'b -> unit) -> 'a list -> unit
+(** [consume_map t f ~consume xs] computes [f] over [xs] on the workers
+    and calls [consume i (f x_i)] on the {e calling} domain, in strictly
+    ascending index order, each as soon as its result (and all earlier
+    ones) is available. This is the streaming primitive behind the fuzz
+    driver's progress log. Exceptions raised by [consume] propagate
+    immediately; pending worker tasks of the batch finish in the
+    background and are discarded. *)
+
+val env_var : string
+(** ["SXE_JOBS"]. *)
+
+val default_jobs : unit -> int
+(** The parallelism degree requested by the [SXE_JOBS] environment
+    variable, or [1] when unset or empty. Raises [Invalid_argument] when
+    the variable is set to anything but a positive integer. *)

@@ -57,5 +57,6 @@ let exists p v =
   let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
   go 0
 
+let dummy v = v.dummy
 let copy v = { data = Array.copy v.data; len = v.len; dummy = v.dummy }
 let clear v = v.len <- 0

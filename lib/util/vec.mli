@@ -22,5 +22,11 @@ val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val to_list : 'a t -> 'a list
 val of_list : dummy:'a -> 'a list -> 'a t
 val exists : ('a -> bool) -> 'a t -> bool
+
+(** [dummy v] is the vector's capacity filler. Exposed so tests can
+    assert dummies are not shared between containers (a mutable shared
+    dummy would alias every vector's spare slots); it never appears in
+    [0 .. length - 1]. *)
+val dummy : 'a t -> 'a
 val copy : 'a t -> 'a t
 val clear : 'a t -> unit

@@ -123,9 +123,36 @@ let test_instr_surgery () =
   Alcotest.(check int) "remove shrinks" n0 (List.length (Cfg.body blk));
   Alcotest.(check bool) "remove missing is false" false (Cfg.remove_instr blk 9999)
 
+(* Regression: the Vec dummy slots of two functions' block vectors must
+   be distinct records. A single shared dummy (one [gen = ref 0] aliased
+   into every CFG) meant a write through any dummy slot mutated all CFGs
+   at once — and was a cross-domain data race. *)
+let test_dummy_slots_not_shared () =
+  let f1, _, _, _ = diamond () in
+  let f2, _, _, _ = simple_loop () in
+  let d1 = Sxe_util.Vec.dummy f1.Cfg.blocks in
+  let d2 = Sxe_util.Vec.dummy f2.Cfg.blocks in
+  Alcotest.(check bool) "distinct dummy records" false (d1 == d2);
+  Alcotest.(check bool) "distinct generation refs" false (d1.Cfg.gen == d2.Cfg.gen);
+  (* write through f1's dummy slot... *)
+  let v1 = Cfg.version f1 and v2 = Cfg.version f2 in
+  let body2_before = Cfg.body (Cfg.block f2 0) in
+  Cfg.append_instr d1 (Cfg.mk_instr f1 (Instr.Sext { r = 0; from = W32 }));
+  Cfg.set_term d1 (Instr.Jmp 0);
+  (* ...and nothing else moves: not the other function's blocks, not
+     either function's generation, not a freshly made dummy *)
+  Alcotest.(check int) "f1 generation untouched" v1 (Cfg.version f1);
+  Alcotest.(check int) "f2 generation untouched" v2 (Cfg.version f2);
+  Alcotest.(check int) "f2 body untouched" (List.length body2_before)
+    (List.length (Cfg.body (Cfg.block f2 0)));
+  Alcotest.(check int) "f2 dummy slot untouched" 0 (List.length (Cfg.body d2));
+  Alcotest.(check int) "fresh dummies start empty" 0
+    (List.length (Cfg.body (Cfg.dummy_block ())))
+
 let suite =
   [
     Alcotest.test_case "preds/succs" `Quick test_preds_succs;
+    Alcotest.test_case "dummy slots are per-CFG" `Quick test_dummy_slots_not_shared;
     Alcotest.test_case "rpo" `Quick test_rpo;
     Alcotest.test_case "dominators on diamond" `Quick test_dominators_diamond;
     Alcotest.test_case "natural loop" `Quick test_loops;

@@ -296,6 +296,63 @@ let test_lint_registry_and_severity () =
   Alcotest.(check bool) "warning dominates info" true
     (Lint.max_severity fs = Some Lint.Warning)
 
+(* The registry starts from the immutable built-in base list, and
+   [register] is idempotent by name: re-registering replaces rather than
+   duplicates, and built-ins themselves are never mutated. *)
+let test_lint_registry_frozen_builtins () =
+  let builtin_names = List.map (fun (r : Lint.rule) -> r.Lint.name) Lint.builtins in
+  Alcotest.(check int) "six built-ins" 6 (List.length builtin_names);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in registry") true (Lint.find_rule name <> None))
+    builtin_names;
+  let noop name : Lint.rule =
+    { name; doc = "noop"; severity = Lint.Info; check = (fun _ _ -> []) }
+  in
+  let before = List.length (Lint.rules ()) in
+  Lint.register (noop "test-frozen-probe");
+  Lint.register (noop "test-frozen-probe");
+  Alcotest.(check int) "re-registration is idempotent" (before + 1)
+    (List.length (Lint.rules ()));
+  (* shadowing a built-in replaces it in the registry but leaves the
+     immutable base list alone *)
+  Lint.register (noop "const-cmp");
+  Alcotest.(check int) "shadowing does not grow the registry" (before + 1)
+    (List.length (Lint.rules ()));
+  Alcotest.(check bool) "builtins list unaffected" true
+    (List.exists
+       (fun (r : Lint.rule) -> r.Lint.name = "const-cmp" && r.Lint.doc <> "noop")
+       Lint.builtins);
+  (* restore the real rule for the rest of the suite *)
+  Lint.register
+    (List.find (fun (r : Lint.rule) -> r.Lint.name = "const-cmp") Lint.builtins)
+
+(* Concurrent readers and writers must never observe a torn rule list:
+   every snapshot contains all six built-in names exactly once. *)
+let test_lint_registry_concurrent () =
+  let noop name : Lint.rule =
+    { name; doc = "noop"; severity = Lint.Info; check = (fun _ _ -> []) }
+  in
+  let torn = Atomic.make false in
+  let worker k () =
+    for _ = 1 to 200 do
+      Lint.register (noop (Printf.sprintf "test-conc-%d" k));
+      let names = List.map (fun (r : Lint.rule) -> r.Lint.name) (Lint.rules ()) in
+      let count n = List.length (List.filter (String.equal n) names) in
+      if List.exists (fun (r : Lint.rule) -> count r.Lint.name <> 1) Lint.builtins
+      then Atomic.set torn true
+    done
+  in
+  let ds = List.init 4 (fun k -> Domain.spawn (worker k)) in
+  List.iter Domain.join ds;
+  Alcotest.(check bool) "no torn registry snapshot" false (Atomic.get torn);
+  Alcotest.(check int) "all four probes registered" 4
+    (List.length
+       (List.filter
+          (fun (r : Lint.rule) ->
+            String.length r.Lint.name >= 10 && String.sub r.Lint.name 0 10 = "test-conc-")
+          (Lint.rules ())))
+
 let test_lint_custom_rule () =
   let saw = ref 0 in
   let rule : Lint.rule =
@@ -419,6 +476,10 @@ let suite =
     Alcotest.test_case "lint: registry and severity" `Quick
       test_lint_registry_and_severity;
     Alcotest.test_case "lint: custom rule" `Quick test_lint_custom_rule;
+    Alcotest.test_case "lint: registry built-ins frozen" `Quick
+      test_lint_registry_frozen_builtins;
+    Alcotest.test_case "lint: registry safe under domains" `Quick
+      test_lint_registry_concurrent;
     Alcotest.test_case "oracle: certify divergence class" `Quick
       test_oracle_certify_class;
     Alcotest.test_case "stage gate raises on miscompile" `Quick

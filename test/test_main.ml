@@ -20,6 +20,7 @@ let () =
       ("validate", Test_validate.suite);
       ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);
+      ("par", Test_par.suite);
       ("differential", Test_differential.suite);
       ("workloads", Test_workloads.suite);
     ]

@@ -1,0 +1,202 @@
+(** Tests for the [lib/par] domain pool and the determinism contract of
+    the drivers built on it: whatever [jobs], fuzz campaigns and the
+    certify matrix must produce byte-identical output to a sequential
+    run. *)
+
+open Sxe_par
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_ordered () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "results in input order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map p (fun x -> x * x) xs))
+
+let test_map_empty_and_reuse () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.(check (list int)) "empty input" [] (Pool.map p Fun.id []);
+      (* the same pool serves several batches *)
+      for k = 1 to 5 do
+        let xs = List.init (10 * k) (fun i -> i * k) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "batch %d" k)
+          xs (Pool.map p Fun.id xs)
+      done)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      (match Pool.map p (fun x -> if x = 3 then raise (Boom x) else x) (List.init 8 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 3 -> ());
+      (* two failing tasks: the lowest index wins, deterministically, as
+         in a sequential run *)
+      (match
+         Pool.map p (fun x -> if x = 2 || x = 5 then raise (Boom x) else x) (List.init 8 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom i -> Alcotest.(check int) "lowest failing index" 2 i);
+      (* the pool survives a failed batch *)
+      Alcotest.(check (list int))
+        "pool usable after failure" [ 0; 1; 2 ]
+        (Pool.map p Fun.id [ 0; 1; 2 ]))
+
+let test_consume_in_order () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let seen = ref [] in
+      Pool.consume_map p Fun.id
+        ~consume:(fun i v -> seen := (i, v) :: !seen)
+        (List.init 50 Fun.id);
+      Alcotest.(check (list (pair int int)))
+        "consumed in ascending index order"
+        (List.init 50 (fun i -> (i, i)))
+        (List.rev !seen))
+
+let test_jobs_one_is_sequential () =
+  Pool.with_pool ~jobs:1 (fun p ->
+      Alcotest.(check int) "jobs" 1 (Pool.jobs p);
+      (* strict compute/consume interleaving: the exact sequential path *)
+      let order = ref [] in
+      Pool.consume_map p
+        (fun x ->
+          order := ("f", x) :: !order;
+          x)
+        ~consume:(fun _ v -> order := ("c", v) :: !order)
+        [ 0; 1; 2 ];
+      Alcotest.(check (list (pair string int)))
+        "compute i, consume i, advance"
+        [ ("f", 0); ("c", 0); ("f", 1); ("c", 1); ("f", 2); ("c", 2) ]
+        (List.rev !order))
+
+let test_default_jobs_env () =
+  Unix.putenv Pool.env_var "3";
+  Alcotest.(check int) "SXE_JOBS=3" 3 (Pool.default_jobs ());
+  Unix.putenv Pool.env_var "";
+  Alcotest.(check int) "empty means 1" 1 (Pool.default_jobs ());
+  Unix.putenv Pool.env_var "zero";
+  (match Pool.default_jobs () with
+  | _ -> Alcotest.fail "expected Invalid_argument on SXE_JOBS=zero"
+  | exception Invalid_argument _ -> ());
+  Unix.putenv Pool.env_var ""
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz campaigns: parallel ≡ sequential, byte for byte                 *)
+(* ------------------------------------------------------------------ *)
+
+open Sxe_fuzz
+
+(* Everything observable about a report, as one string: counts, case
+   indices and seeds, classified failures, shrunk witnesses, save paths. *)
+let report_fingerprint (r : Driver.report) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "cases=%d minij=%d ir=%d mutated=%d\n" r.Driver.cases
+       r.Driver.minij_cases r.Driver.ir_cases r.Driver.mutated_cases);
+  List.iter
+    (fun (fr : Driver.failure_report) ->
+      Buffer.add_string b
+        (Printf.sprintf "case %d seed %d kind %s saved %s\n" fr.Driver.index
+           fr.Driver.case_seed
+           (Driver.string_of_kind fr.Driver.kind)
+           (Option.value fr.Driver.saved ~default:"-"));
+      List.iter
+        (fun f -> Buffer.add_string b (Format.asprintf "  %a\n" Oracle.pp_failure f))
+        fr.Driver.failures;
+      match fr.Driver.shrunk with
+      | Some p -> Buffer.add_string b (Sxe_ir.Printer.prog_to_string p)
+      | None -> ())
+    r.Driver.failures;
+  Buffer.contents b
+
+let run_campaign ~jobs o =
+  let log = Buffer.create 256 in
+  let r =
+    Driver.run
+      { o with Driver.jobs; log = (fun s -> Buffer.add_string log s; Buffer.add_char log '\n') }
+  in
+  (report_fingerprint r, Buffer.contents log)
+
+let test_fuzz_par_clean_campaign () =
+  let o = { Driver.default_options with seed = 7; count = 12 } in
+  let fp1, log1 = run_campaign ~jobs:1 o in
+  let fp4, log4 = run_campaign ~jobs:4 o in
+  Alcotest.(check string) "report identical" fp1 fp4;
+  Alcotest.(check string) "log identical" log1 log4
+
+let test_fuzz_par_failing_campaign () =
+  (* with an injected bug, failures (and their in-worker shrinks) must
+     come back in the same order with the same witnesses at any width *)
+  let o =
+    {
+      Driver.default_options with
+      seed = 42;
+      count = 20;
+      sabotage = Some Inject.Skip_add_extend;
+    }
+  in
+  let fp1, log1 = run_campaign ~jobs:1 o in
+  let fp4, log4 = run_campaign ~jobs:4 o in
+  Alcotest.(check bool) "campaign does fail" true (log1 <> "");
+  Alcotest.(check string) "report identical" fp1 fp4;
+  Alcotest.(check string) "log identical" log1 log4
+
+(* ------------------------------------------------------------------ *)
+(* Certify matrix: parallel ≡ sequential verdict table                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The verdict table sxopt certify prints, one line per (workload,
+   variant) cell, computed at the given width. Mirrors the CLI's cell
+   structure: freeze the bases, then compile + certify clones per cell. *)
+let certify_table ~jobs () =
+  let inputs =
+    List.filteri (fun i _ -> i < 3) (Sxe_workloads.Registry.all ())
+    |> List.map (fun (w : Sxe_workloads.Registry.t) ->
+           (w.name, Sxe_lang.Frontend.compile w.source))
+  in
+  List.iter (fun (_, p) -> Sxe_ir.Clone.freeze_prog p) inputs;
+  let configs = Oracle.all_variants () in
+  let cells =
+    List.concat_map
+      (fun (name, base) -> List.map (fun c -> (name, base, c)) configs)
+      inputs
+  in
+  Pool.with_pool ~jobs (fun p ->
+      Pool.map p
+        (fun (name, base, (config : Sxe_core.Config.t)) ->
+          let q = Sxe_ir.Clone.clone_prog base in
+          let _ = Sxe_core.Pass.compile config q in
+          let errs = Sxe_check.Check.certify_prog q in
+          Printf.sprintf "%s/%s: %s" name config.Sxe_core.Config.name
+            (if errs = [] then "ok"
+             else
+               String.concat "; " (List.map Sxe_check.Certify.error_to_string errs)))
+        cells)
+
+let test_certify_matrix_par_deterministic () =
+  let t1 = certify_table ~jobs:1 () in
+  let t4 = certify_table ~jobs:4 () in
+  Alcotest.(check (list string)) "verdict table identical" t1 t4;
+  Alcotest.(check int) "3 workloads x 12 variants" 36 (List.length t1)
+
+let suite =
+  [
+    Alcotest.test_case "pool: map is ordered" `Quick test_map_ordered;
+    Alcotest.test_case "pool: empty input, batch reuse" `Quick test_map_empty_and_reuse;
+    Alcotest.test_case "pool: exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "pool: consume_map delivers in order" `Quick test_consume_in_order;
+    Alcotest.test_case "pool: jobs=1 is the sequential path" `Quick
+      test_jobs_one_is_sequential;
+    Alcotest.test_case "pool: SXE_JOBS parsing" `Quick test_default_jobs_env;
+    Alcotest.test_case "fuzz: clean campaign, jobs 1 = jobs 4" `Quick
+      test_fuzz_par_clean_campaign;
+    Alcotest.test_case "fuzz: failing campaign, jobs 1 = jobs 4" `Slow
+      test_fuzz_par_failing_campaign;
+    Alcotest.test_case "certify: matrix verdicts, jobs 1 = jobs 4" `Slow
+      test_certify_matrix_par_deterministic;
+  ]
