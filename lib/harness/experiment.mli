@@ -18,6 +18,16 @@ val default_variants :
   ?arch:Sxe_core.Arch.t -> ?maxlen:int64 -> unit -> Sxe_core.Config.t list
 (** The twelve measured configurations, in the tables' row order. *)
 
+val base_of : Sxe_workloads.Registry.t -> Sxe_ir.Prog.t
+(** The freshly-lowered, frozen base program for a workload, memoized per
+    domain ({!Sxe_par.Dcache}). Treat it as immutable: clone before
+    compiling or running. *)
+
+val reference_of : Sxe_workloads.Registry.t -> Sxe_vm.Interp.outcome
+(** The canonical (32-bit reference semantics) outcome, memoized per
+    domain; the [equivalent] bit of every measurement compares against
+    it. *)
+
 val collect_profile :
   Sxe_workloads.Registry.t ->
   ?arch:Sxe_core.Arch.t ->
@@ -27,7 +37,8 @@ val collect_profile :
   dst:int ->
   float option
 (** Branch profile from a baseline-compiled run — valid for every gen-def
-    variant because Steps 1+2 produce the same CFG for all of them. *)
+    variant because Steps 1+2 produce the same CFG for all of them.
+    Memoized per domain. *)
 
 val run_one :
   ?profile:(string -> src:int -> dst:int -> float option) ->
@@ -48,10 +59,15 @@ val run_suite :
   ?use_profile:bool ->
   ?arch:Sxe_core.Arch.t ->
   ?jobs:int ->
+  ?chunk:int ->
+  ?stats:(Sxe_par.Pool.stats -> unit) ->
   Sxe_workloads.Registry.suite ->
   (string * measurement list) list
-(** [jobs] (default 1) spreads workloads over that many domains; the
-    result is identical to a sequential run, in registry order. *)
+(** [jobs] (default 1) spreads (workload x variant) cells over that many
+    domains in pool-sized chunks ([chunk] overrides the size); the
+    result is identical to a sequential run, in registry order. [stats]
+    receives the pool's scheduling counters just before the pool is torn
+    down. *)
 
 type breakdown = {
   bench : string;

@@ -1,0 +1,14 @@
+type ('k, 'v) t = ('k, 'v) Hashtbl.t Domain.DLS.key
+
+let create () = Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let find t k compute =
+  let tbl = Domain.DLS.get t in
+  match Hashtbl.find_opt tbl k with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Hashtbl.replace tbl k v;
+      v
+
+let clear t = Hashtbl.reset (Domain.DLS.get t)

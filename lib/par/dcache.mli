@@ -1,0 +1,29 @@
+(** Per-domain memo tables (domain-local storage).
+
+    A [('k, 'v) t] is a family of hash tables, one per domain, living in
+    that domain's [Domain.DLS]. {!find} computes each key at most once
+    {e per domain} — no locks, no sharing, no false contention. The
+    intended use is caching derived artifacts that are deterministic in
+    the key (frozen base programs, canonical reference outcomes, branch
+    profiles): whichever domain a work item lands on computes the shared
+    prerequisite once and reuses it for every later item with the same
+    key, and because the computation is deterministic the results are
+    identical across domains, preserving the pool's byte-identical-output
+    contract.
+
+    Values cached by a worker domain die with it; the calling domain's
+    table lives as long as the program (bound by the key space — keep
+    keys coarse, e.g. one per workload). *)
+
+type ('k, 'v) t
+
+val create : unit -> ('k, 'v) t
+
+val find : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find t k compute] returns the current domain's cached value for
+    [k], running [compute ()] and caching its result on a miss. Not
+    re-entrant on the same table with the same key. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop the {e current} domain's table (other domains' tables are
+    unreachable by design). *)

@@ -5,6 +5,13 @@
 
 open Sxe_par
 
+(* Race coverage beats wall clock here: force the requested domain
+   counts even on machines with fewer cores, where Pool.create would
+   otherwise (correctly) clamp to the sequential path. The scaling smoke
+   test below is the one place that wants the clamp's honest behavior,
+   and it skips itself on such machines anyway. *)
+let () = Unix.putenv Pool.oversubscribe_env_var "1"
+
 (* ------------------------------------------------------------------ *)
 (* Pool unit tests                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -73,6 +80,199 @@ let test_jobs_one_is_sequential () =
         "compute i, consume i, advance"
         [ ("f", 0); ("c", 0); ("f", 1); ("c", 1); ("f", 2); ("c", 2) ]
         (List.rev !order))
+
+(* ------------------------------------------------------------------ *)
+(* Chunked scheduling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_auto_chunk () =
+  Alcotest.(check int) "tiny batch" 1 (Pool.auto_chunk ~domains:4 ~n:10);
+  Alcotest.(check int) "certify-matrix-sized" 7 (Pool.auto_chunk ~domains:4 ~n:252);
+  Alcotest.(check int) "capped" 64 (Pool.auto_chunk ~domains:2 ~n:100_000);
+  Alcotest.(check int) "never zero" 1 (Pool.auto_chunk ~domains:8 ~n:1)
+
+let test_chunked_order () =
+  (* forced chunk sizes, including chunk > n and chunk = 1, must not
+     change delivery order or completeness *)
+  List.iter
+    (fun chunk ->
+      Pool.with_pool ~clamp:false ~chunk ~jobs:3 (fun p ->
+          let xs = List.init 23 Fun.id in
+          Alcotest.(check (list int))
+            (Printf.sprintf "map ordered at chunk %d" chunk)
+            (List.map (fun x -> x * 7) xs)
+            (Pool.map p (fun x -> x * 7) xs);
+          let seen = ref [] in
+          Pool.consume_map p Fun.id ~consume:(fun i v -> seen := (i, v) :: !seen) xs;
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "consume ordered at chunk %d" chunk)
+            (List.map (fun i -> (i, i)) xs)
+            (List.rev !seen)))
+    [ 1; 4; 5; 23; 100 ]
+
+let test_stats_counters () =
+  Pool.with_pool ~clamp:false ~chunk:5 ~jobs:3 (fun p ->
+      ignore (Pool.map p Fun.id (List.init 23 Fun.id));
+      let s = Pool.stats p in
+      Alcotest.(check int) "domains" 3 s.Pool.domains;
+      Alcotest.(check int) "chunk recorded" 5 s.Pool.chunk;
+      Alcotest.(check int) "every item executed exactly once" 23
+        (Array.fold_left ( + ) 0 s.Pool.tasks);
+      Alcotest.(check int) "ceil(23/5) chunks" 5 (Array.fold_left ( + ) 0 s.Pool.chunks);
+      Alcotest.(check bool) "buffer high-water within bounds" true
+        (s.Pool.max_buffered >= 1 && s.Pool.max_buffered <= 23);
+      Alcotest.(check bool) "busy time accumulated" true
+        (Array.fold_left ( +. ) 0.0 s.Pool.busy_s >= 0.0);
+      (* counters are cumulative across batches *)
+      ignore (Pool.map p Fun.id (List.init 7 Fun.id));
+      let s2 = Pool.stats p in
+      Alcotest.(check int) "cumulative items" 30
+        (Array.fold_left ( + ) 0 s2.Pool.tasks);
+      Alcotest.(check int) "cumulative chunks" 7
+        (Array.fold_left ( + ) 0 s2.Pool.chunks))
+
+let test_chunk_env () =
+  Unix.putenv Pool.chunk_env_var "9";
+  Pool.with_pool ~clamp:false ~jobs:2 (fun p ->
+      ignore (Pool.map p Fun.id (List.init 20 Fun.id));
+      Alcotest.(check int) "SXE_CHUNK=9 honored" 9 (Pool.stats p).Pool.chunk);
+  Unix.putenv Pool.chunk_env_var "junk";
+  (match Pool.create ~clamp:false ~jobs:2 () with
+  | p ->
+      Pool.shutdown p;
+      Alcotest.fail "expected Invalid_argument on SXE_CHUNK=junk"
+  | exception Invalid_argument _ -> ());
+  Unix.putenv Pool.chunk_env_var "";
+  (* explicit ?chunk wins over the environment *)
+  Unix.putenv Pool.chunk_env_var "3";
+  Pool.with_pool ~clamp:false ~chunk:11 ~jobs:2 (fun p ->
+      ignore (Pool.map p Fun.id (List.init 30 Fun.id));
+      Alcotest.(check int) "?chunk beats SXE_CHUNK" 11 (Pool.stats p).Pool.chunk);
+  Unix.putenv Pool.chunk_env_var ""
+
+let test_bounded_resequencer () =
+  (* fast producers + slow consumer: workers must throttle instead of
+     buffering the whole batch *)
+  Pool.with_pool ~clamp:false ~chunk:4 ~jobs:4 (fun p ->
+      let n = 300 in
+      let seen = ref 0 in
+      Pool.consume_map p Fun.id
+        ~consume:(fun _ _ ->
+          incr seen;
+          if !seen mod 25 = 0 then Unix.sleepf 0.005)
+        (List.init n Fun.id);
+      Alcotest.(check int) "all consumed" n !seen;
+      let s = Pool.stats p in
+      (* window = max 64 (2*chunk*domains) = 64; in-flight chunks can
+         overshoot by at most one chunk per worker *)
+      Alcotest.(check bool)
+        (Printf.sprintf "buffering bounded (max_buffered=%d)" s.Pool.max_buffered)
+        true
+        (s.Pool.max_buffered <= 64 + (4 * 4)))
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_more_jobs_than_tasks () =
+  Pool.with_pool ~clamp:false ~jobs:8 (fun p ->
+      Alcotest.(check (list int))
+        "3 tasks on 8 domains" [ 0; 2; 4 ]
+        (Pool.map p (fun x -> 2 * x) [ 0; 1; 2 ]);
+      Alcotest.(check int) "domains spawned" 8 (Pool.domains p))
+
+let test_zero_tasks () =
+  Pool.with_pool ~clamp:false ~jobs:4 (fun p ->
+      Alcotest.(check (list int)) "map []" [] (Pool.map p Fun.id []);
+      let hits = ref 0 in
+      Pool.consume_map p Fun.id ~consume:(fun _ _ -> incr hits) [];
+      Alcotest.(check int) "consume_map [] calls nothing" 0 !hits)
+
+let test_raise_mid_chunk () =
+  Pool.with_pool ~clamp:false ~chunk:4 ~jobs:2 (fun p ->
+      let attempted = Atomic.make 0 in
+      let f x =
+        Atomic.incr attempted;
+        if x = 5 || x = 9 then raise (Boom x) else x
+      in
+      (match Pool.map p f (List.init 12 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom i ->
+          Alcotest.(check int) "lowest failing index wins, mid-chunk" 5 i);
+      (* the failing item neither aborts its chunk nor the batch: every
+         item still ran exactly once before the error surfaced *)
+      Alcotest.(check int) "all items attempted" 12 (Atomic.get attempted);
+      Alcotest.(check (list int))
+        "pool usable after mid-chunk failure" [ 1; 2; 3 ]
+        (Pool.map p Fun.id [ 1; 2; 3 ]))
+
+let test_use_after_shutdown () =
+  let p = Pool.create ~clamp:false ~jobs:3 () in
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  (match Pool.map p Fun.id [ 1; 2; 3 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ());
+  (* same contract on a pool that never had workers *)
+  let q = Pool.create ~jobs:1 () in
+  Pool.shutdown q;
+  match Pool.consume_map q Fun.id ~consume:(fun _ _ -> ()) [ 1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown (jobs=1)"
+  | exception Invalid_argument _ -> ()
+
+let test_start_stop_stress () =
+  (* create/shutdown churn with work in flight: a worker that wakes on
+     the final broadcast with an empty queue must still exit (the live
+     re-check in the take path), so none of these joins may hang *)
+  for round = 1 to 30 do
+    Pool.with_pool ~clamp:false ~jobs:4 (fun p ->
+        ignore (Pool.map p (fun x -> x * round) (List.init 8 Fun.id)));
+    (* and shutdown with zero batches ever submitted *)
+    let p = Pool.create ~clamp:false ~jobs:4 () in
+    Pool.shutdown p
+  done;
+  Alcotest.(check pass) "no hang across 30 start/stop rounds" () ()
+
+(* ------------------------------------------------------------------ *)
+(* Scaling smoke: parallel must actually win on parallel hardware       *)
+(* ------------------------------------------------------------------ *)
+
+(* CPU-bound, allocation-free work so the measurement sees scheduling
+   and GC behavior, not the memory bus. *)
+let spin iters =
+  let x = ref 0x9E3779B9 in
+  for _ = 1 to iters do
+    x := !x lxor (!x lsl 13);
+    x := !x lxor (!x lsr 7);
+    x := !x lxor (!x lsl 17)
+  done;
+  !x
+
+let test_scaling_smoke () =
+  if Domain.recommended_domain_count () < 4 then
+    Alcotest.skip () (* no parallel hardware: nothing to measure *)
+  else begin
+    (* the clamp must not bite here (cores >= 4), and the pool defaults
+       (chunking, GC tuning) are exactly what is under test *)
+    Unix.putenv Pool.oversubscribe_env_var "";
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv Pool.oversubscribe_env_var "1")
+      (fun () ->
+        let tasks = List.init 64 (fun i -> 400_000 + (i mod 7)) in
+        let wall jobs =
+          Pool.with_pool ~jobs (fun p ->
+              let t0 = Unix.gettimeofday () in
+              ignore (Pool.map p spin tasks);
+              Unix.gettimeofday () -. t0)
+        in
+        ignore (wall 4) (* warm up: domain spawn, page faults *);
+        let w1 = wall 1 and w4 = wall 4 in
+        let speedup = w1 /. w4 in
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=4 beats jobs=1 by >= 1.5x (got %.2fx: %.3fs vs %.3fs)"
+             speedup w1 w4)
+          true (speedup >= 1.5))
+  end
 
 let test_default_jobs_env () =
   Unix.putenv Pool.env_var "3";
@@ -193,6 +393,18 @@ let suite =
     Alcotest.test_case "pool: jobs=1 is the sequential path" `Quick
       test_jobs_one_is_sequential;
     Alcotest.test_case "pool: SXE_JOBS parsing" `Quick test_default_jobs_env;
+    Alcotest.test_case "pool: auto chunk sizing" `Quick test_auto_chunk;
+    Alcotest.test_case "pool: chunked scheduling keeps order" `Quick test_chunked_order;
+    Alcotest.test_case "pool: stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "pool: SXE_CHUNK parsing and precedence" `Quick test_chunk_env;
+    Alcotest.test_case "pool: resequencer buffering is bounded" `Quick
+      test_bounded_resequencer;
+    Alcotest.test_case "pool: more jobs than tasks" `Quick test_more_jobs_than_tasks;
+    Alcotest.test_case "pool: zero tasks" `Quick test_zero_tasks;
+    Alcotest.test_case "pool: exception mid-chunk" `Quick test_raise_mid_chunk;
+    Alcotest.test_case "pool: use after shutdown raises" `Quick test_use_after_shutdown;
+    Alcotest.test_case "pool: start/stop stress" `Slow test_start_stop_stress;
+    Alcotest.test_case "pool: scaling smoke (jobs 4 vs 1)" `Slow test_scaling_smoke;
     Alcotest.test_case "fuzz: clean campaign, jobs 1 = jobs 4" `Quick
       test_fuzz_par_clean_campaign;
     Alcotest.test_case "fuzz: failing campaign, jobs 1 = jobs 4" `Slow
