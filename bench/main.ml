@@ -10,9 +10,11 @@
 
    Artifacts: table1 table2 fig11 fig12 fig13 fig14 table3 theorems archcmp inline
    bechamel json; 'profile' (opt-in) ablates profile-directed order determination.
-   'json' re-runs the interpreter-bound Bechamel tests and dumps machine-readable
-   timings (plus the wall-clock spent building the evaluation matrices,
-   sequentially and at --jobs width) to BENCH_vm.json, for CI trend tracking.
+   'json' re-runs the interpreter-bound Bechamel tests, takes an interleaved-
+   median A/B measurement of the three execution engines (structural, precode,
+   precode+fusion) and dumps machine-readable timings (plus the wall-clock
+   spent building the evaluation matrices, sequentially and at --jobs width)
+   to BENCH_vm.json, for CI trend tracking.
    --jobs N (or SXE_JOBS) builds the evaluation matrices on N domains. *)
 
 let scale = ref 1
@@ -322,10 +324,13 @@ let pass_tests () =
   ]
 
 (* Interpreter-bound tests: the same optimized program executed by the
-   structural engine and by the pre-decoded engine. Compilation happens
+   structural engine, by the plain pre-decoded engine and by the
+   pre-decoded engine with superinstruction fusion. Compilation happens
    once, outside the staged thunk, so these time pure execution (the
    decode itself is amortized by the per-function cache after the first
-   iteration — exactly the steady state the engine is designed for). *)
+   iteration — exactly the steady state the engine is designed for). The
+   precode row pins [Fuse.Off] explicitly so an ambient [SXE_FUSE]
+   cannot turn the unfused baseline into a second fused row. *)
 let vm_workloads = [ "compress"; "Numeric Sort" ]
 
 let vm_tests () =
@@ -335,16 +340,81 @@ let vm_tests () =
       let w = Sxe_workloads.Registry.find ~scale:1 wname in
       let prog = Sxe_lang.Frontend.compile w.Sxe_workloads.Registry.source in
       ignore (Sxe_core.Pass.compile (Sxe_core.Config.new_all ()) prog);
-      let run engine () = ignore (Sxe_vm.Interp.run ~engine prog) in
+      let structural () = ignore (Sxe_vm.Interp.run ~engine:`Structural prog) in
+      let precode fuse () = ignore (Sxe_vm.Interp.run ~engine:`Precode ~fuse prog) in
       [
         Test.make
           ~name:(Printf.sprintf "vm: run %s (structural)" wname)
-          (Staged.stage (run `Structural));
+          (Staged.stage structural);
         Test.make
           ~name:(Printf.sprintf "vm: run %s (precode)" wname)
-          (Staged.stage (run `Precode));
+          (Staged.stage (precode Sxe_vm.Fuse.Off));
+        Test.make
+          ~name:(Printf.sprintf "vm: run %s (fused)" wname)
+          (Staged.stage (precode Sxe_vm.Fuse.All));
       ])
     vm_workloads
+
+(* The engine-ratio rows of BENCH_vm.json ("speedup", "fused") come from
+   an interleaved-median A/B measurement, not from the Bechamel
+   estimates: the two sides of each ratio are timed in strict
+   alternation and the per-side median is taken, so slow drift in
+   machine load (CI runners, laptop thermal state) cancels instead of
+   landing entirely on whichever side ran last. The measurement runs at
+   [vm_scale] — at least 2 regardless of --scale — because the
+   superinstruction speedup is a steady-state property: scale-1 runs are
+   short enough that decode and state setup dilute the dispatch win the
+   row is supposed to track. *)
+let vm_scale () = max !scale 2
+let ab_rounds = 21
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* Per-workload medians, in ms: (structural, unfused precode, fused). *)
+let ab_medians wname =
+  let w = Sxe_workloads.Registry.find ~scale:(vm_scale ()) wname in
+  let prog = Sxe_lang.Frontend.compile w.Sxe_workloads.Registry.source in
+  ignore (Sxe_core.Pass.compile (Sxe_core.Config.new_all ()) prog);
+  let structural () = ignore (Sxe_vm.Interp.run ~engine:`Structural prog) in
+  let precode fuse () = ignore (Sxe_vm.Interp.run ~engine:`Precode ~fuse prog) in
+  let unfused = precode Sxe_vm.Fuse.Off and fused = precode Sxe_vm.Fuse.All in
+  (* warm every decode cache so round 1 times execution, not decoding *)
+  structural ();
+  unfused ();
+  fused ();
+  let ts = Array.make ab_rounds 0.0 in
+  let tu = Array.make ab_rounds 0.0 in
+  let tf = Array.make ab_rounds 0.0 in
+  for i = 0 to ab_rounds - 1 do
+    ts.(i) <- time_of structural;
+    tu.(i) <- time_of unfused;
+    tf.(i) <- time_of fused
+  done;
+  (median ts *. 1e3, median tu *. 1e3, median tf *. 1e3)
+
+(* Per-workload dispatch-pair histogram (unfused, so the counts name the
+   fusion candidates — the same data `sxopt bench --dispatch-counts`
+   prints), truncated to the hottest pairs for the json artifact. *)
+let dispatch_top = 8
+
+let dispatch_pairs wname =
+  let w = Sxe_workloads.Registry.find ~scale:(vm_scale ()) wname in
+  let prog = Sxe_lang.Frontend.compile w.Sxe_workloads.Registry.source in
+  ignore (Sxe_core.Pass.compile (Sxe_core.Config.new_all ()) prog);
+  let prof = Sxe_vm.Profile.create () in
+  Sxe_vm.Precode.enable_dispatch prof;
+  ignore
+    (Sxe_vm.Interp.run ~engine:`Precode ~fuse:Sxe_vm.Fuse.Off ~profile:prof prog);
+  let all = Sxe_vm.Precode.dispatch_counts prof in
+  List.filteri (fun i _ -> i < dispatch_top) all
 
 let bechamel () =
   Printf.printf "Bechamel pass-timing benchmarks (monotonic clock, ns/run):\n%!";
@@ -417,7 +487,15 @@ let json_artifact () =
   (* Alternate sequential and parallel builds and keep the best of each:
      a single ordered pair is hostage to scheduler jitter (the run right
      after the bechamel burn can read several times slower than an
-     identical run moments later). *)
+     identical run moments later). On a single-core runner (or at
+     --jobs 1) there is no parallel scaling to measure, so the parallel
+     build is not run at all and the json marks the section skipped
+     instead of recording domains-fighting-for-one-core noise. *)
+  let par_skip =
+    if Domain.recommended_domain_count () < 2 then Some "single-core"
+    else if !jobs < 2 then Some "jobs < 2"
+    else None
+  in
   let iters = 2 in
   Printf.printf "timing evaluation-matrix build: 1 vs %d domain(s), best of %d...\n%!"
     !jobs iters;
@@ -426,7 +504,7 @@ let json_artifact () =
   for it = 1 to iters do
     let s, _ = time_matrices ~jobs:1 () in
     seq_s := Float.min !seq_s s;
-    if !jobs > 1 then begin
+    if par_skip = None then begin
       let p, st = time_matrices ~jobs:!jobs () in
       Printf.printf "  round %d: seq %.3f s, par %.3f s\n%!" it s p;
       if p < !par_s then begin
@@ -437,9 +515,19 @@ let json_artifact () =
     else Printf.printf "  round %d: seq %.3f s\n%!" it s
   done;
   let seq_s = !seq_s in
-  let par_s = if !jobs > 1 then !par_s else seq_s in
+  let par_s = if par_skip = None then !par_s else seq_s in
   let par_stats = !par_stats in
-  let ns name = match List.assoc_opt name results with Some v -> v | None -> Float.nan in
+  Printf.printf "interleaved A/B: structural vs precode vs fused, scale %d, %d rounds...\n%!"
+    (vm_scale ()) ab_rounds;
+  let ab =
+    List.map
+      (fun wname ->
+        let ((s, u, f) as m) = ab_medians wname in
+        Printf.printf "  %-14s structural %8.2f ms  precode %8.2f ms  fused %8.2f ms  (fused speedup %.3f)\n%!"
+          wname s u f (u /. f);
+        (wname, m))
+      vm_workloads
+  in
   let num v = if Float.is_nan v then "null" else Printf.sprintf "%.1f" v in
   let oc = open_out "BENCH_vm.json" in
   Printf.fprintf oc "{\n  \"scale\": %d,\n  \"matrix_wall_s\": %.3f,\n" !scale !matrix_wall;
@@ -449,45 +537,88 @@ let json_artifact () =
       Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name) (num v)
         (if i = List.length results - 1 then "" else ","))
     results;
-  Printf.fprintf oc "  },\n  \"speedup\": {\n";
+  (* vm_ab: the interleaved-median raw times behind the ratio rows *)
+  Printf.fprintf oc "  },\n  \"vm_ab\": {\n    \"scale\": %d,\n    \"rounds\": %d,\n"
+    (vm_scale ()) ab_rounds;
+  List.iteri
+    (fun i (wname, (s, u, f)) ->
+      Printf.fprintf oc
+        "    \"%s\": { \"structural_ms\": %.3f, \"precode_ms\": %.3f, \"fused_ms\": %.3f }%s\n"
+        (json_escape wname) s u f
+        (if i = List.length ab - 1 then "" else ","))
+    ab;
+  let ratio_row oc label num den =
+    Printf.fprintf oc "  },\n  \"%s\": {\n" label;
+    List.iteri
+      (fun i (wname, m) ->
+        let ratio = num m /. den m in
+        Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape wname)
+          (if Float.is_nan ratio then "null" else Printf.sprintf "%.2f" ratio)
+          (if i = List.length ab - 1 then "" else ","))
+      ab
+  in
+  (* speedup: pre-decoding over the structural engine (unfused);
+     fused: superinstruction fusion over the unfused pre-decoded engine *)
+  ratio_row oc "speedup" (fun (s, _, _) -> s) (fun (_, u, _) -> u);
+  ratio_row oc "fused" (fun (_, u, _) -> u) (fun (_, _, f) -> f);
+  Printf.fprintf oc "  },\n  \"dispatch\": {\n";
   List.iteri
     (fun i wname ->
-      let s = ns (Printf.sprintf "vm: run %s (structural)" wname) in
-      let p = ns (Printf.sprintf "vm: run %s (precode)" wname) in
-      let ratio = s /. p in
-      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape wname)
-        (if Float.is_nan ratio then "null" else Printf.sprintf "%.2f" ratio)
+      let pairs = dispatch_pairs wname in
+      Printf.fprintf oc "    \"%s\": [" (json_escape wname);
+      List.iteri
+        (fun j ((a, b), c) ->
+          Printf.fprintf oc "%s\n      { \"first\": \"%s\", \"second\": \"%s\", \"count\": %d }"
+            (if j = 0 then "" else ",")
+            (json_escape a) (json_escape b) c)
+        pairs;
+      Printf.fprintf oc "%s]%s\n"
+        (if pairs = [] then "" else "\n    ")
         (if i = List.length vm_workloads - 1 then "" else ","))
     vm_workloads;
   Printf.fprintf oc "  },\n  \"parallel\": {\n";
   Printf.fprintf oc "    \"jobs\": %d,\n" !jobs;
-  Printf.fprintf oc "    \"cores\": %d,\n" (Domain.recommended_domain_count ());
-  (match par_stats with
-  | Some (s : Sxe_par.Pool.stats) ->
-      Printf.fprintf oc "    \"domains\": %d,\n" s.Sxe_par.Pool.domains;
-      Printf.fprintf oc "    \"chunk\": %d,\n" s.Sxe_par.Pool.chunk;
-      Printf.fprintf oc "    \"max_buffered\": %d,\n" s.Sxe_par.Pool.max_buffered;
-      Printf.fprintf oc "    \"per_domain\": [";
-      for w = 0 to s.Sxe_par.Pool.domains - 1 do
-        Printf.fprintf oc "%s\n      { \"tasks\": %d, \"chunks\": %d, \"queue_waits\": %d, \"throttle_waits\": %d, \"busy_s\": %.3f }"
-          (if w = 0 then "" else ",")
-          s.Sxe_par.Pool.tasks.(w) s.Sxe_par.Pool.chunks.(w)
-          s.Sxe_par.Pool.queue_waits.(w) s.Sxe_par.Pool.throttle_waits.(w)
-          s.Sxe_par.Pool.busy_s.(w)
-      done;
-      Printf.fprintf oc "%s],\n" (if s.Sxe_par.Pool.domains > 0 then "\n    " else "")
+  Printf.fprintf oc "    \"cores\": %d" (Domain.recommended_domain_count ());
+  (match par_skip with
+  | Some reason ->
+      (* no parallel build ran: record why instead of fake numbers *)
+      Printf.fprintf oc ",\n    \"skipped\": \"%s\",\n" (json_escape reason);
+      Printf.fprintf oc "    \"matrix_wall_s_seq\": %.3f\n" seq_s
   | None ->
-      Printf.fprintf oc "    \"domains\": 0,\n";
-      Printf.fprintf oc "    \"per_domain\": [],\n");
-  Printf.fprintf oc "    \"matrix_wall_s_seq\": %.3f,\n" seq_s;
-  Printf.fprintf oc "    \"matrix_wall_s_par\": %.3f,\n" par_s;
-  Printf.fprintf oc "    \"speedup\": %.2f\n" (seq_s /. par_s);
+      Printf.fprintf oc ",\n";
+      (match par_stats with
+      | Some (s : Sxe_par.Pool.stats) ->
+          Printf.fprintf oc "    \"domains\": %d,\n" s.Sxe_par.Pool.domains;
+          Printf.fprintf oc "    \"chunk\": %d,\n" s.Sxe_par.Pool.chunk;
+          Printf.fprintf oc "    \"max_buffered\": %d,\n" s.Sxe_par.Pool.max_buffered;
+          Printf.fprintf oc "    \"per_domain\": [";
+          for w = 0 to s.Sxe_par.Pool.domains - 1 do
+            Printf.fprintf oc "%s\n      { \"tasks\": %d, \"chunks\": %d, \"queue_waits\": %d, \"throttle_waits\": %d, \"busy_s\": %.3f }"
+              (if w = 0 then "" else ",")
+              s.Sxe_par.Pool.tasks.(w) s.Sxe_par.Pool.chunks.(w)
+              s.Sxe_par.Pool.queue_waits.(w) s.Sxe_par.Pool.throttle_waits.(w)
+              s.Sxe_par.Pool.busy_s.(w)
+          done;
+          Printf.fprintf oc "%s],\n" (if s.Sxe_par.Pool.domains > 0 then "\n    " else "")
+      | None ->
+          Printf.fprintf oc "    \"domains\": 0,\n";
+          Printf.fprintf oc "    \"per_domain\": [],\n");
+      Printf.fprintf oc "    \"matrix_wall_s_seq\": %.3f,\n" seq_s;
+      Printf.fprintf oc "    \"matrix_wall_s_par\": %.3f,\n" par_s;
+      Printf.fprintf oc "    \"speedup\": %.2f\n" (seq_s /. par_s));
   Printf.fprintf oc "  }\n}\n";
   close_out oc;
-  Printf.printf
-    "wrote BENCH_vm.json (matrix wall-clock %.3f s; seq %.3f s, %d-domain %.3f s, %.2fx)\n\n%!"
-    !matrix_wall seq_s !jobs par_s (seq_s /. par_s);
-  speedup_measured := Some (seq_s /. par_s)
+  (match par_skip with
+  | Some reason ->
+      Printf.printf
+        "wrote BENCH_vm.json (matrix wall-clock %.3f s; seq %.3f s; parallel skipped: %s)\n\n%!"
+        !matrix_wall seq_s reason;
+      speedup_measured := None
+  | None ->
+      Printf.printf
+        "wrote BENCH_vm.json (matrix wall-clock %.3f s; seq %.3f s, %d-domain %.3f s, %.2fx)\n\n%!"
+        !matrix_wall seq_s !jobs par_s (seq_s /. par_s);
+      speedup_measured := Some (seq_s /. par_s))
 
 let () =
   if want "table1" then table1 ();

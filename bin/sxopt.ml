@@ -176,13 +176,35 @@ let run_cmd =
       & info [ "trace" ]
           ~doc:"Stream every executed instruction (with input registers) to stderr.")
   in
-  let run file variant arch maxlen canonical profile trace =
+  let fuse_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fuse" ] ~docv:"SPEC"
+          ~doc:
+            "Superinstruction-fusion selection for the pre-decoded engine: \
+             $(b,all), $(b,off) or a comma-separated rule list. Defaults to \
+             the $(b,SXE_FUSE) environment variable, then $(b,all). The \
+             outcome — output, checksum, trap and every counter — is \
+             bit-identical under any selection; only wall-clock changes.")
+  in
+  let run file variant arch maxlen canonical profile trace fuse =
     with_frontend_errors @@ fun () ->
     let src = read_source file in
     let prog = Sxe_lang.Frontend.compile src in
     let tr = if trace then Some Format.err_formatter else None in
+    let fuse_sel =
+      match fuse with
+      | None -> None
+      | Some s -> (
+          match Sxe_vm.Fuse.parse s with
+          | Ok sel -> Some sel
+          | Error msg ->
+              Printf.eprintf "error: --fuse: %s\n" msg;
+              exit 2)
+    in
     let out =
-      if canonical then Sxe_vm.Interp.run ~mode:`Canonical ?trace:tr prog
+      if canonical then Sxe_vm.Interp.run ~mode:`Canonical ?trace:tr ?fuse:fuse_sel prog
       else begin
         let config = config_of ~arch ~maxlen variant in
         let profile_src =
@@ -197,7 +219,7 @@ let run_cmd =
         in
         let _ = Sxe_core.Pass.compile ?profile:profile_src config prog in
         Sxe_ir.Validate.check_prog prog;
-        Sxe_vm.Interp.run ~mode:`Faithful ?trace:tr prog
+        Sxe_vm.Interp.run ~mode:`Faithful ?trace:tr ?fuse:fuse_sel prog
       end
     in
     print_string out.Sxe_vm.Interp.output;
@@ -213,7 +235,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ file_arg $ variant_arg $ arch_arg $ maxlen_arg $ canonical_arg
-      $ profile_arg $ trace_arg)
+      $ profile_arg $ trace_arg $ fuse_arg)
 
 (* -- variants ------------------------------------------------------------ *)
 
@@ -459,6 +481,120 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ count_arg $ mutate_n_arg $ corpus_arg $ kind_arg $ size_arg
       $ replay_arg $ no_shrink_arg $ inject_arg $ arch_arg $ both_arch_arg $ jobs_arg)
+
+(* -- bench ----------------------------------------------------------------- *)
+
+let bench_cmd =
+  let doc = "Interpreter measurements: per-opcode-pair dispatch histograms." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles each selected workload under the selected optimizer variant, \
+         executes it on the pre-decoded engine with dispatch-pair profiling \
+         enabled, and dumps the per-opcode-pair histogram as JSON — the \
+         evidence base for choosing superinstruction fusion rules (see \
+         docs/VM.md, Superinstructions). Pairs are counted for straight-line \
+         adjacency only, so every reported pair is a fusion candidate. The \
+         full table/figure benchmarks live in bench/main.exe.";
+    ]
+  in
+  let dispatch_arg =
+    Arg.(
+      value & flag
+      & info [ "dispatch-counts" ]
+          ~doc:"Dump the per-opcode-pair dispatch histogram as JSON.")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"Restrict to one registry workload (default: all).")
+  in
+  let scale_arg =
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
+  in
+  let fuse_arg =
+    Arg.(
+      value & opt string "off"
+      & info [ "fuse" ] ~docv:"SPEC"
+          ~doc:
+            "Fusion selection for the measured run: $(b,all), $(b,off) or a \
+             comma-separated rule list. Defaults to $(b,off) so the histogram \
+             shows unfused fusion candidates; $(b,all) shows what remains \
+             after fusion.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "top" ] ~docv:"N" ~doc:"Keep only the N most frequent pairs (0 = all).")
+  in
+  let run dispatch workload variant arch maxlen scale fuse top =
+    with_frontend_errors @@ fun () ->
+    if not dispatch then begin
+      Printf.eprintf
+        "error: nothing to do (pass --dispatch-counts; the table/figure \
+         benchmarks live in bench/main.exe)\n";
+      exit 2
+    end;
+    let fuse_sel =
+      match Sxe_vm.Fuse.parse fuse with
+      | Ok s -> s
+      | Error msg ->
+          Printf.eprintf "error: --fuse: %s\n" msg;
+          exit 2
+    in
+    let ws =
+      match workload with
+      | Some name -> [ Sxe_workloads.Registry.find ~scale name ]
+      | None -> Sxe_workloads.Registry.all ~scale ()
+    in
+    let config = config_of ~arch ~maxlen variant in
+    let items =
+      List.map
+        (fun (w : Sxe_workloads.Registry.t) ->
+          let prog = Sxe_lang.Frontend.compile w.source in
+          let _ = Sxe_core.Pass.compile config prog in
+          let prof = Sxe_vm.Profile.create () in
+          Sxe_vm.Precode.enable_dispatch prof;
+          let out =
+            Sxe_vm.Interp.run ~mode:`Faithful ~profile:prof ~fuse:fuse_sel prog
+          in
+          let pairs = Sxe_vm.Precode.dispatch_counts prof in
+          let pairs = if top > 0 then List.filteri (fun i _ -> i < top) pairs else pairs in
+          let pairs_json =
+            String.concat ","
+              (List.map
+                 (fun ((a, b), c) ->
+                   Printf.sprintf
+                     "\n      {\"first\":\"%s\",\"second\":\"%s\",\"count\":%d}" a b c)
+                 pairs)
+          in
+          Printf.sprintf
+            "    \"%s\": {\n      \"executed\": %Ld,\n      \"trap\": %s,\n      \
+             \"pairs\": [%s%s]\n    }"
+            (String.escaped w.name) out.Sxe_vm.Interp.executed
+            (match out.Sxe_vm.Interp.trap with
+            | Some t -> "\"" ^ String.escaped t ^ "\""
+            | None -> "null")
+            pairs_json
+            (if pairs = [] then "" else "\n    "))
+        ws
+    in
+    Printf.printf
+      "{\n  \"variant\": \"%s\",\n  \"fuse\": \"%s\",\n  \"scale\": %d,\n  \
+       \"workloads\": {\n%s\n  }\n}\n"
+      (String.escaped config.Sxe_core.Config.name)
+      (String.escaped (Sxe_vm.Fuse.key fuse_sel))
+      scale
+      (String.concat ",\n" items)
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc ~man)
+    Term.(
+      const run $ dispatch_arg $ workload_arg $ variant_arg $ arch_arg $ maxlen_arg
+      $ scale_arg $ fuse_arg $ top_arg)
 
 (* -- certify / lint -------------------------------------------------------- *)
 
@@ -732,6 +868,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_cmd; run_cmd; variants_cmd; workloads_cmd; emit_cmd; fuzz_cmd;
-            certify_cmd; lint_cmd;
+            compile_cmd; run_cmd; variants_cmd; workloads_cmd; emit_cmd; bench_cmd;
+            fuzz_cmd; certify_cmd; lint_cmd;
           ]))

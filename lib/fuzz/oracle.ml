@@ -86,44 +86,54 @@ let reference ?(fuel = default_fuel) (base : Prog.t) =
 let fuel_exhausted (o : Sxe_vm.Interp.outcome) =
   o.Sxe_vm.Interp.trap = Some "fuel-exhausted"
 
-(** Run [p] under both execution engines and compare every outcome
-    field — output, checksum, trap, return value AND the dynamic
-    counters (executed, sext32, sext_sub, cycles). The engines promise
-    bit-identical outcomes, so unlike optimizer comparisons this check
-    is exact: even a fuel-exhausted run must be truncated at the same
-    instruction. Returns the precode outcome plus a description of the
-    first field that differs, if any. *)
+(** Run [p] under all three execution engines — structural, plain
+    pre-decoded ([Fuse.Off]) and pre-decoded with superinstruction
+    fusion ([Fuse.All]) — and compare every outcome field — output,
+    checksum, trap, return value AND the dynamic counters (executed,
+    sext32, sext_sub, cycles). The engines promise bit-identical
+    outcomes, so unlike optimizer comparisons this check is exact: even
+    a fuel-exhausted run must be truncated at the same instruction, mid
+    superinstruction included. Returns the (unfused) precode outcome
+    plus a description of the first field that differs, if any. *)
 let engine_cross ?(fuel = default_fuel) ~mode (p : Prog.t) :
     Sxe_vm.Interp.outcome * string option =
   let open Sxe_vm.Interp in
-  let pre = run ~mode ~fuel ~engine:`Precode p in
+  let pre = run ~mode ~fuel ~engine:`Precode ~fuse:Sxe_vm.Fuse.Off p in
+  let fused = run ~mode ~fuel ~engine:`Precode ~fuse:Sxe_vm.Fuse.All p in
   let st = run ~mode ~fuel ~engine:`Structural p in
-  let diff =
-    if st.trap <> pre.trap then
+  let cmp aname (a : outcome) bname (b : outcome) =
+    if a.trap <> b.trap then
       Some
-        (Printf.sprintf "trap: structural=%s, precode=%s"
-           (Option.value ~default:"none" st.trap)
-           (Option.value ~default:"none" pre.trap))
-    else if st.output <> pre.output then
+        (Printf.sprintf "trap: %s=%s, %s=%s" aname
+           (Option.value ~default:"none" a.trap)
+           bname
+           (Option.value ~default:"none" b.trap))
+    else if a.output <> b.output then
       Some
-        (Printf.sprintf "output: structural %d bytes, precode %d bytes"
-           (String.length st.output) (String.length pre.output))
-    else if not (Int64.equal st.checksum pre.checksum) then
-      Some (Printf.sprintf "checksum: structural=%Ld, precode=%Ld" st.checksum pre.checksum)
-    else if st.ret <> pre.ret then
+        (Printf.sprintf "output: %s %d bytes, %s %d bytes" aname
+           (String.length a.output) bname (String.length b.output))
+    else if not (Int64.equal a.checksum b.checksum) then
+      Some (Printf.sprintf "checksum: %s=%Ld, %s=%Ld" aname a.checksum bname b.checksum)
+    else if a.ret <> b.ret then
       Some
-        (Printf.sprintf "ret: structural=%s, precode=%s"
-           (match st.ret with None -> "none" | Some v -> Int64.to_string v)
-           (match pre.ret with None -> "none" | Some v -> Int64.to_string v))
-    else if not (Int64.equal st.executed pre.executed) then
-      Some (Printf.sprintf "executed: structural=%Ld, precode=%Ld" st.executed pre.executed)
-    else if not (Int64.equal st.sext32 pre.sext32) then
-      Some (Printf.sprintf "sext32: structural=%Ld, precode=%Ld" st.sext32 pre.sext32)
-    else if not (Int64.equal st.sext_sub pre.sext_sub) then
-      Some (Printf.sprintf "sext_sub: structural=%Ld, precode=%Ld" st.sext_sub pre.sext_sub)
-    else if not (Int64.equal st.cycles pre.cycles) then
-      Some (Printf.sprintf "cycles: structural=%Ld, precode=%Ld" st.cycles pre.cycles)
+        (Printf.sprintf "ret: %s=%s, %s=%s" aname
+           (match a.ret with None -> "none" | Some v -> Int64.to_string v)
+           bname
+           (match b.ret with None -> "none" | Some v -> Int64.to_string v))
+    else if not (Int64.equal a.executed b.executed) then
+      Some (Printf.sprintf "executed: %s=%Ld, %s=%Ld" aname a.executed bname b.executed)
+    else if not (Int64.equal a.sext32 b.sext32) then
+      Some (Printf.sprintf "sext32: %s=%Ld, %s=%Ld" aname a.sext32 bname b.sext32)
+    else if not (Int64.equal a.sext_sub b.sext_sub) then
+      Some (Printf.sprintf "sext_sub: %s=%Ld, %s=%Ld" aname a.sext_sub bname b.sext_sub)
+    else if not (Int64.equal a.cycles b.cycles) then
+      Some (Printf.sprintf "cycles: %s=%Ld, %s=%Ld" aname a.cycles bname b.cycles)
     else None
+  in
+  let diff =
+    match cmp "structural" st "precode" pre with
+    | Some _ as d -> d
+    | None -> cmp "precode" pre "fused" fused
   in
   (pre, diff)
 

@@ -13,6 +13,8 @@ let get v i =
   check v i;
   v.data.(i)
 
+let[@inline] unsafe_get v i = Array.unsafe_get v.data i
+
 let set v i x =
   check v i;
   v.data.(i) <- x

@@ -12,6 +12,10 @@ val create : ?capacity:int -> dummy:'a -> unit -> 'a t
 
 val length : 'a t -> int
 val get : 'a t -> int -> 'a
+
+(** [get] without the bounds check — the caller must have established
+    [0 <= i < length v]. For per-access hot paths (the VM's heap). *)
+val unsafe_get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> int
 (** [push v x] appends [x] and returns its index. *)

@@ -1,0 +1,25 @@
+(** Superinstruction-fusion gating for the pre-decoded engine.
+
+    A {!selection} names which fusion rules {!Precode.decode} may apply;
+    the ambient default is the [SXE_FUSE] environment variable ([all],
+    [off], or a comma-separated rule list), read once per process. See
+    [docs/VM.md], "Superinstructions". *)
+
+type selection = All | Off | Rules of string list
+
+val rule_names : string list
+(** Every rule {!Precode} implements, in match priority order. *)
+
+val is_rule : string -> bool
+
+val key : selection -> string
+(** Stable cache key; decoded images are cached per (mode, key). *)
+
+val enables : selection -> string -> bool
+
+val parse : string -> (selection, string) result
+(** Parse an [SXE_FUSE]-style spec; rejects unknown rule names. *)
+
+val of_env : unit -> selection
+(** The ambient selection from [SXE_FUSE] (default [All]); raises
+    [Invalid_argument] on a malformed value. *)

@@ -39,6 +39,7 @@ val run :
   ?trace:Format.formatter ->
   ?watch:(string -> int -> int64 -> unit) ->
   ?engine:[ `Precode | `Structural ] ->
+  ?fuse:Fuse.selection ->
   Sxe_ir.Prog.t ->
   outcome
 (** Execute the program's [main].

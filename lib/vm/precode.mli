@@ -42,22 +42,48 @@ val elem_store : Sxe_ir.Types.aelem -> int64 -> int64
 val checksum_mix : int64 -> int64 -> int64
 
 type pfunc
-(** A function decoded for one mode. *)
+(** A function decoded for one (mode, fusion selection). *)
 
-val decode : canonical:bool -> Sxe_ir.Cfg.func -> pfunc
-(** Decode unconditionally (no cache). Exposed for tests and benchmarks. *)
+val fusion_stats : pfunc -> (string * int) list
+(** Fused superinstruction groups per rule name, in rule order; empty
+    when the image was decoded without fusion. *)
 
-val get_decoded : canonical:bool -> Sxe_ir.Cfg.func -> pfunc
+val fused_total : pfunc -> int
+(** Total fused groups in the image. *)
+
+val enable_dispatch : Profile.t -> unit
+(** Enable dispatch-pair collection on a profile with this engine's
+    opcode id space; runs passing that profile then count consecutive
+    straight-line opcode pairs. *)
+
+val dispatch_counts : Profile.t -> ((string * string) * int) list
+(** The collected histogram as [((first, second), count)], count
+    descending (deterministic tie order). *)
+
+val disasm : pfunc -> string
+(** Flat-code listing, one line per slot: offset, a [B<bid>:] marker on
+    block starts, and the opcode name; slots shadowed by a preceding
+    fused superinstruction are marked [.]. Debugging and test aid. *)
+
+val decode : ?fuse:Fuse.selection -> canonical:bool -> Sxe_ir.Cfg.func -> pfunc
+(** Decode unconditionally (no cache), applying the selected fusion
+    rules (default [Fuse.Off]). Exposed for tests and benchmarks. *)
+
+val get_decoded : ?fuse:Fuse.selection -> canonical:bool -> Sxe_ir.Cfg.func -> pfunc
 (** Decode through the per-function cache: at most one decode per
-    (generation, mode); any mutation through the {!Sxe_ir.Cfg} API
-    invalidates both modes. *)
+    (generation, mode, fusion selection); any mutation through the
+    {!Sxe_ir.Cfg} API invalidates every image. *)
 
 val run :
   ?mode:[ `Faithful | `Canonical ] ->
   ?fuel:int64 ->
   ?count_cycles:bool ->
   ?profile:Profile.t ->
+  ?fuse:Fuse.selection ->
   Sxe_ir.Prog.t ->
   outcome
 (** Execute the program's [main]; same contract as {!Interp.run} minus the
-    [trace]/[watch] hooks. *)
+    [trace]/[watch] hooks. [fuse] selects which superinstruction-fusion
+    rules the decoder applies (default: the ambient [SXE_FUSE] selection,
+    {!Fuse.of_env}); every selection produces bit-identical outcomes,
+    counters included. *)

@@ -1,0 +1,209 @@
+(** Superinstruction-fusion tests: selection parsing, the branch-target
+    barrier (a fused group never shadows a jump target), bit-identical
+    fuel exhaustion mid-superinstruction, and the (generation, fusion
+    selection) keying of the decode cache. The broad three-engine parity
+    sweeps live in [Test_precode] and the fuzz oracle; these cases pin
+    the fusion-specific edges. *)
+
+open Sxe_ir
+open Sxe_ir.Types
+module B = Builder
+
+let outcome : Sxe_vm.Interp.outcome Alcotest.testable =
+  let open Sxe_vm.Interp in
+  let pp ppf (o : outcome) =
+    Format.fprintf ppf
+      "{trap=%s; ret=%s; checksum=%Ld; output=%S; executed=%Ld; sext32=%Ld; \
+       sext_sub=%Ld; cycles=%Ld}"
+      (Option.value ~default:"none" o.trap)
+      (match o.ret with None -> "none" | Some v -> Int64.to_string v)
+      o.checksum o.output o.executed o.sext32 o.sext_sub o.cycles
+  in
+  Alcotest.testable pp ( = )
+
+(** All three engines — structural, unfused precode, fused precode — on
+    the same program; every outcome field must agree. *)
+let check3 ?fuel msg (p : Prog.t) =
+  let st = Sxe_vm.Interp.run ?fuel ~engine:`Structural p in
+  let pre = Sxe_vm.Interp.run ?fuel ~engine:`Precode ~fuse:Sxe_vm.Fuse.Off p in
+  let fused = Sxe_vm.Interp.run ?fuel ~engine:`Precode ~fuse:Sxe_vm.Fuse.All p in
+  Alcotest.check outcome (msg ^ ": structural vs precode") st pre;
+  Alcotest.check outcome (msg ^ ": precode vs fused") pre fused;
+  fused
+
+(** A 10-iteration counting loop whose body flattens to
+    [Const; Add; Mov; Br] — the compress loop-step shape: the const-arith
+    pair fuses, the mov-br pair fuses, and the loop head is a branch
+    target that heads a fused group. *)
+let counting_loop () =
+  let b, _ = B.create ~name:"main" ~params:[] () in
+  let i = B.iconst b 0 in
+  let lim = B.iconst b 10 in
+  let body = B.new_block b in
+  let exit_ = B.new_block b in
+  B.jmp b body;
+  B.switch b body;
+  let one = B.iconst b 1 in
+  let t = B.add b i one in
+  B.mov_to b ~dst:i ~src:t I32;
+  B.br b Lt i lim ~ifso:body ~ifnot:exit_;
+  B.switch b exit_;
+  ignore (B.call b "checksum" [ (i, I32) ]);
+  B.ret b;
+  Helpers.prog_of_func (B.func b)
+
+let main_func (p : Prog.t) = Hashtbl.find p.Prog.funcs p.Prog.main
+
+(* ------------------------------------------------------------------ *)
+(* Selection parsing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse () =
+  Alcotest.(check bool) "all" true (Sxe_vm.Fuse.parse "all" = Ok Sxe_vm.Fuse.All);
+  Alcotest.(check bool) "off" true (Sxe_vm.Fuse.parse "off" = Ok Sxe_vm.Fuse.Off);
+  Alcotest.(check bool) "list" true
+    (Sxe_vm.Fuse.parse "mov-jmp,cmp-br" = Ok (Sxe_vm.Fuse.Rules [ "mov-jmp"; "cmp-br" ]));
+  (match Sxe_vm.Fuse.parse "mov-jmp,typo-rule" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown rule name accepted");
+  (* every advertised rule name round-trips *)
+  List.iter
+    (fun r ->
+      match Sxe_vm.Fuse.parse r with
+      | Ok (Sxe_vm.Fuse.Rules [ r' ]) when r' = r -> ()
+      | _ -> Alcotest.failf "rule %S does not parse to itself" r)
+    Sxe_vm.Fuse.rule_names
+
+let test_rules_subset () =
+  (* a single-rule selection fuses only under that rule, and still
+     matches the other engines bit for bit *)
+  let p = counting_loop () in
+  let sel = Sxe_vm.Fuse.Rules [ "mov-br" ] in
+  let out = Sxe_vm.Interp.run ~engine:`Precode ~fuse:sel p in
+  let st = Sxe_vm.Interp.run ~engine:`Structural p in
+  Alcotest.check outcome "single rule vs structural" st out;
+  let img = Sxe_vm.Precode.get_decoded ~fuse:sel ~canonical:false (main_func p) in
+  let stats = Sxe_vm.Precode.fusion_stats img in
+  Alcotest.(check bool) "mov-br fired" true (List.mem_assoc "mov-br" stats);
+  List.iter
+    (fun (rule, n) ->
+      if rule <> "mov-br" && n > 0 then
+        Alcotest.failf "rule %S fired %d times under Rules [mov-br]" rule n)
+    stats
+
+(* ------------------------------------------------------------------ *)
+(* Branch targets                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* disasm lines are [%4d %-5s %s %s]: offset, a [B<bid>:] block-start
+   marker, a [.] on slots shadowed by a preceding fused group, opcode. *)
+let shadowed_block_starts listing =
+  List.filter
+    (fun line ->
+      String.length line > 11 && line.[11] = '.'
+      && (let mark = String.trim (String.sub line 5 5) in
+          String.length mark > 0 && mark.[0] = 'B'))
+    (String.split_on_char '\n' listing)
+
+let test_branch_target_barrier () =
+  (* A fused group must never shadow a branch target: jumping into the
+     middle of a group would otherwise skip or double-charge its head
+     constituents. A block start may HEAD a group (execution enters at
+     the head either way) — the counting loop's body block does exactly
+     that, so also assert fusion actually happened there. *)
+  let p = counting_loop () in
+  ignore (check3 "counting loop" p);
+  let img = Sxe_vm.Precode.get_decoded ~fuse:Sxe_vm.Fuse.All ~canonical:false (main_func p) in
+  Alcotest.(check bool) "loop fused at all" true (Sxe_vm.Precode.fused_total img > 0);
+  Alcotest.(check (list string)) "no shadowed block start (hand-built loop)" []
+    (shadowed_block_starts (Sxe_vm.Precode.disasm img));
+  (* ... and across every optimized workload function *)
+  List.iter
+    (fun (w : Sxe_workloads.Registry.t) ->
+      let prog = Sxe_lang.Frontend.compile w.source in
+      ignore (Sxe_core.Pass.compile (Sxe_core.Config.new_all ()) prog);
+      Prog.iter_funcs
+        (fun f ->
+          let img = Sxe_vm.Precode.get_decoded ~fuse:Sxe_vm.Fuse.All ~canonical:false f in
+          match shadowed_block_starts (Sxe_vm.Precode.disasm img) with
+          | [] -> ()
+          | l ->
+              Alcotest.failf "%s/%s: fused group shadows a branch target:\n%s" w.name
+                f.Cfg.name (String.concat "\n" l))
+        prog)
+    (Sxe_workloads.Registry.all ~scale:1 ())
+
+(* ------------------------------------------------------------------ *)
+(* Fuel exhaustion mid-superinstruction                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuel_mid_superinstruction () =
+  (* Sweep the fuel budget across every instruction boundary of the
+     fused loop: each constituent of a superinstruction ticks and traps
+     exactly where its plain counterpart would, so all three engines
+     must agree on the truncated counters for every cutoff — including
+     cutoffs that land in the middle of a fused group. *)
+  let p = counting_loop () in
+  let full = check3 "unbounded" p in
+  let total = Int64.to_int full.Sxe_vm.Interp.executed in
+  Alcotest.(check bool) "loop runs long enough to sweep" true (total > 20);
+  for fuel = 1 to total + 1 do
+    let out = check3 ~fuel:(Int64.of_int fuel) (Printf.sprintf "fuel=%d" fuel) p in
+    if fuel < total then
+      Alcotest.(check (option string))
+        (Printf.sprintf "fuel=%d traps" fuel)
+        (Some "fuel-exhausted") out.Sxe_vm.Interp.trap
+    else
+      Alcotest.(check (option string))
+        (Printf.sprintf "fuel=%d completes" fuel)
+        None out.Sxe_vm.Interp.trap
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cache keying                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_keyed_by_selection () =
+  (* The per-function cache is keyed by (generation, mode, fusion
+     selection): switching the selection between runs must re-decode —
+     never serve the other selection's image — and asking again with the
+     same selection must hit. *)
+  let p = counting_loop () in
+  let f = main_func p in
+  let fused1 = Sxe_vm.Precode.get_decoded ~fuse:Sxe_vm.Fuse.All ~canonical:false f in
+  let off = Sxe_vm.Precode.get_decoded ~fuse:Sxe_vm.Fuse.Off ~canonical:false f in
+  let fused2 = Sxe_vm.Precode.get_decoded ~fuse:Sxe_vm.Fuse.All ~canonical:false f in
+  Alcotest.(check bool) "fused image has groups" true
+    (Sxe_vm.Precode.fused_total fused1 > 0);
+  Alcotest.(check bool) "off image has none" true
+    (Sxe_vm.Precode.fused_total off = 0);
+  Alcotest.(check bool) "same selection hits the cache" true (fused1 == fused2);
+  Alcotest.(check bool) "selections get distinct images" true (not (fused1 == off));
+  (* a subset selection is its own key, distinct from All *)
+  let sub =
+    Sxe_vm.Precode.get_decoded ~fuse:(Sxe_vm.Fuse.Rules [ "mov-br" ]) ~canonical:false f
+  in
+  Alcotest.(check bool) "subset selection is a distinct image" true
+    (not (sub == fused1) && not (sub == off));
+  (* mutation invalidates every image *)
+  Cfg.iter_instrs
+    (fun blk i ->
+      match i.Instr.op with
+      | Instr.Const { dst; ty; v = 10L } -> Cfg.set_op blk i (Instr.Const { dst; ty; v = 3L })
+      | _ -> ())
+    f;
+  let fused3 = Sxe_vm.Precode.get_decoded ~fuse:Sxe_vm.Fuse.All ~canonical:false f in
+  Alcotest.(check bool) "mutation drops the cached image" true (not (fused3 == fused1));
+  ignore (check3 "after mutation" p)
+
+let suite =
+  [
+    Alcotest.test_case "selection parsing" `Quick test_parse;
+    Alcotest.test_case "single-rule selection" `Quick test_rules_subset;
+    Alcotest.test_case "fused groups never shadow a branch target" `Quick
+      test_branch_target_barrier;
+    Alcotest.test_case "fuel exhaustion mid-superinstruction" `Quick
+      test_fuel_mid_superinstruction;
+    Alcotest.test_case "decode cache keyed by fusion selection" `Quick
+      test_cache_keyed_by_selection;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("lang", Test_lang.suite);
       ("vm", Test_vm.suite);
       ("precode", Test_precode.suite);
+      ("fuse", Test_fuse.suite);
       ("codegen", Test_codegen.suite);
       ("inline", Test_inline.suite);
       ("harness", Test_harness.suite);
