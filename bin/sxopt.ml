@@ -11,9 +11,13 @@
      certify   statically verify optimized output with the extension-state
                certifier (translation validation)
      lint      run the IR lint rules over optimized output
+     audit     classify every surviving sign extension (redundant /
+               necessary / unknown), self-verify the redundancy proofs
+               through the differential oracle, and gate against a
+               checked-in residue baseline
 
-   Every subcommand exits nonzero on internal errors (and certify/lint
-   on findings), so CI can trust exit status. *)
+   Every subcommand exits nonzero on internal errors (and certify/lint/
+   audit on findings), so CI can trust exit status. *)
 
 open Cmdliner
 
@@ -690,6 +694,18 @@ let compiled_check ~(check : Sxe_ir.Prog.t -> 'a list) ~(crash : string -> 'a)
   | exception e -> [ crash (Printexc.to_string e) ]
   | _ -> check p
 
+(* Severity threshold for failing the run, shared by lint and audit.
+   [None] = the subcommand's default (error-severity findings only). *)
+let fail_on_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("error", `Error); ("warning", `Warning) ])) None
+    & info [ "fail-on" ] ~docv:"SEV"
+        ~doc:
+          "Exit 1 on findings at or above $(docv): $(b,error) (the default) \
+           or $(b,warning). An unknown severity is a usage error (exit 2, \
+           via option parsing).")
+
 let certify_cmd =
   let doc = "Statically certify optimized output (translation validation)." in
   let man =
@@ -771,13 +787,15 @@ let lint_cmd =
          extensions, unreachable blocks, critical edges, copy chains, \
          constant-foldable compares) over the result. Warnings and infos are \
          hygiene diagnostics; only error-severity findings fail the run \
-         (exit 1) unless $(b,--strict) promotes warnings.";
+         (exit 1) unless $(b,--fail-on)=$(i,warning) (or its deprecated \
+         alias $(b,--strict)) promotes warnings.";
     ]
   in
   let strict_flag =
     Arg.(
       value & flag
-      & info [ "strict" ] ~doc:"Exit nonzero on warning-severity findings too.")
+      & info [ "strict" ]
+          ~doc:"Deprecated alias for $(b,--fail-on)=$(i,warning).")
   in
   let rules_arg =
     Arg.(
@@ -786,8 +804,15 @@ let lint_cmd =
       & info [ "rules" ] ~docv:"R1,R2"
           ~doc:"Comma-separated rule subset (default: every registered rule).")
   in
-  let run file variant arch maxlen all_variants workloads corpus json strict rules jobs =
+  let run file variant arch maxlen all_variants workloads corpus json strict
+      fail_on rules jobs =
     with_frontend_errors @@ fun () ->
+    let fail_on_warning =
+      match fail_on with
+      | Some `Warning -> true
+      | Some `Error -> false
+      | None -> strict
+    in
     let jobs = resolve_jobs jobs in
     let inputs = check_inputs file workloads corpus in
     let configs = check_configs variant arch maxlen all_variants in
@@ -822,6 +847,7 @@ let lint_cmd =
               fname = "-";
               bid = 0;
               iid = None;
+              idx = None;
               message = msg;
             })
       in
@@ -831,7 +857,7 @@ let lint_cmd =
       let worst = Sxe_check.Lint.max_severity findings in
       (match worst with
       | Some Sxe_check.Lint.Error -> failed := true
-      | Some Sxe_check.Lint.Warning when strict -> failed := true
+      | Some Sxe_check.Lint.Warning when fail_on_warning -> failed := true
       | _ -> ());
       if json then
         json_items :=
@@ -859,9 +885,179 @@ let lint_cmd =
     Term.(
       const run $ opt_file_arg $ variant_arg $ arch_arg $ maxlen_arg
       $ all_variants_flag $ workloads_flag $ corpus_flag $ json_flag
-      $ strict_flag $ rules_arg $ jobs_arg)
+      $ strict_flag $ fail_on_arg $ rules_arg $ jobs_arg)
+
+(* -- audit -------------------------------------------------------------- *)
+
+let audit_cmd =
+  let doc =
+    "Classify every surviving sign extension and prove the redundant ones."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles each input under the selected optimizer variant(s) and runs \
+         the extension-residue auditor over the result: every surviving \
+         explicit extension and sign-extending 32-bit load is classified as \
+         provably redundant (with a witness naming the Theorem 1-4 fact), \
+         necessary (with a concrete counterexample from the range / \
+         extension-state lattice) or unknown (range-hostile; a speculation \
+         candidate). Unless $(b,--no-verify), every redundancy claim is \
+         proved by deleting the extension and pushing the patched program \
+         through the certifier and the differential execution oracle — a \
+         verification failure is an auditor bug and fails the run \
+         unconditionally.";
+      `P
+        "With $(b,--baseline), per-cell redundant counts are gated against a \
+         checked-in TSV baseline: any cell above its baseline entry exits 1. \
+         $(b,--write-baseline) regenerates that file; the output is \
+         byte-identical for any $(b,--jobs) value.";
+    ]
+  in
+  let sarif_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"PATH"
+          ~doc:"Write a SARIF 2.1.0 log to $(docv) ('-' for stdout).")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"PATH"
+          ~doc:"Gate redundant counts against the TSV baseline at $(docv).")
+  in
+  let write_baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"PATH"
+          ~doc:"Write the TSV residue baseline for this matrix to $(docv).")
+  in
+  let no_verify_flag =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:
+            "Skip the dynamic self-verification of redundancy claims \
+             (classification only; much faster).")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt int64 50_000_000L
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Instruction budget per verification run (fuel-exhausted runs \
+             verify vacuously).")
+  in
+  let run file variant arch maxlen all_variants workloads corpus json sarif
+      baseline write_baseline no_verify fuel fail_on jobs =
+    with_frontend_errors @@ fun () ->
+    let jobs = resolve_jobs jobs in
+    let inputs = check_inputs file workloads corpus in
+    let configs = check_configs variant arch maxlen all_variants in
+    let cells = check_cells inputs configs in
+    let audit_cell (name, base, (config : Sxe_core.Config.t)) =
+      let vname = config.Sxe_core.Config.name in
+      let p = Sxe_ir.Clone.clone_prog base in
+      match Sxe_core.Pass.compile config p with
+      | exception e -> `Crash (name, vname, Printexc.to_string e)
+      | _ -> (
+          match
+            Sxe_audit.Audit.audit_prog ~maxlen ~fuel ~verify:(not no_verify) p
+          with
+          | sites, ver ->
+              `Cell ({ Sxe_audit.Report.input = name; variant = vname; sites }, ver)
+          | exception Sxe_audit.Audit.Verification_failed msg ->
+              `Verify_failed (name, vname, msg))
+    in
+    let hard_failed = ref false in
+    let results = ref [] in
+    let consume _ r =
+      match r with
+      | `Crash (name, vname, detail) ->
+          hard_failed := true;
+          Printf.eprintf "audit: %s / %s: compiler crash: %s\n" name vname detail
+      | `Verify_failed (name, vname, detail) ->
+          hard_failed := true;
+          Printf.eprintf "audit: %s / %s: VERIFICATION FAILED: %s\n" name vname
+            detail
+      | `Cell ((cell : Sxe_audit.Report.cell), ver) ->
+          results := cell :: !results;
+          if not json then begin
+            let n = Sxe_audit.Report.counts cell.Sxe_audit.Report.sites in
+            let vnote =
+              match (ver : Sxe_audit.Audit.verification option) with
+              | None -> ""
+              | Some v ->
+                  Printf.sprintf " (verified %d: %d co-deleted, %d isolated)"
+                    v.Sxe_audit.Audit.attempted v.Sxe_audit.Audit.co_deleted
+                    v.Sxe_audit.Audit.interacting
+            in
+            Printf.printf "audit: %s / %s: %d redundant, %d necessary, %d unknown%s\n"
+              cell.Sxe_audit.Report.input cell.Sxe_audit.Report.variant
+              n.Sxe_audit.Report.redundant n.Sxe_audit.Report.necessary
+              n.Sxe_audit.Report.unknown vnote;
+            List.iter
+              (fun s -> Printf.printf "  %s\n" (Sxe_audit.Audit.site_to_string s))
+              cell.Sxe_audit.Report.sites
+          end
+    in
+    Sxe_par.Pool.with_pool ~jobs (fun pool ->
+        Sxe_par.Pool.consume_map pool audit_cell ~consume cells);
+    let results = List.rev !results in
+    if json then print_string (Sxe_audit.Report.cells_to_json results ^ "\n");
+    (match sarif with
+    | None -> ()
+    | Some "-" -> print_string (Sxe_audit.Report.sarif results ^ "\n")
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Sxe_audit.Report.sarif results ^ "\n")));
+    (match write_baseline with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              (Sxe_audit.Report.baseline_of_cells results)));
+    let regressions =
+      match baseline with
+      | None -> []
+      | Some path ->
+          let text = In_channel.with_open_text path In_channel.input_all in
+          Sxe_audit.Report.diff_baseline
+            ~baseline:(Sxe_audit.Report.parse_baseline text)
+            results
+    in
+    List.iter
+      (fun r -> Printf.eprintf "audit: baseline regression: %s\n" r)
+      regressions;
+    let fail_on_warning = fail_on = Some `Warning in
+    let has_redundant =
+      List.exists
+        (fun (c : Sxe_audit.Report.cell) ->
+          (Sxe_audit.Report.counts c.Sxe_audit.Report.sites)
+            .Sxe_audit.Report.redundant > 0)
+        results
+    in
+    if !hard_failed || regressions <> [] || (fail_on_warning && has_redundant)
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc ~man)
+    Term.(
+      const run $ opt_file_arg $ variant_arg $ arch_arg $ maxlen_arg
+      $ all_variants_flag $ workloads_flag $ corpus_flag $ json_flag
+      $ sarif_arg $ baseline_arg $ write_baseline_arg $ no_verify_flag
+      $ fuel_arg $ fail_on_arg $ jobs_arg)
 
 let () =
+  (* The auditor's classifier doubles as lint rules; register them so
+     [sxopt lint --rules audit-redundant-ext,...] (and the default full
+     registry) picks them up. *)
+  Sxe_audit.Audit.register_lint_rules ();
   let doc = "effective sign extension elimination (PLDI 2002) — reference implementation" in
   let info = Cmd.info "sxopt" ~version:"1.0.0" ~doc in
   exit
@@ -869,5 +1065,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; variants_cmd; workloads_cmd; emit_cmd; bench_cmd;
-            fuzz_cmd; certify_cmd; lint_cmd;
+            fuzz_cmd; certify_cmd; lint_cmd; audit_cmd;
           ]))

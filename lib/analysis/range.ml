@@ -126,7 +126,11 @@ let max_index = Int64.sub i32_max 1L
 
 let narrow_to bound iv = if fst iv >= fst bound && snd iv <= snd bound then iv else bound
 
-let transfer ~(tracked : bool array) (st : state) (i : Instr.t) =
+(** [call_ranges] is the interprocedural hook: a summary of the callee's
+    [I32] return-value interval, when one is known ({!Summary}). Absent
+    (the default), call results are [top] — the intraprocedural reading
+    every existing client keeps. *)
+let transfer ?call_ranges ~(tracked : bool array) (st : state) (i : Instr.t) =
   let set r iv = if tracked.(r) then sset st r iv in
   let get r = if tracked.(r) then sget st r else top in
   match i.op with
@@ -166,7 +170,12 @@ let transfer ~(tracked : bool array) (st : state) (i : Instr.t) =
   | ArrLen { dst; _ } -> set dst (0L, i32_max)
   | GLoad { dst; ty = I32; _ } -> set dst top
   | GLoad _ | GStore _ -> ()
-  | Call { dst = Some d; ret = Some I32; _ } -> set d top
+  | Call { dst = Some d; ret = Some I32; fn; _ } ->
+      set d
+        (match call_ranges with
+        | Some summary -> (
+            match summary fn with Some iv -> clamp iv | None -> top)
+        | None -> top)
   | Call _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -214,6 +223,9 @@ type t = {
   func : Cfg.func;
   entry_states : state array;
   tracked : bool array;
+  call_ranges : (string -> interval option) option;
+      (** kept so {!before}/{!after} replays see the same call facts the
+          fixpoint did *)
 }
 
 let widen_threshold = 3
@@ -255,7 +267,7 @@ let widen ~thresholds (prev : interval) (next : interval) : interval =
   in
   (lo, hi)
 
-let compute (f : Cfg.func) =
+let compute ?call_ranges (f : Cfg.func) =
   let nregs = Cfg.num_regs f in
   let nblocks = Cfg.num_blocks f in
   let tracked = Array.init nregs (fun r -> Cfg.reg_ty f r = I32) in
@@ -279,7 +291,7 @@ let compute (f : Cfg.func) =
     | Some st -> st
     | None ->
         let st = Array.copy entry_states.(bid) in
-        List.iter (fun i -> transfer ~tracked st i) (Cfg.body (Cfg.block f bid));
+        List.iter (fun i -> transfer ?call_ranges ~tracked st i) (Cfg.body (Cfg.block f bid));
         out_cache.(bid) <- Some st;
         st
   in
@@ -365,7 +377,7 @@ let compute (f : Cfg.func) =
         if reach.(bid) && bid <> Cfg.entry f then set_entry bid (entry_from_preds bid))
       rpo
   done;
-  { func = f; entry_states; tracked }
+  { func = f; entry_states; tracked; call_ranges }
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
@@ -382,7 +394,7 @@ let before t ~bid ~iid r =
       | (i : Instr.t) :: rest ->
           if i.iid = iid then sget st r
           else begin
-            transfer ~tracked:t.tracked st i;
+            transfer ?call_ranges:t.call_ranges ~tracked:t.tracked st i;
             go rest
           end
     in
@@ -398,10 +410,22 @@ let after t ~bid ~iid r =
     let rec go = function
       | [] -> sget st r
       | (i : Instr.t) :: rest ->
-          transfer ~tracked:t.tracked st i;
+          transfer ?call_ranges:t.call_ranges ~tracked:t.tracked st i;
           if i.iid = iid then sget st r else go rest
     in
     go (Cfg.body (Cfg.block t.func bid))
+  end
+
+(** Range of register [r] at the end of block [bid], just before the
+    terminator — the state a [Ret] observes. *)
+let at_exit t ~bid r =
+  if r >= Array.length t.tracked || not t.tracked.(r) then top
+  else begin
+    let st = Array.copy t.entry_states.(bid) in
+    List.iter
+      (fun i -> transfer ?call_ranges:t.call_ranges ~tracked:t.tracked st i)
+      (Cfg.body (Cfg.block t.func bid));
+    sget st r
   end
 
 (** Does [r]'s 32-bit value lie within [lo, hi] just before [iid]? *)

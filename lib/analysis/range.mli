@@ -23,7 +23,12 @@ val unop_interval : Sxe_ir.Types.unop -> interval -> interval
 
 type t
 
-val compute : Sxe_ir.Cfg.func -> t
+val compute : ?call_ranges:(string -> interval option) -> Sxe_ir.Cfg.func -> t
+(** [call_ranges] is the interprocedural hook: when it returns a summary
+    interval for a callee name, [I32] call results take that interval
+    instead of [top] ({!Summary} builds such summaries once per program
+    and reuses them across every call site). Omitted, the analysis is
+    purely intraprocedural — the behaviour every existing client keeps. *)
 
 val before : t -> bid:int -> iid:int -> Sxe_ir.Instr.reg -> interval
 (** Range of a register immediately before instruction [iid] of block
@@ -31,6 +36,9 @@ val before : t -> bid:int -> iid:int -> Sxe_ir.Instr.reg -> interval
 
 val after : t -> bid:int -> iid:int -> Sxe_ir.Instr.reg -> interval
 (** Range immediately after the instruction. *)
+
+val at_exit : t -> bid:int -> Sxe_ir.Instr.reg -> interval
+(** Range at the end of the block, just before the terminator. *)
 
 val within : t -> bid:int -> iid:int -> Sxe_ir.Instr.reg -> lo:int64 -> hi:int64 -> bool
 (** Is the register provably within [lo, hi] just before the instruction? *)

@@ -1,0 +1,625 @@
+(** The static extension-residue auditor.
+
+    After the optimizer has done its best, some sign extensions survive.
+    This pass classifies {e every} one of them — explicit [Sext]
+    instructions and the implicit sign extension performed by
+    [LSign]-mode 32-bit loads (PPC64 [lwa]) — into one of three
+    verdicts:
+
+    - {b provably redundant}: a witness chain names the Theorem 1–4
+      fact that makes the extension a no-op (the defining instruction
+      always extends, the value range proves non-negativity or fits the
+      operand-width window, extension state flows from every
+      predecessor) — or nothing downstream demands the bits it writes
+      (deleting it recertifies). These are optimizer misses.
+    - {b necessary}: the range/extension-state lattice exhibits a
+      concrete reason the extension does work — a truncated 64-bit
+      value, a zero-extended load that can deliver a negative value, a
+      range proving the operand lies outside the width window.
+    - {b unknown}: range-hostile. Neither proof succeeds; these are the
+      speculation candidates of ROADMAP item 3.
+
+    The auditor is self-verifying: every provably-redundant finding is
+    checked by deleting the extension from a clone and pushing the
+    patched program through the extension-state certifier and the
+    differential execution oracle. A finding that fails verification is
+    an {e auditor} bug and hard-fails the run ({!Verification_failed}).
+
+    Soundness of the deletion experiments rests on two facts. A [W32]
+    [Sext] never changes the low 32 bits of its register, so deleting
+    one is behaviour-preserving exactly when no observer of the upper
+    bits is hurt — which is precisely what recertification of the
+    patched function proves (every upper-bit observer is in the
+    certifier's demand set). A [W8]/[W16] [Sext] {e does} rewrite the
+    low bits unless the operand already lies inside the width window,
+    so those deletions additionally require the range proof. *)
+
+open Sxe_ir
+module Certify = Sxe_check.Certify
+module Lint = Sxe_check.Lint
+module Extstate = Sxe_check.Extstate
+module Range = Sxe_analysis.Range
+module Summary = Sxe_analysis.Summary
+
+type fact =
+  | Def_extended
+      (** the defining instruction always sign-extends (Theorem 1) *)
+  | Flow_extended
+      (** extension state flows in from every predecessor (fixpoint) *)
+  | Range_nonneg
+      (** the value range proves the operand non-negative (Theorem 2) *)
+  | Range_window
+      (** the value range fits the sub-32-bit operand window, making
+          the truncating extension the identity on the low bits *)
+  | Dead_upper
+      (** nothing reachable demands the bits the extension writes: the
+          patched function recertifies without it *)
+
+let fact_to_string = function
+  | Def_extended -> "defining instruction always sign-extends"
+  | Flow_extended -> "extension state flows from every predecessor"
+  | Range_nonneg -> "value range proves the operand non-negative"
+  | Range_window -> "value range fits the operand-width window"
+  | Dead_upper -> "no reachable use demands the extended bits"
+
+type verdict =
+  | Redundant of { fact : fact; witness : (int * int) list }
+  | Necessary of { reason : string }
+  | Unknown of { reason : string }
+
+type kind =
+  | Explicit of Types.width  (** a [Sext] instruction *)
+  | Load_implied
+      (** the implicit extension of a 32-bit [LSign] load ([ArrLoad]
+          [AI32] or [GLoad I32]); sub-32-bit [LSign] loads are not
+          audited because flipping them to [LZero] changes low bits *)
+
+type site = {
+  fname : string;
+  bid : int;
+  iid : int;
+  idx : int option;  (** instruction index within the block body *)
+  reg : Instr.reg;
+  kind : kind;
+  verdict : verdict;
+}
+
+let verdict_to_string = function
+  | Redundant { fact; witness } ->
+      Printf.sprintf "redundant (%s%s)" (fact_to_string fact)
+        (match witness with
+        | [] -> ""
+        | w ->
+            "; witness "
+            ^ String.concat " <- "
+                (List.map (fun (b, i) -> Printf.sprintf "B%d:i%d" b i) w))
+  | Necessary { reason } -> "necessary (" ^ reason ^ ")"
+  | Unknown { reason } -> "unknown (" ^ reason ^ ")"
+
+let site_loc (s : site) =
+  Printf.sprintf "%s B%d i%d%s" s.fname s.bid s.iid
+    (match s.idx with Some k -> Printf.sprintf "#%d" k | None -> "")
+
+let site_to_string (s : site) =
+  let kind =
+    match s.kind with
+    | Explicit w -> Printf.sprintf "sext%s" (Types.string_of_width w)
+    | Load_implied -> "load-sext"
+  in
+  Printf.sprintf "%s: %s r%d: %s" (site_loc s) kind s.reg
+    (verdict_to_string s.verdict)
+
+(* ------------------------------------------------------------------ *)
+(* Patching                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Apply the deletion a redundancy claim is about to [f] (which must
+    hold an instruction with the site's [iid] — clones preserve ids).
+    Explicit extensions are removed; [LSign] loads flip to [LZero],
+    which leaves their low 32 bits untouched. *)
+let apply_patch (f : Cfg.func) (s : site) =
+  let b, i = Cfg.find_instr f s.iid in
+  match s.kind with
+  | Explicit _ -> ignore (Cfg.remove_instr b s.iid)
+  | Load_implied -> (
+      match i.Instr.op with
+      | Instr.ArrLoad { dst; arr; idx; elem; lext = Types.LSign } ->
+          Cfg.set_op b i
+            (Instr.ArrLoad { dst; arr; idx; elem; lext = Types.LZero })
+      | Instr.GLoad { dst; sym; ty; lext = Types.LSign } ->
+          Cfg.set_op b i (Instr.GLoad { dst; sym; ty; lext = Types.LZero })
+      | _ -> invalid_arg "Audit.apply_patch: not a sign-extending load")
+
+(** Certification errors of a clone of [f] with the site's extension
+    deleted — the static half of a deletion experiment. *)
+let recertify_without ?maxlen (f : Cfg.func) (s : site) : Certify.error list =
+  let g = Clone.clone_func f in
+  apply_patch g s;
+  Certify.certify ?maxlen g
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let window = function
+  | Types.W8 -> (-128L, 127L)
+  | Types.W16 -> (-32768L, 32767L)
+  | _ -> invalid_arg "Audit.window"
+
+let in_window (lo, hi) (wlo, whi) = lo >= wlo && hi <= whi
+let outside_window (lo, hi) (wlo, whi) = hi < wlo || lo > whi
+
+(** The op at the far end of a witness chain (the origin definition),
+    if the chain is non-empty and the id still resolves in [f]. *)
+let origin_op (f : Cfg.func) (witness : (int * int) list) : Instr.op option =
+  match List.rev witness with
+  | [] -> None
+  | (_, oiid) :: _ -> (
+      match Cfg.find_instr f oiid with
+      | _, i -> Some i.Instr.op
+      | exception Not_found -> None)
+
+(** Classify one W32 [Sext]: identity when the certifier already proves
+    the operand extended; otherwise a deletion experiment decides
+    whether anything demands the upper bits it writes. *)
+let classify_w32 ?maxlen ~sol ~rng ~clean (f : Cfg.func) ~bid ~iid
+    ~(st : Extstate.t) r (mk : verdict -> site) : site =
+  if st.Extstate.ext then begin
+    (* The extension is the identity: its operand is already extended.
+       Name the fact. The polarity flip follows extended-origin paths
+       (see {!Certify.witness}). *)
+    let wit =
+      Certify.witness sol ~bid ~stop:(Some iid) r
+        ~fact:(fun s -> not s.Extstate.ext)
+    in
+    let lo, _ = Range.before (Lazy.force rng) ~bid ~iid r in
+    let fact =
+      match origin_op f wit with
+      | Some op when Instr.def_always_extended op -> Def_extended
+      | _ when lo >= 0L -> Range_nonneg
+      | _ -> Flow_extended
+    in
+    mk (Redundant { fact; witness = wit })
+  end
+  else if not clean then
+    mk
+      (Unknown
+         {
+           reason =
+             "function does not certify as-is; deletion experiment skipped";
+         })
+  else
+    match recertify_without ?maxlen f (mk (Unknown { reason = "" })) with
+    | [] -> mk (Redundant { fact = Dead_upper; witness = [] })
+    | e :: _ -> (
+        let lo, hi = Range.before (Lazy.force rng) ~bid ~iid r in
+        let demanded =
+          Printf.sprintf "demanded at %s"
+            (Certify.loc_to_string ~bid:e.Certify.bid ~iid:e.Certify.iid)
+        in
+        match origin_op f e.Certify.witness with
+        | Some (Instr.Mov { src; ty = Types.I32; _ })
+          when Cfg.reg_ty f src = Types.I64 ->
+            mk
+              (Necessary
+                 {
+                   reason =
+                     demanded
+                     ^ "; the operand truncates a 64-bit value (l2i), so its \
+                        upper bits are garbage without the extension";
+                 })
+        | Some
+            ( Instr.ArrLoad { elem = Types.AI32; lext = Types.LZero; _ }
+            | Instr.GLoad { ty = Types.I32; lext = Types.LZero; _ } )
+          when lo < 0L ->
+            mk
+              (Necessary
+                 {
+                   reason =
+                     demanded
+                     ^ Printf.sprintf
+                         "; a zero-extending 32-bit load can deliver a \
+                          negative value (range [%Ld,%Ld])"
+                         lo hi;
+                 })
+        | _ when st.Extstate.zup && lo < 0L ->
+            mk
+              (Necessary
+                 {
+                   reason =
+                     demanded
+                     ^ Printf.sprintf
+                         "; the operand is zero-extended but its range \
+                          [%Ld,%Ld] admits negative values"
+                         lo hi;
+                 })
+        | _ ->
+            mk
+              (Unknown
+                 {
+                   reason =
+                     demanded
+                     ^ Printf.sprintf
+                         "; range [%Ld,%Ld] is inconclusive — speculation \
+                          candidate"
+                         lo hi;
+                 }))
+
+(** Classify a truncating (W8/W16) [Sext]: the range decides the low
+    bits, a deletion experiment the upper ones. *)
+let classify_sub ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid
+    ~(st : Extstate.t) ~w r (mk : verdict -> site) : site =
+  let wlo, whi = window w in
+  let ((lo, hi) as iv) = Range.before (Lazy.force rng) ~bid ~iid r in
+  if in_window iv (wlo, whi) then
+    if st.Extstate.ext then mk (Redundant { fact = Range_window; witness = [] })
+    else if not clean then
+      mk
+        (Unknown
+           {
+             reason =
+               "operand fits the window but the function does not certify; \
+                deletion experiment skipped";
+           })
+    else
+      match recertify_without ?maxlen f (mk (Unknown { reason = "" })) with
+      | [] -> mk (Redundant { fact = Range_window; witness = [] })
+      | e :: _ ->
+          mk
+            (Necessary
+               {
+                 reason =
+                   Printf.sprintf
+                     "upper bits are demanded at %s and only this extension \
+                      cleans them"
+                     (Certify.loc_to_string ~bid:e.Certify.bid
+                        ~iid:e.Certify.iid);
+               })
+  else if outside_window iv (wlo, whi) then
+    mk
+      (Necessary
+         {
+           reason =
+             Printf.sprintf
+               "every value in range [%Ld,%Ld] lies outside [%Ld,%Ld]; the \
+                truncating extension rewrites the low bits (e.g. %Ld)"
+               lo hi wlo whi lo;
+         })
+  else
+    mk
+      (Unknown
+         {
+           reason =
+             Printf.sprintf
+               "range [%Ld,%Ld] straddles the W%s window — speculation \
+                candidate"
+               lo hi (Types.string_of_width w);
+         })
+
+(** Classify the implicit extension of a 32-bit [LSign] load: flipping
+    it to [LZero] keeps the low 32 bits, so the flip is sound when the
+    loaded value is provably non-negative or nothing demands the sign
+    bits. *)
+let classify_load ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid dst
+    (mk : verdict -> site) : site =
+  let lo, _ = Range.after (Lazy.force rng) ~bid ~iid dst in
+  if lo >= 0L then mk (Redundant { fact = Range_nonneg; witness = [] })
+  else if not clean then
+    mk
+      (Unknown
+         {
+           reason =
+             "function does not certify as-is; load-flip experiment skipped";
+         })
+  else
+    match recertify_without ?maxlen f (mk (Unknown { reason = "" })) with
+    | [] -> mk (Redundant { fact = Dead_upper; witness = [] })
+    | e :: _ ->
+        mk
+          (Necessary
+             {
+               reason =
+                 Printf.sprintf
+                   "the sign extension this load performs is demanded at %s"
+                   (Certify.loc_to_string ~bid:e.Certify.bid ~iid:e.Certify.iid);
+             })
+
+(** Audit one function against an already-solved certification
+    instance. [call_ranges] feeds interprocedural return-range
+    summaries to the value-range analysis; [assume_redundant] forces a
+    redundant verdict at matching sites (a test hook for exercising the
+    self-verification hard-fail path, in the spirit of the fuzzer's
+    fault injection). *)
+let audit_func_solved ?maxlen ?call_ranges ?assume_redundant
+    (sol : Certify.solution) (f : Cfg.func) : site list =
+  let clean = Certify.errors_of_solution sol = [] in
+  let rng = lazy (Range.compute ?call_ranges f) in
+  let sites = ref [] in
+  Certify.scan sol (fun ~bid ~state item ->
+      match item with
+      | `T _ -> ()
+      | `I { Instr.iid; op } -> (
+          let mk kind reg verdict =
+            let verdict =
+              match assume_redundant with
+              | Some p when p ~fname:f.Cfg.name ~bid ~iid ->
+                  Redundant { fact = Dead_upper; witness = [] }
+              | _ -> verdict
+            in
+            {
+              fname = f.Cfg.name;
+              bid;
+              iid;
+              idx = Lint.instr_index f ~bid ~iid:(Some iid);
+              reg;
+              kind;
+              verdict;
+            }
+          in
+          match op with
+          | Instr.Sext { r; from = Types.W32 } ->
+              sites :=
+                classify_w32 ?maxlen ~sol ~rng ~clean f ~bid ~iid ~st:(state r)
+                  r
+                  (mk (Explicit Types.W32) r)
+                :: !sites
+          | Instr.Sext { r; from = (Types.W8 | Types.W16) as w } ->
+              sites :=
+                classify_sub ?maxlen ~rng ~clean f ~bid ~iid ~st:(state r) ~w r
+                  (mk (Explicit w) r)
+                :: !sites
+          | Instr.ArrLoad { dst; elem = Types.AI32; lext = Types.LSign; _ }
+          | Instr.GLoad { dst; ty = Types.I32; lext = Types.LSign; _ } ->
+              sites :=
+                classify_load ?maxlen ~rng ~clean f ~bid ~iid dst
+                  (mk Load_implied dst)
+                :: !sites
+          | _ -> ()));
+  List.rev !sites
+
+let audit_func ?maxlen ?call_ranges ?assume_redundant (f : Cfg.func) :
+    site list =
+  audit_func_solved ?maxlen ?call_ranges ?assume_redundant
+    (Certify.solve ?maxlen f) f
+
+(* ------------------------------------------------------------------ *)
+(* Self-verification                                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Verification_failed of string
+
+type verification = {
+  attempted : int;  (** provably-redundant findings checked *)
+  co_deleted : int;
+      (** findings whose deletions compose: all were applied to one
+          clone, which recertified and ran clean *)
+  interacting : int;
+      (** findings excluded from the combined patch because another
+          deletion invalidated the fact they rest on (e.g. a chain of
+          extensions over one register); each was verified in
+          isolation, which is what the per-site claim means *)
+}
+
+let is_redundant (s : site) =
+  match s.verdict with Redundant _ -> true | _ -> false
+
+(** Dynamically verify one patched program against the faithful outcome
+    of the unpatched one. [None] = clean. *)
+let dynamic_failure ~fuel ~label ~ref_ (q : Prog.t) : string option =
+  match Sxe_fuzz.Oracle.verify_patch ~fuel ~variant:label ~ref_ q with
+  | Some out, [] ->
+      if
+        (not (Sxe_fuzz.Oracle.fuel_exhausted out))
+        && (not (Sxe_fuzz.Oracle.fuel_exhausted ref_))
+        && Int64.compare out.Sxe_vm.Interp.sext32 ref_.Sxe_vm.Interp.sext32 > 0
+      then
+        Some
+          (Printf.sprintf
+             "patched program executed more 32-bit extensions than the \
+              original (%Ld > %Ld)"
+             out.Sxe_vm.Interp.sext32 ref_.Sxe_vm.Interp.sext32)
+      else None
+  | _, fs ->
+      Some
+        (String.concat "; "
+           (List.map
+              (fun fl -> Format.asprintf "%a" Sxe_fuzz.Oracle.pp_failure fl)
+              fs))
+
+(** Verify every provably-redundant finding by construction:
+
+    1. Greedily compose deletions per function, keeping each patch only
+       if the function still recertifies with it added — a deletion
+       that stops composing (its fact rested on an extension another
+       patch removed) is set aside, {e not} failed: the per-site claim
+       is about deleting that extension alone.
+    2. Run the combined patched program through the differential oracle
+       against the unpatched original. Any divergence is attributed to
+       a single finding by re-verifying individually.
+    3. Verify each set-aside finding in isolation (static + dynamic).
+
+    Any individually-failing finding raises {!Verification_failed}:
+    the auditor called an extension redundant that is not. *)
+let verify_redundant ?maxlen ?(fuel = Sxe_fuzz.Oracle.default_fuel)
+    (p : Prog.t) (red : site list) : verification =
+  let attempted = List.length red in
+  if attempted = 0 then { attempted = 0; co_deleted = 0; interacting = 0 }
+  else begin
+    let ref_, engine =
+      Sxe_fuzz.Oracle.engine_cross ~fuel ~mode:`Faithful (Clone.clone_prog p)
+    in
+    (match engine with
+    | Some d ->
+        raise
+          (Verification_failed
+             ("engine divergence on the unpatched program (VM bug): " ^ d))
+    | None -> ());
+    (* Greedy static composition, per function, linear in findings:
+       keep a running patched clone of each function and test each new
+       deletion on a throwaway clone of it. *)
+    let patched : (string, Cfg.func) Hashtbl.t = Hashtbl.create 8 in
+    let kept, excluded =
+      List.fold_left
+        (fun (kept, excluded) s ->
+          let base =
+            match Hashtbl.find_opt patched s.fname with
+            | Some g -> g
+            | None -> Prog.find_func p s.fname
+          in
+          let g = Clone.clone_func base in
+          apply_patch g s;
+          match Certify.certify ?maxlen g with
+          | [] ->
+              Hashtbl.replace patched s.fname g;
+              (s :: kept, excluded)
+          | _ :: _ -> (kept, s :: excluded))
+        ([], []) red
+    in
+    let kept = List.rev kept and excluded = List.rev excluded in
+    let individually_verify (s : site) =
+      let q = Clone.clone_prog p in
+      apply_patch (Prog.find_func q s.fname) s;
+      let static = Certify.certify ?maxlen (Prog.find_func q s.fname) in
+      let static_detail =
+        match static with
+        | [] -> None
+        | errs ->
+            Some
+              ("patched function no longer certifies: "
+              ^ String.concat "; " (List.map Certify.error_to_string errs))
+      in
+      let detail =
+        match static_detail with
+        | Some _ as d -> d
+        | None -> dynamic_failure ~fuel ~label:("patched:" ^ site_loc s) ~ref_ q
+      in
+      match detail with
+      | None -> ()
+      | Some d ->
+          raise
+            (Verification_failed
+               (Printf.sprintf
+                  "auditor bug: %s was classified provably-redundant, but \
+                   deleting it changes behaviour (%s)"
+                  (site_loc s) d))
+    in
+    (* Combined dynamic run over the composed subset. *)
+    (if kept <> [] then
+       let q = Clone.clone_prog p in
+       List.iter (fun s -> apply_patch (Prog.find_func q s.fname) s) kept;
+       match dynamic_failure ~fuel ~label:"patched(all)" ~ref_ q with
+       | None -> ()
+       | Some combined ->
+           (* Attribute: some single finding must fail on its own (the
+              composed subset recertified, so a divergence here means at
+              least one deletion is behaviourally wrong). *)
+           List.iter individually_verify kept;
+           raise
+             (Verification_failed
+                (Printf.sprintf
+                   "auditor bug: combined patch of %d finding(s) diverges \
+                    (%s) though each individual patch verifies — deletion \
+                    interaction the static composition failed to reject"
+                   (List.length kept) combined)));
+    List.iter individually_verify excluded;
+    {
+      attempted;
+      co_deleted = List.length kept;
+      interacting = List.length excluded;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program driver                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Audit a fully optimized program: build interprocedural return-range
+    summaries once, classify every residual extension in every
+    function, then (unless [verify:false]) prove each redundancy claim
+    by deletion + differential execution. Deterministic: functions in
+    name order, blocks in reverse postorder. *)
+let audit_prog ?maxlen ?fuel ?(verify = true) ?rounds ?assume_redundant
+    (p : Prog.t) : site list * verification option =
+  let summ = Summary.compute ?rounds p in
+  let call_ranges = Summary.call_ranges summ in
+  let sites =
+    List.rev
+      (Prog.fold_funcs
+         (fun acc f ->
+           List.rev_append
+             (audit_func ?maxlen ~call_ranges ?assume_redundant f)
+             acc)
+         [] p)
+  in
+  let verification =
+    if verify then
+      Some (verify_redundant ?maxlen ?fuel p (List.filter is_redundant sites))
+    else None
+  in
+  (sites, verification)
+
+(* ------------------------------------------------------------------ *)
+(* Lint integration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rule_redundant = "audit-redundant-ext"
+let rule_speculation = "audit-speculation-candidate"
+
+let finding_of_site severity rule message (s : site) : Lint.finding =
+  {
+    Lint.rule;
+    severity;
+    fname = s.fname;
+    bid = s.bid;
+    iid = Some s.iid;
+    idx = s.idx;
+    message;
+  }
+
+(** The auditor's classifier as lint rules (static only — no deletion
+    oracle runs, no interprocedural summaries; the full proof lives in
+    [sxopt audit]). *)
+let lint_rules : Lint.rule list =
+  [
+    {
+      Lint.name = rule_redundant;
+      doc =
+        "surviving extension the residue auditor classifies as provably \
+         redundant";
+      severity = Lint.Warning;
+      check =
+        (fun sol f ->
+          List.filter_map
+            (fun s ->
+              match s.verdict with
+              | Redundant { fact; _ } ->
+                  Some
+                    (finding_of_site Lint.Warning rule_redundant
+                       (Printf.sprintf "r%d: provably redundant — %s" s.reg
+                          (fact_to_string fact))
+                       s)
+              | _ -> None)
+            (audit_func_solved sol f));
+    };
+    {
+      Lint.name = rule_speculation;
+      doc =
+        "surviving extension with a range-hostile operand: a speculation \
+         candidate";
+      severity = Lint.Info;
+      check =
+        (fun sol f ->
+          List.filter_map
+            (fun s ->
+              match s.verdict with
+              | Unknown { reason } ->
+                  Some
+                    (finding_of_site Lint.Info rule_speculation
+                       (Printf.sprintf "r%d: %s" s.reg reason)
+                       s)
+              | _ -> None)
+            (audit_func_solved sol f));
+    };
+  ]
+
+let register_lint_rules () = List.iter Lint.register lint_rules

@@ -1,0 +1,191 @@
+(** Rendering and regression-gating for audit results.
+
+    Three surfaces: JSON (one object per matrix cell, mirroring the
+    [sxopt certify --json] shape), SARIF 2.1.0 (for code-scanning UIs;
+    regions use the uniform (function, block label, instruction index)
+    locations — line = block id + 1, column = index + 2, both 1-based
+    with the +1 slot for the label itself), and a TSV residue baseline
+    checked into the repository so CI fails when a variant starts
+    leaving {e more} provably-redundant extensions behind. *)
+
+let json_str = Sxe_check.Check.json_str
+
+type counts = { redundant : int; necessary : int; unknown : int }
+
+let zero = { redundant = 0; necessary = 0; unknown = 0 }
+
+let counts (sites : Audit.site list) : counts =
+  List.fold_left
+    (fun c (s : Audit.site) ->
+      match s.Audit.verdict with
+      | Audit.Redundant _ -> { c with redundant = c.redundant + 1 }
+      | Audit.Necessary _ -> { c with necessary = c.necessary + 1 }
+      | Audit.Unknown _ -> { c with unknown = c.unknown + 1 })
+    zero sites
+
+(** One audited matrix cell: an input program under one variant. *)
+type cell = { input : string; variant : string; sites : Audit.site list }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_tag = function
+  | Audit.Redundant _ -> "redundant"
+  | Audit.Necessary _ -> "necessary"
+  | Audit.Unknown _ -> "unknown"
+
+let site_to_json (s : Audit.site) =
+  let idx = match s.Audit.idx with Some k -> string_of_int k | None -> "null" in
+  let kind =
+    match s.Audit.kind with
+    | Audit.Explicit w -> "sext" ^ Sxe_ir.Types.string_of_width w
+    | Audit.Load_implied -> "load-sext"
+  in
+  let fact, witness, detail =
+    match s.Audit.verdict with
+    | Audit.Redundant { fact; witness } ->
+        (json_str (Audit.fact_to_string fact), witness, "null")
+    | Audit.Necessary { reason } | Audit.Unknown { reason } ->
+        ("null", [], json_str reason)
+  in
+  Printf.sprintf
+    "{\"func\":%s,\"bid\":%d,\"iid\":%d,\"idx\":%s,\"reg\":%d,\"kind\":%s,\"verdict\":%s,\"fact\":%s,\"witness\":[%s],\"detail\":%s}"
+    (json_str s.Audit.fname) s.Audit.bid s.Audit.iid idx s.Audit.reg
+    (json_str kind)
+    (json_str (verdict_tag s.Audit.verdict))
+    fact
+    (String.concat ","
+       (List.map (fun (b, i) -> Printf.sprintf "{\"bid\":%d,\"iid\":%d}" b i) witness))
+    detail
+
+let cell_to_json (c : cell) =
+  let n = counts c.sites in
+  Printf.sprintf
+    "{\"input\":%s,\"variant\":%s,\"redundant\":%d,\"necessary\":%d,\"unknown\":%d,\"sites\":[%s]}"
+    (json_str c.input) (json_str c.variant) n.redundant n.necessary n.unknown
+    (String.concat "," (List.map site_to_json c.sites))
+
+let cells_to_json (cs : cell list) =
+  "[" ^ String.concat "," (List.map cell_to_json cs) ^ "]"
+
+(* ------------------------------------------------------------------ *)
+(* SARIF                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sarif_rules =
+  [
+    ( "audit-redundant-ext",
+      "warning",
+      "Surviving extension the residue auditor proves redundant (verified \
+       by deletion + differential execution)." );
+    ( "audit-necessary-ext",
+      "note",
+      "Surviving extension with a concrete reason it must stay." );
+    ( "audit-speculation-candidate",
+      "note",
+      "Range-hostile surviving extension: a speculation candidate." );
+  ]
+
+let sarif_rule_of_verdict = function
+  | Audit.Redundant _ -> ("audit-redundant-ext", "warning")
+  | Audit.Necessary _ -> ("audit-necessary-ext", "note")
+  | Audit.Unknown _ -> ("audit-speculation-candidate", "note")
+
+let sarif_result (c : cell) (s : Audit.site) =
+  let rule, level = sarif_rule_of_verdict s.Audit.verdict in
+  let start_col = match s.Audit.idx with Some k -> k + 2 | None -> 1 in
+  Printf.sprintf
+    "{\"ruleId\":%s,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s},\"region\":{\"startLine\":%d,\"startColumn\":%d}},\"logicalLocations\":[{\"fullyQualifiedName\":%s,\"kind\":\"function\"}]}],\"partialFingerprints\":{\"cell\":%s}}"
+    (json_str rule) (json_str level)
+    (json_str
+       (Printf.sprintf "[%s/%s] %s" c.input c.variant (Audit.site_to_string s)))
+    (json_str (c.input ^ ".minij"))
+    (s.Audit.bid + 1) start_col
+    (json_str s.Audit.fname)
+    (json_str (c.input ^ "/" ^ c.variant))
+
+let sarif (cs : cell list) =
+  let rules =
+    String.concat ","
+      (List.map
+         (fun (id, _, help) ->
+           Printf.sprintf
+             "{\"id\":%s,\"shortDescription\":{\"text\":%s}}"
+             (json_str id) (json_str help))
+         sarif_rules)
+  in
+  let results =
+    String.concat ","
+      (List.concat_map (fun c -> List.map (sarif_result c) c.sites) cs)
+  in
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"sxopt-audit\",\"informationUri\":\"https://example.invalid/sxopt\",\"rules\":[%s]}},\"results\":[%s]}]}"
+    rules results
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** The baseline is TSV, one row per (input, variant), sorted — a
+    format `diff`, `cut` and code review all read natively, and byte-
+    reproducible across worker counts because the audit itself is
+    deterministic. *)
+
+let baseline_header =
+  "# sxopt audit residue baseline: input\tvariant\tredundant\tnecessary\tunknown"
+
+let baseline_of_cells (cs : cell list) : string =
+  let rows =
+    List.map
+      (fun c ->
+        let n = counts c.sites in
+        Printf.sprintf "%s\t%s\t%d\t%d\t%d" c.input c.variant n.redundant
+          n.necessary n.unknown)
+      cs
+  in
+  String.concat "\n" (baseline_header :: List.sort compare rows) ^ "\n"
+
+(** Parse a baseline file body. Unknown lines raise [Failure] — a
+    corrupted baseline should fail loudly, not gate vacuously. *)
+let parse_baseline (text : string) : ((string * string) * counts) list =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char '\t' line with
+           | [ input; variant; r; n; u ] -> (
+               match
+                 (int_of_string_opt r, int_of_string_opt n, int_of_string_opt u)
+               with
+               | Some r, Some n, Some u ->
+                   Some
+                     ((input, variant), { redundant = r; necessary = n; unknown = u })
+               | _ -> failwith ("malformed baseline row: " ^ line))
+           | _ -> failwith ("malformed baseline row: " ^ line))
+
+(** Gate the current results against a baseline: a regression is a cell
+    whose provably-redundant count exceeds its baseline entry, or a new
+    cell arriving with redundant findings. Improvements (fewer
+    redundant) pass — refresh the baseline to lock them in. Returns
+    human-readable regression descriptions; empty = gate passes. *)
+let diff_baseline ~(baseline : ((string * string) * counts) list)
+    (cs : cell list) : string list =
+  List.filter_map
+    (fun c ->
+      let n = counts c.sites in
+      match List.assoc_opt (c.input, c.variant) baseline with
+      | Some b when n.redundant > b.redundant ->
+          Some
+            (Printf.sprintf
+               "%s / %s: %d provably-redundant extension(s), baseline %d"
+               c.input c.variant n.redundant b.redundant)
+      | Some _ -> None
+      | None when n.redundant > 0 ->
+          Some
+            (Printf.sprintf
+               "%s / %s: %d provably-redundant extension(s), no baseline entry"
+               c.input c.variant n.redundant)
+      | None -> None)
+    cs

@@ -35,6 +35,23 @@ val scan :
     the visitor each instruction / terminator with a lookup of the
     abstract state just before it. *)
 
+val witness :
+  solution ->
+  bid:int ->
+  stop:int option ->
+  Sxe_ir.Instr.reg ->
+  fact:(Extstate.t -> bool) ->
+  (int * int) list
+(** Why does [reg] hold (or lack) [fact] just before instruction [stop]
+    (or the terminator, for [~stop:None]) of block [bid]? Walks backward
+    to the most recent definition, follows I32 copies, and crosses to a
+    predecessor whose exit state lacks [fact] when the block has no
+    defining instruction. Note the polarity: the walk follows
+    predecessors where [fact] does NOT hold — to trace where a state
+    bit came {e from} (e.g. why a value {e is} extended), negate it:
+    [~fact:(fun s -> not s.Extstate.ext)]. Bounded and cycle-checked;
+    a truncated chain is still a valid prefix. *)
+
 val certify : ?maxlen:int64 -> Sxe_ir.Cfg.func -> error list
 val certify_prog : ?maxlen:int64 -> Sxe_ir.Prog.t -> error list
 

@@ -78,11 +78,13 @@ let errors_to_json errs =
   "[" ^ String.concat "," (List.map error_to_json errs) ^ "]"
 
 let finding_to_json (fi : Lint.finding) =
-  Printf.sprintf "{\"rule\":%s,\"severity\":%s,\"func\":%s,%s,\"message\":%s}"
+  let idx = match fi.Lint.idx with Some k -> string_of_int k | None -> "null" in
+  Printf.sprintf "{\"rule\":%s,\"severity\":%s,\"func\":%s,%s,\"idx\":%s,\"message\":%s}"
     (json_str fi.Lint.rule)
     (json_str (Lint.severity_to_string fi.Lint.severity))
     (json_str fi.Lint.fname)
     (json_loc ~bid:fi.Lint.bid ~iid:fi.Lint.iid)
+    idx
     (json_str fi.Lint.message)
 
 let findings_to_json fs =

@@ -19,6 +19,11 @@ val lint_prog :
 val stage_gate : ?maxlen:int64 -> stage:string -> Sxe_ir.Cfg.func -> unit
 (** Certify and raise {!Certification_failed} naming [stage] on error. *)
 
+val json_escape : string -> string
+val json_str : string -> string
+(** JSON string quoting, shared with the other machine-readable
+    renderers (the audit reports reuse it). *)
+
 val error_to_json : Certify.error -> string
 val errors_to_json : Certify.error list -> string
 val finding_to_json : Lint.finding -> string

@@ -27,6 +27,11 @@ type finding = {
   fname : string;
   bid : int;
   iid : int option;
+  idx : int option;
+      (** 0-based position of the instruction within its block body;
+          [None] for terminator- or block-level findings. Carried so
+          SARIF regions (and any renderer that wants a positional
+          location) are precise without re-walking the function. *)
   message : string;
 }
 
@@ -41,9 +46,24 @@ type rule = {
 (* Built-in rules                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(** Position of instruction [iid] within its block body, so every rule
+    reports a (function, block label, instruction index) location
+    uniformly. [None] iid (terminator/block findings) stays [None]. *)
+let instr_index (f : Cfg.func) ~bid ~iid =
+  match iid with
+  | None -> None
+  | Some iid ->
+      let rec go k = function
+        | [] -> None
+        | (i : Instr.t) :: rest -> if i.Instr.iid = iid then Some k else go (k + 1) rest
+      in
+      go 0 (Cfg.body (Cfg.block f bid))
+
 let mk rule severity (f : Cfg.func) ~bid ~iid fmt =
   Printf.ksprintf
-    (fun message -> { rule; severity; fname = f.Cfg.name; bid; iid; message })
+    (fun message ->
+      { rule; severity; fname = f.Cfg.name; bid; iid;
+        idx = instr_index f ~bid ~iid; message })
     fmt
 
 (* The static analogue of what the eliminator should have caught: a
@@ -259,11 +279,12 @@ let run_prog ?maxlen ?rules (p : Prog.t) : finding list =
        [] p)
 
 let finding_to_string (fi : finding) =
-  Printf.sprintf "%s: %s %s: [%s] %s"
+  let pos = match fi.idx with Some k -> Printf.sprintf "#%d" k | None -> "" in
+  Printf.sprintf "%s: %s %s%s: [%s] %s"
     (severity_to_string fi.severity)
     fi.fname
     (Certify.loc_to_string ~bid:fi.bid ~iid:fi.iid)
-    fi.rule fi.message
+    pos fi.rule fi.message
 
 let max_severity (fs : finding list) : severity option =
   let rank = function Info -> 0 | Warning -> 1 | Error -> 2 in

@@ -13,7 +13,12 @@ type finding = {
   severity : severity;
   fname : string;
   bid : int;
-  iid : int option;
+  iid : int option;  (** [None]: terminator- or block-level finding *)
+  idx : int option;
+      (** 0-based instruction index within the block body ([None] for
+          terminator/block findings) — the positional half of the
+          uniform (function, block label, instruction index) location
+          SARIF regions are built from *)
   message : string;
 }
 
@@ -23,6 +28,10 @@ type rule = {
   severity : severity;  (** default severity of the rule's findings *)
   check : Certify.solution -> Sxe_ir.Cfg.func -> finding list;
 }
+
+val instr_index : Sxe_ir.Cfg.func -> bid:int -> iid:int option -> int option
+(** Position of instruction [iid] within block [bid]'s body; [None] for
+    [None] iid or an id not present in the block. *)
 
 val builtins : rule list
 (** The built-in rules, as an immutable base list; the registry starts

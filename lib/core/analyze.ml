@@ -118,6 +118,10 @@ let rec analyze_def ctx (site : Reaching.def_site) : bool =
         (* the candidate extension vouches only through its own inputs *)
         List.exists (analyze_def ctx) (Chains.ud_at_instr ctx.chains i (ext_reg i))
       else if Instr.def_always_extended i.op then false
+      else if match i.op with Instr.Call { ret = Some I32; _ } -> true | _ -> false then
+        (* assume-guarantee per the ABI, as in the certifier's transfer:
+           an I32 call result arrives extended from the callee's Ret *)
+        false
       else begin
         (* range-assisted Case 1 first: a zero-upper-half result with a
            non-negative value is sign-extended, and so is an AND "where

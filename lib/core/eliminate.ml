@@ -22,14 +22,14 @@ let count_sext32_prog (p : Prog.t) =
     [edge_prob] supplies measured branch probabilities (profile-directed
     order determination). Returns the time spent building UD/DU chains,
     which Table 3 accounts separately from the optimization itself. *)
-let run ?edge_prob (config : Config.t) (f : Cfg.func) (stats : Stats.t) =
+let run ?edge_prob ?call_ranges (config : Config.t) (f : Cfg.func) (stats : Stats.t) =
   (* (3)-1 insertion *)
   Insertion.run config f stats;
   (* shared analyses: UD/DU chains (accounted separately, as in Table 3)
      and value ranges *)
   let t0 = Unix.gettimeofday () in
   let chains = Chains.build f in
-  let ranges = Range.compute f in
+  let ranges = Range.compute ?call_ranges f in
   let t_chains = Unix.gettimeofday () -. t0 in
   (* (3)-2 order determination *)
   let exts = ref [] in

@@ -8,11 +8,15 @@ val count_sext32_prog : Sxe_ir.Prog.t -> int
 
 val run :
   ?edge_prob:(src:int -> dst:int -> float option) ->
+  ?call_ranges:(string -> Sxe_analysis.Range.interval option) ->
   Config.t ->
   Sxe_ir.Cfg.func ->
   Stats.t ->
   float
 (** Perform phases (3)-1..(3)-3. [edge_prob] supplies measured branch
-    probabilities for profile-directed order determination. Returns the
-    time spent building UD/DU chains and value ranges, which Table 3
-    accounts separately from the optimization itself. *)
+    probabilities for profile-directed order determination. [call_ranges]
+    supplies interprocedural return-value intervals
+    ({!Sxe_analysis.Summary.call_ranges}) so the range analysis can prove
+    call results non-negative. Returns the time spent building UD/DU
+    chains and value ranges, which Table 3 accounts separately from the
+    optimization itself. *)

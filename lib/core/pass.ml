@@ -26,6 +26,7 @@ let now = Unix.gettimeofday
 
 let compile_func ?(profile : profile_source option)
     ?(stage_check : (stage:string -> Sxe_ir.Cfg.func -> unit) option)
+    ?(call_ranges : (string -> Sxe_analysis.Range.interval option) option)
     (config : Config.t) (f : Sxe_ir.Cfg.func) (stats : Stats.t) =
   let paranoid = Sxe_check.Check.paranoid () in
   let notify stage =
@@ -54,7 +55,7 @@ let compile_func ?(profile : profile_source option)
       let edge_prob =
         Option.map (fun p ~src ~dst -> p f.Sxe_ir.Cfg.name ~src ~dst) profile
       in
-      chains_time := Eliminate.run ?edge_prob config f stats);
+      chains_time := Eliminate.run ?edge_prob ?call_ranges config f stats);
   let t3 = now () in
   stats.Stats.time_chains <- stats.Stats.time_chains +. !chains_time;
   stats.Stats.time_signext <- stats.Stats.time_signext +. (t3 -. t2 -. !chains_time);
@@ -70,6 +71,17 @@ let compile ?profile ?stage_check (config : Config.t) (p : Sxe_ir.Prog.t) : Stat
     ignore (Sxe_opt.Inline.run p);
     stats.Stats.time_general <- stats.Stats.time_general +. (now () -. t0)
   end;
-  Sxe_ir.Prog.iter_funcs (fun f -> compile_func ?profile ?stage_check config f stats) p;
+  (* Interprocedural return-value intervals, computed once on the whole
+     program (the pipeline preserves semantics, so the summaries stay
+     sound as each function is transformed underneath). *)
+  let call_ranges =
+    let t0 = now () in
+    let summ = Sxe_analysis.Summary.compute p in
+    stats.Stats.time_chains <- stats.Stats.time_chains +. (now () -. t0);
+    Sxe_analysis.Summary.call_ranges summ
+  in
+  Sxe_ir.Prog.iter_funcs
+    (fun f -> compile_func ?profile ?stage_check ~call_ranges config f stats)
+    p;
   stats.Stats.remaining <- Eliminate.count_sext32_prog p;
   stats

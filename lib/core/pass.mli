@@ -10,6 +10,7 @@ type profile_source = string -> src:int -> dst:int -> float option
 val compile_func :
   ?profile:profile_source ->
   ?stage_check:(stage:string -> Sxe_ir.Cfg.func -> unit) ->
+  ?call_ranges:(string -> Sxe_analysis.Range.interval option) ->
   Config.t -> Sxe_ir.Cfg.func -> Stats.t -> unit
 (** [stage_check] observes the function after each compilation stage
     (["convert"], ["step2:<pass>"] per changed Step-2 pass, ["signext"]

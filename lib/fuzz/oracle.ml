@@ -167,6 +167,28 @@ let classify (ref_ : Sxe_vm.Interp.outcome) (out : Sxe_vm.Interp.outcome) :
           (match out.ret with None -> "none" | Some v -> Int64.to_string v) )
   else None
 
+(** Differentially verify an already-optimized program that was patched
+    in place (the residue auditor's self-check: an extension deleted or
+    a load's extension mode flipped). No compilation happens here — [p]
+    is validated, run faithfully under all three engines (divergence is
+    an [Engine] failure), and its outcome classified against [ref_],
+    the faithful outcome of the {e unpatched} program. The patch is
+    behaviour-preserving iff the failure list is empty. [variant] labels
+    the failures (default ["patched"]). *)
+let verify_patch ?(fuel = default_fuel) ?(variant = "patched") ~ref_ (p : Prog.t) :
+    Sxe_vm.Interp.outcome option * failure list =
+  let fail cls detail = { variant; arch = "-"; cls; detail } in
+  match Prog.fold_funcs (fun acc f -> acc @ Validate.errors f) [] p with
+  | _ :: _ as errs -> (None, [ fail Invalid (String.concat "; " errs) ])
+  | [] -> (
+      match engine_cross ~fuel ~mode:`Faithful p with
+      | exception e -> (None, [ fail Crash (Printexc.to_string e) ])
+      | out, Some detail -> (Some out, [ fail Engine detail ])
+      | out, None -> (
+          match classify ref_ out with
+          | Some (cls, detail) -> (Some out, [ fail cls detail ])
+          | None -> (Some out, [])))
+
 (** Compile a clone of [base] under [config] — validating the IR after
     every compilation stage, so a pass that transiently breaks
     well-formedness is caught and named even if a later pass repairs the

@@ -359,7 +359,8 @@ let test_lint_custom_rule () =
     { name = "test-probe"; doc = "counts functions"; severity = Lint.Info;
       check = (fun _sol f -> incr saw;
                 [ { Lint.rule = "test-probe"; severity = Lint.Info;
-                    fname = f.Cfg.name; bid = 0; iid = None; message = "hi" } ]) }
+                    fname = f.Cfg.name; bid = 0; iid = None; idx = None;
+                    message = "hi" } ]) }
   in
   Lint.register rule;
   let b, _ = B.create ~name:"cu" ~params:[] ~ret:I32 () in

@@ -20,6 +20,7 @@ let () =
       ("harness", Test_harness.suite);
       ("validate", Test_validate.suite);
       ("check", Test_check.suite);
+      ("audit", Test_audit.suite);
       ("fuzz", Test_fuzz.suite);
       ("par", Test_par.suite);
       ("differential", Test_differential.suite);

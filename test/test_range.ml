@@ -145,6 +145,97 @@ let test_array_refinement () =
   Alcotest.(check int64) "lower bound" 0L lo;
   Alcotest.(check int64) "upper bound" (Int64.sub Range.i32_max 1L) hi
 
+let test_w8_boundary_narrowing () =
+  (* A truncating extension keeps an in-window range exact and collapses
+     anything that pokes past a window boundary, at both edges. *)
+  let probe lo hi mk_ext expect =
+    let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+    let x = List.hd params in
+    let lo_c = B.iconst b lo and hi_c = B.iconst b hi in
+    let b1 = B.new_block b and b2 = B.new_block b and b3 = B.new_block b in
+    B.br b Ge x lo_c ~ifso:b1 ~ifnot:b3;
+    B.switch b b1;
+    B.br b Le x hi_c ~ifso:b2 ~ifnot:b3;
+    B.switch b b2;
+    (* x in [lo, hi] here; apply the extension under test *)
+    let ext = mk_ext b x in
+    B.retv b I32 x;
+    B.switch b b3;
+    B.retv b I32 x;
+    let f = B.func b in
+    let t = Range.compute f in
+    Alcotest.(check (pair int64 int64))
+      (Printf.sprintf "[%d,%d]" lo hi)
+      expect
+      (Range.after t ~bid:b2 ~iid:ext.Instr.iid x)
+  in
+  let sext8 b x = B.sext b ~from:W8 x in
+  let sext16 b x = B.sext b ~from:W16 x in
+  (* exactly the window: exact range survives *)
+  probe (-128) 127 sext8 (-128L, 127L);
+  probe 0 127 sext8 (0L, 127L);
+  (* one past either boundary: collapse to the full window *)
+  probe 0 128 sext8 (-128L, 127L);
+  probe (-129) 0 sext8 (-128L, 127L);
+  (* W16 boundaries behave identically at their window *)
+  probe (-32768) 32767 sext16 (-32768L, 32767L);
+  probe (-32769) 32767 sext16 (-32768L, 32767L);
+  probe 100 32768 sext16 (-32768L, 32767L)
+
+let test_zext_boundary_narrowing () =
+  let b, params = B.create ~name:"f" ~params:[ I32 ] ~ret:I32 () in
+  let x = List.hd params in
+  let m = B.iconst b 200 in
+  let r = B.and_ b x m in
+  (* r in [0, 200]: inside the zext8 window, so the range is kept *)
+  let z = B.zext b ~from:W8 r in
+  B.retv b I32 r;
+  let f = B.func b in
+  let t = Range.compute f in
+  Alcotest.(check (pair int64 int64))
+    "in-window range survives zext8" (0L, 200L)
+    (Range.after t ~bid:0 ~iid:z.Instr.iid r);
+  (* a possibly-negative operand collapses to the full [0, 255] window *)
+  let b2, params2 = B.create ~name:"g" ~params:[ I32 ] ~ret:I32 () in
+  let y = List.hd params2 in
+  let z2 = B.zext b2 ~from:W8 y in
+  B.retv b2 I32 y;
+  let g = B.func b2 in
+  let t2 = Range.compute g in
+  Alcotest.(check (pair int64 int64))
+    "unknown operand collapses to the window" (0L, 255L)
+    (Range.after t2 ~bid:0 ~iid:z2.Instr.iid y)
+
+let test_negative_stride_loop () =
+  (* for (i = 100; i > 0; i -= 3): in the body i is in [1, 100]; the
+     descending update must not destroy the lower bound recovered from
+     the back edge. *)
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let i = B.iconst b 100 in
+  let zero = B.iconst b 0 in
+  let three = B.iconst b 3 in
+  let h = B.new_block b and body = B.new_block b and ex = B.new_block b in
+  B.jmp b h;
+  B.switch b h;
+  B.br b Gt i zero ~ifso:body ~ifnot:ex;
+  B.switch b body;
+  let probe = B.add b i zero in
+  B.binop_to b Sub ~dst:i i three;
+  B.jmp b h;
+  B.switch b ex;
+  B.retv b I32 i;
+  let f = B.func b in
+  let t = Range.compute f in
+  ignore probe;
+  let first = List.hd (Cfg.body (Cfg.block f body)) in
+  let lo, hi = Range.before t ~bid:body ~iid:first.Instr.iid i in
+  Alcotest.(check int64) "body upper bound" 100L hi;
+  Alcotest.(check int64) "body lower bound from i > 0" 1L lo;
+  (* after the decrement, i may go as low as -2 *)
+  let dec = List.nth (Cfg.body (Cfg.block f body)) 1 in
+  let lo2, _hi2 = Range.after t ~bid:body ~iid:dec.Instr.iid i in
+  Alcotest.(check int64) "post-decrement lower bound" (-2L) lo2
+
 (* soundness: for random straight-line arithmetic on a random input, the
    interpreted 32-bit value lies within the computed range *)
 let prop_range_sound =
@@ -212,5 +303,8 @@ let suite =
     Alcotest.test_case "loop counter" `Quick test_loop_counter;
     Alcotest.test_case "loop with variable bound" `Quick test_loop_variable_bound;
     Alcotest.test_case "array access refinement" `Quick test_array_refinement;
+    Alcotest.test_case "W8/W16 window boundaries" `Quick test_w8_boundary_narrowing;
+    Alcotest.test_case "zext window boundaries" `Quick test_zext_boundary_narrowing;
+    Alcotest.test_case "negative stride loop" `Quick test_negative_stride_loop;
     QCheck_alcotest.to_alcotest prop_range_sound;
   ]
