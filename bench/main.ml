@@ -416,6 +416,24 @@ let dispatch_pairs wname =
   let all = Sxe_vm.Precode.dispatch_counts prof in
   List.filteri (fun i _ -> i < dispatch_top) all
 
+(* Static + dynamic zero-extension elimination on the unsigned workload
+   class (registry extras, so outside the Table 1/2 matrices): baseline
+   vs full algorithm, counting what Step 3 does to the zext half of the
+   (kind x width) lattice. *)
+let zext_rows () =
+  List.map
+    (fun (w : Sxe_workloads.Registry.t) ->
+      let run config =
+        let prog = Sxe_lang.Frontend.compile w.Sxe_workloads.Registry.source in
+        let stats = Sxe_core.Pass.compile config prog in
+        let out = Sxe_vm.Interp.run ~count_cycles:false prog in
+        (stats.Sxe_core.Stats.remaining_zext, out.Sxe_vm.Interp.zext32)
+      in
+      let sb, db = run (Sxe_core.Config.baseline ()) in
+      let sf, df = run (Sxe_core.Config.new_all ()) in
+      (w.Sxe_workloads.Registry.name, (sb, db, sf, df)))
+    (Sxe_workloads.Registry.unsigned ~scale:!scale ())
+
 let bechamel () =
   Printf.printf "Bechamel pass-timing benchmarks (monotonic clock, ns/run):\n%!";
   ignore (run_bechamel (pass_tests ()));
@@ -576,6 +594,25 @@ let json_artifact () =
         (if pairs = [] then "" else "\n    ")
         (if i = List.length vm_workloads - 1 then "" else ","))
     vm_workloads;
+  (* zext: the zero-extension half of the lattice on the unsigned
+     kernels — static remaining after compilation and dynamic count at
+     run time, baseline vs full algorithm *)
+  let zr = zext_rows () in
+  List.iter
+    (fun (wname, (sb, db, sf, df)) ->
+      Printf.printf
+        "  %-14s zext static %3d -> %3d   dynamic %10Ld -> %10Ld\n%!" wname sb
+        sf db df)
+    zr;
+  Printf.fprintf oc "  },\n  \"zext\": {\n";
+  List.iteri
+    (fun i (wname, (sb, db, sf, df)) ->
+      Printf.fprintf oc
+        "    \"%s\": { \"static_baseline\": %d, \"static_all\": %d, \
+         \"dyn_baseline\": %Ld, \"dyn_all\": %Ld }%s\n"
+        (json_escape wname) sb sf db df
+        (if i = List.length zr - 1 then "" else ","))
+    zr;
   Printf.fprintf oc "  },\n  \"parallel\": {\n";
   Printf.fprintf oc "    \"jobs\": %d,\n" !jobs;
   Printf.fprintf oc "    \"cores\": %d" (Domain.recommended_domain_count ());

@@ -231,9 +231,11 @@ let run_cmd =
     | Some t -> Printf.printf "! exception: %s\n" t
     | None -> ());
     Printf.printf
-      "-- checksum %Ld | %Ld instructions | %Ld sign extensions (32-bit) | %Ld (8/16-bit) | %Ld cycles\n"
+      "-- checksum %Ld | %Ld instructions | %Ld sign extensions (32-bit) | %Ld \
+       (8/16-bit) | %Ld zero extensions (32-bit) | %Ld (8/16-bit) | %Ld cycles\n"
       out.Sxe_vm.Interp.checksum out.Sxe_vm.Interp.executed out.Sxe_vm.Interp.sext32
-      out.Sxe_vm.Interp.sext_sub out.Sxe_vm.Interp.cycles
+      out.Sxe_vm.Interp.sext_sub out.Sxe_vm.Interp.zext32 out.Sxe_vm.Interp.zext_sub
+      out.Sxe_vm.Interp.cycles
   in
   Cmd.v
     (Cmd.info "run" ~doc)
@@ -250,11 +252,13 @@ let variants_cmd =
     let src = read_source file in
     let w = { Sxe_workloads.Registry.name = file; suite = Jbytemark; source = src } in
     let ms = Sxe_harness.Experiment.run_workload ~use_profile:profile ~arch ~maxlen w in
-    Printf.printf "%-22s %14s %10s %12s %6s\n" "variant" "sext32 (dyn)" "static" "cycles" "ok";
+    Printf.printf "%-22s %14s %8s %14s %8s %12s %6s\n" "variant" "sext32 (dyn)"
+      "static" "zext32 (dyn)" "static" "cycles" "ok";
     List.iter
       (fun (m : Sxe_harness.Experiment.measurement) ->
-        Printf.printf "%-22s %14Ld %10d %12Ld %6s\n" m.variant m.dyn_sext32
-          m.static_remaining m.cycles
+        Printf.printf "%-22s %14Ld %8d %14Ld %8d %12Ld %6s\n" m.variant
+          m.dyn_sext32 m.static_remaining m.dyn_zext32 m.static_remaining_zext
+          m.cycles
           (if m.equivalent then "yes" else "NO!"))
       ms;
     if List.exists (fun (m : Sxe_harness.Experiment.measurement) -> not m.equivalent) ms
@@ -997,10 +1001,13 @@ let audit_cmd =
                     v.Sxe_audit.Audit.attempted v.Sxe_audit.Audit.co_deleted
                     v.Sxe_audit.Audit.interacting
             in
-            Printf.printf "audit: %s / %s: %d redundant, %d necessary, %d unknown%s\n"
+            let sx, zx = Sxe_audit.Report.by_kind cell.Sxe_audit.Report.sites in
+            Printf.printf
+              "audit: %s / %s: %d redundant, %d necessary, %d unknown (%d sext, \
+               %d zext)%s\n"
               cell.Sxe_audit.Report.input cell.Sxe_audit.Report.variant
               n.Sxe_audit.Report.redundant n.Sxe_audit.Report.necessary
-              n.Sxe_audit.Report.unknown vnote;
+              n.Sxe_audit.Report.unknown sx zx vnote;
             List.iter
               (fun s -> Printf.printf "  %s\n" (Sxe_audit.Audit.site_to_string s))
               cell.Sxe_audit.Report.sites

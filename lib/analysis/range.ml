@@ -87,7 +87,18 @@ let binop_interval op ((llo, lhi) : interval) ((rlo, rhi) : interval) : interval
         (min (shift_right llo a) (shift_right llo b), max (shift_right lhi a) (shift_right lhi b))
       end
       else top
-  | Types.LShr -> top
+  | Types.LShr ->
+      (* the 32-bit logical shift of the (upper-zero, possibly guarded)
+         operand: a known-positive amount drops the sign bit, so the
+         result is a non-negative int32 bounded by [0xFFFFFFFF >> lo];
+         a non-negative operand stays within its own shifted bound even
+         for a possibly-zero amount *)
+      if rlo >= 0L && rhi <= 31L then begin
+        if llo >= 0L then (0L, shift_right_logical lhi (to_int rlo))
+        else if rlo >= 1L then (0L, shift_right_logical 0xFFFF_FFFFL (to_int rlo))
+        else top
+      end
+      else top
 
 let unop_interval op ((lo, hi) : interval) : interval =
   let open Int64 in

@@ -1,7 +1,7 @@
 (** The static extension-residue auditor.
 
-    After the optimizer has done its best, some sign extensions survive.
-    This pass classifies {e every} one of them — explicit [Sext]
+    After the optimizer has done its best, some extensions survive. This
+    pass classifies {e every} one of them — explicit [Sext] and [Zext]
     instructions and the implicit sign extension performed by
     [LSign]-mode 32-bit loads (PPC64 [lwa]) — into one of three
     verdicts:
@@ -26,13 +26,15 @@
     an {e auditor} bug and hard-fails the run ({!Verification_failed}).
 
     Soundness of the deletion experiments rests on two facts. A [W32]
-    [Sext] never changes the low 32 bits of its register, so deleting
-    one is behaviour-preserving exactly when no observer of the upper
-    bits is hurt — which is precisely what recertification of the
-    patched function proves (every upper-bit observer is in the
-    certifier's demand set). A [W8]/[W16] [Sext] {e does} rewrite the
-    low bits unless the operand already lies inside the width window,
-    so those deletions additionally require the range proof. *)
+    [Sext] or [Zext] never changes the low 32 bits of its register, so
+    deleting one is behaviour-preserving exactly when no observer of
+    the upper bits is hurt — which is precisely what recertification of
+    the patched function proves (every upper-bit observer is in the
+    certifier's demand set, sign- and zero-demanding alike). A
+    [W8]/[W16] extension {e does} rewrite the low bits unless the
+    operand already lies inside the width window — the signed window
+    for [Sext], the unsigned one for [Zext] — so those deletions
+    additionally require the range proof. *)
 
 open Sxe_ir
 module Certify = Sxe_check.Certify
@@ -43,20 +45,26 @@ module Summary = Sxe_analysis.Summary
 
 type fact =
   | Def_extended
-      (** the defining instruction always sign-extends (Theorem 1) *)
+      (** the defining instruction always produces the required
+          extension — sign or zero (Theorem 1) *)
   | Flow_extended
-      (** extension state flows in from every predecessor (fixpoint) *)
+      (** extension state of the required kind flows in from every
+          predecessor (fixpoint) *)
   | Range_nonneg
-      (** the value range proves the operand non-negative (Theorem 2) *)
+      (** the value range proves the operand non-negative (Theorem 2);
+          for a [Zext] this is the sext→zext conversion fact: a
+          sign-extended non-negative value already has zero upper
+          bits *)
   | Range_window
-      (** the value range fits the sub-32-bit operand window, making
-          the truncating extension the identity on the low bits *)
+      (** the value range fits the sub-32-bit operand window (signed
+          for [Sext], unsigned for [Zext]), making the truncating
+          extension the identity on the low bits *)
   | Dead_upper
       (** nothing reachable demands the bits the extension writes: the
           patched function recertifies without it *)
 
 let fact_to_string = function
-  | Def_extended -> "defining instruction always sign-extends"
+  | Def_extended -> "defining instruction always produces this extension"
   | Flow_extended -> "extension state flows from every predecessor"
   | Range_nonneg -> "value range proves the operand non-negative"
   | Range_window -> "value range fits the operand-width window"
@@ -68,7 +76,8 @@ type verdict =
   | Unknown of { reason : string }
 
 type kind =
-  | Explicit of Types.width  (** a [Sext] instruction *)
+  | Explicit of Types.ekind * Types.width
+      (** a [Sext] ([Sign]) or [Zext] ([Zero]) instruction *)
   | Load_implied
       (** the implicit extension of a 32-bit [LSign] load ([ArrLoad]
           [AI32] or [GLoad I32]); sub-32-bit [LSign] loads are not
@@ -103,7 +112,7 @@ let site_loc (s : site) =
 let site_to_string (s : site) =
   let kind =
     match s.kind with
-    | Explicit w -> Printf.sprintf "sext%s" (Types.string_of_width w)
+    | Explicit (k, w) -> Types.string_of_ekind k ^ Types.string_of_width w
     | Load_implied -> "load-sext"
   in
   Printf.sprintf "%s: %s r%d: %s" (site_loc s) kind s.reg
@@ -145,6 +154,13 @@ let window = function
   | Types.W8 -> (-128L, 127L)
   | Types.W16 -> (-32768L, 32767L)
   | _ -> invalid_arg "Audit.window"
+
+(* A truncating [Zext] is the identity on the low bits exactly when the
+   operand lies in the unsigned window. *)
+let zwindow = function
+  | Types.W8 -> (0L, 255L)
+  | Types.W16 -> (0L, 65535L)
+  | _ -> invalid_arg "Audit.zwindow"
 
 let in_window (lo, hi) (wlo, whi) = lo >= wlo && hi <= whi
 let outside_window (lo, hi) (wlo, whi) = hi < wlo || lo > whi
@@ -296,6 +312,154 @@ let classify_sub ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid
                lo hi (Types.string_of_width w);
          })
 
+(** Classify one W32 [Zext]: identity when the certifier proves the
+    operand's upper 32 bits already zero — directly ([zup]) or via the
+    sext→zext conversion fact (sign-extended and provably
+    non-negative) — otherwise a deletion experiment decides whether
+    anything demands the bits it clears. *)
+let classify_zext_w32 ?maxlen ~sol ~rng ~clean (f : Cfg.func) ~bid ~iid
+    ~(st : Extstate.t) r (mk : verdict -> site) : site =
+  let lo, hi = Range.before (Lazy.force rng) ~bid ~iid r in
+  if st.Extstate.zup then begin
+    let wit =
+      Certify.witness sol ~bid ~stop:(Some iid) r
+        ~fact:(fun s -> not s.Extstate.zup)
+    in
+    let fact =
+      match origin_op f wit with
+      | Some op when Instr.def_upper_zero op -> Def_extended
+      | _ when lo >= 0L -> Range_nonneg
+      | _ -> Flow_extended
+    in
+    mk (Redundant { fact; witness = wit })
+  end
+  else if st.Extstate.ext && lo >= 0L then
+    (* Sign-extended and non-negative: the upper bits are already
+       zero. The witness chain names the sign-extension proof. *)
+    let wit =
+      Certify.witness sol ~bid ~stop:(Some iid) r
+        ~fact:(fun s -> not s.Extstate.ext)
+    in
+    mk (Redundant { fact = Range_nonneg; witness = wit })
+  else if not clean then
+    mk
+      (Unknown
+         {
+           reason =
+             "function does not certify as-is; deletion experiment skipped";
+         })
+  else
+    match recertify_without ?maxlen f (mk (Unknown { reason = "" })) with
+    | [] -> mk (Redundant { fact = Dead_upper; witness = [] })
+    | e :: _ -> (
+        let demanded =
+          Printf.sprintf "demanded at %s"
+            (Certify.loc_to_string ~bid:e.Certify.bid ~iid:e.Certify.iid)
+        in
+        match origin_op f e.Certify.witness with
+        | Some (Instr.Mov { src; ty = Types.I32; _ })
+          when Cfg.reg_ty f src = Types.I64 ->
+            mk
+              (Necessary
+                 {
+                   reason =
+                     demanded
+                     ^ "; the operand truncates a 64-bit value (l2i), so its \
+                        upper bits are garbage without the extension";
+                 })
+        | Some
+            ( Instr.ArrLoad { elem = Types.AI32; lext = Types.LSign; _ }
+            | Instr.GLoad { ty = Types.I32; lext = Types.LSign; _ } )
+          when lo < 0L ->
+            mk
+              (Necessary
+                 {
+                   reason =
+                     demanded
+                     ^ Printf.sprintf
+                         "; a sign-extending 32-bit load can deliver a \
+                          negative value (range [%Ld,%Ld]), so the upper \
+                          bits can be ones"
+                         lo hi;
+                 })
+        | _ when st.Extstate.ext && lo < 0L ->
+            mk
+              (Necessary
+                 {
+                   reason =
+                     demanded
+                     ^ Printf.sprintf
+                         "; the operand is sign-extended but its range \
+                          [%Ld,%Ld] admits negative values, so the upper \
+                          bits can be ones"
+                         lo hi;
+                 })
+        | _ ->
+            mk
+              (Unknown
+                 {
+                   reason =
+                     demanded
+                     ^ Printf.sprintf
+                         "; range [%Ld,%Ld] is inconclusive — speculation \
+                          candidate"
+                         lo hi;
+                 }))
+
+(** Classify a truncating (W8/W16) [Zext]: the unsigned window decides
+    the low bits, a deletion experiment the upper ones. *)
+let classify_zext_sub ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid
+    ~(st : Extstate.t) ~w r (mk : verdict -> site) : site =
+  let wlo, whi = zwindow w in
+  let ((lo, hi) as iv) = Range.before (Lazy.force rng) ~bid ~iid r in
+  if in_window iv (wlo, whi) then
+    (* In the unsigned window, bits [w..31] are already zero; the mask
+       touches only the upper 32, which [zup] proves already clean. *)
+    if st.Extstate.zup then
+      mk (Redundant { fact = Range_window; witness = [] })
+    else if not clean then
+      mk
+        (Unknown
+           {
+             reason =
+               "operand fits the window but the function does not certify; \
+                deletion experiment skipped";
+           })
+    else
+      match recertify_without ?maxlen f (mk (Unknown { reason = "" })) with
+      | [] -> mk (Redundant { fact = Range_window; witness = [] })
+      | e :: _ ->
+          mk
+            (Necessary
+               {
+                 reason =
+                   Printf.sprintf
+                     "upper bits are demanded at %s and only this extension \
+                      clears them"
+                     (Certify.loc_to_string ~bid:e.Certify.bid
+                        ~iid:e.Certify.iid);
+               })
+  else if outside_window iv (wlo, whi) then
+    mk
+      (Necessary
+         {
+           reason =
+             Printf.sprintf
+               "every value in range [%Ld,%Ld] lies outside [%Ld,%Ld]; the \
+                truncating zero extension rewrites the low bits (e.g. %Ld)"
+               lo hi wlo whi lo;
+         })
+  else
+    mk
+      (Unknown
+         {
+           reason =
+             Printf.sprintf
+               "range [%Ld,%Ld] straddles the unsigned W%s window — \
+                speculation candidate"
+               lo hi (Types.string_of_width w);
+         })
+
 (** Classify the implicit extension of a 32-bit [LSign] load: flipping
     it to [LZero] keeps the low 32 bits, so the flip is sound when the
     loaded value is provably non-negative or nothing demands the sign
@@ -361,12 +525,24 @@ let audit_func_solved ?maxlen ?call_ranges ?assume_redundant
               sites :=
                 classify_w32 ?maxlen ~sol ~rng ~clean f ~bid ~iid ~st:(state r)
                   r
-                  (mk (Explicit Types.W32) r)
+                  (mk (Explicit (Types.Sign, Types.W32)) r)
                 :: !sites
           | Instr.Sext { r; from = (Types.W8 | Types.W16) as w } ->
               sites :=
                 classify_sub ?maxlen ~rng ~clean f ~bid ~iid ~st:(state r) ~w r
-                  (mk (Explicit w) r)
+                  (mk (Explicit (Types.Sign, w)) r)
+                :: !sites
+          | Instr.Zext { r; from = Types.W32 } ->
+              sites :=
+                classify_zext_w32 ?maxlen ~sol ~rng ~clean f ~bid ~iid
+                  ~st:(state r) r
+                  (mk (Explicit (Types.Zero, Types.W32)) r)
+                :: !sites
+          | Instr.Zext { r; from = (Types.W8 | Types.W16) as w } ->
+              sites :=
+                classify_zext_sub ?maxlen ~rng ~clean f ~bid ~iid ~st:(state r)
+                  ~w r
+                  (mk (Explicit (Types.Zero, w)) r)
                 :: !sites
           | Instr.ArrLoad { dst; elem = Types.AI32; lext = Types.LSign; _ }
           | Instr.GLoad { dst; ty = Types.I32; lext = Types.LSign; _ } ->
@@ -408,17 +584,24 @@ let is_redundant (s : site) =
 let dynamic_failure ~fuel ~label ~ref_ (q : Prog.t) : string option =
   match Sxe_fuzz.Oracle.verify_patch ~fuel ~variant:label ~ref_ q with
   | Some out, [] ->
-      if
-        (not (Sxe_fuzz.Oracle.fuel_exhausted out))
-        && (not (Sxe_fuzz.Oracle.fuel_exhausted ref_))
-        && Int64.compare out.Sxe_vm.Interp.sext32 ref_.Sxe_vm.Interp.sext32 > 0
-      then
-        Some
-          (Printf.sprintf
-             "patched program executed more 32-bit extensions than the \
-              original (%Ld > %Ld)"
-             out.Sxe_vm.Interp.sext32 ref_.Sxe_vm.Interp.sext32)
-      else None
+      let more what fv rv =
+        if
+          (not (Sxe_fuzz.Oracle.fuel_exhausted out))
+          && (not (Sxe_fuzz.Oracle.fuel_exhausted ref_))
+          && Int64.compare fv rv > 0
+        then
+          Some
+            (Printf.sprintf
+               "patched program executed more 32-bit %s extensions than the \
+                original (%Ld > %Ld)"
+               what fv rv)
+        else None
+      in
+      let out_s = out.Sxe_vm.Interp.sext32 and ref_s = ref_.Sxe_vm.Interp.sext32 in
+      let out_z = out.Sxe_vm.Interp.zext32 and ref_z = ref_.Sxe_vm.Interp.zext32 in
+      (match more "sign" out_s ref_s with
+      | Some _ as d -> d
+      | None -> more "zero" out_z ref_z)
   | _, fs ->
       Some
         (String.concat "; "

@@ -26,7 +26,8 @@ type verdict =
   | Unknown of { reason : string }
 
 type kind =
-  | Explicit of Sxe_ir.Types.width
+  | Explicit of Sxe_ir.Types.ekind * Sxe_ir.Types.width
+      (** a [Sext] ([Sign]) or [Zext] ([Zero]) instruction *)
   | Load_implied
       (** implicit sign extension of a 32-bit [LSign] load *)
 
@@ -46,9 +47,9 @@ val site_to_string : site -> string
 val is_redundant : site -> bool
 
 val apply_patch : Sxe_ir.Cfg.func -> site -> unit
-(** Apply the deletion a redundancy claim is about: remove the [Sext],
-    or flip the load to [LZero]. The function must contain the site's
-    instruction id (clones preserve ids). *)
+(** Apply the deletion a redundancy claim is about: remove the [Sext]
+    or [Zext], or flip the load to [LZero]. The function must contain
+    the site's instruction id (clones preserve ids). *)
 
 val audit_func :
   ?maxlen:int64 ->

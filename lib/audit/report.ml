@@ -23,6 +23,16 @@ let counts (sites : Audit.site list) : counts =
       | Audit.Unknown _ -> { c with unknown = c.unknown + 1 })
     zero sites
 
+(** Sites split by extension kind: [(sign, zero)]. Load-implied sites
+    are sign extensions (the [LSign] access modes). *)
+let by_kind (sites : Audit.site list) : int * int =
+  List.fold_left
+    (fun (s, z) (site : Audit.site) ->
+      match site.Audit.kind with
+      | Audit.Explicit (Sxe_ir.Types.Zero, _) -> (s, z + 1)
+      | Audit.Explicit (Sxe_ir.Types.Sign, _) | Audit.Load_implied -> (s + 1, z))
+    (0, 0) sites
+
 (** One audited matrix cell: an input program under one variant. *)
 type cell = { input : string; variant : string; sites : Audit.site list }
 
@@ -39,7 +49,8 @@ let site_to_json (s : Audit.site) =
   let idx = match s.Audit.idx with Some k -> string_of_int k | None -> "null" in
   let kind =
     match s.Audit.kind with
-    | Audit.Explicit w -> "sext" ^ Sxe_ir.Types.string_of_width w
+    | Audit.Explicit (k, w) ->
+        Sxe_ir.Types.string_of_ekind k ^ Sxe_ir.Types.string_of_width w
     | Audit.Load_implied -> "load-sext"
   in
   let fact, witness, detail =
@@ -133,15 +144,17 @@ let sarif (cs : cell list) =
     deterministic. *)
 
 let baseline_header =
-  "# sxopt audit residue baseline: input\tvariant\tredundant\tnecessary\tunknown"
+  "# sxopt audit residue baseline: \
+   input\tvariant\tredundant\tnecessary\tunknown\tsext\tzext"
 
 let baseline_of_cells (cs : cell list) : string =
   let rows =
     List.map
       (fun c ->
         let n = counts c.sites in
-        Printf.sprintf "%s\t%s\t%d\t%d\t%d" c.input c.variant n.redundant
-          n.necessary n.unknown)
+        let s, z = by_kind c.sites in
+        Printf.sprintf "%s\t%s\t%d\t%d\t%d\t%d\t%d" c.input c.variant
+          n.redundant n.necessary n.unknown s z)
       cs
   in
   String.concat "\n" (baseline_header :: List.sort compare rows) ^ "\n"
@@ -155,7 +168,11 @@ let parse_baseline (text : string) : ((string * string) * counts) list =
          if line = "" || line.[0] = '#' then None
          else
            match String.split_on_char '\t' line with
-           | [ input; variant; r; n; u ] -> (
+           (* the trailing sext/zext columns are informational; the gate
+              reads only the verdict counts (pre-kind baselines lack
+              them and still parse) *)
+           | [ input; variant; r; n; u ]
+           | [ input; variant; r; n; u; _; _ ] -> (
                match
                  (int_of_string_opt r, int_of_string_opt n, int_of_string_opt u)
                with

@@ -6,6 +6,10 @@ type counts = { redundant : int; necessary : int; unknown : int }
 val zero : counts
 val counts : Audit.site list -> counts
 
+val by_kind : Audit.site list -> int * int
+(** Sites split by extension kind, [(sign, zero)]; load-implied sites
+    count as sign extensions. *)
+
 type cell = { input : string; variant : string; sites : Audit.site list }
 (** One audited matrix cell: an input program under one variant. *)
 

@@ -21,7 +21,7 @@ open Sxe_ir
 module Bitset = Sxe_util.Bitset
 module Dataflow = Sxe_analysis.Dataflow
 
-type need = Needs_extended | Needs_subscript
+type need = Needs_extended | Needs_zero_extended | Needs_subscript
 
 type error = {
   fname : string;
@@ -141,6 +141,7 @@ let errors_of_solution (sol : solution) : error list =
     let fact =
       match need with
       | Needs_extended -> fun (s : Extstate.t) -> s.Extstate.ext
+      | Needs_zero_extended -> fun (s : Extstate.t) -> s.Extstate.zup
       | Needs_subscript -> fun (s : Extstate.t) -> s.Extstate.asafe
     in
     let witness = witness sol ~bid ~stop:iid reg ~fact in
@@ -154,6 +155,11 @@ let errors_of_solution (sol : solution) : error list =
               if not (state r).Extstate.ext then
                 add ~bid ~iid:(Some i.Instr.iid) r Needs_extended (state r))
             (Instr.required_ext_uses ~reg_ty i.Instr.op);
+          List.iter
+            (fun r ->
+              if not (state r).Extstate.zup then
+                add ~bid ~iid:(Some i.Instr.iid) r Needs_zero_extended (state r))
+            (Instr.required_zext_uses ~reg_ty i.Instr.op);
           (* the index state is demanded before the access refines it,
              so a deleted-but-needed extension is reported exactly once
              here rather than cascading downstream. *)
@@ -189,6 +195,7 @@ let error_to_string (e : error) =
   let what =
     match e.need with
     | Needs_extended -> "must be sign-extended"
+    | Needs_zero_extended -> "must be zero-extended"
     | Needs_subscript -> "indexes an array without Theorems 1-4 applying"
   in
   let w =

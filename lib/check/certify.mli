@@ -4,7 +4,7 @@
     covered by Theorems 1–4. An empty error list certifies the
     function. *)
 
-type need = Needs_extended | Needs_subscript
+type need = Needs_extended | Needs_zero_extended | Needs_subscript
 
 type error = {
   fname : string;

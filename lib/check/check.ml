@@ -66,6 +66,7 @@ let error_to_json (e : Certify.error) =
     (json_str
        (match e.Certify.need with
        | Certify.Needs_extended -> "extended"
+       | Certify.Needs_zero_extended -> "zero-extended"
        | Certify.Needs_subscript -> "subscript"))
     (json_str (Extstate.describe e.Certify.state))
     (String.concat ","

@@ -169,43 +169,79 @@ let step env (copies : copies) (st : Bitset.t) (i : Instr.t) =
   | op -> (
       match Instr.def op with
       | Some dst when i32 dst ->
-          let e, z, a =
+          (* width-32-only facts, the pre-generalization triple *)
+          let v32 e z a = { Extstate.garbage with Extstate.ext = e; zup = z; asafe = a } in
+          let v =
             match op with
             | Instr.Const { v; _ } ->
-                ( v >= Int64.of_int32 Int32.min_int && v <= Int64.of_int32 Int32.max_int,
-                  v >= 0L && v < 0x1_0000_0000L,
-                  false )
+                let inr lo hi = v >= lo && v <= hi in
+                {
+                  Extstate.s8 = inr (-128L) 127L;
+                  s16 = inr (-32768L) 32767L;
+                  ext = inr (Int64.of_int32 Int32.min_int) (Int64.of_int32 Int32.max_int);
+                  z8 = inr 0L 255L;
+                  z16 = inr 0L 0xFFFFL;
+                  zup = inr 0L 0xFFFF_FFFFL;
+                  asafe = false;
+                }
             | Instr.Mov _ ->
                 (* l2i truncation: the I64 source's upper half is live
                    garbage from the I32 point of view. *)
-                (false, false, false)
-            | Instr.Sext { from = W32; _ } ->
-                (* re-extending leaves an upper-zero value upper-zero
-                   only if it was already non-negative. *)
+                Extstate.garbage
+            | Instr.Sext { from; _ } | Instr.Zext { from; _ } ->
+                (* An extension establishes its own (kind × width) fact;
+                   when the operand already carried that fact the
+                   operation is the identity and every prior fact
+                   survives (e.g. re-sign-extending an upper-zero value
+                   keeps it upper-zero only if it was already
+                   non-negative — the fact-conjunction says exactly
+                   that). *)
+                let kind = match op with Instr.Sext _ -> Sign | _ -> Zero in
                 let s = get dst in
-                (true, s.Extstate.ext && s.Extstate.zup, false)
-            | Instr.Sext _ -> (true, false, false)
-            | Instr.Zext { from = W32; _ } ->
-                let s = get dst in
-                (s.Extstate.ext && s.Extstate.zup, true, false)
-            | Instr.Zext _ -> (true, true, false) (* in [0, 65535] *)
+                let prim = Extstate.of_ext kind from in
+                if Extstate.fact kind from s then Extstate.join s prim else prim
             | Instr.Unop { op = Not; src; w = W32; _ } ->
-                ((get src).Extstate.ext, false, false)
+                (* complement flips every bit, so sign-replication
+                   survives at each width; zeroed upper bits do not. *)
+                let s = get src in
+                {
+                  Extstate.garbage with
+                  Extstate.s8 = s.Extstate.s8;
+                  s16 = s.Extstate.s16;
+                  ext = s.Extstate.ext;
+                }
             | Instr.Binop { op = And; l; r; w = W32; _ } ->
                 let sl = get l and sr = get r in
                 (* sign-extended if both operands are, or if either is a
                    provably non-negative int32 whose register reads the
                    same under either extension (AnalyzeDEF's And rule):
                    the sign bit of the result is then 0 and the upper
-                   half is anded against zero or all-ones consistently. *)
+                   half is anded against zero or all-ones consistently.
+                   Zero bits are conjunctive per operand: anding against
+                   a zero upper half clears the result's. *)
                 let clears s nn = nn && (s.Extstate.ext || s.Extstate.zup) in
-                ( (sl.Extstate.ext && sr.Extstate.ext)
-                  || clears sl fs.nn_l || clears sr fs.nn_r,
-                  sl.Extstate.zup || sr.Extstate.zup,
-                  false )
+                {
+                  Extstate.s8 = sl.Extstate.s8 && sr.Extstate.s8;
+                  s16 = sl.Extstate.s16 && sr.Extstate.s16;
+                  ext =
+                    (sl.Extstate.ext && sr.Extstate.ext)
+                    || clears sl fs.nn_l || clears sr fs.nn_r;
+                  z8 = sl.Extstate.z8 || sr.Extstate.z8;
+                  z16 = sl.Extstate.z16 || sr.Extstate.z16;
+                  zup = sl.Extstate.zup || sr.Extstate.zup;
+                  asafe = false;
+                }
             | Instr.Binop { op = Or | Xor; l; r; w = W32; _ } ->
                 let sl = get l and sr = get r in
-                (sl.Extstate.ext && sr.Extstate.ext, sl.Extstate.zup && sr.Extstate.zup, false)
+                {
+                  Extstate.s8 = sl.Extstate.s8 && sr.Extstate.s8;
+                  s16 = sl.Extstate.s16 && sr.Extstate.s16;
+                  ext = sl.Extstate.ext && sr.Extstate.ext;
+                  z8 = sl.Extstate.z8 && sr.Extstate.z8;
+                  z16 = sl.Extstate.z16 && sr.Extstate.z16;
+                  zup = sl.Extstate.zup && sr.Extstate.zup;
+                  asafe = false;
+                }
             | Instr.Binop { op = Add | Sub; l; r; w = W32; _ } ->
                 (* overflow escapes the int32 range, so neither
                    extendedness nor upper-zero survives — but Theorems
@@ -217,30 +253,61 @@ let step env (copies : copies) (st : Bitset.t) (i : Instr.t) =
                 let t3 =
                   (sl.Extstate.zup && fs.t3_l) || (sr.Extstate.zup && fs.t3_r)
                 in
-                (false, false, t2_t4 || t3)
+                v32 false false (t2_t4 || t3)
             | Instr.Binop { op = Div | Rem; w = W32; _ } ->
-                (true, false, false) (* extended inputs: genuine int32 result *)
-            | Instr.Binop { op = AShr; w = W32; _ } -> (true, false, false)
-            | Instr.Binop _ | Instr.Unop _ -> (false, false, false)
-            | Instr.Cmp _ | Instr.FCmp _ -> (true, true, false) (* 0/1 *)
-            | Instr.D2I _ -> (true, false, false) (* saturated to int32 *)
-            | Instr.ArrLen _ -> (true, true, false) (* in [0, 2^31-1] *)
-            | Instr.ArrLoad { elem = AI8 | AI16; lext; _ } ->
-                (true, lext = LZero, false) (* at most 16 bits: extended either way *)
+                v32 true false false (* extended inputs: genuine int32 result *)
+            | Instr.Binop { op = AShr; w = W32; _ } -> v32 true false false
+            | Instr.Binop { op = LShr; l; w = W32; _ } ->
+                (* faithful shr.u of the full register (the operand is
+                   zext-guarded): shifting right can only shrink an
+                   upper-zero value, and the amount may be zero, so each
+                   zero-fact survives; sign facts survive only for
+                   non-negative inputs (where they coincide with zero
+                   facts). *)
+                let sl = get l in
+                {
+                  Extstate.garbage with
+                  Extstate.ext = sl.Extstate.ext && sl.Extstate.zup;
+                  z8 = sl.Extstate.z8;
+                  z16 = sl.Extstate.z16;
+                  zup = sl.Extstate.zup;
+                }
+            | Instr.Binop _ | Instr.Unop _ -> Extstate.garbage
+            | Instr.Cmp _ | Instr.FCmp _ ->
+                { Extstate.garbage with Extstate.s8 = true; z8 = true } (* 0/1 *)
+            | Instr.D2I _ -> v32 true false false (* saturated to int32 *)
+            | Instr.ArrLen _ -> v32 true true false (* in [0, 2^31-1] *)
+            | Instr.ArrLoad { elem = AI8; lext; _ } ->
+                Extstate.of_ext (Types.ekind_of_lext lext) W8
+            | Instr.ArrLoad { elem = AI16; lext; _ } ->
+                Extstate.of_ext (Types.ekind_of_lext lext) W16
             | Instr.ArrLoad { elem = AI32; lext; _ } ->
-                (lext = LSign, lext = LZero, false)
-            | Instr.ArrLoad _ -> (false, false, false)
-            | Instr.GLoad { ty = I32; lext; _ } -> (lext = LSign, lext = LZero, false)
-            | Instr.Call _ -> (true, false, false)
+                Extstate.of_ext (Types.ekind_of_lext lext) W32
+            | Instr.ArrLoad _ -> Extstate.garbage
+            | Instr.GLoad { ty = I32; lext; _ } ->
+                Extstate.of_ext (Types.ekind_of_lext lext) W32
+            | Instr.Call _ -> v32 true false false
                 (* assume-guarantee per the ABI: I32 results arrive
                    extended from the callee's Ret, which the certifier
                    checks in the callee. *)
-            | _ -> (false, false, false)
+            | _ -> Extstate.garbage
           in
           (* range upgrade: a non-negative int32 that is extended or
-             upper-zero is both. *)
-          let e, z = if (e || z) && fs.nonneg_after then (true, true) else (e, z) in
-          Extstate.set st dst { Extstate.ext = e; zup = z; asafe = a || e || z };
+             upper-zero is both — and at each sub-width the sign fact
+             yields the zero fact (a non-negative sign-extended byte is
+             an unsigned byte). *)
+          let v =
+            if (v.Extstate.ext || v.Extstate.zup) && fs.nonneg_after then
+              {
+                v with
+                Extstate.ext = true;
+                zup = true;
+                z8 = v.Extstate.z8 || v.Extstate.s8;
+                z16 = v.Extstate.z16 || v.Extstate.s16;
+              }
+            else v
+          in
+          Extstate.set st dst v;
           fresh_tok copies dst
       | _ -> ())
 

@@ -14,7 +14,15 @@
     - PPC64 32/16-bit loads use the implicit sign extension ([lwa]/[lha])
       when Step 1 marked them so, where IA64 must use zero-extending
       [ld4]/[ld2];
-    - a 32-bit unsigned shift right needs [zxt4] + [shr.u] on IA64.
+    - a 32-bit unsigned shift right is a bare [shr.u]/[srd]: the [zxt4]
+      it needs is an explicit, eliminable [Zext] in the converted IR.
+
+    A last-chance peephole (the approach GHC's native back end takes
+    with [MOVSX]/[MOVZX]) tracks a per-register (kind × width) extension
+    fact within each block and elides [sxt]/[zxt] emissions whose
+    register provably already has the target form — e.g. a [zxt1] on a
+    register just written by the zero-extending [ld1]. Elisions are
+    reported per kind in the {!asm} record.
 
     [count_mnemonic] supports static code-quality metrics in tests and
     benches. *)
@@ -25,6 +33,8 @@ open Sxe_ir.Types
 type asm = {
   fname : string;
   lines : (string * string) list;  (** (mnemonic, full line), in order *)
+  elided_sext : int;  (** sign extensions dropped by the emission peephole *)
+  elided_zext : int;  (** zero extensions dropped by the emission peephole *)
 }
 
 let scale_of = function
@@ -93,6 +103,72 @@ let emit_func ~(arch : Sxe_core.Arch.t) (f : Cfg.func) : asm =
       match elem with AI8 -> "st1" | AI16 -> "st2" | AI32 -> "st4" | _ -> "st8"
     else match elem with AI8 -> "stbx" | AI16 -> "sthx" | AI32 -> "stwx" | _ -> "stdx"
   in
+  (* Extension peephole state: per integer register, the smallest width
+     (in bits) from which the register is known sign-extended ([s]) and
+     zero-extended ([z]), derived from the instructions emitted so far in
+     the current block. [None] = unknown. A zero-extension from w' < w
+     implies sign-extension from w (bit w-1 is zero and so are all bits
+     above it). *)
+  let ext_st : (int, int option * int option) Hashtbl.t = Hashtbl.create 16 in
+  let elided_sext = ref 0 and elided_zext = ref 0 in
+  let bits = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64 in
+  let get_ext x = Option.value ~default:(None, None) (Hashtbl.find_opt ext_st x) in
+  let set_ext x st = Hashtbl.replace ext_st x st in
+  let clear_ext x = Hashtbl.remove ext_st x in
+  let le o b = match o with Some v -> v <= b | None -> false in
+  let lt o b = match o with Some v -> v < b | None -> false in
+  (* facts established by a non-extension instruction's destination
+     write, following the semantics of the mnemonics just emitted *)
+  let update_ext (op : Instr.op) =
+    match op with
+    | Instr.Sext _ | Instr.Zext _ | Instr.JustExt _ -> ()
+    | Instr.Const { ty = F64; _ } | Instr.FConst _ | Instr.FBinop _ | Instr.FNeg _
+    | Instr.ArrStore _ | Instr.GStore _ | Instr.I2D _ | Instr.L2D _ ->
+        ()
+    | Instr.Const { dst; v; _ } ->
+        let s =
+          if Int64.compare v (-0x80L) >= 0 && Int64.compare v 0x80L < 0 then Some 8
+          else if Int64.compare v (-0x8000L) >= 0 && Int64.compare v 0x8000L < 0
+          then Some 16
+          else if Int64.equal v (Eval.sext32 v) then Some 32
+          else None
+        and z =
+          if Int64.compare v 0L < 0 then None
+          else if Int64.compare v 0x100L < 0 then Some 8
+          else if Int64.compare v 0x1_0000L < 0 then Some 16
+          else if Int64.compare v 0x1_0000_0000L < 0 then Some 32
+          else None
+        in
+        set_ext dst (s, z)
+    | Instr.Mov { ty = F64; _ } -> ()
+    | Instr.Mov { dst; src; _ } -> set_ext dst (get_ext src)
+    | Instr.Cmp { dst; _ } | Instr.FCmp { dst; _ } ->
+        (* 0/1: both extensions from every width hold *)
+        set_ext dst (Some 8, Some 8)
+    | Instr.ArrLoad { elem = AF64; _ } -> ()
+    | Instr.ArrLoad { dst; elem = (AI8 | AI16 | AI32) as elem; lext; _ } ->
+        let w = match elem with AI8 -> 8 | AI16 -> 16 | _ -> 32 in
+        if ia64 then set_ext dst (None, Some w) (* ld1/ld2/ld4 zero-extend *)
+        else set_ext dst
+            (match lext with LSign -> (Some w, None) | LZero -> (None, Some w))
+    | Instr.ArrLen { dst; _ } -> set_ext dst (None, Some 32) (* ld4 / lwz *)
+    | Instr.GLoad { dst; ty = I32; lext; _ } ->
+        if ia64 then set_ext dst (None, Some 32)
+        else set_ext dst
+            (match lext with LSign -> (Some 32, None) | LZero -> (None, Some 32))
+    | Instr.Unop { dst; _ }
+    | Instr.Binop { dst; _ }
+    | Instr.D2I { dst; _ }
+    | Instr.D2L { dst; _ }
+    | Instr.NewArr { dst; _ }
+    | Instr.ArrLoad { dst; _ }
+    | Instr.GLoad { dst; _ } ->
+        clear_ext dst
+    | Instr.Call { dst; ret; _ } -> (
+        match (dst, ret) with
+        | Some d, Some (I32 | I64 | Ref) -> clear_ext d
+        | _ -> ())
+  in
   (* bounds check + effective address; returns the address register text *)
   let array_addr ~arr ~idx ~elem =
     let lenr = Printf.sprintf "rL%d" arr in
@@ -126,10 +202,6 @@ let emit_func ~(arch : Sxe_core.Arch.t) (f : Cfg.func) : asm =
         line "sub" "%s %s = r0, %s" (if ia64 then "sub" else "neg") (r dst) (r src)
     | Instr.Unop { dst; op = Not; src; _ } ->
         line "andcm" "%s %s = -1, %s" (if ia64 then "andcm" else "nor") (r dst) (r src)
-    | Instr.Binop { dst; op = LShr; l; r = amt; w = W32 } ->
-        (* no 32-bit shifts: zero-extend then 64-bit shift *)
-        line (zext_mnem W32) "%s %s = %s" (zext_mnem W32) (r dst) (r l);
-        line "shr.u" "%s %s = %s, %s" (binop_mnem W32 LShr) (r dst) (r dst) (r amt)
     | Instr.Binop { dst; op; l; r = rr; w } ->
         line (binop_mnem w op) "%s %s = %s, %s" (binop_mnem w op) (r dst) (r l) (r rr)
     | Instr.Cmp { dst; cond; l; r = rr; w } ->
@@ -139,9 +211,27 @@ let emit_func ~(arch : Sxe_core.Arch.t) (f : Cfg.func) : asm =
           "%s.%s p6, p7 = %s, %s" cw (cond_mnem cond) (r l) (r rr);
         line "mov.pred" "(p6) mov %s = 1 ;; (p7) mov %s = 0" (r dst) (r dst)
     | Instr.Sext { r = x; from } ->
-        line (sext_mnem from) "%s %s = %s" (sext_mnem from) (r x) (r x)
+        let s, z = get_ext x in
+        if le s (bits from) || lt z (bits from) then begin
+          incr elided_sext;
+          line "" "// %s %s elided: already sign-extended (peephole)"
+            (sext_mnem from) (r x)
+        end
+        else begin
+          line (sext_mnem from) "%s %s = %s" (sext_mnem from) (r x) (r x);
+          set_ext x (Some (bits from), None)
+        end
     | Instr.Zext { r = x; from } ->
-        line (zext_mnem from) "%s %s = %s" (zext_mnem from) (r x) (r x)
+        let _, z = get_ext x in
+        if le z (bits from) then begin
+          incr elided_zext;
+          line "" "// %s %s elided: already zero-extended (peephole)"
+            (zext_mnem from) (r x)
+        end
+        else begin
+          line (zext_mnem from) "%s %s = %s" (zext_mnem from) (r x) (r x);
+          set_ext x (None, Some (bits from))
+        end
     | Instr.JustExt { r = x } -> line "" "// %s known sign-extended (dummy)" (r x)
     | Instr.FBinop { dst; op; l; r = rr } ->
         let m =
@@ -231,11 +321,22 @@ let emit_func ~(arch : Sxe_core.Arch.t) (f : Cfg.func) : asm =
   label "%s  // %s" f.Cfg.name arch.Sxe_core.Arch.name;
   Cfg.iter_blocks
     (fun b ->
+      (* block boundaries join with other predecessors: no fact survives *)
+      Hashtbl.reset ext_st;
       label ".B%d_%d" b.Cfg.bid (Hashtbl.hash f.Cfg.name mod 997);
-      List.iter emit_instr (Cfg.body b);
+      List.iter
+        (fun i ->
+          emit_instr i;
+          update_ext i.Instr.op)
+        (Cfg.body b);
       emit_term b.Cfg.bid (Cfg.term b))
     f;
-  { fname = f.Cfg.name; lines = List.rev !buf }
+  {
+    fname = f.Cfg.name;
+    lines = List.rev !buf;
+    elided_sext = !elided_sext;
+    elided_zext = !elided_zext;
+  }
 
 let to_string asm =
   String.concat "\n" (List.map snd asm.lines) ^ "\n"

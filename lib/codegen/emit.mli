@@ -3,11 +3,16 @@
     registers keep their IR numbers). Every surviving [Sext] costs an
     explicit [sxt*]/[exts*]; array accesses pay a bounds check plus
     [shladd] (IA64) or [rldic] (PPC64) address arithmetic; PPC64 uses the
-    implicit-sign-extension loads [lwa]/[lha] where Step 1 marked them. *)
+    implicit-sign-extension loads [lwa]/[lha] where Step 1 marked them.
+    A last-chance (kind × width) peephole elides [sxt*]/[zxt*] emissions
+    whose register provably already has the target form; the elision
+    counts are reported per kind. *)
 
 type asm = {
   fname : string;
   lines : (string * string) list;  (** (mnemonic, full line), in order *)
+  elided_sext : int;  (** sign extensions dropped by the emission peephole *)
+  elided_zext : int;  (** zero extensions dropped by the emission peephole *)
 }
 
 val emit_func : arch:Sxe_core.Arch.t -> Sxe_ir.Cfg.func -> asm

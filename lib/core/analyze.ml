@@ -194,6 +194,12 @@ and upper_zero ctx (site : Reaching.def_site) : bool =
           | Instr.Mov { src; ty = I32; _ } -> all_uz src
           | Instr.Binop { op = And; l; r; w = W32; _ } -> all_uz l || all_uz r
           | Instr.Binop { op = Or | Xor; l; r; w = W32; _ } -> all_uz l && all_uz r
+          | Instr.Binop { op = LShr; l; w = W32; _ } ->
+              (* the faithful shift of an upper-zero value can only
+                 shrink it; with upper garbage (and a possibly-zero
+                 amount) nothing is known, so this is recursive, not
+                 structural *)
+              all_uz l
           | _ -> false
         end
       end
@@ -322,6 +328,10 @@ let rec analyze_use ctx (use : Chains.use_site) ~tracked ~analyze_array:aa : boo
             if aa && ctx.array_enabled then analyze_array ctx i else true
         | _ ->
             if List.mem tracked (Instr.required_ext_uses ~reg_ty i.op) then true
+            else if List.mem tracked (Instr.required_zext_uses ~reg_ty i.op) then
+              (* the faithful LShr observes the full left register: an
+                 upper-bit observer of the zero kind *)
+              true
             else if List.mem tracked (Instr.demand_propagates_to i.op) then begin
               (* Case 2: the source matters only if the destination does.
                  Array analyzability survives only through plain copies. *)
@@ -416,6 +426,12 @@ let rec zero_extended_from ctx ~from (site : Reaching.def_site) : bool =
         | Instr.Mov { src; ty = I32; _ } when Cfg.reg_ty ctx.f src = I32 ->
             let defs = Chains.ud_at_instr ctx.chains i src in
             defs <> [] && List.for_all (zero_extended_from ctx ~from) defs
+        | _ when from = W32 || from = W64 ->
+            (* zero-extended from 32 IS the upper-zero fact; the range
+               analysis speaks signed int32, so requiring a non-negative
+               range here would wrongly reject e.g. an upper-zero
+               0xFFFFFFFF *)
+            upper_zero ctx site
         | _ ->
             (* value provably in [0, 2^w) and the register's upper 32 bits
                zero: the whole register equals its zero extension *)
@@ -453,9 +469,23 @@ let eliminate_one ctx (ext : Instr.t) : verdict =
            the value is already extended from that width *)
         let defs = Chains.ud_at_instr ctx.chains ext r in
         not (defs <> [] && List.for_all (extended_from ctx ~from) defs)
+    | Instr.Zext { from = W32; r } ->
+        (* the zero-kind mirror of the [Sext W32] case: removable when no
+           reached use observes the upper half (of either kind), or when
+           every reaching definition is already upper-zero *)
+        let required_by_uses =
+          List.exists
+            (fun u -> analyze_use ctx u ~tracked:r ~analyze_array:true)
+            (Chains.du_of_instr ctx.chains ext)
+        in
+        if not required_by_uses then false
+        else begin
+          let defs = Chains.ud_at_instr ctx.chains ext r in
+          not (defs <> [] && List.for_all (zero_extended_from ctx ~from:W32) defs)
+        end
     | Instr.Zext { from; r } ->
-        (* beyond the paper: a zero extension is redundant when the value
-           is already zero-extended from that width *)
+        (* 8/16-bit zero extensions change the low 32 bits; only removable
+           when the value is already zero-extended from that width *)
         let defs = Chains.ud_at_instr ctx.chains ext r in
         not (defs <> [] && List.for_all (zero_extended_from ctx ~from) defs)
     | _ -> invalid_arg "Analyze.eliminate_one: not an extension"
@@ -464,5 +494,9 @@ let eliminate_one ctx (ext : Instr.t) : verdict =
   else begin
     Chains.delete_same_reg_def ctx.chains ext;
     ctx.stats.Stats.eliminated <- ctx.stats.Stats.eliminated + 1;
+    (match ext.op with
+    | Instr.Zext _ ->
+        ctx.stats.Stats.eliminated_zext <- ctx.stats.Stats.eliminated_zext + 1
+    | _ -> ());
     Eliminated
   end

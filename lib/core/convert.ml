@@ -112,8 +112,61 @@ let gen_use (f : Cfg.func) (stats : Stats.t) =
       Cfg.set_body b (List.rev !out))
     f
 
+(** Zero-extension guards: the faithful machine executes a [W32] [LShr]
+    with the 64-bit [shr.u], which shifts whatever occupies the upper
+    half of its left register into the low half. Step 1 therefore
+    guards every such shift with
+
+    {v  t = mov l;  t = zero_extend(t);  dst = lshr t, amt  v}
+
+    on a {e fresh} temporary (zero-extending [l] in place would clobber
+    a negative value for its other, sign-demanding uses), unless the
+    operand is visibly zero-extended earlier in the block. This is the
+    [Zero]-kind sibling of [gen_def]/[gen_use]: it establishes the
+    demand that elimination later discharges by proving operands
+    upper-zero, and it runs under {e every} conversion strategy because
+    it is a matter of correctness, not policy. *)
+let zext_guards (f : Cfg.func) (stats : Stats.t) =
+  Cfg.iter_blocks
+    (fun b ->
+      (* registers visibly upper-zero at this point of the block *)
+      let zup : (Instr.reg, unit) Hashtbl.t = Hashtbl.create 16 in
+      let body =
+        List.concat_map
+          (fun (i : Instr.t) ->
+            let out =
+              match i.Instr.op with
+              | Instr.Binop ({ op = LShr; l; w = W32; _ } as c)
+                when Cfg.reg_ty f l = I32 && not (Hashtbl.mem zup l) ->
+                  stats.Stats.generated_zext <- stats.Stats.generated_zext + 1;
+                  let t = Cfg.fresh_reg f I32 in
+                  let mov = Cfg.mk_instr f (Instr.Mov { dst = t; src = l; ty = I32 }) in
+                  let guard = Cfg.mk_instr f (Instr.Zext { r = t; from = W32 }) in
+                  Cfg.set_op b i (Instr.Binop { c with l = t });
+                  Hashtbl.replace zup t ();
+                  [ mov; guard; i ]
+              | _ -> [ i ]
+            in
+            (match Instr.def i.Instr.op with
+            | Some d ->
+                if Instr.def_upper_zero i.Instr.op then Hashtbl.replace zup d ()
+                else (
+                  (match i.Instr.op with
+                  | Instr.Mov { src; ty = I32; _ }
+                    when Cfg.reg_ty f src = I32 && Hashtbl.mem zup src ->
+                      Hashtbl.replace zup d ()
+                  | _ -> Hashtbl.remove zup d);
+                  ())
+            | None -> ());
+            out)
+          (Cfg.body b)
+      in
+      Cfg.set_body b body)
+    f
+
 let run (config : Config.t) (f : Cfg.func) (stats : Stats.t) =
   apply_arch_loads config.Config.arch f;
+  zext_guards f stats;
   match config.Config.conversion with
   | Config.Gen_def -> gen_def f stats
   | Config.Gen_use -> gen_use f stats

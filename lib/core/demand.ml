@@ -1,42 +1,70 @@
-(** The paper's {e first algorithm}: sign-extension elimination by backward
+(** The paper's {e first algorithm}: extension elimination by backward
     dataflow ("first algorithm (bwd flow)" in Tables 1-2).
 
     A backward bit-vector analysis computes, at every point, the set of
-    32-bit registers whose {e sign-extended} value some later instruction
-    observes. Requiring uses (double conversion, 32-bit division, calls,
-    returns, array subscripts, allocations) generate demand; definitions
-    kill it; for the wrap-tolerant operators demand on the result induces
-    demand on the sources; extensions satisfy (kill) demand. An extension
-    with no demand immediately below it is deleted — which is why this
-    algorithm keeps "the latest sign extension in the flow graph"
-    (limitation 3 of Section 1), cannot handle array subscripts
-    (limitation 1), and misses def-side redundancy (limitation 2). *)
+    32-bit registers whose upper half some later instruction observes —
+    two bits per register, one per extension kind: {e sign} demand from
+    the sign-observing uses (double conversion, 32-bit division, calls,
+    returns, array subscripts, allocations) and {e zero} demand from the
+    zero-observing ones (the faithful [LShr]'s left operand). Requiring
+    uses generate demand of their kind; definitions kill it; for the
+    wrap-tolerant operators demand on the result induces same-kind
+    demand on the sources; extensions of either kind satisfy (kill)
+    both — after a [Sext] or [Zext] the upper half is a function of the
+    low half alone, so upstream upper bits are unobservable through it.
+    A [JustExt] dummy only asserts sign-extendedness, so it satisfies
+    only sign demand. An extension with no demand of either kind
+    immediately below it is deleted — which is why this algorithm keeps
+    "the latest sign extension in the flow graph" (limitation 3 of
+    Section 1), cannot handle array subscripts (limitation 1), and
+    misses def-side redundancy (limitation 2). *)
 
 open Sxe_util
 open Sxe_ir
 open Sxe_ir.Types
+
+(* two demand bits per register: sign at [2r], zero at [2r + 1] *)
+let bit_sign r = 2 * r
+let bit_zero r = (2 * r) + 1
 
 (** Demand transfer of one instruction, backward: [d] is the demand below,
     mutated into the demand above. *)
 let step ~reg_ty (i : Instr.t) (d : Bitset.t) =
   let i32 r = reg_ty r = I32 in
   (match i.Instr.op with
-  | Instr.Sext { r; _ } | Instr.Zext { r; _ } | Instr.JustExt { r } ->
-      (* an extension satisfies the demand; a zero-extension is treated as
-         an opaque definition (its own required uses are protected by the
-         extension Step 1 placed after it) *)
-      Bitset.remove d r
+  | Instr.Sext { r; _ } | Instr.Zext { r; _ } ->
+      (* an extension of either kind leaves the upper half a function of
+         the low half: it satisfies both demands *)
+      Bitset.remove d (bit_sign r);
+      Bitset.remove d (bit_zero r)
+  | Instr.JustExt { r } ->
+      (* the dummy asserts sign-extendedness only; zero demand must keep
+         flowing to a real zero-extension *)
+      Bitset.remove d (bit_sign r)
   | op -> (
       match Instr.def op with
       | Some dd when i32 dd ->
-          let demanded = Bitset.mem d dd in
-          Bitset.remove d dd;
-          if demanded then
-            List.iter (fun s -> if i32 s then Bitset.add d s) (Instr.demand_propagates_to op)
+          let dem_s = Bitset.mem d (bit_sign dd) in
+          let dem_z = Bitset.mem d (bit_zero dd) in
+          Bitset.remove d (bit_sign dd);
+          Bitset.remove d (bit_zero dd);
+          if dem_s || dem_z then
+            List.iter
+              (fun s ->
+                if i32 s then begin
+                  if dem_s then Bitset.add d (bit_sign s);
+                  if dem_z then Bitset.add d (bit_zero s)
+                end)
+              (Instr.demand_propagates_to op)
       | _ -> ()));
-  List.iter (fun r -> Bitset.add d r) (Instr.required_ext_uses ~reg_ty i.Instr.op);
+  List.iter
+    (fun r -> Bitset.add d (bit_sign r))
+    (Instr.required_ext_uses ~reg_ty i.Instr.op);
+  List.iter
+    (fun r -> Bitset.add d (bit_zero r))
+    (Instr.required_zext_uses ~reg_ty i.Instr.op);
   match Instr.array_index_use i.Instr.op with
-  | Some (_, idx) when i32 idx -> Bitset.add d idx
+  | Some (_, idx) when i32 idx -> Bitset.add d (bit_sign idx)
   | _ -> (
       match i.Instr.op with
       | Instr.NewArr _ -> () (* length already in required_ext_uses *)
@@ -44,11 +72,16 @@ let step ~reg_ty (i : Instr.t) (d : Bitset.t) =
 
 let run (f : Cfg.func) (stats : Stats.t) =
   let reg_ty r = Cfg.reg_ty f r in
-  let universe = Cfg.num_regs f in
+  let universe = 2 * Cfg.num_regs f in
+  let term_demand b d =
+    List.iter
+      (fun r -> Bitset.add d (bit_sign r))
+      (Instr.required_ext_uses_term ~reg_ty (Cfg.term b))
+  in
   let transfer bid (dout : Bitset.t) =
     let d = Bitset.copy dout in
     let b = Cfg.block f bid in
-    List.iter (fun r -> Bitset.add d r) (Instr.required_ext_uses_term ~reg_ty (Cfg.term b));
+    term_demand b d;
     List.iter (fun i -> step ~reg_ty i d) (List.rev (Cfg.body b));
     d
   in
@@ -57,23 +90,33 @@ let run (f : Cfg.func) (stats : Stats.t) =
     Sxe_analysis.Dataflow.solve ~f ~dir:Sxe_analysis.Dataflow.Backward
       ~meet:Sxe_analysis.Dataflow.Union ~universe ~transfer ~boundary
   in
-  (* replay each block backward; delete extensions facing no demand *)
+  (* replay each block backward; delete extensions facing no demand of
+     either kind (an extension facing only the other kind's demand still
+     pins the upper half to a known function of the low half — deleting
+     it would expose whatever garbage flows in from above) *)
   Cfg.iter_blocks
     (fun b ->
       let d = Bitset.copy sol.Sxe_analysis.Dataflow.outb.(b.Cfg.bid) in
-      List.iter (fun r -> Bitset.add d r) (Instr.required_ext_uses_term ~reg_ty (Cfg.term b));
+      term_demand b d;
       let doomed = ref [] in
       List.iter
         (fun (i : Instr.t) ->
           (match i.Instr.op with
-          | Instr.Sext { r; from = W32 } when not (Bitset.mem d r) ->
-              doomed := i.Instr.iid :: !doomed
+          | Instr.Sext { r; from = W32 }
+            when (not (Bitset.mem d (bit_sign r))) && not (Bitset.mem d (bit_zero r)) ->
+              doomed := (i.Instr.iid, Types.Sign) :: !doomed
+          | Instr.Zext { r; from = W32 }
+            when (not (Bitset.mem d (bit_sign r))) && not (Bitset.mem d (bit_zero r)) ->
+              doomed := (i.Instr.iid, Types.Zero) :: !doomed
           | _ -> ());
           step ~reg_ty i d)
         (List.rev (Cfg.body b));
       List.iter
-        (fun iid ->
-          if Cfg.remove_instr b iid then
-            stats.Stats.eliminated <- stats.Stats.eliminated + 1)
+        (fun (iid, kind) ->
+          if Cfg.remove_instr b iid then begin
+            stats.Stats.eliminated <- stats.Stats.eliminated + 1;
+            if kind = Types.Zero then
+              stats.Stats.eliminated_zext <- stats.Stats.eliminated_zext + 1
+          end)
         !doomed)
     f

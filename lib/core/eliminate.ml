@@ -18,6 +18,13 @@ let count_sext32 (f : Cfg.func) =
 let count_sext32_prog (p : Prog.t) =
   Prog.fold_funcs (fun n f -> n + count_sext32 f) 0 p
 
+(** Count the static 32-bit zero extensions currently in [f]. *)
+let count_zext32 (f : Cfg.func) =
+  Cfg.fold_instrs (fun n _ i -> if Instr.is_zext32 i.Instr.op then n + 1 else n) 0 f
+
+let count_zext32_prog (p : Prog.t) =
+  Prog.fold_funcs (fun n f -> n + count_zext32 f) 0 p
+
 (** [run ?edge_prob config f stats] performs phases (3)-1..(3)-3 on [f].
     [edge_prob] supplies measured branch probabilities (profile-directed
     order determination). Returns the time spent building UD/DU chains,

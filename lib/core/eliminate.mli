@@ -6,6 +6,11 @@ val count_sext32 : Sxe_ir.Cfg.func -> int
 
 val count_sext32_prog : Sxe_ir.Prog.t -> int
 
+val count_zext32 : Sxe_ir.Cfg.func -> int
+(** Static 32-bit zero extensions currently in the function. *)
+
+val count_zext32_prog : Sxe_ir.Prog.t -> int
+
 val run :
   ?edge_prob:(src:int -> dst:int -> float option) ->
   ?call_ranges:(string -> Sxe_analysis.Range.interval option) ->

@@ -84,4 +84,5 @@ let compile ?profile ?stage_check (config : Config.t) (p : Sxe_ir.Prog.t) : Stat
     (fun f -> compile_func ?profile ?stage_check ~call_ranges config f stats)
     p;
   stats.Stats.remaining <- Eliminate.count_sext32_prog p;
+  stats.Stats.remaining_zext <- Eliminate.count_zext32_prog p;
   stats

@@ -52,7 +52,10 @@ let generate ?(name = "rand") ?(features = all_features) ?(nregs = 5) ?(nblocks 
   (* one random mid block is rerouted through the latch *)
   let looper = if nblocks > 2 then 1 + Rng.int rng (nblocks - 2) else -1 in
   let ops =
-    [ (3, `Add); (2, `Sub); (2, `Mul); (2, `And); (2, `Xor); (1, `Shl); (2, `Sext); (2, `Mov) ]
+    [
+      (3, `Add); (2, `Sub); (2, `Mul); (2, `And); (2, `Xor); (1, `Shl);
+      (1, `LShr); (2, `Sext); (2, `Zext); (2, `Mov);
+    ]
     @ (if fs.div then [ (1, `Div) ] else [])
     @ (if fs.floats then [ (1, `F) ] else [])
     @ (if fs.calls then [ (1, `Call) ] else [])
@@ -66,7 +69,15 @@ let generate ?(name = "rand") ?(features = all_features) ?(nregs = 5) ?(nblocks 
     | `And -> B.binop_to b And ~dst:(reg ()) (reg ()) (reg ())
     | `Xor -> B.binop_to b Xor ~dst:(reg ()) (reg ()) (reg ())
     | `Shl -> B.binop_to b Shl ~dst:(reg ()) (reg ()) mask
+    | `LShr ->
+        (* raw (unguarded) unsigned shift: canonical and guarded-faithful
+           agree because the reference runs canonically; the converter
+           guards every compiled variant *)
+        B.binop_to b LShr ~dst:(reg ()) (reg ()) mask
     | `Sext -> ignore (B.sext b (reg ()))
+    | `Zext ->
+        let from = Rng.oneof rng [ W32; W32; W16; W8 ] in
+        ignore (B.zext b ~from (reg ()))
     | `Mov -> B.mov_to b ~dst:(reg ()) ~src:(reg ()) I32
     | `Div ->
         (* odd (hence nonzero) divisor: division by zero would merely trap

@@ -22,8 +22,9 @@ type kind =
   | Swap_operands  (** swap [l]/[r] of a commutative binop *)
   | Flip_branch  (** negate a [Br] condition and swap its targets *)
   | Drop_extend  (** delete one [Sext]/[Zext]/[JustExt] *)
-  | Dup_extend  (** duplicate one [Sext] in place *)
-  | Narrow_extend  (** [Sext] from W32 -> W16/W8 *)
+  | Dup_extend  (** duplicate one [Sext]/[Zext] in place *)
+  | Narrow_extend  (** [Sext]/[Zext] from W32 -> W16/W8 *)
+  | Flip_ext_kind  (** [Sext] <-> [Zext] at the same width *)
   | Toggle_lext  (** flip [LZero]/[LSign] on a load *)
   | Tweak_const  (** replace an i32 constant with a boundary value *)
   | Swap_op  (** replace a binop operator by one of the same shape *)
@@ -32,8 +33,9 @@ type kind =
 
 let all_kinds =
   [
-    Swap_operands; Flip_branch; Drop_extend; Dup_extend; Narrow_extend; Toggle_lext;
-    Tweak_const; Swap_op; Permute_blocks; Degrade_branch;
+    Swap_operands; Flip_branch; Drop_extend; Dup_extend; Narrow_extend;
+    Flip_ext_kind; Toggle_lext; Tweak_const; Swap_op; Permute_blocks;
+    Degrade_branch;
   ]
 
 let string_of_kind = function
@@ -42,6 +44,7 @@ let string_of_kind = function
   | Drop_extend -> "drop-extend"
   | Dup_extend -> "dup-extend"
   | Narrow_extend -> "narrow-extend"
+  | Flip_ext_kind -> "flip-ext-kind"
   | Toggle_lext -> "toggle-lext"
   | Tweak_const -> "tweak-const"
   | Swap_op -> "swap-op"
@@ -97,20 +100,37 @@ let apply_raw rng kind (f : Cfg.func) : bool =
       | Some (b, i) -> Cfg.remove_instr b i.iid
       | None -> false)
   | Dup_extend -> (
-      match pick rng (instr_sites f (function Sext _ -> true | _ -> false)) with
+      match
+        pick rng (instr_sites f (function Sext _ | Zext _ -> true | _ -> false))
+      with
       | Some (b, i) ->
           Cfg.insert_after b ~anchor:i.iid (Cfg.mk_instr f i.op);
           true
       | None -> false)
   | Narrow_extend -> (
       match
-        pick rng (instr_sites f (function Sext { from = W32; _ } -> true | _ -> false))
+        pick rng
+          (instr_sites f (function
+            | Sext { from = W32; _ } | Zext { from = W32; _ } -> true
+            | _ -> false))
       with
       | Some (b, i) ->
-          (match i.op with
-          | Sext { r; _ } ->
-              Cfg.set_op b i (Sext { r; from = (if Rng.bool rng then W16 else W8) })
-          | _ -> assert false);
+          let from = if Rng.bool rng then W16 else W8 in
+          (match ext_kind i.op with
+          | Some (k, r, _) -> Cfg.set_op b i (mk_ext k ~r ~from)
+          | None -> assert false);
+          true
+      | None -> false)
+  | Flip_ext_kind -> (
+      match
+        pick rng (instr_sites f (function Sext _ | Zext _ -> true | _ -> false))
+      with
+      | Some (b, i) ->
+          (match ext_kind i.op with
+          | Some (k, r, from) ->
+              let k' = match k with Sign -> Zero | Zero -> Sign in
+              Cfg.set_op b i (mk_ext k' ~r ~from)
+          | None -> assert false);
           true
       | None -> false)
   | Toggle_lext -> (

@@ -90,7 +90,8 @@ let fuel_exhausted (o : Sxe_vm.Interp.outcome) =
     pre-decoded ([Fuse.Off]) and pre-decoded with superinstruction
     fusion ([Fuse.All]) — and compare every outcome field — output,
     checksum, trap, return value AND the dynamic counters (executed,
-    sext32, sext_sub, cycles). The engines promise bit-identical
+    sext32, sext_sub, zext32, zext_sub, cycles). The engines promise
+    bit-identical
     outcomes, so unlike optimizer comparisons this check is exact: even
     a fuel-exhausted run must be truncated at the same instruction, mid
     superinstruction included. Returns the (unfused) precode outcome
@@ -126,6 +127,10 @@ let engine_cross ?(fuel = default_fuel) ~mode (p : Prog.t) :
       Some (Printf.sprintf "sext32: %s=%Ld, %s=%Ld" aname a.sext32 bname b.sext32)
     else if not (Int64.equal a.sext_sub b.sext_sub) then
       Some (Printf.sprintf "sext_sub: %s=%Ld, %s=%Ld" aname a.sext_sub bname b.sext_sub)
+    else if not (Int64.equal a.zext32 b.zext32) then
+      Some (Printf.sprintf "zext32: %s=%Ld, %s=%Ld" aname a.zext32 bname b.zext32)
+    else if not (Int64.equal a.zext_sub b.zext_sub) then
+      Some (Printf.sprintf "zext_sub: %s=%Ld, %s=%Ld" aname a.zext_sub bname b.zext_sub)
     else if not (Int64.equal a.cycles b.cycles) then
       Some (Printf.sprintf "cycles: %s=%Ld, %s=%Ld" aname a.cycles bname b.cycles)
     else None
@@ -321,21 +326,28 @@ let check ?(fuel = default_fuel) ?(archs = [ Sxe_core.Arch.ia64 ])
                     find (Sxe_core.Config.new_all ()).Sxe_core.Config.name )
                 with
                 | Some b, Some full
-                  when b.Sxe_vm.Interp.trap = None
-                       && full.Sxe_vm.Interp.trap = None
-                       && Int64.compare full.Sxe_vm.Interp.sext32 b.Sxe_vm.Interp.sext32
-                          > 0 ->
-                    [
-                      {
-                        variant = (Sxe_core.Config.new_all ()).Sxe_core.Config.name;
-                        arch = arch.Sxe_core.Arch.name;
-                        cls = Cost;
-                        detail =
-                          Printf.sprintf
-                            "full algorithm executed %Ld sext32, baseline %Ld"
-                            full.Sxe_vm.Interp.sext32 b.Sxe_vm.Interp.sext32;
-                      };
-                    ]
+                  when b.Sxe_vm.Interp.trap = None && full.Sxe_vm.Interp.trap = None
+                  ->
+                    let regression kind fv bv =
+                      if Int64.compare fv bv > 0 then
+                        [
+                          {
+                            variant =
+                              (Sxe_core.Config.new_all ()).Sxe_core.Config.name;
+                            arch = arch.Sxe_core.Arch.name;
+                            cls = Cost;
+                            detail =
+                              Printf.sprintf
+                                "full algorithm executed %Ld %s, baseline %Ld" fv
+                                kind bv;
+                          };
+                        ]
+                      else []
+                    in
+                    regression "sext32" full.Sxe_vm.Interp.sext32
+                      b.Sxe_vm.Interp.sext32
+                    @ regression "zext32" full.Sxe_vm.Interp.zext32
+                        b.Sxe_vm.Interp.zext32
                 | _ -> []
               in
               failures @ cost_failures)

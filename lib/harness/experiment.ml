@@ -22,7 +22,9 @@ type measurement = {
   workload : string;
   variant : string;
   dyn_sext32 : int64;
+  dyn_zext32 : int64;
   static_remaining : int;
+  static_remaining_zext : int;
   cycles : int64;
   executed : int64;
   equivalent : bool;  (** observably equal to the canonical reference *)
@@ -106,7 +108,9 @@ let run_one ?profile ~(reference : Sxe_vm.Interp.outcome) (config : Sxe_core.Con
     workload = w.name;
     variant = config.Sxe_core.Config.name;
     dyn_sext32 = out.Sxe_vm.Interp.sext32;
+    dyn_zext32 = out.Sxe_vm.Interp.zext32;
     static_remaining = stats.Sxe_core.Stats.remaining;
+    static_remaining_zext = stats.Sxe_core.Stats.remaining_zext;
     cycles = out.Sxe_vm.Interp.cycles;
     executed = out.Sxe_vm.Interp.executed;
     equivalent = Sxe_vm.Interp.equivalent reference out;

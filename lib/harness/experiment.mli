@@ -7,7 +7,9 @@ type measurement = {
   workload : string;
   variant : string;
   dyn_sext32 : int64;
+  dyn_zext32 : int64;  (** dynamic 32-bit zero extensions remaining *)
   static_remaining : int;
+  static_remaining_zext : int;  (** static 32-bit zero extensions left *)
   cycles : int64;
   executed : int64;
   equivalent : bool;  (** observably equal to the canonical reference *)

@@ -33,6 +33,10 @@ let zext_from = function
   | W32 -> zext32
   | W64 -> fun v -> v
 
+(** Kind-polymorphic extension: the semantics of the [(kind × width)]
+    conversion family in one place. *)
+let ext_from = function Sign -> sext_from | Zero -> zext_from
+
 (** [is_sign_extended_32 v]: does the full register equal the sign
     extension of its low 32 bits? *)
 let is_sign_extended_32 v = Int64.equal v (sext32 v)
@@ -64,12 +68,27 @@ let binop (op : binop) (w : width) (l : int64) (r : int64) : int64 =
   | Shl -> Int64.shift_left l (amt ())
   | AShr -> Int64.shift_right l (amt ())
   | LShr -> (
-      (* a dedicated 32-bit logical right shift zero-extends internally;
-         the frontend lowers Java [>>>] to an explicit zext + 64-bit shift
-         instead, but the operation is defined for completeness *)
+      (* the reference 32-bit logical right shift: zero-extends its source
+         internally, the way a real 32-bit [shr] instruction would. The
+         faithful 64-bit machine has no such instruction — see
+         {!binop_faithful}. *)
       match w with
       | W64 -> Int64.shift_right_logical l (amt ())
       | _ -> Int64.shift_right_logical (zext32 l) (amt ()))
+
+(** Faithful-machine ALU semantics: identical to {!binop} except that a
+    [W32] logical right shift is executed with the 64-bit [shr.u] and
+    genuinely observes the upper 32 bits of its left register — shifting
+    garbage into the low half when they are not zero. This is the
+    zero-extension demand point: the frontend and Step 1 guard every such
+    shift with an explicit [Zext] on a fresh temporary, which elimination
+    removes exactly where the operand is provably upper-zero. The shift
+    amount keeps the Java [land 31] mask (it never observes upper bits). *)
+let binop_faithful (op : binop) (w : width) (l : int64) (r : int64) : int64 =
+  match (op, w) with
+  | LShr, (W8 | W16 | W32) ->
+      Int64.shift_right_logical l (Int64.to_int (Int64.logand r 31L))
+  | _ -> binop op w l r
 
 let unop (op : unop) (_w : width) (v : int64) : int64 =
   match op with Neg -> Int64.neg v | Not -> Int64.lognot v

@@ -20,6 +20,9 @@ val zext8 : int64 -> int64
 val sext_from : Types.width -> int64 -> int64
 val zext_from : Types.width -> int64 -> int64
 
+val ext_from : Types.ekind -> Types.width -> int64 -> int64
+(** Kind-polymorphic extension: the [(kind × width)] conversion family. *)
+
 val is_sign_extended_32 : int64 -> bool
 (** Does the full register equal the sign extension of its low half? *)
 
@@ -30,6 +33,12 @@ val binop : Types.binop -> Types.width -> int64 -> int64 -> int64
     corner cases ([min_int / -1] wraps); the division-by-zero check
     inspects only the low 32 bits at [W32] (the JIT's 32-bit-compare
     test). *)
+
+val binop_faithful : Types.binop -> Types.width -> int64 -> int64 -> int64
+(** Faithful-machine ALU semantics: like {!binop}, but a [W32] [LShr]
+    runs on the 64-bit [shr.u] and observes the {e full} left register.
+    The zero-extension demand point: such shifts are guarded with an
+    explicit [Zext] that elimination removes where provably redundant. *)
 
 val unop : Types.unop -> Types.width -> int64 -> int64
 

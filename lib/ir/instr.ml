@@ -27,8 +27,12 @@ type op =
           instructions; for [Add], [Sub], [Mul], [And], [Or], [Xor], [Shl]
           the low 32 bits of the result are correct regardless of the upper
           source bits, while [Div], [Rem], [AShr] observe the full source
-          registers. Shift amounts are masked ([land 31] at [W32],
-          [land 63] at [W64]) and never observe upper bits. *)
+          registers (sign-demand points) and the faithful machine's [LShr]
+          observes the full left register (the zero-demand point: a 64-bit
+          [shr.u] shifts upper garbage into the low half, so conversion
+          guards it with an explicit [Zext]). Shift amounts are masked
+          ([land 31] at [W32], [land 63] at [W64]) and never observe upper
+          bits. *)
   | Cmp of { dst : reg; cond : cond; l : reg; r : reg; w : width }
       (** Materialized comparison, result 0/1. [W32] compares only the low
           halves (IA64 [cmp4]). *)
@@ -147,13 +151,37 @@ let term_succs = function
   | Ret _ -> []
 
 (* ------------------------------------------------------------------ *)
-(* Sign-extension classification (Section 2.3 of the paper)            *)
+(* Extension classification (Section 2.3 of the paper, generalized to   *)
+(* the (kind × width) conversion family)                                *)
 (* ------------------------------------------------------------------ *)
+
+(** The kind-polymorphic view of the explicit extensions: [Sext] and
+    [Zext] are the two instances of one conversion family keyed by
+    [(ekind × width)]. Modules that used to pattern-match "is this a
+    Sext?" go through this interface instead. *)
+let ext_kind = function
+  | Sext { r; from } -> Some (Sign, r, from)
+  | Zext { r; from } -> Some (Zero, r, from)
+  | _ -> None
+
+(** [mk_ext kind ~r ~from] builds the explicit extension of [kind]. *)
+let mk_ext kind ~r ~from =
+  match kind with Sign -> Sext { r; from } | Zero -> Zext { r; from }
 
 (** Is this the explicit 32-bit sign extension targeted by the tables? *)
 let is_sext32 = function Sext { from = W32; _ } -> true | _ -> false
 
 let is_sext = function Sext _ -> true | _ -> false
+
+(** The zero-kind siblings of {!is_sext32}/{!is_sext}. *)
+let is_zext32 = function Zext { from = W32; _ } -> true | _ -> false
+
+let is_zext = function Zext _ -> true | _ -> false
+let is_ext op = is_sext op || is_zext op
+
+(** [is_ext32_of kind] selects {!is_sext32} or {!is_zext32}. *)
+let is_ext32_of = function Sign -> is_sext32 | Zero -> is_zext32
+
 let is_justext = function JustExt _ -> true | _ -> false
 
 (** 32-bit integer sources whose {e full 64-bit} register contents the
@@ -192,6 +220,27 @@ let required_ext_uses_term ~reg_ty term =
          frontend only emits W64 compares on I64 registers, but be safe. *)
       List.sort_uniq compare (List.filter i32 [ l; r ])
   | Br { w = _; _ } -> []
+
+(** 32-bit integer sources whose full 64-bit register contents the
+    instruction observes under the {e zero}-extension discipline — the
+    zero-kind sibling of {!required_ext_uses}. The logical right shift at
+    [W32] is executed with the 64-bit [shr.u], so its left operand must
+    have a clear upper half; the conversion pass guards every such use
+    with an explicit [Zext] on a fresh temporary (the [zxt4] the
+    hardware sequence needs), which elimination then proves redundant
+    where the value is already upper-zero. The shift {e amount} is
+    masked and exempt, as for [AShr]. *)
+let required_zext_uses ~reg_ty op =
+  let i32 r = reg_ty r = I32 in
+  match op with
+  | Binop { op = LShr; l; w = W32; _ } -> if i32 l then [ l ] else []
+  | _ -> []
+
+(** [required_uses_of_kind kind] selects the sign- or zero-demand use
+    set: the places where step 1 must place an extension of [kind]. *)
+let required_uses_of_kind = function
+  | Sign -> required_ext_uses
+  | Zero -> required_zext_uses
 
 (** The array-subscript use of an instruction, if any: the register whose
     extension [AnalyzeARRAY] may prove redundant via Theorems 1-4. *)

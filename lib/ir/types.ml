@@ -37,6 +37,12 @@ type fbinop = FAdd | FSub | FMul | FDiv
     sign-extend ([LSign]) — the paper's "implicit sign extension". *)
 type lext = LZero | LSign
 
+(** Extension kinds: the first component of the [(kind × width)] product
+    the conversion-elimination machinery is keyed by. [Sign] is the
+    paper's [extend()]; [Zero] is the sibling ([zxt]/[clrldi]) that
+    dominates unsigned/char-heavy code. *)
+type ekind = Sign | Zero
+
 let bits_of_width = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
 
 let width_of_aelem = function
@@ -80,6 +86,15 @@ let string_of_binop = function
   | LShr -> "lshr"
 
 let string_of_unop = function Neg -> "neg" | Not -> "not"
+
+let string_of_ekind = function Sign -> "sext" | Zero -> "zext"
+
+(** The [lext] behaviour matching an extension kind (a [Sign]-kind load is
+    [LSign], etc.) — the bridge between explicit extensions and the
+    implicit ones memory reads perform. *)
+let lext_of_ekind = function Sign -> LSign | Zero -> LZero
+
+let ekind_of_lext = function LSign -> Sign | LZero -> Zero
 
 let string_of_fbinop = function
   | FAdd -> "fadd"

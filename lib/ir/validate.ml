@@ -70,9 +70,11 @@ let errors (f : Cfg.func) : string list =
         want ctx dst I32;
         want ctx l opty;
         want ctx r opty
-    | Sext { r; from } | Zext { r; from } ->
+    | (Sext { r; from } | Zext { r; from }) as e ->
         want ctx r I32;
-        if from = W64 then err "%s: extend from width 64" ctx
+        if from = W64 then
+          err "%s: %s from width 64 is a no-op form" ctx
+            (match e with Sext _ -> "sext" | _ -> "zext")
     | JustExt { r } -> want ctx r I32
     | FBinop { dst; l; r; _ } ->
         want ctx dst F64;

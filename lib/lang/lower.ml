@@ -175,6 +175,15 @@ let rec lower_expr env (e : expr) : I.reg * vty =
               (* shift: result has the left type; amount is int *)
               if tr <> VInt then err line "shift amount must be int";
               (match tl with
+              | VInt when op = OLShr ->
+                  (* int >>> runs on the 64-bit shr.u, which observes the
+                     full left register: guard it with an explicit
+                     zero-extension on a fresh temporary. Elimination
+                     deletes the zext exactly where the operand is provably
+                     upper-zero. *)
+                  let t = B.mov env.b ~ty:T.I32 rl in
+                  ignore (B.zext env.b ~from:T.W32 t);
+                  (B.binop env.b ~w:T.W32 T.LShr t rr, VInt)
               | VInt -> (B.binop env.b ~w:T.W32 (binop_of line op) rl rr, VInt)
               | VLong ->
                   let amt = B.mov env.b ~ty:T.I64 rr in

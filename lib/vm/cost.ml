@@ -38,7 +38,8 @@ let of_op (op : Instr.op) ~(alloc_len : int64) =
   | Instr.Unop _ -> alu
   | Instr.Binop { op = Mul; _ } -> multiply
   | Instr.Binop { op = Div | Rem; _ } -> int_divide
-  | Instr.Binop { op = LShr; w = W32; _ } -> 2 (* zxt4 + shr *)
+  | Instr.Binop { op = LShr; w = W32; _ } ->
+      alu (* bare shr.u: the zxt4 is now an explicit, eliminable Zext *)
   | Instr.Binop _ -> alu
   | Instr.Cmp _ -> alu
   | Instr.Sext _ | Instr.Zext _ -> extension

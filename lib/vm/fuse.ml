@@ -36,6 +36,9 @@ type selection = All | Off | Rules of string list
       immediately reloaded (Numeric Sort's seed update)
     - [sext-load]: [Sext W32] + [ArrLoad] — index extend + array address
     - [load-sext]: [ArrLoad] + [Sext] re-extending the loaded value
+    - [zext-load]: [Zext] + [ArrLoad] — unsigned index mask + array
+      address (the byte-histogram idiom)
+    - [load-zext]: [ArrLoad] + [Zext] truncating the loaded value
     - [const-arith]: [Const] + any int binop consuming it (arithmetic,
       bitwise, shifts, division)
     - [add-store]: [Add] + [ArrStore] consuming the sum
@@ -59,8 +62,9 @@ type selection = All | Off | Rules of string list
 let rule_names =
   [
     "cmp-br"; "const-br"; "load-br"; "mov-jmp"; "mov-br"; "store-jmp";
-    "const-jmp"; "gstore-gload"; "sext-load"; "load-sext"; "const-arith";
-    "add-store"; "load-load"; "load-store"; "store-store"; "chain";
+    "const-jmp"; "gstore-gload"; "sext-load"; "load-sext"; "zext-load";
+    "load-zext"; "const-arith"; "add-store"; "load-load"; "load-store";
+    "store-store"; "chain";
   ]
 
 let is_rule n = List.mem n rule_names

@@ -41,6 +41,8 @@ type outcome = Precode.outcome = {
   executed : int64;
   sext32 : int64;  (** dynamic count of executed 32-bit sign extensions *)
   sext_sub : int64;  (** executed 8/16-bit sign extensions *)
+  zext32 : int64;  (** executed 32-bit zero extensions *)
+  zext_sub : int64;  (** executed 8/16-bit zero extensions *)
   cycles : int64;  (** cost-model cycles *)
 }
 
@@ -55,6 +57,8 @@ type state = {
   mutable executed : int64;
   mutable sext32 : int64;
   mutable sext_sub : int64;
+  mutable zext32 : int64;
+  mutable zext_sub : int64;
   mutable cycles : int64;
   mode : [ `Faithful | `Canonical ];
   profile : Profile.t option;
@@ -154,7 +158,11 @@ let rec exec_func st fname (args : varg list) : varg option =
         match ty with F64 -> rf.(dst) <- rf.(src) | _ -> set_i dst ri.(src))
     | Instr.Unop { dst; op; src; w } -> set_i dst (Eval.unop op w ri.(src))
     | Instr.Binop { dst; op; l; r; w } -> (
-        match Eval.binop op w ri.(l) ri.(r) with
+        (* the faithful machine shifts the full register on 32-bit
+           [LShr] ({!Eval.binop_faithful}); the canonical machine keeps
+           the internally-zero-extending reference semantics *)
+        let kernel = if canonical then Eval.binop else Eval.binop_faithful in
+        match kernel op w ri.(l) ri.(r) with
         | v -> set_i dst v
         | exception Eval.Division_by_zero -> raise (Trap "division-by-zero"))
     | Instr.Cmp { dst; cond; l; r; w } ->
@@ -164,7 +172,11 @@ let rec exec_func st fname (args : varg list) : varg option =
         | W32 -> st.sext32 <- Int64.add st.sext32 1L
         | _ -> st.sext_sub <- Int64.add st.sext_sub 1L);
         ri.(r) <- Eval.sext_from from ri.(r)
-    | Instr.Zext { r; from } -> ri.(r) <- Eval.zext_from from ri.(r)
+    | Instr.Zext { r; from } ->
+        (match from with
+        | W32 -> st.zext32 <- Int64.add st.zext32 1L
+        | _ -> st.zext_sub <- Int64.add st.zext_sub 1L);
+        ri.(r) <- Eval.zext_from from ri.(r)
     | Instr.JustExt _ -> () (* marker: no code, no effect *)
     | Instr.FBinop { dst; op; l; r } -> rf.(dst) <- Eval.fbinop op rf.(l) rf.(r)
     | Instr.FNeg { dst; src } -> rf.(dst) <- -.rf.(src)
@@ -316,6 +328,8 @@ let run_structural ?(mode = `Faithful) ?(fuel = 2_000_000_000L) ?(count_cycles =
       executed = 0L;
       sext32 = 0L;
       sext_sub = 0L;
+      zext32 = 0L;
+      zext_sub = 0L;
       cycles = 0L;
       mode;
       profile;
@@ -340,6 +354,8 @@ let run_structural ?(mode = `Faithful) ?(fuel = 2_000_000_000L) ?(count_cycles =
     executed = st.executed;
     sext32 = st.sext32;
     sext_sub = st.sext_sub;
+    zext32 = st.zext32;
+    zext_sub = st.zext_sub;
     cycles = st.cycles;
   }
 

@@ -18,6 +18,8 @@ type outcome = {
   executed : int64;  (** instructions executed *)
   sext32 : int64;  (** executed 32-bit sign extensions — Tables 1/2 *)
   sext_sub : int64;  (** executed 8/16-bit sign extensions *)
+  zext32 : int64;  (** executed 32-bit zero extensions *)
+  zext_sub : int64;  (** executed 8/16-bit zero extensions *)
   cycles : int64;  (** cost-model cycles — Figures 13/14 *)
 }
 

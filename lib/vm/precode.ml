@@ -50,6 +50,8 @@ type outcome = {
   executed : int64;
   sext32 : int64;
   sext_sub : int64;
+  zext32 : int64;
+  zext_sub : int64;
   cycles : int64;
 }
 
@@ -104,8 +106,12 @@ let iholds cond (a : int) (b : int) =
 (* The integer binop kernel shared by every fused const+binop handler
    ([cbin.k] selects the operation, [kw] the shift/div width). Division
    traps exactly where the plain [PDiv]/[PRem] handlers do — the caller
-   evaluates at the constituent's own slot, after its tick and charge. *)
-let[@inline] bin_eval k kw lv rv =
+   evaluates at the constituent's own slot, after its tick and charge.
+   [zx] is the canonical flag: the canonical machine's 32-bit [LShr]
+   zero-extends its left operand internally; the faithful machine shifts
+   the full register ({!Eval.binop_faithful}) and relies on an explicit
+   [Zext] guard for the canonical result. *)
+let[@inline] bin_eval zx k kw lv rv =
   match k with
   | 0 -> Int64.add lv rv
   | 1 -> Int64.sub lv rv
@@ -121,7 +127,7 @@ let[@inline] bin_eval k kw lv rv =
         (Int64.to_int (Int64.logand rv (if kw then 63L else 31L)))
   | 8 ->
       let amt = Int64.to_int (Int64.logand rv (if kw then 63L else 31L)) in
-      if kw then Int64.shift_right_logical lv amt
+      if kw || not zx then Int64.shift_right_logical lv amt
       else Int64.shift_right_logical (Eval.zext32 lv) amt
   | 9 ->
       if if kw then Int64.equal rv 0L else Int64.equal (Eval.low32 rv) 0L then
@@ -359,6 +365,15 @@ type pi =
   | PLoadSext of { ld : ald; c2 : int; xr : int; sh : int }
       (** [sh = -1]: 32-bit re-extension (counts [sext32]); otherwise the
           [SextSub] shift amount (counts [sext_sub]) *)
+  | PZextLoad of { zr : int; mask : int64; wzr : bool; c2 : int; ld : ald }
+      (** [Zext] + [ArrLoad] indexed by the just-zeroed register: after
+          the mask the full register equals its low-32 image whenever the
+          signed image is non-negative, so the wild-access check can
+          never fire and the bounds test alone suffices *)
+  | PLoadZext of { ld : ald; c2 : int; xr : int; mask : int64 }
+      (** [ArrLoad] + [Zext] truncating the loaded value
+          ([xr = ld.ldst]); [mask = 0xFFFF_FFFF] counts [zext32],
+          narrower masks count [zext_sub] *)
   | PConstBin of cbin
   | PAddStore of {
       dst : int;
@@ -633,6 +648,8 @@ let op_id = function
   | PGStoreGLoad _ -> 82
   | PGLoadBinBin _ -> 83
   | PBinBinRet _ -> 84
+  | PZextLoad _ -> 85
+  | PLoadZext _ -> 86
 
 let op_names =
   [|
@@ -648,7 +665,7 @@ let op_names =
     "MovBr"; "BinBinBr"; "BinBinMovBr"; "LoadSxLoad"; "LoadSxLoadBr";
     "SxLoadBin"; "SxLoadBinLoadBr"; "Load2Store2"; "SwapJmp"; "StoreJmp";
     "ConstJmp"; "BinSext"; "BinSextMovJmp"; "SextMovJmp"; "GStoreGLoad";
-    "GLoadBinBin"; "BinBinRet";
+    "GLoadBinBin"; "BinBinRet"; "ZextLoad"; "LoadZext";
   |]
 
 let nops = Array.length op_names
@@ -673,8 +690,9 @@ let group_width = function
   | PSextMovJmp _ ->
       3
   | PCmpBr _ | PConstBr _ | PLoadBr _ | PMovJmp _ | PMovBr _ | PSextLoad _
-  | PLoadSext _ | PConstBin _ | PAddStore _ | PLoadLoad _ | PLoadStore _
-  | PStoreStore _ | PStoreJmp _ | PConstJmp _ | PGStoreGLoad _ ->
+  | PLoadSext _ | PZextLoad _ | PLoadZext _ | PConstBin _ | PAddStore _
+  | PLoadLoad _ | PLoadStore _ | PStoreStore _ | PStoreJmp _ | PConstJmp _
+  | PGStoreGLoad _ ->
       2
   | PBinBin _ | PBinMovJmp _ | PLoadSxLoadBr _ | PSxLoadBin _ | PLoad2Store2 _
     ->
@@ -853,6 +871,11 @@ let fuse_code ~(fuse : Fuse.selection) ~(is_start : bool array)
             code.(!i) <- PLoadSext { ld; c2 = costs.(i1); xr = r; sh };
             hit "load-sext";
             2
+        | PArrLoad ld, PZext { r; mask }
+          when on "load-zext" && r = ld.ldst ->
+            code.(!i) <- PLoadZext { ld; c2 = costs.(i1); xr = r; mask };
+            hit "load-zext";
+            2
         | PMovI { dst; src; ext }, PJmp j when on "mov-jmp" ->
             code.(!i) <-
               PMovJmp
@@ -920,6 +943,21 @@ let fuse_code ~(fuse : Fuse.selection) ~(is_start : bool array)
                   ld;
                 };
             hit "sext-load";
+            2
+        | PZext { r; mask }, PArrLoad ld
+          when on "zext-load" && ld.lidx = r && ld.larr <> r ->
+            (* same aliasing guard as [sext-load]: the handler substitutes
+               the masked index locally *)
+            code.(!i) <-
+              PZextLoad
+                {
+                  zr = r;
+                  mask;
+                  wzr = r <> ld.ldst && Bitset.mem la.(i1) r;
+                  c2 = costs.(i1);
+                  ld;
+                };
+            hit "zext-load";
             2
         | PAdd { dst; l; r; ext }, PArrStore s
           when on "add-store" && (s.ssrc = dst || s.sidx = dst) ->
@@ -1753,6 +1791,8 @@ type state = {
   mutable executed : int;  (** native ints: no box per tick *)
   mutable sext32 : int;
   mutable sext_sub : int;
+  mutable zext32 : int;
+  mutable zext_sub : int;
   mutable cycles : int;
   fuel : int;
   profile : Profile.t option;
@@ -1938,10 +1978,13 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         ri.(dst) <- (if ext then Eval.sext32 v else v)
     | PLShr { dst; l; r; w64; ext } ->
         let amt = Int64.to_int (Int64.logand ri.(r) (if w64 then 63L else 31L)) in
-        let v =
-          if w64 then Int64.shift_right_logical ri.(l) amt
-          else Int64.shift_right_logical (Eval.zext32 ri.(l)) amt
+        let lv =
+          (* canonical 32-bit machine zero-extends internally; the
+             faithful machine shifts the full register and depends on
+             the explicit [Zext] guard ({!Eval.binop_faithful}) *)
+          if w64 || not st.canonical then ri.(l) else Eval.zext32 ri.(l)
         in
+        let v = Int64.shift_right_logical lv amt in
         ri.(dst) <- (if ext then Eval.sext32 v else v)
     | PDiv { dst; l; r; w64; ext } ->
         let rv = ri.(r) in
@@ -1973,7 +2016,10 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
     | PSextSub { r; sh } ->
         st.sext_sub <- st.sext_sub + 1;
         ri.(r) <- Int64.shift_right (Int64.shift_left ri.(r) sh) sh
-    | PZext { r; mask } -> ri.(r) <- Int64.logand ri.(r) mask
+    | PZext { r; mask } ->
+        if Int64.equal mask 0xFFFF_FFFFL then st.zext32 <- st.zext32 + 1
+        else st.zext_sub <- st.zext_sub + 1;
+        ri.(r) <- Int64.logand ri.(r) mask
     | PFAdd { dst; l; r } -> rf.(dst) <- rf.(l) +. rf.(r)
     | PFSub { dst; l; r } -> rf.(dst) <- rf.(l) -. rf.(r)
     | PFMul { dst; l; r } -> rf.(dst) <- rf.(l) *. rf.(r)
@@ -2359,6 +2405,64 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
               ri.(xr) <- Int64.shift_right (Int64.shift_left v sh) sh
             end);
         incr pc
+    | PZextLoad { zr; mask; wzr; c2; ld } ->
+        if Int64.equal mask 0xFFFF_FFFFL then st.zext32 <- st.zext32 + 1
+        else st.zext_sub <- st.zext_sub + 1;
+        let zv = Int64.logand ri.(zr) mask in
+        if wzr then ri.(zr) <- zv;
+        st.executed <- st.executed + 1;
+        if st.executed > fuel then raise (Trap "fuel-exhausted");
+        st.cycles <- st.cycles + c2;
+        let cell = arr_cell st ri.(ld.larr) in
+        let xi = sx32 zv in
+        if xi < 0 || xi >= cell_len cell then
+          raise (Trap "array-index-out-of-bounds");
+        (* the index was just masked: non-negative ⇒ full = low32, so the
+           wild-access check can never fire — index directly *)
+        (match cell with
+        | IArr { data; _ } ->
+            let v = elem_load ld.lelem ld.llext data.(xi) in
+            ri.(ld.ldst) <- (if ld.lsx then Eval.sext32 v else v)
+        | FArr d -> rf.(ld.ldst) <- d.(xi)
+        | RArr d ->
+            let v = Int64.of_int d.(xi) in
+            ri.(ld.ldst) <- (if ld.lsx then Eval.sext32 v else v));
+        incr pc
+    | PLoadZext { ld; c2; xr; mask } ->
+        let cell = arr_cell st ri.(ld.larr) in
+        let k = checked_index st ri.(ld.lidx) (cell_len cell) in
+        (match cell with
+        | IArr { data; _ } ->
+            let v = elem_load ld.lelem ld.llext data.(k) in
+            let v = if ld.lsx then Eval.sext32 v else v in
+            st.executed <- st.executed + 1;
+            if st.executed > fuel then raise (Trap "fuel-exhausted");
+            st.cycles <- st.cycles + c2;
+            (* [xr = ld.ldst]: the load's write is overwritten by the
+               truncation before any observation point — write once *)
+            if Int64.equal mask 0xFFFF_FFFFL then st.zext32 <- st.zext32 + 1
+            else st.zext_sub <- st.zext_sub + 1;
+            ri.(xr) <- Int64.logand v mask
+        | FArr d ->
+            rf.(ld.ldst) <- d.(k);
+            st.executed <- st.executed + 1;
+            if st.executed > fuel then raise (Trap "fuel-exhausted");
+            st.cycles <- st.cycles + c2;
+            (* float load: the zext reads the untouched int register,
+               exactly as the unfused sequence does *)
+            if Int64.equal mask 0xFFFF_FFFFL then st.zext32 <- st.zext32 + 1
+            else st.zext_sub <- st.zext_sub + 1;
+            ri.(xr) <- Int64.logand ri.(xr) mask
+        | RArr d ->
+            let v = Int64.of_int d.(k) in
+            let v = if ld.lsx then Eval.sext32 v else v in
+            st.executed <- st.executed + 1;
+            if st.executed > fuel then raise (Trap "fuel-exhausted");
+            st.cycles <- st.cycles + c2;
+            if Int64.equal mask 0xFFFF_FFFFL then st.zext32 <- st.zext32 + 1
+            else st.zext_sub <- st.zext_sub + 1;
+            ri.(xr) <- Int64.logand v mask);
+        incr pc
     | PConstBin { d1; v; wd1; k; kw; dst; l; r; ext; c2 } ->
         if wd1 then ri.(d1) <- v;
         st.executed <- st.executed + 1;
@@ -2367,7 +2471,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         let lv = if l = d1 then v else ri.(l) in
         let rv = if r = d1 then v else ri.(r) in
         let v2 =
-          bin_eval k kw lv rv
+          bin_eval st.canonical k kw lv rv
         in
         ri.(dst) <- (if ext then Eval.sext32 v2 else v2);
         incr pc
@@ -2471,7 +2575,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         let lv = if a.l = a.d1 then a.v else ri.(a.l) in
         let rv = if a.r = a.d1 then a.v else ri.(a.r) in
         let av =
-          bin_eval a.k a.kw lv rv
+          bin_eval st.canonical a.k a.kw lv rv
         in
         let v1 = if a.ext then Eval.sext32 av else av in
         if xw1 then ri.(a.dst) <- v1;
@@ -2489,7 +2593,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
           match s2r with 1 -> v1 | 3 -> a.v | 4 -> b2.v | _ -> ri.(b2.r)
         in
         let bv =
-          bin_eval b2.k b2.kw lv rv
+          bin_eval st.canonical b2.k b2.kw lv rv
         in
         if xw2 then ri.(b2.dst) <- (if b2.ext then Eval.sext32 bv else bv);
         pc := !pc + 3
@@ -2500,7 +2604,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         st.cycles <- st.cycles + a.c2;
         let lv = if a.l = a.d1 then a.v else ri.(a.l) in
         let rv = if a.r = a.d1 then a.v else ri.(a.r) in
-        let av = bin_eval a.k a.kw lv rv in
+        let av = bin_eval st.canonical a.k a.kw lv rv in
         let v1 = if a.ext then Eval.sext32 av else av in
         st.executed <- st.executed + 1;
         if st.executed > fuel then raise (Trap "fuel-exhausted");
@@ -2515,7 +2619,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         st.cycles <- st.cycles + a.c2;
         let lv = if a.l = a.d1 then a.v else ri.(a.l) in
         let rv = if a.r = a.d1 then a.v else ri.(a.r) in
-        let av = bin_eval a.k a.kw lv rv in
+        let av = bin_eval st.canonical a.k a.kw lv rv in
         let v1 = if a.ext then Eval.sext32 av else av in
         st.executed <- st.executed + 1;
         if st.executed > fuel then raise (Trap "fuel-exhausted");
@@ -2605,7 +2709,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         let rv =
           if a.r = a.d1 then a.v else if sar = 6 then gv else ri.(a.r)
         in
-        let av = bin_eval a.k a.kw lv rv in
+        let av = bin_eval st.canonical a.k a.kw lv rv in
         let v1 = if a.ext then Eval.sext32 av else av in
         if xw1 then ri.(a.dst) <- v1;
         st.executed <- st.executed + 1;
@@ -2631,7 +2735,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
           | 6 -> gv
           | _ -> ri.(b2.r)
         in
-        let bv = bin_eval b2.k b2.kw lv rv in
+        let bv = bin_eval st.canonical b2.k b2.kw lv rv in
         if xw2 then ri.(b2.dst) <- (if b2.ext then Eval.sext32 bv else bv);
         pc := !pc + 4
     | PBinBinRet { bb = { a; hb; b2; s2l; s2r; xw1; xw2 }; cr; r; sr } ->
@@ -2641,7 +2745,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         st.cycles <- st.cycles + a.c2;
         let lv = if a.l = a.d1 then a.v else ri.(a.l) in
         let rv = if a.r = a.d1 then a.v else ri.(a.r) in
-        let av = bin_eval a.k a.kw lv rv in
+        let av = bin_eval st.canonical a.k a.kw lv rv in
         let v1 = if a.ext then Eval.sext32 av else av in
         if xw1 then ri.(a.dst) <- v1;
         st.executed <- st.executed + 1;
@@ -2657,7 +2761,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         let rv =
           match s2r with 1 -> v1 | 3 -> a.v | 4 -> b2.v | _ -> ri.(b2.r)
         in
-        let bv = bin_eval b2.k b2.kw lv rv in
+        let bv = bin_eval st.canonical b2.k b2.kw lv rv in
         let v2 = if b2.ext then Eval.sext32 bv else bv in
         if xw2 then ri.(b2.dst) <- v2;
         st.executed <- st.executed + 1;
@@ -2680,7 +2784,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         let lv = if a.l = a.d1 then a.v else ri.(a.l) in
         let rv = if a.r = a.d1 then a.v else ri.(a.r) in
         let av =
-          bin_eval a.k a.kw lv rv
+          bin_eval st.canonical a.k a.kw lv rv
         in
         let v1 = if a.ext then Eval.sext32 av else av in
         if xw then ri.(a.dst) <- v1;
@@ -2711,7 +2815,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         let lv = if a.l = a.d1 then a.v else ri.(a.l) in
         let rv = if a.r = a.d1 then a.v else ri.(a.r) in
         let av =
-          bin_eval a.k a.kw lv rv
+          bin_eval st.canonical a.k a.kw lv rv
         in
         let v1 = if a.ext then Eval.sext32 av else av in
         if xw then ri.(a.dst) <- v1;
@@ -2801,7 +2905,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         let lv = if a.l = a.d1 then a.v else ri.(a.l) in
         let rv = if a.r = a.d1 then a.v else ri.(a.r) in
         let av =
-          bin_eval a.k a.kw lv rv
+          bin_eval st.canonical a.k a.kw lv rv
         in
         let v1 = if a.ext then Eval.sext32 av else av in
         if xw1 then ri.(a.dst) <- v1;
@@ -2819,7 +2923,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
           match s2r with 1 -> v1 | 3 -> a.v | 4 -> b2.v | _ -> ri.(b2.r)
         in
         let bv =
-          bin_eval b2.k b2.kw lv rv
+          bin_eval st.canonical b2.k b2.kw lv rv
         in
         let v2 = if b2.ext then Eval.sext32 bv else bv in
         if xw2 then ri.(b2.dst) <- v2;
@@ -2865,7 +2969,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
         let lv = if a.l = a.d1 then a.v else ri.(a.l) in
         let rv = if a.r = a.d1 then a.v else ri.(a.r) in
         let av =
-          bin_eval a.k a.kw lv rv
+          bin_eval st.canonical a.k a.kw lv rv
         in
         let v1 = if a.ext then Eval.sext32 av else av in
         if xw1 then ri.(a.dst) <- v1;
@@ -2883,7 +2987,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
           match s2r with 1 -> v1 | 3 -> a.v | 4 -> b2.v | _ -> ri.(b2.r)
         in
         let bv =
-          bin_eval b2.k b2.kw lv rv
+          bin_eval st.canonical b2.k b2.kw lv rv
         in
         let v2 = if b2.ext then Eval.sext32 bv else bv in
         if xw2 then ri.(b2.dst) <- v2;
@@ -3091,7 +3195,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
           match s2r with 1 -> u1 | 2 -> xv | 4 -> a.v | _ -> ri.(a.r)
         in
         let bv =
-          bin_eval a.k a.kw lv rv
+          bin_eval st.canonical a.k a.kw lv rv
         in
         if xw then ri.(a.dst) <- (if a.ext then Eval.sext32 bv else bv);
         pc := !pc + 3
@@ -3138,7 +3242,7 @@ let rec exec (st : state) (p : pfunc) (ri : int64 array) (rf : float array) : un
           match s2r with 1 -> u1 | 2 -> xv | 4 -> a.v | _ -> ri.(a.r)
         in
         let bv =
-          bin_eval a.k a.kw lv rv
+          bin_eval st.canonical a.k a.kw lv rv
         in
         let v2 = if a.ext then Eval.sext32 bv else bv in
         if xw then ri.(a.dst) <- v2;
@@ -3498,6 +3602,8 @@ let run ?(mode = `Faithful) ?(fuel = 2_000_000_000L) ?(count_cycles = true)
       executed = 0;
       sext32 = 0;
       sext_sub = 0;
+      zext32 = 0;
+      zext_sub = 0;
       cycles = 0;
       fuel = fuel_i;
       profile;
@@ -3528,5 +3634,7 @@ let run ?(mode = `Faithful) ?(fuel = 2_000_000_000L) ?(count_cycles = true)
     executed = Int64.of_int st.executed;
     sext32 = Int64.of_int st.sext32;
     sext_sub = Int64.of_int st.sext_sub;
+    zext32 = Int64.of_int st.zext32;
+    zext_sub = Int64.of_int st.zext_sub;
     cycles = (if count_cycles then Int64.of_int st.cycles else 0L);
   }

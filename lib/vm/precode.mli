@@ -29,6 +29,8 @@ type outcome = {
   executed : int64;
   sext32 : int64;
   sext_sub : int64;
+  zext32 : int64;
+  zext_sub : int64;
   cycles : int64;
 }
 

@@ -20,10 +20,18 @@ let specjvm ?(scale = 1) () =
 
 let all ?scale () = jbytemark ?scale () @ specjvm ?scale ()
 
-(** Stress kernels beyond the paper's tables (see {!Extras}); used by the
-    test suites, not by the table regeneration. *)
+(** The unsigned/char-heavy kernels (see {!Unsign}): the zero-extension
+    residue class, addressable on its own for the zext elimination
+    tables. *)
+let unsigned ?(scale = 1) () =
+  List.map (fun (name, source) -> { name; suite = Jbytemark; source }) (Unsign.all ~scale)
+
+(** Stress kernels beyond the paper's tables (see {!Extras} and
+    {!Unsign}); used by the test suites, not by the table
+    regeneration. *)
 let extras ?(scale = 1) () =
   List.map (fun (name, source) -> { name; suite = Jbytemark; source }) (Extras.all ~scale)
+  @ unsigned ~scale ()
 
 let find ?scale name =
   match List.find_opt (fun w -> String.lowercase_ascii w.name = String.lowercase_ascii name) (all ?scale ()) with

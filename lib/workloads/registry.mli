@@ -9,9 +9,14 @@ val jbytemark : ?scale:int -> unit -> t list
 val specjvm : ?scale:int -> unit -> t list
 val all : ?scale:int -> unit -> t list
 
+val unsigned : ?scale:int -> unit -> t list
+(** The unsigned/char-heavy kernels (string hashing, byte histogram,
+    unsigned division by constants): the zero-extension residue class. *)
+
 val extras : ?scale:int -> unit -> t list
 (** Stress kernels beyond the paper's tables (recursion-heavy sort,
-    triangular loops, rolling hashes); test-suite material only. *)
+    triangular loops, rolling hashes, and the {!unsigned} class);
+    test-suite material only. *)
 
 val find : ?scale:int -> string -> t
 (** Case-insensitive lookup; raises [Invalid_argument] for unknown

@@ -1,0 +1,140 @@
+(** Unsigned/char-heavy stress kernels: the zero-extension residue class.
+
+    The paper's seventeen benchmarks are signed-arithmetic programs where
+    sign extension dominates; these three kernels are the unsigned
+    counterpart the 64-bit-tips literature warns about. Every [>>>] is
+    zext-guarded by the converter, every [& 0xff] masks a sign-extended
+    byte, so the baseline drips with zero extensions the (kind × width)
+    machinery should discharge. The `workloads` and acceptance matrices
+    run them under every variant like any other extra. *)
+
+let prng =
+  {|
+global int seed;
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >>> 16) & 0x7fff;
+}
+|}
+
+(** FNV-1a over a byte string, finished with a murmur-style avalanche:
+    the mixing steps alternate multiplies with unsigned shifts, so the
+    hot loop carries one zext guard per round trip. *)
+let string_hash ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 12345;
+  int n = %d;
+  byte[] text = new byte[n];
+  for (int i = 0; i < n; i++) { text[i] = (byte) (rnd() %% 256 - 128); }
+  int h = 0x811c9dc5;
+  for (int i = 0; i < n; i++) {
+    h = (h ^ (text[i] & 255)) * 0x01000193;
+  }
+  h = h ^ (h >>> 16);
+  h = h * 0x85ebca6b;
+  h = h ^ (h >>> 13);
+  h = h * 0xc2b2ae35;
+  h = h ^ (h >>> 16);
+  print_int(h);
+  checksum(h);
+}
+|}
+    prng (1200 * scale)
+
+(** Byte histogram: the masked-subscript idiom. [data[i] & 255] is a
+    provably in-[0,255] index (AnalyzeDEF's And rule), and the bucket
+    scan re-reads the counts through a multiplicative [>>>] bucket
+    spreader. *)
+let byte_histogram ~scale =
+  Printf.sprintf
+    {|
+%s
+void main() {
+  seed = 999;
+  int n = %d;
+  byte[] data = new byte[n];
+  for (int i = 0; i < n; i++) { data[i] = (byte) (rnd() %% 256 - 128); }
+  int[] hist = new int[256];
+  for (int i = 0; i < n; i++) {
+    int k = data[i] & 255;
+    hist[k] = hist[k] + 1;
+  }
+  int[] spread = new int[64];
+  for (int v = 0; v < 256; v++) {
+    int k = (hist[v] * 0x9e3779b1) >>> 26;
+    spread[k] = spread[k] + hist[v];
+  }
+  int h = 0;
+  int peak = 0;
+  for (int v = 0; v < 256; v++) {
+    h = h * 31 + hist[v];
+    if (hist[v] > peak) { peak = hist[v]; }
+  }
+  for (int k = 0; k < 64; k++) { h = h * 17 + spread[k]; }
+  print_int(peak);
+  checksum(h);
+  checksum(peak);
+}
+|}
+    prng (1500 * scale)
+
+(** Unsigned division by constants, Hacker's Delight style: shift-add
+    reciprocal approximations for /10 and /3 with a remainder fix-up,
+    checked against the full-range input treated as unsigned. Every
+    approximation step is a [>>>]. *)
+let unsigned_div ~scale =
+  Printf.sprintf
+    {|
+%s
+int udiv10(int x) {
+  int q = (x >>> 1) + (x >>> 2);
+  q = q + (q >>> 4);
+  q = q + (q >>> 8);
+  q = q + (q >>> 16);
+  q = q >>> 3;
+  int r = x - (q * 10);
+  return q + ((r + 6) >>> 4);
+}
+int udiv3(int x) {
+  int q = (x >>> 2) + (x >>> 4);
+  q = q + (q >>> 4);
+  q = q + (q >>> 8);
+  q = q + (q >>> 16);
+  int r = x - (q * 3);
+  return q + ((r * 11) >>> 5);
+}
+void main() {
+  seed = 4242;
+  int n = %d;
+  int bad = 0;
+  int h = 0;
+  for (int i = 0; i < n; i++) {
+    int x = rnd() * 65536 + rnd();
+    int q = udiv10(x);
+    int r = x - (q * 10);
+    /* unsigned remainder check: r must land in [0, 10) */
+    if (r < 0) { bad = bad + 1; }
+    if (r >= 10) { bad = bad + 1; }
+    h = h * 31 + q + r;
+    int q3 = udiv3(x);
+    int r3 = x - (q3 * 3);
+    if (r3 < 0) { bad = bad + 1; }
+    if (r3 >= 3) { bad = bad + 1; }
+    h = h * 31 + q3 + r3;
+  }
+  print_int(bad);
+  checksum(bad);
+  checksum(h);
+}
+|}
+    prng (400 * scale)
+
+let all ~scale =
+  [
+    ("string hash", string_hash ~scale);
+    ("byte histogram", byte_histogram ~scale);
+    ("unsigned div", unsigned_div ~scale);
+  ]

@@ -132,6 +132,97 @@ let test_w8_window () =
   let sites, _ = Audit.audit_prog p in
   check_unknown ~what:"sext8 of [0,511]" (site_for sites site)
 
+(* -- zero-extension sites --------------------------------------------- *)
+
+let test_zext_w32_sites () =
+  (* upper-zero origin: the zext is the identity, witness names it *)
+  let b, _ = B.create ~name:"main" ~params:[] () in
+  let v = B.iconst b 5 in
+  let site = B.zext b v in
+  ignore (B.call b "checksum" [ (v, I32) ]);
+  B.ret b;
+  let p = Helpers.prog_of_func (B.func b) in
+  let sites, ver = Audit.audit_prog p in
+  let s = site_for sites site in
+  Alcotest.(check bool) "kind is zext32" true
+    (s.Audit.kind = Audit.Explicit (Zero, W32));
+  check_redundant ~what:"zext of in-range constant" s Audit.Def_extended;
+  (match ver with
+  | Some v -> Alcotest.(check int) "verified" 1 v.Audit.attempted
+  | None -> Alcotest.fail "verification did not run");
+  (* sext→zext conversion: sign-extended and provably non-negative *)
+  let b, _ = B.create ~name:"main" ~params:[] () in
+  let x = B.ashr b (B.iconst b 100) (B.iconst b 2) in
+  let site = B.zext b x in
+  ignore (B.call b "checksum" [ (x, I32) ]);
+  B.ret b;
+  let p = Helpers.prog_of_func (B.func b) in
+  let sites, _ = Audit.audit_prog p in
+  check_redundant ~what:"zext of non-negative sign-extended value"
+    (site_for sites site) Audit.Range_nonneg;
+  (* dead upper: only the low half is observed *)
+  let b, _ = B.create ~name:"main" ~params:[] () in
+  let l = B.lconst b 0x1_0000_0005L in
+  let x = B.mov b ~ty:I32 l in
+  let site = B.zext b x in
+  B.gstore b I32 "g" x;
+  B.ret b;
+  let p = Helpers.prog_of_func ~globals:[ ("g", I32) ] (B.func b) in
+  let sites, _ = Audit.audit_prog p in
+  check_redundant ~what:"zext feeding only a 32-bit store" (site_for sites site)
+    Audit.Dead_upper
+
+let test_zext_w32_necessary () =
+  (* a sign-extending load can deliver a negative value, and the
+     unsigned shift demands zero upper bits: the guard must stay *)
+  let b, _ = B.create ~name:"main" ~params:[] () in
+  let x = B.gload b ~lext:LSign I32 "g" in
+  let site = B.zext b x in
+  let y = B.lshr b x (B.iconst b 1) in
+  ignore (B.call b "checksum" [ (y, I32) ]);
+  B.ret b;
+  let p = Helpers.prog_of_func ~globals:[ ("g", I32) ] (B.func b) in
+  let sites, _ = Audit.audit_prog p in
+  let s = site_for sites site in
+  check_necessary ~what:"zext guard of a sign-extending load" s;
+  match s.Audit.verdict with
+  | Audit.Necessary { reason } ->
+      Alcotest.(check bool) "reason names the sign-extending load" true
+        (contains ~needle:"sign-extending 32-bit load" reason)
+  | _ -> assert false
+
+let test_zext_window () =
+  (* in the unsigned window: zext8 of 200 is the identity (contrast
+     with sext8 of 200, which rewrites it to -56) *)
+  let b, _ = B.create ~name:"main" ~params:[] () in
+  let v = B.iconst b 200 in
+  let site = B.zext b ~from:W8 v in
+  ignore (B.call b "checksum" [ (v, I32) ]);
+  B.ret b;
+  let p = Helpers.prog_of_func (B.func b) in
+  let sites, _ = Audit.audit_prog p in
+  check_redundant ~what:"zext8 of 200" (site_for sites site) Audit.Range_window;
+  (* outside the unsigned window: the mask rewrites the low bits *)
+  let b, _ = B.create ~name:"main" ~params:[] () in
+  let v = B.iconst b 300 in
+  let site = B.zext b ~from:W8 v in
+  B.gstore b I32 "g" v;
+  B.ret b;
+  let p = Helpers.prog_of_func ~globals:[ ("g", I32) ] (B.func b) in
+  let sites, _ = Audit.audit_prog p in
+  check_necessary ~what:"zext8 of 300" (site_for sites site);
+  (* straddling: range-hostile, a speculation candidate *)
+  let b, _ = B.create ~name:"main" ~params:[] () in
+  let x = B.gload b I32 "g" in
+  let m = B.iconst b 511 in
+  let v = B.and_ b x m in
+  let site = B.zext b ~from:W8 v in
+  B.gstore b I32 "g" v;
+  B.ret b;
+  let p = Helpers.prog_of_func ~globals:[ ("g", I32) ] (B.func b) in
+  let sites, _ = Audit.audit_prog p in
+  check_unknown ~what:"zext8 of [0,511]" (site_for sites site)
+
 (* -- implicit sign-extending loads ------------------------------------ *)
 
 let test_implicit_load () =
@@ -278,7 +369,7 @@ let mk_cell input variant verdicts : Report.cell =
           iid = i;
           idx = Some i;
           reg = i;
-          kind = Audit.Explicit W32;
+          kind = Audit.Explicit (Sign, W32);
           verdict = v;
         })
       verdicts
@@ -340,6 +431,9 @@ let suite =
       test_planted_redundant_dead_upper;
     Alcotest.test_case "planted necessary (l2i)" `Quick test_planted_necessary_l2i;
     Alcotest.test_case "W8 window classifications" `Quick test_w8_window;
+    Alcotest.test_case "zext32 sites" `Quick test_zext_w32_sites;
+    Alcotest.test_case "zext32 necessary guard" `Quick test_zext_w32_necessary;
+    Alcotest.test_case "zext unsigned window" `Quick test_zext_window;
     Alcotest.test_case "implicit sign-extending loads" `Quick test_implicit_load;
     Alcotest.test_case "oracle-rejected false positive hard-fails" `Quick
       test_verification_hard_fail;

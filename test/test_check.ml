@@ -14,6 +14,7 @@ module Lint = Sxe_check.Lint
 let need = Alcotest.testable
     (fun ppf -> function
       | Certify.Needs_extended -> Format.fprintf ppf "Needs_extended"
+      | Certify.Needs_zero_extended -> Format.fprintf ppf "Needs_zero_extended"
       | Certify.Needs_subscript -> Format.fprintf ppf "Needs_subscript")
     ( = )
 

@@ -52,6 +52,8 @@ let test_ppc64_shapes () =
     (not (String.length txt > 0 && Sxe_codegen.Emit.count_mnemonic full "sxt" > 0))
 
 let test_lshr32_lowering () =
+  (* bare IR: the unsigned shift is a single full-register shr.u — the
+     zero extension it needs is explicit IR, not an emission artifact *)
   let b, params = B.create ~name:"main" ~params:[ I32 ] ~ret:I32 () in
   let x = List.hd params in
   let amt = B.iconst b 3 in
@@ -59,9 +61,60 @@ let test_lshr32_lowering () =
   B.retv b I32 r;
   let f = B.func b in
   let asm = Sxe_codegen.Emit.emit_func ~arch:Sxe_core.Arch.ia64 f in
-  (* the 32-bit unsigned shift costs a zero extension plus the shift *)
-  Alcotest.(check bool) "zxt4 emitted" true (Sxe_codegen.Emit.count_mnemonic asm "zxt4" >= 1);
-  Alcotest.(check bool) "shr.u emitted" true (Sxe_codegen.Emit.count_mnemonic asm "shr.u" >= 1)
+  Alcotest.(check int) "no implicit zxt4" 0 (Sxe_codegen.Emit.count_mnemonic asm "zxt4");
+  Alcotest.(check bool) "shr.u emitted" true (Sxe_codegen.Emit.count_mnemonic asm "shr.u" >= 1);
+  (* converted IR: the guard the converter inserts shows up as a zxt4 *)
+  let b2, params2 = B.create ~name:"main" ~params:[ I32 ] ~ret:I32 () in
+  let x2 = List.hd params2 in
+  let amt2 = B.iconst b2 3 in
+  let t = B.mov b2 ~ty:I32 x2 in
+  ignore (B.zext b2 ~from:W32 t);
+  let r2 = B.lshr b2 t amt2 in
+  B.retv b2 I32 r2;
+  let f2 = B.func b2 in
+  let asm2 = Sxe_codegen.Emit.emit_func ~arch:Sxe_core.Arch.ia64 f2 in
+  Alcotest.(check bool) "guarded form emits zxt4" true
+    (Sxe_codegen.Emit.count_mnemonic asm2 "zxt4" >= 1);
+  Alcotest.(check bool) "guarded form emits shr.u" true
+    (Sxe_codegen.Emit.count_mnemonic asm2 "shr.u" >= 1)
+
+let test_peephole_elides_redundant_ext () =
+  (* back-to-back extensions of the same register: the second of each
+     kind is provably redundant and must not be emitted *)
+  let b, params = B.create ~name:"main" ~params:[ I32 ] ~ret:I32 () in
+  let x = List.hd params in
+  ignore (B.sext b ~from:W32 x);
+  ignore (B.sext b ~from:W32 x);
+  ignore (B.zext b ~from:W8 x);
+  ignore (B.zext b ~from:W8 x);
+  (* a zero extension from 8 implies sign-extension from any wider
+     width: this sxt4 is redundant too *)
+  ignore (B.sext b ~from:W32 x);
+  B.retv b I32 x;
+  let f = B.func b in
+  let asm = Sxe_codegen.Emit.emit_func ~arch:Sxe_core.Arch.ia64 f in
+  Alcotest.(check int) "one sxt4 survives" 1 (Sxe_codegen.Emit.count_mnemonic asm "sxt4");
+  Alcotest.(check int) "one zxt1 survives" 1 (Sxe_codegen.Emit.count_mnemonic asm "zxt1");
+  Alcotest.(check int) "two sext elisions" 2 asm.Sxe_codegen.Emit.elided_sext;
+  Alcotest.(check int) "one zext elision" 1 asm.Sxe_codegen.Emit.elided_zext
+
+let test_peephole_after_zero_load () =
+  (* IA64 ld1 zero-extends: a following zxt1 (and a following sxt4) on
+     the loaded register are both redundant *)
+  let b, _ = B.create ~name:"main" ~params:[] ~ret:I32 () in
+  let n = B.iconst b 8 in
+  let a = B.newarr b AI8 n in
+  let i = B.iconst b 0 in
+  let v = B.arrload b ~lext:LZero AI8 a i in
+  ignore (B.zext b ~from:W8 v);
+  ignore (B.sext b ~from:W32 v);
+  B.retv b I32 v;
+  let f = B.func b in
+  let asm = Sxe_codegen.Emit.emit_func ~arch:Sxe_core.Arch.ia64 f in
+  Alcotest.(check int) "no zxt1 emitted" 0 (Sxe_codegen.Emit.count_mnemonic asm "zxt1");
+  Alcotest.(check int) "no sxt4 emitted" 0 (Sxe_codegen.Emit.count_mnemonic asm "sxt4");
+  Alcotest.(check int) "sext elided" 1 asm.Sxe_codegen.Emit.elided_sext;
+  Alcotest.(check int) "zext elided" 1 asm.Sxe_codegen.Emit.elided_zext
 
 let test_dummy_emits_nothing () =
   let b, params = B.create ~name:"main" ~params:[ I32 ] ~ret:I32 () in
@@ -84,5 +137,9 @@ let suite =
     Alcotest.test_case "IA64 sxt reduction" `Quick test_ia64_sxt_reduction;
     Alcotest.test_case "PPC64 code shapes" `Quick test_ppc64_shapes;
     Alcotest.test_case "lshr32 lowering" `Quick test_lshr32_lowering;
+    Alcotest.test_case "peephole elides redundant ext" `Quick
+      test_peephole_elides_redundant_ext;
+    Alcotest.test_case "peephole after zero-extending load" `Quick
+      test_peephole_after_zero_load;
     Alcotest.test_case "dummies emit nothing" `Quick test_dummy_emits_nothing;
   ]

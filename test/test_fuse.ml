@@ -14,10 +14,11 @@ let outcome : Sxe_vm.Interp.outcome Alcotest.testable =
   let pp ppf (o : outcome) =
     Format.fprintf ppf
       "{trap=%s; ret=%s; checksum=%Ld; output=%S; executed=%Ld; sext32=%Ld; \
-       sext_sub=%Ld; cycles=%Ld}"
+       sext_sub=%Ld; zext32=%Ld; zext_sub=%Ld; cycles=%Ld}"
       (Option.value ~default:"none" o.trap)
       (match o.ret with None -> "none" | Some v -> Int64.to_string v)
-      o.checksum o.output o.executed o.sext32 o.sext_sub o.cycles
+      o.checksum o.output o.executed o.sext32 o.sext_sub o.zext32 o.zext_sub
+      o.cycles
   in
   Alcotest.testable pp ( = )
 
@@ -160,6 +161,68 @@ let test_fuel_mid_superinstruction () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* The zext fusion pairs: byte-histogram idiom under a fuel sweep      *)
+(* ------------------------------------------------------------------ *)
+
+let zext_load_loop () =
+  (* Loop body: [ArrStore; Zext; ArrLoad; Add; Add; Mov; Br] — the
+     [Zext; ArrLoad] pair fuses as zext-load (masked subscript), and the
+     tail block reads back through an [ArrLoad; Zext] pair (load-zext). *)
+  let b, _ = B.create ~name:"main" ~params:[] () in
+  let n = B.iconst b 8 in
+  let a = B.newarr b AI32 n in
+  let i = B.iconst b 0 in
+  let one = B.iconst b 1 in
+  let s = B.iconst b 0 in
+  let body = B.new_block b in
+  let exit_ = B.new_block b in
+  B.jmp b body;
+  B.switch b body;
+  B.arrstore b AI32 a i i;
+  ignore (B.zext b i);
+  let v = B.arrload b AI32 a i in
+  B.binop_to b Add ~dst:s s v;
+  let t = B.add b i one in
+  B.mov_to b ~dst:i ~src:t I32;
+  B.br b Lt i n ~ifso:body ~ifnot:exit_;
+  B.switch b exit_;
+  let i3 = B.iconst b 3 in
+  let w = B.arrload b AI32 a i3 in
+  ignore (B.zext b w);
+  ignore (B.call b "checksum" [ (s, I32) ]);
+  ignore (B.call b "checksum" [ (w, I32) ]);
+  B.ret b;
+  Helpers.prog_of_func (B.func b)
+
+let test_fuel_through_zext_load () =
+  let p = zext_load_loop () in
+  let img =
+    Sxe_vm.Precode.get_decoded ~fuse:Sxe_vm.Fuse.All ~canonical:false
+      (main_func p)
+  in
+  let stats = Sxe_vm.Precode.fusion_stats img in
+  let hits rule = try List.assoc rule stats with Not_found -> 0 in
+  Alcotest.(check bool) "zext-load fused" true (hits "zext-load" >= 1);
+  Alcotest.(check bool) "load-zext fused" true (hits "load-zext" >= 1);
+  (* sweep every cutoff: ticks inside the fused groups must land where
+     the plain instruction sequence would put them *)
+  let full = check3 "zext loop unbounded" p in
+  Alcotest.(check int64) "loop observes zero extensions" 9L
+    full.Sxe_vm.Interp.zext32;
+  let total = Int64.to_int full.Sxe_vm.Interp.executed in
+  for fuel = 1 to total + 1 do
+    let out = check3 ~fuel:(Int64.of_int fuel) (Printf.sprintf "fuel=%d" fuel) p in
+    if fuel < total then
+      Alcotest.(check (option string))
+        (Printf.sprintf "fuel=%d traps" fuel)
+        (Some "fuel-exhausted") out.Sxe_vm.Interp.trap
+    else
+      Alcotest.(check (option string))
+        (Printf.sprintf "fuel=%d completes" fuel)
+        None out.Sxe_vm.Interp.trap
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Cache keying                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -204,6 +267,8 @@ let suite =
       test_branch_target_barrier;
     Alcotest.test_case "fuel exhaustion mid-superinstruction" `Quick
       test_fuel_mid_superinstruction;
+    Alcotest.test_case "fuel sweep through fused zext-load/load-zext" `Quick
+      test_fuel_through_zext_load;
     Alcotest.test_case "decode cache keyed by fusion selection" `Quick
       test_cache_keyed_by_selection;
   ]

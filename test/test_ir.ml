@@ -165,6 +165,49 @@ let prop_eval_w32_model =
       in
       Int64.equal got (Eval.zext32 (Int64.of_int32 expect32)))
 
+(* property: the (kind × width) extension algebra. For every width,
+   extension after truncation is determined by the low bits alone
+   (zext∘trunc and sext∘trunc are idempotent projections), zext always
+   lands in [0, 2^w), and on values whose w-bit image is non-negative
+   the two kinds coincide — the conversion fact the optimizer uses. *)
+let prop_ext_roundtrips =
+  let open QCheck in
+  let boundaries =
+    [
+      0L; 1L; -1L; 127L; 128L; -128L; -129L; 255L; 256L;
+      32767L; 32768L; -32768L; -32769L; 65535L; 65536L;
+      0x7FFF_FFFFL; 0x8000_0000L; -0x8000_0000L; -0x8000_0001L;
+      0xFFFF_FFFFL; 0x1_0000_0000L; Int64.min_int; Int64.max_int;
+    ]
+  in
+  let gen =
+    Gen.pair
+      (Gen.oneofl [ W8; W16; W32 ])
+      (Gen.oneof [ Gen.oneofl boundaries; Gen.map Int64.of_int Gen.int ])
+  in
+  Test.make ~name:"extension round-trips and sext/zext agreement" ~count:1000
+    (make gen) (fun (w, v) ->
+      let sx = Eval.sext_from w and zx = Eval.zext_from w in
+      let bits = match w with W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64 in
+      let lim = Int64.shift_left 1L bits in
+      (* both extensions look only at the low w bits *)
+      Int64.equal (sx v) (sx (zx v))
+      && Int64.equal (zx v) (zx (sx v))
+      (* idempotence *)
+      && Int64.equal (sx v) (sx (sx v))
+      && Int64.equal (zx v) (zx (zx v))
+      (* zext lands in the unsigned window *)
+      && zx v >= 0L
+      && zx v < lim
+      (* sext lands in the signed window *)
+      && sx v >= Int64.neg (Int64.shift_right_logical lim 1)
+      && sx v < Int64.shift_right_logical lim 1
+      (* sext of a non-negative image IS zext (and vice versa) *)
+      && (if sx v >= 0L then Int64.equal (sx v) (zx v)
+          else not (Int64.equal (sx v) (zx v)))
+      (* the two images agree modulo 2^w *)
+      && Int64.equal (Int64.logand (sx v) (Int64.pred lim)) (Int64.logand (zx v) (Int64.pred lim)))
+
 (* property: W32 div/rem match Java semantics when fed extended operands *)
 let prop_eval_divrem_model =
   let open QCheck in
@@ -187,6 +230,7 @@ let prop_eval_divrem_model =
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_eval_w32_model;
+    QCheck_alcotest.to_alcotest prop_ext_roundtrips;
     QCheck_alcotest.to_alcotest prop_eval_divrem_model;
     Alcotest.test_case "eval extensions" `Quick test_eval_extensions;
     Alcotest.test_case "eval binops" `Quick test_eval_binops;

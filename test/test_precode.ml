@@ -12,10 +12,11 @@ let outcome : Sxe_vm.Interp.outcome Alcotest.testable =
   let pp ppf (o : outcome) =
     Format.fprintf ppf
       "{trap=%s; ret=%s; checksum=%Ld; output=%S; executed=%Ld; sext32=%Ld; \
-       sext_sub=%Ld; cycles=%Ld}"
+       sext_sub=%Ld; zext32=%Ld; zext_sub=%Ld; cycles=%Ld}"
       (Option.value ~default:"none" o.trap)
       (match o.ret with None -> "none" | Some v -> Int64.to_string v)
-      o.checksum o.output o.executed o.sext32 o.sext_sub o.cycles
+      o.checksum o.output o.executed o.sext32 o.sext_sub o.zext32 o.zext_sub
+      o.cycles
   in
   Alcotest.testable pp ( = )
 
@@ -65,6 +66,49 @@ let test_workload_parity () =
            (Printf.sprintf "%s (faithful, full algorithm)" w.name)
            ~mode:`Faithful opt))
     (Sxe_workloads.Registry.all ~scale:1 ())
+
+let test_unsigned_parity () =
+  (* The zero-extension residue class: all three engines (the fused one
+     via [check3]-style runs below) agree on every counter — zext32
+     included — and the full algorithm strictly reduces the dynamic
+     zero-extension count the guarded baseline pays. *)
+  List.iter
+    (fun (w : Sxe_workloads.Registry.t) ->
+      let base = Sxe_lang.Frontend.compile w.source in
+      ignore
+        (check_parity
+           (Printf.sprintf "%s (canonical, unoptimized)" w.name)
+           ~mode:`Canonical (Clone.clone_prog base));
+      let run config =
+        let opt = Clone.clone_prog base in
+        ignore (Sxe_core.Pass.compile config opt);
+        let out =
+          check_parity
+            (Printf.sprintf "%s (faithful, %s)" w.name
+               config.Sxe_core.Config.name)
+            ~mode:`Faithful opt
+        in
+        let fused =
+          Sxe_vm.Interp.run ~mode:`Faithful ~engine:`Precode
+            ~fuse:Sxe_vm.Fuse.All opt
+        in
+        Alcotest.check outcome
+          (Printf.sprintf "%s (%s): fused parity" w.name
+             config.Sxe_core.Config.name)
+          out fused;
+        out
+      in
+      let b = run (Sxe_core.Config.baseline ()) in
+      let full = run (Sxe_core.Config.new_all ()) in
+      Alcotest.(check bool)
+        (w.name ^ ": baseline pays dynamic zero extensions")
+        true
+        (Int64.compare b.Sxe_vm.Interp.zext32 0L > 0);
+      Alcotest.(check bool)
+        (w.name ^ ": full algorithm eliminates dynamic zero extensions")
+        true
+        (Int64.compare full.Sxe_vm.Interp.zext32 b.Sxe_vm.Interp.zext32 < 0))
+    (Sxe_workloads.Registry.unsigned ~scale:1 ())
 
 (* ------------------------------------------------------------------ *)
 (* Trap paths: identical trap name AND identical counters at the trap  *)
@@ -144,6 +188,8 @@ let suite =
   [
     Alcotest.test_case "parity: committed corpus" `Quick test_corpus_parity;
     Alcotest.test_case "parity: registry workloads" `Quick test_workload_parity;
+    Alcotest.test_case "parity: unsigned workloads (3 engines + zext counts)"
+      `Quick test_unsigned_parity;
     Alcotest.test_case "trap: fuel exhaustion" `Quick test_fuel_exhaustion;
     Alcotest.test_case "trap: wild access" `Quick test_wild_access;
     Alcotest.test_case "trap: stack overflow" `Quick test_stack_overflow;

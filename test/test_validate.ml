@@ -130,7 +130,28 @@ let test_extend_from_w64 () =
   let blk = Cfg.block f (Cfg.entry f) in
   Cfg.set_body blk
     ((Cfg.body blk) @ [ Cfg.mk_instr f (Instr.Sext { r = x; from = W64 }) ]);
-  check_has "extend width" "extend from width 64" (Validate.errors f)
+  check_has "extend width" "sext from width 64" (Validate.errors f)
+
+let test_zextend_from_w64 () =
+  let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
+  let x = B.iconst b 3 in
+  B.retv b I32 x;
+  let f = B.func b in
+  let blk = Cfg.block f (Cfg.entry f) in
+  Cfg.set_body blk
+    ((Cfg.body blk) @ [ Cfg.mk_instr f (Instr.Zext { r = x; from = W64 }) ]);
+  check_has "zextend width" "zext from width 64" (Validate.errors f)
+
+let test_zextend_non_int_target () =
+  let b, _ = B.create ~name:"f" ~params:[ F64 ] ~ret:I32 () in
+  let x = B.iconst b 3 in
+  B.retv b I32 x;
+  let f = B.func b in
+  let p = List.hd (List.map fst f.Cfg.params) in
+  let blk = Cfg.block f (Cfg.entry f) in
+  Cfg.set_body blk
+    ((Cfg.body blk) @ [ Cfg.mk_instr f (Instr.Zext { r = p; from = W16 }) ]);
+  check_has "zextend target type" "expected i32" (Validate.errors f)
 
 let test_return_type_mismatch () =
   let b, _ = B.create ~name:"f" ~params:[] ~ret:I32 () in
@@ -236,6 +257,8 @@ let suite =
     Alcotest.test_case "register out of range" `Quick test_register_out_of_range;
     Alcotest.test_case "i32 constant out of range" `Quick test_i32_constant_range;
     Alcotest.test_case "extend from w64" `Quick test_extend_from_w64;
+    Alcotest.test_case "zextend from w64" `Quick test_zextend_from_w64;
+    Alcotest.test_case "zextend non-int target" `Quick test_zextend_non_int_target;
     Alcotest.test_case "return type mismatch" `Quick test_return_type_mismatch;
     Alcotest.test_case "use before def: straight line" `Quick
       test_use_before_def_straightline;
