@@ -1,0 +1,266 @@
+(* Load generator for `sxopt serve`: drives thousands of compile
+   requests over concurrent connections against a running daemon and
+   writes BENCH_service.json with client-side latency quantiles and
+   server-side cache/queue metrics, cold cache vs warm cache.
+
+   Two phases over the built-in workload registry:
+   - cold: every request body is made unique (a trailing comment), so
+     every request misses the content-hash cache and pays a full
+     optimize+certify pipeline;
+   - warm: requests cycle over the registry sources verbatim, so after
+     the first pass everything is a cache hit.
+
+   Each connection is owned by one domain issuing synchronous
+   request/response pairs; concurrency comes from the connection count.
+   Every response is checked: `ok` must be true and, under the default
+   variant, `certified` must be true — a load test that ignores
+   verdicts would happily benchmark a broken server.
+
+   With --hit-rate-min R the run fails (exit 1) when the warm-phase
+   cache hit rate — (cache hits + coalesced) / compile requests, from
+   the server's own counters — falls below R. CI uses this as the
+   service smoke gate. *)
+
+module Json = Sxe_serve.Json
+module Client = Sxe_serve.Client
+module Hist = Sxe_serve.Hist
+module Monoclock = Sxe_util.Monoclock
+
+let socket_path = ref ""
+let requests = ref 1000
+let conns = ref 8
+let json_path = ref "BENCH_service.json"
+let hit_rate_min = ref (-1.0)
+let variant = ref "all"
+let scale = ref 1
+
+let usage () =
+  prerr_endline
+    "usage: loadgen --socket PATH [--requests N] [--conns N] [--json PATH]\n\
+    \       [--hit-rate-min R] [--variant V] [--scale N]";
+  exit 2
+
+let rec parse_args = function
+  | [] -> ()
+  | "--socket" :: v :: rest ->
+      socket_path := v;
+      parse_args rest
+  | "--requests" :: v :: rest ->
+      requests := int_of_string v;
+      parse_args rest
+  | "--conns" :: v :: rest ->
+      conns := int_of_string v;
+      parse_args rest
+  | "--json" :: v :: rest ->
+      json_path := v;
+      parse_args rest
+  | "--hit-rate-min" :: v :: rest ->
+      hit_rate_min := float_of_string v;
+      parse_args rest
+  | "--variant" :: v :: rest ->
+      variant := v;
+      parse_args rest
+  | "--scale" :: v :: rest ->
+      scale := int_of_string v;
+      parse_args rest
+  | _ -> usage ()
+
+(* Server counters we difference across a phase. *)
+type counters = {
+  hits : int64;
+  misses : int64;
+  coalesced : int64;
+  compiles : int64;
+  compile_requests : int64;
+  overloaded : int64;
+  timeouts : int64;
+}
+
+let fetch_metrics client : counters * string =
+  let resp = Client.request client "{\"op\":\"metrics\"}" in
+  let j = Json.parse resp in
+  match Json.member "metrics" j with
+  | None -> failwith ("metrics response without metrics object: " ^ resp)
+  | Some m ->
+      let cache = Option.value ~default:(Json.Obj []) (Json.member "cache" m) in
+      let geti o k = Option.value ~default:0L (Json.int k o) in
+      ( {
+          hits = geti cache "hits";
+          misses = geti cache "misses";
+          coalesced = geti m "coalesced";
+          compiles = geti m "compiles";
+          compile_requests = geti m "compile_requests";
+          overloaded = geti m "overloaded";
+          timeouts = geti m "timeouts";
+        },
+        Json.to_string m )
+
+type phase_result = {
+  wall_s : float;
+  lat : Hist.t;
+  failures : int;
+  delta : counters;
+}
+
+(* Run [n] requests across the connection pool. [source_of i] picks the
+   request body for global request index [i]. *)
+let run_phase ~(mclient : Client.t) ~n ~source_of : phase_result =
+  let before, _ = fetch_metrics mclient in
+  let idx = Atomic.make 0 in
+  let t0 = Monoclock.now_ns () in
+  let worker () =
+    let c = Client.connect !socket_path in
+    let h = Hist.create () in
+    let fails = ref 0 in
+    let rec go () =
+      let i = Atomic.fetch_and_add idx 1 in
+      if i < n then begin
+        let src = source_of i in
+        let r0 = Monoclock.now_ns () in
+        (match Client.compile ~variant:!variant c src with
+        | resp -> (
+            Hist.add h (Monoclock.elapsed_s r0);
+            match Json.parse resp with
+            | j
+              when Json.bool "ok" j = Some true
+                   && Json.bool "certified" j = Some true ->
+                ()
+            | _ -> incr fails
+            | exception Json.Parse_error _ -> incr fails)
+        | exception _ ->
+            incr fails);
+        go ()
+      end
+    in
+    go ();
+    Client.close c;
+    (h, !fails)
+  in
+  let domains = List.init !conns (fun _ -> Domain.spawn worker) in
+  let parts = List.map Domain.join domains in
+  let wall_s = Monoclock.elapsed_s t0 in
+  let lat = Hist.create () in
+  let failures =
+    List.fold_left
+      (fun acc (h, f) ->
+        Hist.merge_into ~into:lat h;
+        acc + f)
+      0 parts
+  in
+  let after, _ = fetch_metrics mclient in
+  let d = Int64.sub in
+  {
+    wall_s;
+    lat;
+    failures;
+    delta =
+      {
+        hits = d after.hits before.hits;
+        misses = d after.misses before.misses;
+        coalesced = d after.coalesced before.coalesced;
+        compiles = d after.compiles before.compiles;
+        compile_requests = d after.compile_requests before.compile_requests;
+        overloaded = d after.overloaded before.overloaded;
+        timeouts = d after.timeouts before.timeouts;
+      };
+  }
+
+let hit_rate (c : counters) =
+  let served = Int64.add c.hits c.coalesced in
+  if c.compile_requests = 0L then 0.0
+  else Int64.to_float served /. Int64.to_float c.compile_requests
+
+let phase_json name (p : phase_result) =
+  Printf.sprintf
+    "    \"%s\": {\n\
+    \      \"requests\": %d,\n\
+    \      \"failures\": %d,\n\
+    \      \"wall_s\": %.3f,\n\
+    \      \"rps\": %.1f,\n\
+    \      \"client_p50_ms\": %.4f,\n\
+    \      \"client_p99_ms\": %.4f,\n\
+    \      \"client_max_ms\": %.4f,\n\
+    \      \"cache_hits\": %Ld,\n\
+    \      \"coalesced\": %Ld,\n\
+    \      \"compiles\": %Ld,\n\
+    \      \"overloaded\": %Ld,\n\
+    \      \"timeouts\": %Ld,\n\
+    \      \"hit_rate\": %.4f\n\
+    \    }"
+    name (Hist.count p.lat) p.failures p.wall_s
+    (float_of_int (Hist.count p.lat) /. Float.max 1e-9 p.wall_s)
+    (Hist.quantile p.lat 0.50 *. 1e3)
+    (Hist.quantile p.lat 0.99 *. 1e3)
+    (Hist.max_s p.lat *. 1e3)
+    p.delta.hits p.delta.coalesced p.delta.compiles p.delta.overloaded
+    p.delta.timeouts (hit_rate p.delta)
+
+let () =
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !socket_path = "" then usage ();
+  let sources =
+    List.map
+      (fun (w : Sxe_workloads.Registry.t) -> w.source)
+      (Sxe_workloads.Registry.all ~scale:!scale ()
+      @ Sxe_workloads.Registry.extras ~scale:!scale ())
+  in
+  let nsrc = List.length sources in
+  let source_arr = Array.of_list sources in
+  let mclient = Client.connect !socket_path in
+  (* liveness *)
+  let pong = Client.request mclient "{\"op\":\"ping\"}" in
+  if Json.bool "pong" (Json.parse pong) <> Some true then
+    failwith ("unexpected ping response: " ^ pong);
+  Printf.printf "loadgen: %d requests x 2 phases over %d connection(s), %d sources\n%!"
+    !requests !conns nsrc;
+  (* cold: unique bodies, every request a miss *)
+  let cold =
+    run_phase ~mclient ~n:!requests ~source_of:(fun i ->
+        Printf.sprintf "%s// cold-%d\n" source_arr.(i mod nsrc) i)
+  in
+  Printf.printf
+    "  cold: %.2fs, %.0f req/s, p50 %.2f ms, p99 %.2f ms, hit rate %.3f, %d failure(s)\n%!"
+    cold.wall_s
+    (float_of_int (Hist.count cold.lat) /. Float.max 1e-9 cold.wall_s)
+    (Hist.quantile cold.lat 0.50 *. 1e3)
+    (Hist.quantile cold.lat 0.99 *. 1e3)
+    (hit_rate cold.delta) cold.failures;
+  (* warm: registry bodies verbatim; after one pass, all hits *)
+  let warm =
+    run_phase ~mclient ~n:!requests ~source_of:(fun i -> source_arr.(i mod nsrc))
+  in
+  Printf.printf
+    "  warm: %.2fs, %.0f req/s, p50 %.2f ms, p99 %.2f ms, hit rate %.3f, %d failure(s)\n%!"
+    warm.wall_s
+    (float_of_int (Hist.count warm.lat) /. Float.max 1e-9 warm.wall_s)
+    (Hist.quantile warm.lat 0.50 *. 1e3)
+    (Hist.quantile warm.lat 0.99 *. 1e3)
+    (hit_rate warm.delta) warm.failures;
+  let _, final_metrics = fetch_metrics mclient in
+  Client.close mclient;
+  let oc = open_out !json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"requests_per_phase\": %d,\n\
+    \  \"connections\": %d,\n\
+    \  \"variant\": \"%s\",\n\
+    \  \"sources\": %d,\n\
+    \  \"phases\": {\n%s,\n%s\n  },\n\
+    \  \"server\": %s\n\
+     }\n"
+    !requests !conns (Json.escape !variant) nsrc
+    (phase_json "cold" cold) (phase_json "warm" warm) final_metrics;
+  close_out oc;
+  Printf.printf "loadgen: wrote %s\n%!" !json_path;
+  let failed = ref false in
+  if cold.failures > 0 || warm.failures > 0 then begin
+    Printf.eprintf "loadgen: FAILED: %d cold / %d warm bad response(s)\n"
+      cold.failures warm.failures;
+    failed := true
+  end;
+  if !hit_rate_min >= 0.0 && hit_rate warm.delta < !hit_rate_min then begin
+    Printf.eprintf "loadgen: FAILED: warm hit rate %.3f below required %.3f\n"
+      (hit_rate warm.delta) !hit_rate_min;
+    failed := true
+  end;
+  if !failed then exit 1

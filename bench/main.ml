@@ -99,9 +99,9 @@ let speedup_measured : float option ref = ref None
 
 let timed_matrix suite =
   lazy
-    (let t0 = Unix.gettimeofday () in
+    (let t0 = Sxe_util.Monoclock.now_ns () in
      let m = Sxe_harness.Experiment.run_suite ~scale:!scale ~jobs:!jobs suite in
-     matrix_wall := !matrix_wall +. (Unix.gettimeofday () -. t0);
+     matrix_wall := !matrix_wall +. Sxe_util.Monoclock.elapsed_s t0;
      m)
 
 let jbm_matrix = timed_matrix Sxe_workloads.Registry.Jbytemark
@@ -369,9 +369,9 @@ let vm_scale () = max !scale 2
 let ab_rounds = 21
 
 let time_of f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sxe_util.Monoclock.now_ns () in
   f ();
-  Unix.gettimeofday () -. t0
+  Sxe_util.Monoclock.elapsed_s t0
 
 let median a =
   let a = Array.copy a in
@@ -486,14 +486,14 @@ let time_matrices ~jobs () =
      GC through whatever garbage the bechamel runs left behind and reads
      2-5x slower than an identical run a moment later. *)
   Gc.compact ();
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sxe_util.Monoclock.now_ns () in
   ignore
     (Sxe_harness.Experiment.run_suite ~scale:!scale ~jobs ~stats
        Sxe_workloads.Registry.Jbytemark);
   ignore
     (Sxe_harness.Experiment.run_suite ~scale:!scale ~jobs ~stats
        Sxe_workloads.Registry.Specjvm);
-  (Unix.gettimeofday () -. t0, !acc)
+  (Sxe_util.Monoclock.elapsed_s t0, !acc)
 
 let json_artifact () =
   (* Force both matrices so matrix_wall_s covers the full evaluation,

@@ -6,6 +6,8 @@
      variants  compare all paper variants on one file
      workloads list the built-in benchmark programs
      emit      compile and print pseudo-assembly for IA64 or PPC64
+     serve     long-running compile-and-certify daemon over a Unix-domain
+               socket (newline-delimited JSON, content-hash cache, batching)
      fuzz      differential fuzzing of every variant against the reference
                semantics, with shrinking and corpus replay
      certify   statically verify optimized output with the extension-state
@@ -25,35 +27,11 @@ let read_source path =
   if path = "-" then In_channel.input_all stdin
   else In_channel.with_open_text path In_channel.input_all
 
-let variant_names =
-  [
-    ("baseline", `Baseline);
-    ("gen-use", `Gen_use);
-    ("first", `First);
-    ("basic", `Basic);
-    ("insert", `Insert);
-    ("order", `Order);
-    ("insert-order", `Insert_order);
-    ("array", `Array);
-    ("array-insert", `Array_insert);
-    ("array-order", `Array_order);
-    ("all-pde", `All_pde);
-    ("all", `All);
-  ]
-
-let config_of ?arch ?maxlen = function
-  | `Baseline -> Sxe_core.Config.baseline ?arch ?maxlen ()
-  | `Gen_use -> Sxe_core.Config.gen_use ?arch ?maxlen ()
-  | `First -> Sxe_core.Config.first_algorithm ?arch ?maxlen ()
-  | `Basic -> Sxe_core.Config.basic_ud_du ?arch ?maxlen ()
-  | `Insert -> Sxe_core.Config.insert ?arch ?maxlen ()
-  | `Order -> Sxe_core.Config.order ?arch ?maxlen ()
-  | `Insert_order -> Sxe_core.Config.insert_order ?arch ?maxlen ()
-  | `Array -> Sxe_core.Config.array ?arch ?maxlen ()
-  | `Array_insert -> Sxe_core.Config.array_insert ?arch ?maxlen ()
-  | `Array_order -> Sxe_core.Config.array_order ?arch ?maxlen ()
-  | `All_pde -> Sxe_core.Config.all_pde ?arch ?maxlen ()
-  | `All -> Sxe_core.Config.new_all ?arch ?maxlen ()
+(* The variant table and the optimize+certify+codegen path live in
+   Sxe_serve.Compile_one so the daemon and the one-shot subcommands are
+   the same computation. *)
+let variant_names = Sxe_serve.Compile_one.variant_names
+let config_of = Sxe_serve.Compile_one.config_of
 
 (* -- common arguments ------------------------------------------------- *)
 
@@ -152,12 +130,15 @@ let compile_cmd =
           { config with Sxe_core.Config.elimination = Sxe_core.Config.Elim_none }
         else config
       in
-      let stats = Sxe_core.Pass.compile config prog in
-      Sxe_ir.Validate.check_prog prog;
-      if dump <> `None then Format.printf "%a@." Sxe_ir.Printer.pp_prog prog;
+      let o = Sxe_serve.Compile_one.run_prog ~config ~maxlen prog in
+      if dump <> `None then Format.printf "%a@." Sxe_ir.Printer.pp_prog o.Sxe_serve.Compile_one.prog;
       Format.printf "variant: %s (%s)@." config.Sxe_core.Config.name
         config.Sxe_core.Config.arch.Sxe_core.Arch.name;
-      Format.printf "stats: %a@." Sxe_core.Stats.pp stats
+      Format.printf "stats: %a@." Sxe_core.Stats.pp o.Sxe_serve.Compile_one.stats;
+      Format.printf "certify: %s@."
+        (match o.Sxe_serve.Compile_one.errors with
+        | [] -> "ok"
+        | errs -> Printf.sprintf "%d error(s)" (List.length errs))
     end
   in
   Cmd.v
@@ -300,18 +281,96 @@ let emit_cmd =
   let run file variant arch maxlen =
     with_frontend_errors @@ fun () ->
     let src = read_source file in
-    let prog = Sxe_lang.Frontend.compile src in
     let config = config_of ~arch ~maxlen variant in
-    let _ = Sxe_core.Pass.compile config prog in
-    Sxe_ir.Prog.iter_funcs
-      (fun f ->
-        let asm = Sxe_codegen.Emit.emit_func ~arch f in
-        print_string (Sxe_codegen.Emit.to_string asm))
-      prog
+    match Sxe_serve.Compile_one.run_source ~emit:true ~config ~maxlen src with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok o -> print_string (Option.value ~default:"" o.Sxe_serve.Compile_one.asm)
   in
   Cmd.v
     (Cmd.info "emit" ~doc)
     Term.(const run $ file_arg $ variant_arg $ arch_arg $ maxlen_arg)
+
+(* -- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let doc = "Run the compile-and-certify daemon on a Unix-domain socket." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Starts a long-running server speaking newline-delimited JSON over a \
+         Unix-domain socket: one request object per line, one response per \
+         line. The $(b,compile) operation optimizes, certifies and \
+         (optionally) emits pseudo-assembly for a MiniJ program — the same \
+         computation as the one-shot subcommands, shared via the \
+         Compile_one facade — with a content-hash cache in front and \
+         request batching onto a worker-domain pool behind. $(b,metrics) \
+         reports counters, cache hit rates and latency quantiles; \
+         $(b,ping) probes liveness; $(b,shutdown) (or SIGTERM/SIGINT) \
+         drains gracefully: pending requests are answered, new connections \
+         are rejected, and the socket file is removed. See docs/SERVE.md.";
+    ]
+  in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on.")
+  in
+  let queue_max_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-max" ] ~docv:"N"
+          ~doc:
+            "Pending-compile bound: beyond $(docv) queued requests the server \
+             answers \"overloaded\" instead of buffering.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Answer \"timeout\" for requests that queue longer than $(docv).")
+  in
+  let cache_max_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-max" ] ~docv:"N"
+          ~doc:"Response-cache capacity in entries (0 disables caching).")
+  in
+  let run socket jobs queue_max timeout cache_max =
+    let jobs = resolve_jobs jobs in
+    if queue_max < 1 then begin
+      Printf.eprintf "error: --queue-max must be at least 1\n";
+      exit 2
+    end;
+    let config =
+      {
+        Sxe_serve.Server.socket_path = socket;
+        jobs;
+        queue_max;
+        timeout_s = timeout;
+        cache_max;
+      }
+    in
+    let t = Sxe_serve.Server.create config in
+    (try
+       Sxe_serve.Server.serve ~handle_signals:true
+         ~on_ready:(fun () ->
+           Printf.eprintf "sxopt serve: listening on %s (jobs=%d)\n%!" socket jobs)
+         t
+     with Failure msg ->
+       Printf.eprintf "error: %s\n" msg;
+       exit 1);
+    Printf.eprintf "sxopt serve: drained after %d request(s)\n%!"
+      (Sxe_serve.Server.requests_served t)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ socket_arg $ jobs_arg $ queue_max_arg $ timeout_arg
+      $ cache_max_arg)
 
 (* -- fuzz ------------------------------------------------------------------ *)
 
@@ -735,18 +794,21 @@ let certify_cmd =
     let json_items = ref [] in
     let check_cell (name, base, (config : Sxe_core.Config.t)) =
       let errs =
-        compiled_check config base
-          ~check:(fun p -> Sxe_check.Check.certify_prog ~maxlen p)
-          ~crash:(fun msg ->
-            {
-              Sxe_check.Certify.fname = "<compiler crash: " ^ msg ^ ">";
-              bid = 0;
-              iid = None;
-              reg = -1;
-              need = Sxe_check.Certify.Needs_extended;
-              state = Sxe_check.Extstate.garbage;
-              witness = [];
-            })
+        match Sxe_serve.Compile_one.run_prog ~config ~maxlen base with
+        | o -> o.Sxe_serve.Compile_one.errors
+        | exception e ->
+            [
+              {
+                Sxe_check.Certify.fname =
+                  "<compiler crash: " ^ Printexc.to_string e ^ ">";
+                bid = 0;
+                iid = None;
+                reg = -1;
+                need = Sxe_check.Certify.Needs_extended;
+                state = Sxe_check.Extstate.garbage;
+                witness = [];
+              };
+            ]
       in
       (name, config.Sxe_core.Config.name, errs)
     in
@@ -1072,5 +1134,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; variants_cmd; workloads_cmd; emit_cmd; bench_cmd;
-            fuzz_cmd; certify_cmd; lint_cmd; audit_cmd;
+            serve_cmd; fuzz_cmd; certify_cmd; lint_cmd; audit_cmd;
           ]))

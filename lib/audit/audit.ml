@@ -141,10 +141,11 @@ let apply_patch (f : Cfg.func) (s : site) =
 
 (** Certification errors of a clone of [f] with the site's extension
     deleted — the static half of a deletion experiment. *)
-let recertify_without ?maxlen (f : Cfg.func) (s : site) : Certify.error list =
+let recertify_without ?maxlen ?call_ranges (f : Cfg.func) (s : site) :
+    Certify.error list =
   let g = Clone.clone_func f in
   apply_patch g s;
-  Certify.certify ?maxlen g
+  Certify.certify ?maxlen ?call_ranges g
 
 (* ------------------------------------------------------------------ *)
 (* Classification                                                      *)
@@ -178,7 +179,7 @@ let origin_op (f : Cfg.func) (witness : (int * int) list) : Instr.op option =
 (** Classify one W32 [Sext]: identity when the certifier already proves
     the operand extended; otherwise a deletion experiment decides
     whether anything demands the upper bits it writes. *)
-let classify_w32 ?maxlen ~sol ~rng ~clean (f : Cfg.func) ~bid ~iid
+let classify_w32 ?maxlen ?call_ranges ~sol ~rng ~clean (f : Cfg.func) ~bid ~iid
     ~(st : Extstate.t) r (mk : verdict -> site) : site =
   if st.Extstate.ext then begin
     (* The extension is the identity: its operand is already extended.
@@ -205,7 +206,7 @@ let classify_w32 ?maxlen ~sol ~rng ~clean (f : Cfg.func) ~bid ~iid
              "function does not certify as-is; deletion experiment skipped";
          })
   else
-    match recertify_without ?maxlen f (mk (Unknown { reason = "" })) with
+    match recertify_without ?maxlen ?call_ranges f (mk (Unknown { reason = "" })) with
     | [] -> mk (Redundant { fact = Dead_upper; witness = [] })
     | e :: _ -> (
         let lo, hi = Range.before (Lazy.force rng) ~bid ~iid r in
@@ -263,7 +264,7 @@ let classify_w32 ?maxlen ~sol ~rng ~clean (f : Cfg.func) ~bid ~iid
 
 (** Classify a truncating (W8/W16) [Sext]: the range decides the low
     bits, a deletion experiment the upper ones. *)
-let classify_sub ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid
+let classify_sub ?maxlen ?call_ranges ~rng ~clean (f : Cfg.func) ~bid ~iid
     ~(st : Extstate.t) ~w r (mk : verdict -> site) : site =
   let wlo, whi = window w in
   let ((lo, hi) as iv) = Range.before (Lazy.force rng) ~bid ~iid r in
@@ -278,7 +279,7 @@ let classify_sub ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid
                 deletion experiment skipped";
            })
     else
-      match recertify_without ?maxlen f (mk (Unknown { reason = "" })) with
+      match recertify_without ?maxlen ?call_ranges f (mk (Unknown { reason = "" })) with
       | [] -> mk (Redundant { fact = Range_window; witness = [] })
       | e :: _ ->
           mk
@@ -317,8 +318,8 @@ let classify_sub ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid
     sext→zext conversion fact (sign-extended and provably
     non-negative) — otherwise a deletion experiment decides whether
     anything demands the bits it clears. *)
-let classify_zext_w32 ?maxlen ~sol ~rng ~clean (f : Cfg.func) ~bid ~iid
-    ~(st : Extstate.t) r (mk : verdict -> site) : site =
+let classify_zext_w32 ?maxlen ?call_ranges ~sol ~rng ~clean (f : Cfg.func) ~bid
+    ~iid ~(st : Extstate.t) r (mk : verdict -> site) : site =
   let lo, hi = Range.before (Lazy.force rng) ~bid ~iid r in
   if st.Extstate.zup then begin
     let wit =
@@ -349,7 +350,7 @@ let classify_zext_w32 ?maxlen ~sol ~rng ~clean (f : Cfg.func) ~bid ~iid
              "function does not certify as-is; deletion experiment skipped";
          })
   else
-    match recertify_without ?maxlen f (mk (Unknown { reason = "" })) with
+    match recertify_without ?maxlen ?call_ranges f (mk (Unknown { reason = "" })) with
     | [] -> mk (Redundant { fact = Dead_upper; witness = [] })
     | e :: _ -> (
         let demanded =
@@ -408,7 +409,7 @@ let classify_zext_w32 ?maxlen ~sol ~rng ~clean (f : Cfg.func) ~bid ~iid
 
 (** Classify a truncating (W8/W16) [Zext]: the unsigned window decides
     the low bits, a deletion experiment the upper ones. *)
-let classify_zext_sub ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid
+let classify_zext_sub ?maxlen ?call_ranges ~rng ~clean (f : Cfg.func) ~bid ~iid
     ~(st : Extstate.t) ~w r (mk : verdict -> site) : site =
   let wlo, whi = zwindow w in
   let ((lo, hi) as iv) = Range.before (Lazy.force rng) ~bid ~iid r in
@@ -426,7 +427,7 @@ let classify_zext_sub ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid
                 deletion experiment skipped";
            })
     else
-      match recertify_without ?maxlen f (mk (Unknown { reason = "" })) with
+      match recertify_without ?maxlen ?call_ranges f (mk (Unknown { reason = "" })) with
       | [] -> mk (Redundant { fact = Range_window; witness = [] })
       | e :: _ ->
           mk
@@ -464,7 +465,7 @@ let classify_zext_sub ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid
     it to [LZero] keeps the low 32 bits, so the flip is sound when the
     loaded value is provably non-negative or nothing demands the sign
     bits. *)
-let classify_load ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid dst
+let classify_load ?maxlen ?call_ranges ~rng ~clean (f : Cfg.func) ~bid ~iid dst
     (mk : verdict -> site) : site =
   let lo, _ = Range.after (Lazy.force rng) ~bid ~iid dst in
   if lo >= 0L then mk (Redundant { fact = Range_nonneg; witness = [] })
@@ -476,7 +477,7 @@ let classify_load ?maxlen ~rng ~clean (f : Cfg.func) ~bid ~iid dst
              "function does not certify as-is; load-flip experiment skipped";
          })
   else
-    match recertify_without ?maxlen f (mk (Unknown { reason = "" })) with
+    match recertify_without ?maxlen ?call_ranges f (mk (Unknown { reason = "" })) with
     | [] -> mk (Redundant { fact = Dead_upper; witness = [] })
     | e :: _ ->
         mk
@@ -523,31 +524,31 @@ let audit_func_solved ?maxlen ?call_ranges ?assume_redundant
           match op with
           | Instr.Sext { r; from = Types.W32 } ->
               sites :=
-                classify_w32 ?maxlen ~sol ~rng ~clean f ~bid ~iid ~st:(state r)
+                classify_w32 ?maxlen ?call_ranges ~sol ~rng ~clean f ~bid ~iid ~st:(state r)
                   r
                   (mk (Explicit (Types.Sign, Types.W32)) r)
                 :: !sites
           | Instr.Sext { r; from = (Types.W8 | Types.W16) as w } ->
               sites :=
-                classify_sub ?maxlen ~rng ~clean f ~bid ~iid ~st:(state r) ~w r
+                classify_sub ?maxlen ?call_ranges ~rng ~clean f ~bid ~iid ~st:(state r) ~w r
                   (mk (Explicit (Types.Sign, w)) r)
                 :: !sites
           | Instr.Zext { r; from = Types.W32 } ->
               sites :=
-                classify_zext_w32 ?maxlen ~sol ~rng ~clean f ~bid ~iid
+                classify_zext_w32 ?maxlen ?call_ranges ~sol ~rng ~clean f ~bid ~iid
                   ~st:(state r) r
                   (mk (Explicit (Types.Zero, Types.W32)) r)
                 :: !sites
           | Instr.Zext { r; from = (Types.W8 | Types.W16) as w } ->
               sites :=
-                classify_zext_sub ?maxlen ~rng ~clean f ~bid ~iid ~st:(state r)
+                classify_zext_sub ?maxlen ?call_ranges ~rng ~clean f ~bid ~iid ~st:(state r)
                   ~w r
                   (mk (Explicit (Types.Zero, w)) r)
                 :: !sites
           | Instr.ArrLoad { dst; elem = Types.AI32; lext = Types.LSign; _ }
           | Instr.GLoad { dst; ty = Types.I32; lext = Types.LSign; _ } ->
               sites :=
-                classify_load ?maxlen ~rng ~clean f ~bid ~iid dst
+                classify_load ?maxlen ?call_ranges ~rng ~clean f ~bid ~iid dst
                   (mk Load_implied dst)
                 :: !sites
           | _ -> ()));
@@ -556,7 +557,7 @@ let audit_func_solved ?maxlen ?call_ranges ?assume_redundant
 let audit_func ?maxlen ?call_ranges ?assume_redundant (f : Cfg.func) :
     site list =
   audit_func_solved ?maxlen ?call_ranges ?assume_redundant
-    (Certify.solve ?maxlen f) f
+    (Certify.solve ?maxlen ?call_ranges f) f
 
 (* ------------------------------------------------------------------ *)
 (* Self-verification                                                   *)
@@ -628,6 +629,10 @@ let verify_redundant ?maxlen ?(fuel = Sxe_fuzz.Oracle.default_fuel)
   let attempted = List.length red in
   if attempted = 0 then { attempted = 0; co_deleted = 0; interacting = 0 }
   else begin
+    (* the same interprocedural summaries the classification certified
+       with — patches never change return ranges (extensions are
+       no-ops on the values the summaries speak about) *)
+    let call_ranges = Summary.call_ranges (Summary.compute p) in
     let ref_, engine =
       Sxe_fuzz.Oracle.engine_cross ~fuel ~mode:`Faithful (Clone.clone_prog p)
     in
@@ -651,7 +656,7 @@ let verify_redundant ?maxlen ?(fuel = Sxe_fuzz.Oracle.default_fuel)
           in
           let g = Clone.clone_func base in
           apply_patch g s;
-          match Certify.certify ?maxlen g with
+          match Certify.certify ?maxlen ~call_ranges g with
           | [] ->
               Hashtbl.replace patched s.fname g;
               (s :: kept, excluded)
@@ -662,7 +667,7 @@ let verify_redundant ?maxlen ?(fuel = Sxe_fuzz.Oracle.default_fuel)
     let individually_verify (s : site) =
       let q = Clone.clone_prog p in
       apply_patch (Prog.find_func q s.fname) s;
-      let static = Certify.certify ?maxlen (Prog.find_func q s.fname) in
+      let static = Certify.certify ?maxlen ~call_ranges (Prog.find_func q s.fname) in
       let static_detail =
         match static with
         | [] -> None

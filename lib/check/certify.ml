@@ -37,8 +37,8 @@ type error = {
 
 type solution = { env : Transfer.env; res : Dataflow.result }
 
-let solve ?maxlen (f : Cfg.func) : solution =
-  let env = Transfer.make ?maxlen f in
+let solve ?maxlen ?call_ranges (f : Cfg.func) : solution =
+  let env = Transfer.make ?maxlen ?call_ranges f in
   let universe = Extstate.universe ~nregs:(Transfer.nregs env) in
   let boundary = Bitset.create universe in
   Bitset.fill boundary;
@@ -176,11 +176,21 @@ let errors_of_solution (sol : solution) : error list =
             (Instr.required_ext_uses_term ~reg_ty t));
   List.rev !errs
 
-let certify ?maxlen (f : Cfg.func) : error list =
-  errors_of_solution (solve ?maxlen f)
+let certify ?maxlen ?call_ranges (f : Cfg.func) : error list =
+  errors_of_solution (solve ?maxlen ?call_ranges f)
 
+(* Whole-program certification recomputes the interprocedural
+   return-value summaries the optimizer ran with ([Pass.compile]); the
+   pipeline preserves semantics, so summaries of the optimized program
+   are the same sound facts. Without them the certifier cannot re-prove
+   eliminations that leaned on a callee's return range. *)
 let certify_prog ?maxlen (p : Prog.t) : error list =
-  List.concat_map (certify ?maxlen) (List.rev (Prog.fold_funcs (fun acc f -> f :: acc) [] p))
+  let call_ranges =
+    Sxe_analysis.Summary.call_ranges (Sxe_analysis.Summary.compute p)
+  in
+  List.concat_map
+    (certify ?maxlen ~call_ranges)
+    (List.rev (Prog.fold_funcs (fun acc f -> f :: acc) [] p))
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -21,7 +21,11 @@ type error = {
 type solution
 (** A solved instance: fixpoint plus environment, reusable by lints. *)
 
-val solve : ?maxlen:int64 -> Sxe_ir.Cfg.func -> solution
+val solve :
+  ?maxlen:int64 ->
+  ?call_ranges:(string -> Sxe_analysis.Range.interval option) ->
+  Sxe_ir.Cfg.func ->
+  solution
 val errors_of_solution : solution -> error list
 
 val scan :
@@ -52,8 +56,17 @@ val witness :
     [~fact:(fun s -> not s.Extstate.ext)]. Bounded and cycle-checked;
     a truncated chain is still a valid prefix. *)
 
-val certify : ?maxlen:int64 -> Sxe_ir.Cfg.func -> error list
+val certify :
+  ?maxlen:int64 ->
+  ?call_ranges:(string -> Sxe_analysis.Range.interval option) ->
+  Sxe_ir.Cfg.func ->
+  error list
+
 val certify_prog : ?maxlen:int64 -> Sxe_ir.Prog.t -> error list
+(** Certifies every function with interprocedural return-range
+    summaries recomputed from [p] — the same facts
+    {!Sxe_core.Pass.compile} fed the eliminator, so program-level
+    certification has full proof parity. *)
 
 val loc_to_string : bid:int -> iid:int option -> string
 val error_to_string : error -> string

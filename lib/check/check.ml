@@ -23,8 +23,8 @@ let lint_prog = Lint.run_prog
 (** Certify [f] and raise {!Certification_failed} naming [stage] on any
     error. Callers gate on {!paranoid} (or a test harness calls it
     unconditionally). *)
-let stage_gate ?maxlen ~stage (f : Sxe_ir.Cfg.func) =
-  match Certify.certify ?maxlen f with
+let stage_gate ?maxlen ?call_ranges ~stage (f : Sxe_ir.Cfg.func) =
+  match Certify.certify ?maxlen ?call_ranges f with
   | [] -> ()
   | errs ->
       raise

@@ -7,17 +7,33 @@ val paranoid : unit -> bool
 (** Is paranoid per-stage certification enabled ([SXE_CHECK] set to
     anything but empty/["0"])? Read per call. *)
 
-val certify : ?maxlen:int64 -> Sxe_ir.Cfg.func -> Certify.error list
+val certify :
+  ?maxlen:int64 ->
+  ?call_ranges:(string -> Sxe_analysis.Range.interval option) ->
+  Sxe_ir.Cfg.func ->
+  Certify.error list
+
 val certify_prog : ?maxlen:int64 -> Sxe_ir.Prog.t -> Certify.error list
 
 val lint :
-  ?maxlen:int64 -> ?rules:Lint.rule list -> Sxe_ir.Cfg.func -> Lint.finding list
+  ?maxlen:int64 ->
+  ?call_ranges:(string -> Sxe_analysis.Range.interval option) ->
+  ?rules:Lint.rule list ->
+  Sxe_ir.Cfg.func ->
+  Lint.finding list
 
 val lint_prog :
   ?maxlen:int64 -> ?rules:Lint.rule list -> Sxe_ir.Prog.t -> Lint.finding list
 
-val stage_gate : ?maxlen:int64 -> stage:string -> Sxe_ir.Cfg.func -> unit
-(** Certify and raise {!Certification_failed} naming [stage] on error. *)
+val stage_gate :
+  ?maxlen:int64 ->
+  ?call_ranges:(string -> Sxe_analysis.Range.interval option) ->
+  stage:string ->
+  Sxe_ir.Cfg.func ->
+  unit
+(** Certify and raise {!Certification_failed} naming [stage] on error.
+    Pass the [call_ranges] the optimizer ran with, or the gate may
+    reject sound eliminations that used interprocedural ranges. *)
 
 val json_escape : string -> string
 val json_str : string -> string

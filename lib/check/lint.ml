@@ -268,14 +268,17 @@ let find_rule name = List.find_opt (fun r -> r.name = name) (rules ())
 
 (** Run [rules] (default: the whole registry) over one function,
     solving the certification instance once and sharing it. *)
-let run_func ?maxlen ?(rules = rules ()) (f : Cfg.func) : finding list =
-  let sol = Certify.solve ?maxlen f in
+let run_func ?maxlen ?call_ranges ?(rules = rules ()) (f : Cfg.func) : finding list =
+  let sol = Certify.solve ?maxlen ?call_ranges f in
   List.concat_map (fun r -> r.check sol f) rules
 
 let run_prog ?maxlen ?rules (p : Prog.t) : finding list =
+  let call_ranges =
+    Sxe_analysis.Summary.call_ranges (Sxe_analysis.Summary.compute p)
+  in
   List.rev
     (Prog.fold_funcs
-       (fun acc f -> List.rev_append (run_func ?maxlen ?rules f) acc)
+       (fun acc f -> List.rev_append (run_func ?maxlen ~call_ranges ?rules f) acc)
        [] p)
 
 let finding_to_string (fi : finding) =

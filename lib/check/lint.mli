@@ -49,12 +49,18 @@ val rules : unit -> rule list
 val find_rule : string -> rule option
 
 val run_func :
-  ?maxlen:int64 -> ?rules:rule list -> Sxe_ir.Cfg.func -> finding list
+  ?maxlen:int64 ->
+  ?call_ranges:(string -> Sxe_analysis.Range.interval option) ->
+  ?rules:rule list ->
+  Sxe_ir.Cfg.func ->
+  finding list
 (** Solve the certification instance once and run [rules] (default:
     the full registry) over it. *)
 
 val run_prog :
   ?maxlen:int64 -> ?rules:rule list -> Sxe_ir.Prog.t -> finding list
+(** Runs with interprocedural return-range summaries recomputed from
+    the program, like {!Certify.certify_prog}. *)
 
 val finding_to_string : finding -> string
 val max_severity : finding list -> severity option

@@ -27,23 +27,35 @@ module Range = Sxe_analysis.Range
    [And]. *)
 type rfacts = {
   nonneg_after : bool;
+  window_after : int;
+      (** sub-width windows the destination's range provably fits, as
+          {!Sxe_check.Extstate}-shaped bits: bit 0 = signed 8, bit 1 =
+          signed 16, bit 2 = unsigned 8, bit 3 = unsigned 16 *)
   nn_l : bool;  (** [And]: left operand provably in [0, 2{^31}-1] before *)
   nn_r : bool;
   t4_l : bool;  (** [Add]/[Sub]: left addend within [maxlen - 2{^31}, 2{^31}-1] *)
   t4_r : bool;
   t3_l : bool;  (** Theorem 3 with the {e left} operand upper-zero *)
   t3_r : bool;
+  nof : bool;
+      (** [Add]/[Sub]: the {e mathematical} sum/difference of the
+          operand intervals fits int32, so the 64-bit machine result of
+          extended operands cannot wrap — extendedness survives
+          (mirrors the eliminator's range-assisted [AnalyzeDEF] rule for
+          no-overflow arithmetic) *)
 }
 
 let no_facts =
   {
     nonneg_after = false;
+    window_after = 0;
     nn_l = false;
     nn_r = false;
     t4_l = false;
     t4_r = false;
     t3_l = false;
     t3_r = false;
+    nof = false;
   }
 
 type env = {
@@ -57,8 +69,8 @@ let func env = env.f
 
 let nonneg32 (lo, hi) = lo >= 0L && hi <= Range.i32_max
 
-let make ?(maxlen = Types.max_array_length) (f : Cfg.func) : env =
-  let ranges = Range.compute f in
+let make ?(maxlen = Types.max_array_length) ?call_ranges (f : Cfg.func) : env =
+  let ranges = Range.compute ?call_ranges f in
   let facts = Hashtbl.create 64 in
   let i32 r = Cfg.reg_ty f r = I32 in
   (* Theorem 4 hypothesis for an addend interval: adding it to a valid
@@ -78,7 +90,15 @@ let make ?(maxlen = Types.max_array_length) (f : Cfg.func) : env =
       let base =
         match Instr.def i.Instr.op with
         | Some d when i32 d ->
-            { no_facts with nonneg_after = nonneg32 (Range.after ranges ~bid ~iid d) }
+            let ((lo, hi) as after) = Range.after ranges ~bid ~iid d in
+            let bit k wlo whi = if lo >= wlo && hi <= whi then k else 0 in
+            {
+              no_facts with
+              nonneg_after = nonneg32 after;
+              window_after =
+                bit 1 (-128L) 127L lor bit 2 (-32768L) 32767L
+                lor bit 4 0L 255L lor bit 8 0L 65535L;
+            }
         | _ -> no_facts
       in
       let fs =
@@ -88,6 +108,11 @@ let make ?(maxlen = Types.max_array_length) (f : Cfg.func) : env =
         | Instr.Binop { op = (Add | Sub) as bop; l; r; w = W32; _ } ->
             let addend_l = before l in
             let addend_r = if bop = Sub then neg (before r) else before r in
+            let (llo, lhi) = addend_l and (rlo, rhi) = addend_r in
+            (* the mathematical (unwrapped) sum of the addend intervals;
+               operand bounds are int32, so the int64 adds cannot
+               themselves overflow *)
+            let mlo = Int64.add llo rlo and mhi = Int64.add lhi rhi in
             {
               base with
               t4_l = in_t4 addend_l;
@@ -98,6 +123,7 @@ let make ?(maxlen = Types.max_array_length) (f : Cfg.func) : env =
                  role (the subtrahend enters negated). *)
               t3_l = in_t2 (neg addend_r);
               t3_r = bop = Add && in_t2 (neg addend_l);
+              nof = mlo >= Range.i32_min && mhi <= Range.i32_max;
             }
         | _ -> base
       in
@@ -243,17 +269,19 @@ let step env (copies : copies) (st : Bitset.t) (i : Instr.t) =
                   asafe = false;
                 }
             | Instr.Binop { op = Add | Sub; l; r; w = W32; _ } ->
-                (* overflow escapes the int32 range, so neither
-                   extendedness nor upper-zero survives — but Theorems
-                   2-4 still certify the sum as a subscript. *)
+                (* overflow escapes the int32 range, so in general
+                   neither extendedness nor upper-zero survives — but
+                   Theorems 2-4 still certify the sum as a subscript,
+                   and when interval arithmetic proves the mathematical
+                   result fits int32 ([nof]) the wrap cannot happen and
+                   extended operands yield an extended result. *)
                 let sl = get l and sr = get r in
-                let t2_t4 =
-                  sl.Extstate.ext && sr.Extstate.ext && (fs.t4_l || fs.t4_r)
-                in
+                let both_ext = sl.Extstate.ext && sr.Extstate.ext in
+                let t2_t4 = both_ext && (fs.t4_l || fs.t4_r) in
                 let t3 =
                   (sl.Extstate.zup && fs.t3_l) || (sr.Extstate.zup && fs.t3_r)
                 in
-                v32 false false (t2_t4 || t3)
+                v32 (both_ext && fs.nof) false (t2_t4 || t3)
             | Instr.Binop { op = Div | Rem; w = W32; _ } ->
                 v32 true false false (* extended inputs: genuine int32 result *)
             | Instr.Binop { op = AShr; w = W32; _ } -> v32 true false false
@@ -306,6 +334,22 @@ let step env (copies : copies) (st : Bitset.t) (i : Instr.t) =
                 z16 = v.Extstate.z16 || v.Extstate.s16;
               }
             else v
+          in
+          (* window upgrade: an extended value whose range fits a signed
+             sub-width window is sign-extended from that width (the full
+             register equals the sub-width extension of its low bits);
+             symmetrically for upper-zero values and unsigned windows. *)
+          let v =
+            let w k = fs.window_after land k <> 0 in
+            if fs.window_after = 0 then v
+            else
+              {
+                v with
+                Extstate.s8 = v.Extstate.s8 || (v.Extstate.ext && w 1);
+                s16 = v.Extstate.s16 || (v.Extstate.ext && w 2);
+                z8 = v.Extstate.z8 || (v.Extstate.zup && w 4);
+                z16 = v.Extstate.z16 || (v.Extstate.zup && w 8);
+              }
           in
           Extstate.set st dst v;
           fresh_tok copies dst

@@ -5,10 +5,17 @@
 type env
 (** Per-function context: precomputed range-derived facts. *)
 
-val make : ?maxlen:int64 -> Sxe_ir.Cfg.func -> env
+val make :
+  ?maxlen:int64 ->
+  ?call_ranges:(string -> Sxe_analysis.Range.interval option) ->
+  Sxe_ir.Cfg.func ->
+  env
 (** Runs the range analysis and precomputes per-instruction facts.
     [maxlen] is the assumed maximum array length (Theorem 4), default
-    {!Sxe_ir.Types.max_array_length}. *)
+    {!Sxe_ir.Types.max_array_length}. [call_ranges] feeds the same
+    interprocedural return-value intervals the optimizer's range
+    analysis uses — required for proof parity whenever the eliminator
+    ran with summaries (see {!Sxe_analysis.Summary}). *)
 
 val nregs : env -> int
 val func : env -> Sxe_ir.Cfg.func

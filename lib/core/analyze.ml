@@ -136,6 +136,29 @@ let rec analyze_def ctx (site : Reaching.def_site) : bool =
           match i.op with
           | Instr.Binop { op = And; l; r; w = W32; _ } ->
               full_nonneg ctx i l || full_nonneg ctx i r
+          | Instr.Binop { op = (Add | Sub) as bop; l; r; w = W32; _ } ->
+              (* no-overflow sum/difference of extended operands: the
+                 64-bit machine result then equals the mathematical one,
+                 and interval arithmetic bounding that inside int32 rules
+                 the wrap out — so extendedness survives the operation.
+                 This is what lets [extended_from] discharge sub-width
+                 truncating extensions whose operand ranges already fit
+                 the width window (the certifier's Transfer mirrors the
+                 fact). *)
+              let llo, lhi = range_before ctx i l in
+              let rlo, rhi = range_before ctx i r in
+              let mlo, mhi =
+                if bop = Add then (Int64.add llo rlo, Int64.add lhi rhi)
+                else (Int64.sub llo rhi, Int64.sub lhi rlo)
+              in
+              let srcs_ext s =
+                Cfg.reg_ty ctx.f s = I32
+                &&
+                let defs = Chains.ud_at_instr ctx.chains i s in
+                defs <> [] && List.for_all (fun d -> not (analyze_def ctx d)) defs
+              in
+              mlo >= Range.i32_min && mhi <= Range.i32_max && srcs_ext l
+              && srcs_ext r
           | _ -> false
         in
         if case1 then false

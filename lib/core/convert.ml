@@ -34,9 +34,11 @@ let step1_guaranteed (f : Cfg.func) (op : Instr.op) =
       (* under the gen-def invariant a 32-bit-to-32-bit copy stays
          extended; a truncating copy from a 64-bit register does not *)
       Cfg.reg_ty f src = I32
-  | Instr.Zext { from = W32; _ } ->
-      (* deliberate zero-extension: never re-extend behind its back *)
-      true
+  (* [Zext W32] is deliberately NOT guaranteed: it zeroes the upper
+     half, and when the low word is negative the register is no longer
+     sign-extended — the invariant requires a fresh extension after it.
+     The converter's own upper-zero guards are exempt because
+     [zext_guards] runs after [gen_def] (see {!run}). *)
   | _ -> false
 
 let apply_arch_loads (arch : Arch.t) (f : Cfg.func) =
@@ -166,7 +168,11 @@ let zext_guards (f : Cfg.func) (stats : Stats.t) =
 
 let run (config : Config.t) (f : Cfg.func) (stats : Stats.t) =
   apply_arch_loads config.Config.arch f;
-  zext_guards f stats;
-  match config.Config.conversion with
+  (* sign-extension insertion first, upper-zero guards second: the
+     guards' [Zext] instructions act on fresh temporaries consumed only
+     by the guarded shift, and [gen_def] must not re-sign-extend them
+     behind the guard's back (that would feed sign bits into [shr.u]). *)
+  (match config.Config.conversion with
   | Config.Gen_def -> gen_def f stats
-  | Config.Gen_use -> gen_use f stats
+  | Config.Gen_use -> gen_use f stats);
+  zext_guards f stats

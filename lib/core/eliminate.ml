@@ -34,10 +34,10 @@ let run ?edge_prob ?call_ranges (config : Config.t) (f : Cfg.func) (stats : Stat
   Insertion.run config f stats;
   (* shared analyses: UD/DU chains (accounted separately, as in Table 3)
      and value ranges *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sxe_util.Monoclock.now_ns () in
   let chains = Chains.build f in
   let ranges = Range.compute ?call_ranges f in
-  let t_chains = Unix.gettimeofday () -. t0 in
+  let t_chains = Sxe_util.Monoclock.elapsed_s t0 in
   (* (3)-2 order determination *)
   let exts = ref [] in
   Cfg.iter_blocks

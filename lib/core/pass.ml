@@ -22,7 +22,7 @@ type profile_source = string -> src:int -> dst:int -> float option
 (** measured branch probability per (function, edge), from the VM's
     interpreter profile *)
 
-let now = Unix.gettimeofday
+let now = Sxe_util.Monoclock.now_s
 
 let compile_func ?(profile : profile_source option)
     ?(stage_check : (stage:string -> Sxe_ir.Cfg.func -> unit) option)
@@ -32,7 +32,7 @@ let compile_func ?(profile : profile_source option)
   let notify stage =
     (match stage_check with Some fn -> fn ~stage f | None -> ());
     if paranoid then
-      Sxe_check.Check.stage_gate ~maxlen:config.Config.maxlen ~stage f
+      Sxe_check.Check.stage_gate ~maxlen:config.Config.maxlen ?call_ranges ~stage f
   in
   let observing = paranoid || stage_check <> None in
   let t0 = now () in

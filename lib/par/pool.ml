@@ -262,13 +262,15 @@ let consume_map (type b) p (f : 'a -> b) ~(consume : int -> b -> unit) (xs : 'a 
         Condition.wait room batch_lock
       done;
       Mutex.unlock batch_lock;
-      let t0 = Unix.gettimeofday () in
+      (* monotonic: [busy_s] must never go negative or jump under an
+         NTP step mid-batch *)
+      let t0 = Sxe_util.Monoclock.now_ns () in
       let local = Array.init (hi - lo) (fun k ->
           match f arr.(lo + k) with
           | v -> Ok v
           | exception e -> Error (e, Printexc.get_raw_backtrace ()))
       in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Sxe_util.Monoclock.elapsed_s t0 in
       Mutex.lock batch_lock;
       for k = lo to hi - 1 do
         results.(k) <- Some local.(k - lo)

@@ -1,0 +1,25 @@
+(** Blocking client for the {!Server} protocol, shared by the load
+    generator, the test suite and ad-hoc tooling. One connection, one
+    outstanding request at a time (the protocol itself allows
+    pipelining; tests that need it write to the socket directly). *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix-domain socket. Raises
+    [Unix.Unix_error] when nobody is listening. *)
+
+val close : t -> unit
+
+val fd : t -> Unix.file_descr
+(** The raw socket, for tests that pipeline or half-close. *)
+
+val request : t -> string -> string
+(** [request t line] sends one request line (newline appended if
+    missing) and blocks for the response line (returned without its
+    newline). Raises [End_of_file] if the server closes first. *)
+
+val compile :
+  ?variant:string -> ?arch:string -> ?emit:bool -> ?id:string ->
+  t -> string -> string
+(** Convenience wrapper building a [compile] request for [source]. *)

@@ -1,0 +1,88 @@
+type variant =
+  [ `Baseline
+  | `Gen_use
+  | `First
+  | `Basic
+  | `Insert
+  | `Order
+  | `Insert_order
+  | `Array
+  | `Array_insert
+  | `Array_order
+  | `All_pde
+  | `All ]
+
+let variant_names : (string * variant) list =
+  [
+    ("baseline", `Baseline);
+    ("gen-use", `Gen_use);
+    ("first", `First);
+    ("basic", `Basic);
+    ("insert", `Insert);
+    ("order", `Order);
+    ("insert-order", `Insert_order);
+    ("array", `Array);
+    ("array-insert", `Array_insert);
+    ("array-order", `Array_order);
+    ("all-pde", `All_pde);
+    ("all", `All);
+  ]
+
+let variant_of_name n = List.assoc_opt n variant_names
+
+let config_of ?arch ?maxlen : variant -> Sxe_core.Config.t = function
+  | `Baseline -> Sxe_core.Config.baseline ?arch ?maxlen ()
+  | `Gen_use -> Sxe_core.Config.gen_use ?arch ?maxlen ()
+  | `First -> Sxe_core.Config.first_algorithm ?arch ?maxlen ()
+  | `Basic -> Sxe_core.Config.basic_ud_du ?arch ?maxlen ()
+  | `Insert -> Sxe_core.Config.insert ?arch ?maxlen ()
+  | `Order -> Sxe_core.Config.order ?arch ?maxlen ()
+  | `Insert_order -> Sxe_core.Config.insert_order ?arch ?maxlen ()
+  | `Array -> Sxe_core.Config.array ?arch ?maxlen ()
+  | `Array_insert -> Sxe_core.Config.array_insert ?arch ?maxlen ()
+  | `Array_order -> Sxe_core.Config.array_order ?arch ?maxlen ()
+  | `All_pde -> Sxe_core.Config.all_pde ?arch ?maxlen ()
+  | `All -> Sxe_core.Config.new_all ?arch ?maxlen ()
+
+let arch_of_name = function
+  | "ia64" -> Some Sxe_core.Arch.ia64
+  | "ppc64" -> Some Sxe_core.Arch.ppc64
+  | _ -> None
+
+(* Bump on any pipeline change that can alter compiled output,
+   certificates or emitted assembly; stale daemon caches key on it. *)
+let pipeline_rev = "sxe-pipeline-10"
+
+type outcome = {
+  prog : Sxe_ir.Prog.t;
+  config : Sxe_core.Config.t;
+  stats : Sxe_core.Stats.t;
+  errors : Sxe_check.Certify.error list;
+  asm : string option;
+}
+
+let run_prog ?(emit = false) ~(config : Sxe_core.Config.t) ~(maxlen : int64)
+    (base : Sxe_ir.Prog.t) : outcome =
+  let prog = Sxe_ir.Clone.clone_prog base in
+  let stats = Sxe_core.Pass.compile config prog in
+  Sxe_ir.Validate.check_prog prog;
+  let errors = Sxe_check.Check.certify_prog ~maxlen prog in
+  let asm =
+    if not emit then None
+    else begin
+      let b = Buffer.create 1024 in
+      Sxe_ir.Prog.iter_funcs
+        (fun f ->
+          let a = Sxe_codegen.Emit.emit_func ~arch:config.Sxe_core.Config.arch f in
+          Buffer.add_string b (Sxe_codegen.Emit.to_string a))
+        prog;
+      Some (Buffer.contents b)
+    end
+  in
+  { prog; config; stats; errors; asm }
+
+let run_source ?emit ~config ~maxlen (src : string) :
+    (outcome, string) result =
+  match Sxe_lang.Frontend.compile src with
+  | exception Sxe_lang.Frontend.Error msg -> Error msg
+  | prog -> Ok (run_prog ?emit ~config ~maxlen prog)

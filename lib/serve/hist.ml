@@ -1,0 +1,58 @@
+(* Buckets are geometric with ratio 1.25 starting at 1e-6 s. Bucket i
+   covers [lo * r^i, lo * r^(i+1)); 140 buckets reach past 3e9 s, so
+   the overflow bucket is unreachable in practice. *)
+
+let lo = 1e-6
+let ratio = 1.25
+let buckets = 140
+let log_ratio = Float.log ratio
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable max : float;
+}
+
+let create () = { counts = Array.make (buckets + 1) 0; n = 0; sum = 0.0; max = 0.0 }
+
+let bucket_of (s : float) : int =
+  if s <= lo then 0
+  else
+    let i = int_of_float (Float.log (s /. lo) /. log_ratio) in
+    if i >= buckets then buckets else i
+
+let add t s =
+  let s = if Float.is_nan s || s < 0.0 then 0.0 else s in
+  t.counts.(bucket_of s) <- t.counts.(bucket_of s) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. s;
+  if s > t.max then t.max <- s
+
+let count t = t.n
+let max_s t = t.max
+let mean_s t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let quantile t q =
+  if t.n = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    (* rank of the q-th sample, 1-based, ceiling: p50 of 2 samples is
+       the 1st, p99 of 1000 is the 990th *)
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.n))) in
+    let rec find i acc =
+      if i > buckets then buckets
+      else
+        let acc = acc + t.counts.(i) in
+        if acc >= rank then i else find (i + 1) acc
+    in
+    let i = find 0 0 in
+    let mid = lo *. (ratio ** (float_of_int i +. 0.5)) in
+    Float.min mid t.max
+  end
+
+let merge_into ~into t =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.n <- into.n + t.n;
+  into.sum <- into.sum +. t.sum;
+  if t.max > into.max then into.max <- t.max

@@ -1,0 +1,44 @@
+(** Minimal JSON reader/writer for the daemon protocol.
+
+    The tree deliberately carries no external dependency: requests are
+    small, flat objects, and responses are assembled mostly by string
+    concatenation so that embedded fragments (the certifier's
+    [errors_to_json] output) stay byte-identical to the one-shot CLI.
+    This module is the {e reading} half — the server parses request
+    lines with it, the load generator parses response lines — plus a
+    plain emitter for the places that do build values.
+
+    Integers are kept exact in [int64]; a number with a fraction or
+    exponent parses as [Float]. Strings must be valid JSON strings
+    (escape sequences and [\uXXXX] are decoded; surrogate pairs are
+    recombined to UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Malformed input, with a byte offset in the message. *)
+
+val parse : string -> t
+(** Parse one JSON value; trailing non-whitespace raises. *)
+
+val to_string : t -> string
+(** Compact (no-whitespace) rendering. Object member order is
+    preserved. *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+(** {2 Object accessors} — all total; [None]/default on absent member
+    or wrong type. *)
+
+val member : string -> t -> t option
+val str : ?default:string -> string -> t -> string option
+val int : ?default:int64 -> string -> t -> int64 option
+val bool : ?default:bool -> string -> t -> bool option

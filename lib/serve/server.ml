@@ -1,0 +1,518 @@
+module Monoclock = Sxe_util.Monoclock
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_max : int;
+  timeout_s : float;
+  cache_max : int;
+}
+
+let default_config ~socket_path =
+  { socket_path; jobs = 1; queue_max = 64; timeout_s = 30.0; cache_max = 4096 }
+
+(* Per-connection state. [wbuf]/[woff] form a simple send buffer: bytes
+   before [woff] have been written; when everything is out the buffer
+   resets. *)
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;  (* bytes of a not-yet-complete request line *)
+  wbuf : Buffer.t;  (* reply bytes not yet accepted by the kernel *)
+  mutable woff : int;
+  mutable closed : bool;
+}
+
+(* One cache-missing compile request, fully parsed and keyed. *)
+type work = {
+  w_conn : conn;
+  w_id : string option;  (* the request's "id" member, re-rendered *)
+  w_key : string;
+  w_config : Sxe_core.Config.t;
+  w_arch_name : string;
+  w_maxlen : int64;
+  w_emit : bool;
+  w_source : string;
+  w_received : int64;
+}
+
+type t = {
+  config : config;
+  stopping : bool Atomic.t;
+  cache : Cache.t;
+  lat : Hist.t;
+  pending : work Queue.t;
+  mutable started : int64;
+  (* counters, event-loop domain only *)
+  mutable requests : int;
+  mutable compile_requests : int;
+  mutable compiles : int;
+  mutable ok_count : int;
+  mutable err_count : int;
+  mutable overloaded : int;
+  mutable timeouts : int;
+  mutable coalesced : int;
+  mutable batches : int;
+  mutable max_batch : int;
+  mutable max_queue : int;
+  mutable total_conns : int;
+  mutable live_conns : int;
+}
+
+let create (config : config) : t =
+  {
+    config;
+    stopping = Atomic.make false;
+    cache = Cache.create ~max_entries:config.cache_max ();
+    lat = Hist.create ();
+    pending = Queue.create ();
+    started = 0L;
+    requests = 0;
+    compile_requests = 0;
+    compiles = 0;
+    ok_count = 0;
+    err_count = 0;
+    overloaded = 0;
+    timeouts = 0;
+    coalesced = 0;
+    batches = 0;
+    max_batch = 0;
+    max_queue = 0;
+    total_conns = 0;
+    live_conns = 0;
+  }
+
+let stop t = Atomic.set t.stopping true
+let requests_served t = t.requests
+
+(* A request line (with its terminator) may not exceed this; beyond it
+   the connection is protocol-broken and dropped. *)
+let max_line = 16 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Payload construction (strings, so embedded fragments stay           *)
+(* byte-identical to the one-shot CLI)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Times are excluded: the verdict for a given (source, variant, arch,
+   maxlen, emit) must be byte-stable across runs, machines and cache
+   hits. *)
+let stats_json (s : Sxe_core.Stats.t) =
+  Printf.sprintf
+    "{\"generated\":%d,\"generated_zext\":%d,\"inserted\":%d,\"dummies\":%d,\
+     \"eliminated\":%d,\"eliminated_zext\":%d,\"eliminated_by_pre\":%d,\
+     \"remaining\":%d,\"remaining_zext\":%d,\"theorems\":[%d,%d,%d,%d]}"
+    s.Sxe_core.Stats.generated s.Sxe_core.Stats.generated_zext
+    s.Sxe_core.Stats.inserted s.Sxe_core.Stats.dummies
+    s.Sxe_core.Stats.eliminated s.Sxe_core.Stats.eliminated_zext
+    s.Sxe_core.Stats.eliminated_by_pre s.Sxe_core.Stats.remaining
+    s.Sxe_core.Stats.remaining_zext
+    s.Sxe_core.Stats.by_theorem.(1)
+    s.Sxe_core.Stats.by_theorem.(2)
+    s.Sxe_core.Stats.by_theorem.(3)
+    s.Sxe_core.Stats.by_theorem.(4)
+
+let ok_payload ~arch_name (o : Compile_one.outcome) =
+  Printf.sprintf
+    "\"ok\":true,\"variant\":\"%s\",\"arch\":\"%s\",\"certified\":%b,\
+     \"errors\":%s,\"stats\":%s,\"asm\":%s"
+    (Json.escape o.Compile_one.config.Sxe_core.Config.name)
+    (Json.escape arch_name)
+    (o.Compile_one.errors = [])
+    (Sxe_check.Check.errors_to_json o.Compile_one.errors)
+    (stats_json o.Compile_one.stats)
+    (match o.Compile_one.asm with
+    | None -> "null"
+    | Some a -> "\"" ^ Json.escape a ^ "\"")
+
+let err_payload ~category ~detail =
+  Printf.sprintf "\"ok\":false,\"error\":\"%s\",\"detail\":\"%s\""
+    (Json.escape category) (Json.escape detail)
+
+let payload_is_ok p = String.length p >= 9 && String.sub p 0 9 = "\"ok\":true"
+
+(* Runs on a pool worker. Returns (payload, cacheable): deterministic
+   outcomes (verdicts and frontend errors) cache; internal crashes do
+   not, so a transient failure is retried rather than pinned. *)
+let compute_payload (w : work) : string * bool =
+  match
+    Compile_one.run_source ~emit:w.w_emit ~config:w.w_config ~maxlen:w.w_maxlen
+      w.w_source
+  with
+  | Ok o -> (ok_payload ~arch_name:w.w_arch_name o, true)
+  | Error msg -> (err_payload ~category:"frontend" ~detail:msg, true)
+  | exception e ->
+      (err_payload ~category:"internal" ~detail:(Printexc.to_string e), false)
+
+(* ------------------------------------------------------------------ *)
+(* Connection I/O                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let close_conn t (c : conn) =
+  if not c.closed then begin
+    c.closed <- true;
+    t.live_conns <- t.live_conns - 1;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Append a full response line. [cached] is printed only for compile
+   responses (it is meaningless elsewhere). *)
+let send t (c : conn) ?cached ~id payload =
+  if not c.closed then begin
+    let b = c.wbuf in
+    Buffer.add_char b '{';
+    (match id with
+    | Some j ->
+        Buffer.add_string b "\"id\":";
+        Buffer.add_string b j;
+        Buffer.add_char b ','
+    | None -> ());
+    (match cached with
+    | Some v ->
+        Buffer.add_string b "\"cached\":";
+        Buffer.add_string b (string_of_bool v);
+        Buffer.add_char b ','
+    | None -> ());
+    Buffer.add_string b payload;
+    Buffer.add_string b "}\n"
+  end;
+  ignore t
+
+let flush_conn t (c : conn) =
+  if (not c.closed) && Buffer.length c.wbuf > c.woff then begin
+    let s = Buffer.contents c.wbuf in
+    let len = String.length s in
+    match Unix.write_substring c.fd s c.woff (len - c.woff) with
+    | n ->
+        c.woff <- c.woff + n;
+        if c.woff >= len then begin
+          Buffer.clear c.wbuf;
+          c.woff <- 0
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | ENOTCONN), _, _)
+      ->
+        close_conn t c
+  end
+
+let flushed (c : conn) = Buffer.length c.wbuf <= c.woff
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let count_outcome t payload =
+  if payload_is_ok payload then t.ok_count <- t.ok_count + 1
+  else t.err_count <- t.err_count + 1
+
+let record_latency t received =
+  Hist.add t.lat (Monoclock.elapsed_s received)
+
+let metrics_payload t =
+  let p50 = Hist.quantile t.lat 0.50 and p99 = Hist.quantile t.lat 0.99 in
+  Printf.sprintf
+    "\"ok\":true,\"metrics\":{\"uptime_s\":%.3f,\"requests\":%d,\
+     \"compile_requests\":%d,\"compiles\":%d,\"ok\":%d,\"errors\":%d,\
+     \"overloaded\":%d,\"timeouts\":%d,\"coalesced\":%d,\"batches\":%d,\
+     \"max_batch\":%d,\"queue_depth\":%d,\"max_queue_depth\":%d,\
+     \"connections\":%d,\"total_connections\":%d,\
+     \"cache\":{\"hits\":%d,\"misses\":%d,\"size\":%d},\
+     \"latency\":{\"count\":%d,\"p50_ms\":%.4f,\"p99_ms\":%.4f,\
+     \"mean_ms\":%.4f,\"max_ms\":%.4f},\"jobs\":%d,\"pipeline_rev\":\"%s\"}"
+    (Monoclock.elapsed_s t.started)
+    t.requests t.compile_requests t.compiles t.ok_count t.err_count
+    t.overloaded t.timeouts t.coalesced t.batches t.max_batch
+    (Queue.length t.pending) t.max_queue t.live_conns t.total_conns
+    (Cache.hits t.cache) (Cache.misses t.cache) (Cache.size t.cache)
+    (Hist.count t.lat) (p50 *. 1e3) (p99 *. 1e3) (Hist.mean_s t.lat *. 1e3)
+    (Hist.max_s t.lat *. 1e3)
+    t.config.jobs Compile_one.pipeline_rev
+
+let handle_compile t (c : conn) ~id (j : Json.t) =
+  t.compile_requests <- t.compile_requests + 1;
+  let received = Monoclock.now_ns () in
+  let bad detail =
+    t.err_count <- t.err_count + 1;
+    send t c ~id ~cached:false (err_payload ~category:"bad_request" ~detail)
+  in
+  match Json.str "source" j with
+  | None -> bad "missing or non-string \"source\""
+  | Some source -> (
+      let vname =
+        Option.value ~default:"all" (Json.str ~default:"all" "variant" j)
+      in
+      let aname =
+        Option.value ~default:"ia64" (Json.str ~default:"ia64" "arch" j)
+      in
+      match (Compile_one.variant_of_name vname, Compile_one.arch_of_name aname)
+      with
+      | None, _ -> bad (Printf.sprintf "unknown variant %S" vname)
+      | _, None -> bad (Printf.sprintf "unknown arch %S" aname)
+      | Some variant, Some arch -> (
+          match
+            ( Json.int ~default:Sxe_ir.Types.max_array_length "maxlen" j,
+              Json.bool ~default:false "emit" j )
+          with
+          | None, _ -> bad "non-integer \"maxlen\""
+          | _, None -> bad "non-boolean \"emit\""
+          | Some maxlen, Some emit -> (
+              let key =
+                Cache.key ~variant:vname ~arch:aname ~maxlen ~emit ~source
+              in
+              match Cache.find t.cache key with
+              | Some payload ->
+                  count_outcome t payload;
+                  record_latency t received;
+                  send t c ~id ~cached:true payload
+              | None ->
+                  if Queue.length t.pending >= t.config.queue_max then begin
+                    t.overloaded <- t.overloaded + 1;
+                    t.err_count <- t.err_count + 1;
+                    send t c ~id ~cached:false
+                      (err_payload ~category:"overloaded"
+                         ~detail:
+                           (Printf.sprintf
+                              "queue full (%d pending); retry later"
+                              (Queue.length t.pending)))
+                  end
+                  else
+                    Queue.push
+                      {
+                        w_conn = c;
+                        w_id = id;
+                        w_key = key;
+                        w_config = Compile_one.config_of ~arch ~maxlen variant;
+                        w_arch_name = aname;
+                        w_maxlen = maxlen;
+                        w_emit = emit;
+                        w_source = source;
+                        w_received = received;
+                      }
+                      t.pending)))
+
+let handle_line t (c : conn) (line : string) =
+  t.requests <- t.requests + 1;
+  match Json.parse line with
+  | exception Json.Parse_error msg ->
+      t.err_count <- t.err_count + 1;
+      send t c ~id:None (err_payload ~category:"parse" ~detail:msg)
+  | j -> (
+      let id = Option.map Json.to_string (Json.member "id" j) in
+      match Json.str "op" j with
+      | None ->
+          t.err_count <- t.err_count + 1;
+          send t c ~id
+            (err_payload ~category:"bad_request" ~detail:"missing \"op\"")
+      | Some "ping" ->
+          t.ok_count <- t.ok_count + 1;
+          send t c ~id "\"ok\":true,\"pong\":true"
+      | Some "metrics" ->
+          t.ok_count <- t.ok_count + 1;
+          send t c ~id (metrics_payload t)
+      | Some "shutdown" ->
+          t.ok_count <- t.ok_count + 1;
+          Atomic.set t.stopping true;
+          send t c ~id "\"ok\":true,\"stopping\":true"
+      | Some "compile" -> handle_compile t c ~id j
+      | Some op ->
+          t.err_count <- t.err_count + 1;
+          send t c ~id
+            (err_payload ~category:"bad_request"
+               ~detail:(Printf.sprintf "unknown op %S" op)))
+
+(* Consume complete lines from the connection's read buffer. *)
+let ingest t (c : conn) =
+  let s = Buffer.contents c.rbuf in
+  match String.rindex_opt s '\n' with
+  | None ->
+      if String.length s > max_line then begin
+        send t c ~id:None
+          (err_payload ~category:"bad_request" ~detail:"request line too long");
+        close_conn t c
+      end
+  | Some last ->
+      Buffer.clear c.rbuf;
+      Buffer.add_substring c.rbuf s (last + 1) (String.length s - last - 1);
+      String.split_on_char '\n' (String.sub s 0 last)
+      |> List.iter (fun line ->
+             let line = String.trim line in
+             if line <> "" then handle_line t c line)
+
+let read_conn t (c : conn) =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    if c.closed then ()
+    else
+      match Unix.read c.fd buf 0 (Bytes.length buf) with
+      | 0 -> close_conn t c (* EOF: replies are undeliverable *)
+      | n ->
+          Buffer.add_subbytes c.rbuf buf 0 n;
+          if n = Bytes.length buf then go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+          close_conn t c
+  in
+  go ();
+  if not c.closed then ingest t c
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch t pool =
+  let depth = Queue.length t.pending in
+  if depth > 0 then begin
+    if depth > t.max_queue then t.max_queue <- depth;
+    t.batches <- t.batches + 1;
+    if depth > t.max_batch then t.max_batch <- depth;
+    let items = List.of_seq (Queue.to_seq t.pending) in
+    Queue.clear t.pending;
+    (* expire requests that overstayed the queue *)
+    let live, expired =
+      List.partition
+        (fun w -> Monoclock.elapsed_s w.w_received <= t.config.timeout_s)
+        items
+    in
+    List.iter
+      (fun w ->
+        t.timeouts <- t.timeouts + 1;
+        t.err_count <- t.err_count + 1;
+        send t w.w_conn ~id:w.w_id ~cached:false
+          (err_payload ~category:"timeout"
+             ~detail:
+               (Printf.sprintf "queued longer than %.1fs" t.config.timeout_s)))
+      expired;
+    (* coalesce identical keys: compile once, answer everyone *)
+    let by_key : (string, work list ref) Hashtbl.t = Hashtbl.create 16 in
+    let distinct =
+      List.filter
+        (fun w ->
+          match Hashtbl.find_opt by_key w.w_key with
+          | Some l ->
+              l := w :: !l;
+              false
+          | None ->
+              Hashtbl.add by_key w.w_key (ref [ w ]);
+              true)
+        live
+    in
+    t.compiles <- t.compiles + List.length distinct;
+    let results = Sxe_par.Pool.map pool compute_payload distinct in
+    List.iter2
+      (fun w (payload, cacheable) ->
+        if cacheable then Cache.add t.cache w.w_key payload;
+        let requesters = List.rev !(Hashtbl.find by_key w.w_key) in
+        List.iteri
+          (fun i r ->
+            if i > 0 then t.coalesced <- t.coalesced + 1;
+            count_outcome t payload;
+            record_latency t r.w_received;
+            send t r.w_conn ~id:r.w_id ~cached:false payload)
+          requesters)
+      distinct results
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () ->
+        Unix.close probe;
+        failwith (path ^ ": a daemon is already serving this socket")
+    | exception Unix.Unix_error _ ->
+        (* stale socket file from an unclean exit *)
+        Unix.close probe;
+        (try Unix.unlink path with Sys_error _ | Unix.Unix_error _ -> ())
+  end
+
+let serve ?(handle_signals = false) ?on_ready t =
+  let path = t.config.socket_path in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  if handle_signals then
+    List.iter
+      (fun s ->
+        Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set t.stopping true)))
+      [ Sys.sigterm; Sys.sigint ];
+  claim_socket path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock listen_fd;
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 128;
+  t.started <- Monoclock.now_ns ();
+  (match on_ready with Some f -> f () | None -> ());
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 64 in
+  let next_conn = ref 0 in
+  let listening = ref true in
+  let accept_all () =
+    let rec go () =
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          t.total_conns <- t.total_conns + 1;
+          t.live_conns <- t.live_conns + 1;
+          incr next_conn;
+          Hashtbl.replace conns !next_conn
+            { fd; rbuf = Buffer.create 256; wbuf = Buffer.create 256; woff = 0; closed = false };
+          go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error ((ECONNABORTED | EINTR), _, _) -> go ()
+    in
+    go ()
+  in
+  Sxe_par.Pool.with_pool ~jobs:t.config.jobs (fun pool ->
+      let quit = ref false in
+      while not !quit do
+        let stopping = Atomic.get t.stopping in
+        if stopping && !listening then begin
+          listening := false;
+          try Unix.close listen_fd with Unix.Unix_error _ -> ()
+        end;
+        let live =
+          Hashtbl.fold (fun _ c acc -> if c.closed then acc else c :: acc) conns []
+        in
+        (* while draining, stop reading: only fully-received requests
+           are served *)
+        let rds =
+          (if !listening then [ listen_fd ] else [])
+          @ (if stopping then [] else List.map (fun c -> c.fd) live)
+        in
+        let wrs =
+          List.filter_map
+            (fun c -> if flushed c then None else Some c.fd)
+            live
+        in
+        let readable, writable, _ =
+          match Unix.select rds wrs [] 0.25 with
+          | r -> r
+          | exception Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+        in
+        if !listening && List.mem listen_fd readable then accept_all ();
+        List.iter
+          (fun c -> if List.mem c.fd readable then read_conn t c)
+          live;
+        run_batch t pool;
+        (* flush everything with output, not just select's writable set:
+           fresh replies were appended after the select call *)
+        List.iter
+          (fun c ->
+            if (not (flushed c)) || List.mem c.fd writable then flush_conn t c)
+          live;
+        (* reap *)
+        Hashtbl.iter
+          (fun k c -> if c.closed then Hashtbl.remove conns k)
+          (Hashtbl.copy conns);
+        if
+          Atomic.get t.stopping
+          && Queue.is_empty t.pending
+          && Hashtbl.fold (fun _ c acc -> acc && flushed c) conns true
+        then begin
+          Hashtbl.iter (fun _ c -> close_conn t c) conns;
+          Hashtbl.reset conns;
+          quit := true
+        end
+      done);
+  try Unix.unlink path with Sys_error _ | Unix.Unix_error _ -> ()

@@ -1,0 +1,80 @@
+(** [sxopt serve]: a long-running compile-and-certify daemon.
+
+    The server listens on a Unix-domain socket and speaks
+    newline-delimited JSON: one request object per line, one response
+    object per line. A request's optional [id] is echoed in its
+    response; clients that pipeline correlate by [id], because a
+    cache-missing [compile] is answered when its batch finishes while
+    later cheap requests (ping, metrics, cache hits) are answered
+    inline — replies on one connection can legally interleave. A
+    client that keeps one request in flight (like {!Client}) always
+    sees strict request/response order. See docs/SERVE.md for the
+    protocol. Operations:
+
+    - [compile] — optimize + certify (+ optionally emit pseudo-assembly)
+      one MiniJ program under one variant/arch; the verdict payload is
+      the same computation as the one-shot CLI ({!Compile_one}).
+    - [metrics] — counters, cache statistics and latency quantiles.
+    - [ping] — liveness probe.
+    - [shutdown] — begin a graceful drain (same as SIGTERM).
+
+    {2 Architecture}
+
+    A single select-driven event loop owns every socket and the
+    response cache; compilation fans out in batches onto a
+    {!Sxe_par.Pool} of worker domains, so one slow request does not
+    serialize the rest while the loop itself stays free of locks.
+    Requests already satisfied by the content-hash {!Cache} are
+    answered inline; identical cache-missing requests arriving in the
+    same batch are compiled once and coalesced.
+
+    {2 Backpressure and timeouts}
+
+    At most [queue_max] compile requests may be pending; beyond that
+    the server answers [{"ok":false,"error":"overloaded"}] immediately
+    (the 429 of this protocol) instead of buffering without bound. A
+    request that has waited longer than [timeout_s] when its batch
+    forms is answered [{"ok":false,"error":"timeout"}] rather than
+    compiled.
+
+    {2 Shutdown and robustness}
+
+    On SIGTERM/SIGINT (when [handle_signals]), a [shutdown] request, or
+    {!stop}: the listen socket closes (new connections are rejected by
+    the OS), every fully-received request is still compiled and
+    answered, replies are flushed, and the loop exits after removing
+    the socket file. The in-memory cache is only ever touched from the
+    event loop, so a drain can never corrupt it. SIGPIPE is ignored; a
+    client that disconnects mid-request costs its own reply and nothing
+    else — the batch completes, the dead connection is reaped, and no
+    pool slot leaks. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** worker domains for the compile pool (>= 1) *)
+  queue_max : int;  (** pending-compile bound before "overloaded" *)
+  timeout_s : float;  (** max queue wait before "timeout" *)
+  cache_max : int;  (** cache entries ({!Cache.create}) *)
+}
+
+val default_config : socket_path:string -> config
+(** jobs 1, queue_max 64, timeout_s 30, cache_max 4096. *)
+
+type t
+
+val create : config -> t
+
+val serve : ?handle_signals:bool -> ?on_ready:(unit -> unit) -> t -> unit
+(** Bind, listen and run the event loop; returns after a graceful
+    drain. [on_ready] fires once the socket accepts connections (tests
+    synchronize on it). [handle_signals] (default [false]) installs
+    SIGTERM/SIGINT handlers that begin the drain — the CLI sets it; an
+    in-process test harness must not. Raises [Failure] if the socket
+    path is already served by a live daemon. *)
+
+val stop : t -> unit
+(** Begin a graceful drain from any domain or signal context;
+    idempotent. The loop notices within its select tick. *)
+
+val requests_served : t -> int
+(** Total requests answered so far (any operation, any outcome). *)

@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "sxe_monoclock_ns"
+
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+let elapsed_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9

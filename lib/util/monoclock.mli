@@ -1,0 +1,18 @@
+(** Monotonic interval clock.
+
+    All duration measurements in the tree — pool busy-time, per-phase
+    compile timing, bench wall-clock, the daemon's latency histograms —
+    read this source, never {!Unix.gettimeofday}: the realtime clock
+    steps under NTP corrections, which skews (and can negate) intervals
+    computed from two readings. The epoch is arbitrary; only
+    differences are meaningful. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock, from an arbitrary epoch. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. Same epoch caveat: use only for intervals. *)
+
+val elapsed_s : int64 -> float
+(** [elapsed_s t0] is the seconds elapsed since the {!now_ns} reading
+    [t0]. *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for interval timing.
+ *
+ * CLOCK_MONOTONIC never steps: NTP adjustments, manual clock changes
+ * and leap smearing move CLOCK_REALTIME (Unix.gettimeofday) but not
+ * this source, so durations derived from two readings are always
+ * non-negative and meaningful. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value sxe_monoclock_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -25,4 +25,5 @@ let () =
       ("par", Test_par.suite);
       ("differential", Test_differential.suite);
       ("workloads", Test_workloads.suite);
+      ("serve", Test_serve.suite);
     ]

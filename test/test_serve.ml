@@ -1,0 +1,742 @@
+(** Daemon tests: the JSON codec, latency histogram and compile cache
+    as units; the shared {!Compile_one} path against the certifier
+    directly; and an in-process server exercised over a real
+    Unix-domain socket — verdict parity with the one-shot pipeline,
+    cache hits, overload backpressure, mid-request disconnects and a
+    graceful drain. Also covers two satellites of the same PR: the
+    legacy 5-column audit-baseline parser and the monotonic clock. *)
+
+module Json = Sxe_serve.Json
+module Hist = Sxe_serve.Hist
+module Cache = Sxe_serve.Cache
+module Compile_one = Sxe_serve.Compile_one
+module Server = Sxe_serve.Server
+module Client = Sxe_serve.Client
+module Monoclock = Sxe_util.Monoclock
+module Report = Sxe_audit.Report
+
+(* A small program that certifies under every variant: byte loads and
+   narrowing casts give the pipeline real extensions to eliminate. *)
+let sample_src =
+  {|
+void main() {
+  byte[] a = new byte[16];
+  int i = 0;
+  while (i < 16) {
+    a[i] = i * 7;
+    i = i + 1;
+  }
+  int s = 0;
+  i = 0;
+  while (i < 16) {
+    s = s + a[i];
+    i = i + 1;
+  }
+  print_int(s);
+  short t = (short) (s * 3);
+  print_int(t);
+}
+|}
+
+let bad_src = "void main() { int x = ; }"
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      ("null", Json.Null);
+      ("true", Json.Bool true);
+      ("false", Json.Bool false);
+      ("0", Json.Int 0L);
+      ("-42", Json.Int (-42L));
+      ("9223372036854775807", Json.Int Int64.max_int);
+      ("\"\"", Json.Str "");
+      ("\"a b\"", Json.Str "a b");
+      ("[]", Json.Arr []);
+      ("[1,2,3]", Json.Arr [ Json.Int 1L; Json.Int 2L; Json.Int 3L ]);
+      ("{}", Json.Obj []);
+      ( "{\"a\":1,\"b\":[true,null]}",
+        Json.Obj
+          [ ("a", Json.Int 1L); ("b", Json.Arr [ Json.Bool true; Json.Null ]) ]
+      );
+    ]
+  in
+  List.iter
+    (fun (s, v) ->
+      Alcotest.(check bool) ("parse " ^ s) true (Json.parse s = v);
+      Alcotest.(check string) ("emit " ^ s) s (Json.to_string v))
+    cases;
+  (* floats parse as Float, ints stay exact *)
+  (match Json.parse "1.5" with
+  | Json.Float f -> Alcotest.(check (float 1e-9)) "float" 1.5 f
+  | _ -> Alcotest.fail "1.5 should parse as Float");
+  (match Json.parse "1e3" with
+  | Json.Float f -> Alcotest.(check (float 1e-9)) "exp float" 1000.0 f
+  | _ -> Alcotest.fail "1e3 should parse as Float");
+  (* whitespace is tolerated, trailing garbage is not *)
+  Alcotest.(check bool)
+    "whitespace" true
+    (Json.parse " { \"a\" : [ 1 , 2 ] } " = Json.parse "{\"a\":[1,2]}");
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | _ -> Alcotest.fail ("should not parse: " ^ s)
+      | exception Json.Parse_error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "nul"; "\"\\q\""; "\"unterminated" ]
+
+let test_json_strings () =
+  (* escape/parse round-trip, including control chars and quotes *)
+  let tricky = "a\"b\\c\nd\te\r\x01 f/g" in
+  let emitted = "\"" ^ Json.escape tricky ^ "\"" in
+  (match Json.parse emitted with
+  | Json.Str s -> Alcotest.(check string) "escape round-trip" tricky s
+  | _ -> Alcotest.fail "escaped string should parse as Str");
+  (* \uXXXX decoding, including a surrogate pair -> UTF-8 *)
+  (match Json.parse "\"\\u0041\\u00e9\\u20ac\"" with
+  | Json.Str s -> Alcotest.(check string) "bmp escapes" "A\xc3\xa9\xe2\x82\xac" s
+  | _ -> Alcotest.fail "unicode escapes");
+  match Json.parse "\"\\ud83d\\ude00\"" with
+  | Json.Str s ->
+      Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair"
+
+let test_json_accessors () =
+  let j = Json.parse "{\"s\":\"x\",\"n\":7,\"b\":true,\"f\":1.5}" in
+  Alcotest.(check (option string)) "str" (Some "x") (Json.str "s" j);
+  Alcotest.(check bool) "int" true (Json.int "n" j = Some 7L);
+  Alcotest.(check (option bool)) "bool" (Some true) (Json.bool "b" j);
+  (* absent member: None without default, Some default with *)
+  Alcotest.(check (option string)) "absent" None (Json.str "zz" j);
+  Alcotest.(check (option string))
+    "absent default" (Some "d")
+    (Json.str ~default:"d" "zz" j);
+  (* wrong type: None even with a default — a default only fills an
+     absent member, it must not mask a malformed one *)
+  Alcotest.(check (option string)) "wrong type" None (Json.str "n" j);
+  Alcotest.(check (option string))
+    "wrong type w/ default" None
+    (Json.str ~default:"d" "n" j);
+  Alcotest.(check bool) "int on float" true (Json.int "f" j = None)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist () =
+  let h = Hist.create () in
+  Alcotest.(check int) "empty count" 0 (Hist.count h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Hist.quantile h 0.5);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Hist.mean_s h);
+  let samples = [ 0.001; 0.002; 0.002; 0.004; 0.100 ] in
+  List.iter (Hist.add h) samples;
+  Alcotest.(check int) "count" 5 (Hist.count h);
+  Alcotest.(check (float 1e-12)) "max exact" 0.100 (Hist.max_s h);
+  Alcotest.(check (float 1e-12))
+    "mean exact"
+    (List.fold_left ( +. ) 0.0 samples /. 5.0)
+    (Hist.mean_s h);
+  (* quantiles are bucketed: relative error bounded by the 1.25 ratio *)
+  let p50 = Hist.quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %.6f near 0.002" p50)
+    true
+    (p50 >= 0.002 /. 1.25 && p50 <= 0.002 *. 1.25);
+  (* p100 never exceeds the exact max and lands in its bucket *)
+  let p100 = Hist.quantile h 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p100 %.6f bounded by max" p100)
+    true
+    (p100 <= 0.100 && p100 >= 0.100 /. 1.25);
+  (* non-positive samples clamp into the first bucket, count still *)
+  Hist.add h (-1.0);
+  Alcotest.(check int) "clamped count" 6 (Hist.count h);
+  (* merge accumulates element-wise *)
+  let h2 = Hist.create () in
+  Hist.add h2 0.050;
+  Hist.merge_into ~into:h2 h;
+  Alcotest.(check int) "merged count" 7 (Hist.count h2);
+  Alcotest.(check (float 1e-12)) "merged max" 0.100 (Hist.max_s h2)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cache_key ?(variant = "all") ?(arch = "ia64") ?(maxlen = 1024L)
+    ?(emit = false) source =
+  Cache.key ~variant ~arch ~maxlen ~emit ~source
+
+let test_cache_basic () =
+  let c = Cache.create ~max_entries:8 () in
+  let k = cache_key "src" in
+  Alcotest.(check (option string)) "miss" None (Cache.find c k);
+  Cache.add c k "payload";
+  Alcotest.(check (option string)) "hit" (Some "payload") (Cache.find c k);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c);
+  Alcotest.(check int) "size" 1 (Cache.size c);
+  (* re-adding an existing key is a first-wins no-op *)
+  Cache.add c k "other";
+  Alcotest.(check (option string)) "first wins" (Some "payload") (Cache.find c k);
+  Alcotest.(check int) "no dup entry" 1 (Cache.size c)
+
+let test_cache_key_sensitivity () =
+  let base = cache_key "src" in
+  List.iter
+    (fun (what, k) ->
+      Alcotest.(check bool) (what ^ " changes key") false (String.equal base k))
+    [
+      ("variant", cache_key ~variant:"baseline" "src");
+      ("arch", cache_key ~arch:"ppc64" "src");
+      ("maxlen", cache_key ~maxlen:2048L "src");
+      ("emit", cache_key ~emit:true "src");
+      ("source", cache_key "src ");
+    ];
+  Alcotest.(check string) "deterministic" base (cache_key "src")
+
+let test_cache_eviction () =
+  let c = Cache.create ~max_entries:2 () in
+  let k i = cache_key (string_of_int i) in
+  Cache.add c (k 1) "1";
+  Cache.add c (k 2) "2";
+  Cache.add c (k 3) "3";
+  (* FIFO: 1 is gone, 2 and 3 remain *)
+  Alcotest.(check (option string)) "oldest evicted" None (Cache.find c (k 1));
+  Alcotest.(check (option string)) "second kept" (Some "2") (Cache.find c (k 2));
+  Alcotest.(check (option string)) "third kept" (Some "3") (Cache.find c (k 3));
+  Alcotest.(check int) "bounded" 2 (Cache.size c);
+  (* max_entries <= 0 disables storage entirely *)
+  let off = Cache.create ~max_entries:0 () in
+  Cache.add off (k 1) "1";
+  Alcotest.(check (option string)) "disabled" None (Cache.find off (k 1));
+  Alcotest.(check int) "disabled size" 0 (Cache.size off)
+
+(* ------------------------------------------------------------------ *)
+(* Compile_one: the shared pipeline                                    *)
+(* ------------------------------------------------------------------ *)
+
+let maxlen = Sxe_ir.Types.max_array_length
+
+let test_compile_one () =
+  (* every registered variant name resolves and back *)
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool)
+        ("variant " ^ name) true
+        (Compile_one.variant_of_name name = Some v))
+    Compile_one.variant_names;
+  Alcotest.(check bool)
+    "unknown variant" true
+    (Compile_one.variant_of_name "nope" = None);
+  Alcotest.(check bool) "unknown arch" true (Compile_one.arch_of_name "x86" = None);
+  (* the happy path certifies and reports work done *)
+  let config = Compile_one.config_of `All in
+  (match Compile_one.run_source ~config ~maxlen sample_src with
+  | Error e -> Alcotest.fail ("unexpected frontend error: " ^ e)
+  | Ok o ->
+      Alcotest.(check (list string))
+        "certified"
+        []
+        (List.map (fun _ -> "error") o.Compile_one.errors);
+      Alcotest.(check bool)
+        "extensions generated" true
+        (o.Compile_one.stats.Sxe_core.Stats.generated > 0);
+      Alcotest.(check bool) "no asm unless asked" true (o.Compile_one.asm = None));
+  (* emit produces assembly through the same call *)
+  (match Compile_one.run_source ~emit:true ~config ~maxlen sample_src with
+  | Error e -> Alcotest.fail ("unexpected frontend error: " ^ e)
+  | Ok o -> (
+      match o.Compile_one.asm with
+      | Some a -> Alcotest.(check bool) "asm nonempty" true (String.length a > 0)
+      | None -> Alcotest.fail "emit:true must produce asm"));
+  (* frontend errors are a result, not an exception *)
+  match Compile_one.run_source ~config ~maxlen bad_src with
+  | Error msg -> Alcotest.(check bool) "error message" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "bad source must not compile"
+
+(* The verdict the daemon embeds must be the certifier's own: run the
+   pipeline directly and compare the canonicalized errors JSON. *)
+let test_compile_one_matches_certifier () =
+  let config = Compile_one.config_of ~maxlen:4L `Baseline in
+  (* tiny maxlen forces certification errors on array-heavy code *)
+  match Compile_one.run_source ~config ~maxlen:4L sample_src with
+  | Error e -> Alcotest.fail ("unexpected frontend error: " ^ e)
+  | Ok o ->
+      let ours = Sxe_check.Check.errors_to_json o.Compile_one.errors in
+      (* the fragment the server would embed is itself valid JSON *)
+      let reparsed = Json.parse ours in
+      Alcotest.(check bool)
+        "errors fragment is a JSON array" true
+        (match reparsed with Json.Arr _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* In-process server over a real socket                                *)
+(* ------------------------------------------------------------------ *)
+
+let temp_socket_path () =
+  let p = Filename.temp_file "sxe-serve-test" ".sock" in
+  (* claim_socket treats a non-socket file as stale and unlinks it *)
+  p
+
+let with_server ?(jobs = 1) ?(queue_max = 64) ?(timeout_s = 30.0)
+    ?(cache_max = 4096) f =
+  let socket_path = temp_socket_path () in
+  let config = { Server.socket_path; jobs; queue_max; timeout_s; cache_max } in
+  let t = Server.create config in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Server.serve ~on_ready:(fun () -> Atomic.set ready true) t)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Domain.join d;
+      try Sys.remove socket_path with Sys_error _ -> ())
+    (fun () -> f socket_path t)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+(* Read from a raw fd until [n] complete lines have arrived. *)
+let recv_lines fd n =
+  let buf = Bytes.create 65536 in
+  let acc = Buffer.create 4096 in
+  let newlines () =
+    String.fold_left
+      (fun a ch -> if ch = '\n' then a + 1 else a)
+      0 (Buffer.contents acc)
+  in
+  while newlines () < n do
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> failwith "server closed the connection early"
+    | k -> Buffer.add_subbytes acc buf 0 k
+  done;
+  String.split_on_char '\n' (Buffer.contents acc)
+  |> List.filter (fun s -> s <> "")
+
+let compile_req ?(variant = "all") ?id source =
+  let id_field =
+    match id with
+    | None -> ""
+    | Some i -> Printf.sprintf "\"id\":\"%s\"," (Json.escape i)
+  in
+  Printf.sprintf "{%s\"op\":\"compile\",\"variant\":\"%s\",\"source\":\"%s\"}\n"
+    id_field (Json.escape variant) (Json.escape source)
+
+let test_serve_ping_and_errors () =
+  with_server (fun path _t ->
+      let c = Client.connect path in
+      let pong = Client.request c "{\"op\":\"ping\"}" in
+      Alcotest.(check (option bool))
+        "pong" (Some true)
+        (Json.bool "pong" (Json.parse pong));
+      (* id round-trips verbatim, including non-string ids *)
+      let r = Client.request c "{\"id\":17,\"op\":\"ping\"}" in
+      Alcotest.(check bool) "int id echoed" true
+        (Json.int "id" (Json.parse r) = Some 17L);
+      (* malformed line -> parse error, connection stays usable *)
+      let r = Client.request c "{oops" in
+      Alcotest.(check (option string))
+        "parse error" (Some "parse")
+        (Json.str "error" (Json.parse r));
+      let r = Client.request c "{\"op\":\"frobnicate\"}" in
+      Alcotest.(check (option string))
+        "unknown op" (Some "bad_request")
+        (Json.str "error" (Json.parse r));
+      let r = Client.request c "{\"op\":\"compile\"}" in
+      Alcotest.(check (option string))
+        "missing source" (Some "bad_request")
+        (Json.str "error" (Json.parse r));
+      let r = Client.compile ~variant:"warp-speed" c sample_src in
+      Alcotest.(check (option string))
+        "unknown variant" (Some "bad_request")
+        (Json.str "error" (Json.parse r));
+      (* frontend errors are request errors, not daemon crashes *)
+      let r = Client.compile c bad_src in
+      Alcotest.(check (option string))
+        "frontend error" (Some "frontend")
+        (Json.str "error" (Json.parse r));
+      Alcotest.(check (option bool))
+        "still alive" (Some true)
+        (Json.bool "pong" (Json.parse (Client.request c "{\"op\":\"ping\"}")));
+      Client.close c)
+
+(* The daemon's verdict must be the same computation as the one-shot
+   pipeline: same certified bit, same stats, same canonical errors. *)
+let test_serve_verdict_parity () =
+  with_server (fun path _t ->
+      let c = Client.connect path in
+      List.iter
+        (fun vname ->
+          let resp = Json.parse (Client.compile ~variant:vname c sample_src) in
+          let variant =
+            Option.get (Compile_one.variant_of_name vname)
+          in
+          let config = Compile_one.config_of variant in
+          let direct =
+            match Compile_one.run_source ~config ~maxlen sample_src with
+            | Ok o -> o
+            | Error e -> Alcotest.fail ("direct pipeline failed: " ^ e)
+          in
+          Alcotest.(check (option bool))
+            (vname ^ " ok") (Some true) (Json.bool "ok" resp);
+          Alcotest.(check (option bool))
+            (vname ^ " certified")
+            (Some (direct.Compile_one.errors = []))
+            (Json.bool "certified" resp);
+          Alcotest.(check (option string))
+            (vname ^ " variant name")
+            (Some direct.Compile_one.config.Sxe_core.Config.name)
+            (Json.str "variant" resp);
+          (* canonical errors parity: daemon field == certifier output *)
+          let direct_errors =
+            Json.to_string
+              (Json.parse
+                 (Sxe_check.Check.errors_to_json direct.Compile_one.errors))
+          in
+          let served_errors =
+            match Json.member "errors" resp with
+            | Some e -> Json.to_string e
+            | None -> Alcotest.fail (vname ^ ": response without errors field")
+          in
+          Alcotest.(check string) (vname ^ " errors") direct_errors served_errors;
+          (* stats parity on the fields the response carries *)
+          let stats =
+            match Json.member "stats" resp with
+            | Some s -> s
+            | None -> Alcotest.fail (vname ^ ": response without stats")
+          in
+          let s = direct.Compile_one.stats in
+          List.iter
+            (fun (field, expect) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s stats.%s" vname field)
+                true
+                (Json.int field stats = Some (Int64.of_int expect)))
+            [
+              ("generated", s.Sxe_core.Stats.generated);
+              ("inserted", s.Sxe_core.Stats.inserted);
+              ("eliminated", s.Sxe_core.Stats.eliminated);
+              ("remaining", s.Sxe_core.Stats.remaining);
+              ("remaining_zext", s.Sxe_core.Stats.remaining_zext);
+            ])
+        [ "baseline"; "first"; "all" ];
+      Client.close c)
+
+let test_serve_cache_hit () =
+  with_server (fun path _t ->
+      let c = Client.connect path in
+      let r1 = Client.compile c sample_src in
+      let r2 = Client.compile c sample_src in
+      Alcotest.(check (option bool))
+        "first is a miss" (Some false)
+        (Json.bool "cached" (Json.parse r1));
+      Alcotest.(check (option bool))
+        "second is a hit" (Some true)
+        (Json.bool "cached" (Json.parse r2));
+      (* byte-identical verdict modulo the cached flag *)
+      let norm s =
+        match String.index_opt s ',' with
+        | Some i ->
+            (* drop the leading {"cached":...,} field *)
+            "{" ^ String.sub s (i + 1) (String.length s - i - 1)
+        | None -> s
+      in
+      Alcotest.(check string) "hit payload byte-identical" (norm r1) (norm r2);
+      (* a different variant is a different key *)
+      let r3 = Client.compile ~variant:"baseline" c sample_src in
+      Alcotest.(check (option bool))
+        "other variant misses" (Some false)
+        (Json.bool "cached" (Json.parse r3));
+      (* frontend errors are deterministic, so they cache too *)
+      let e1 = Client.compile c bad_src in
+      let e2 = Client.compile c bad_src in
+      Alcotest.(check (option bool))
+        "error cached" (Some true)
+        (Json.bool "cached" (Json.parse e2));
+      Alcotest.(check string) "error payload stable" (norm e1) (norm e2);
+      (* metrics agree *)
+      let m = Json.parse (Client.request c "{\"op\":\"metrics\"}") in
+      let metrics = Option.get (Json.member "metrics" m) in
+      let cache = Option.get (Json.member "cache" metrics) in
+      Alcotest.(check bool)
+        "hits counted" true
+        (match Json.int "hits" cache with Some h -> h >= 2L | None -> false);
+      Alcotest.(check bool)
+        "latency recorded" true
+        (match Json.member "latency" metrics with
+        | Some lat -> (
+            match Json.int "count" lat with Some n -> n > 0L | None -> false)
+        | None -> false);
+      Client.close c)
+
+let test_serve_overload () =
+  (* jobs=1, queue_max=1: a pipelined burst of unique (cache-missing)
+     requests must draw "overloaded" replies, and the daemon must keep
+     serving afterwards. *)
+  with_server ~jobs:1 ~queue_max:1 (fun path _t ->
+      let c = Client.connect path in
+      let n = 16 in
+      let burst = Buffer.create 4096 in
+      for i = 0 to n - 1 do
+        Buffer.add_string burst
+          (compile_req (Printf.sprintf "%s// burst-%d\n" sample_src i))
+      done;
+      write_all (Client.fd c) (Buffer.contents burst);
+      let replies = recv_lines (Client.fd c) n in
+      Alcotest.(check int) "one reply per request" n (List.length replies);
+      let overloaded, served =
+        List.partition
+          (fun r -> Json.str "error" (Json.parse r) = Some "overloaded")
+          replies
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "backpressure engaged (%d overloaded)"
+           (List.length overloaded))
+        true
+        (List.length overloaded > 0);
+      Alcotest.(check bool) "some requests served" true (List.length served > 0);
+      List.iter
+        (fun r ->
+          Alcotest.(check (option bool))
+            "served ok" (Some true)
+            (Json.bool "ok" (Json.parse r)))
+        served;
+      Client.close c;
+      (* after the burst the daemon still answers promptly *)
+      let c2 = Client.connect path in
+      Alcotest.(check (option bool))
+        "alive after overload" (Some true)
+        (Json.bool "ok" (Json.parse (Client.compile c2 sample_src)));
+      Client.close c2)
+
+let test_serve_client_disconnect () =
+  (* A client that sends a compile and vanishes before reading must
+     cost only its own reply: no crash, no leaked pool slot, next
+     connection served normally. *)
+  with_server ~jobs:2 (fun path t ->
+      for i = 0 to 4 do
+        let c = Client.connect path in
+        write_all (Client.fd c)
+          (compile_req (Printf.sprintf "%s// ghost-%d\n" sample_src i));
+        Client.close c
+      done;
+      (* half-close variant: request sent, write side shut, reader gone *)
+      let c = Client.connect path in
+      write_all (Client.fd c) (compile_req (sample_src ^ "// ghost-half\n"));
+      (try Unix.shutdown (Client.fd c) Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      Client.close c;
+      (* the daemon survives and still compiles for the living *)
+      let c2 = Client.connect path in
+      let r = Client.compile c2 sample_src in
+      Alcotest.(check (option bool))
+        "served after disconnects" (Some true)
+        (Json.bool "ok" (Json.parse r));
+      Alcotest.(check (option bool))
+        "verdict intact" (Some true)
+        (Json.bool "certified" (Json.parse r));
+      Alcotest.(check bool)
+        "requests were processed" true
+        (Server.requests_served t >= 1);
+      Client.close c2)
+
+let test_serve_concurrent () =
+  with_server ~jobs:2 (fun path _t ->
+      let per_domain = 20 in
+      let worker k () =
+        let c = Client.connect path in
+        let bad = ref 0 in
+        for i = 0 to per_domain - 1 do
+          (* a mix of shared (cacheable) and unique bodies *)
+          let src =
+            if i mod 2 = 0 then sample_src
+            else Printf.sprintf "%s// d%d-%d\n" sample_src k i
+          in
+          let j = Json.parse (Client.compile c src) in
+          if Json.bool "ok" j <> Some true || Json.bool "certified" j <> Some true
+          then incr bad
+        done;
+        Client.close c;
+        !bad
+      in
+      let domains = List.init 4 (fun k -> Domain.spawn (worker k)) in
+      let bad = List.fold_left (fun a d -> a + Domain.join d) 0 domains in
+      Alcotest.(check int) "all concurrent verdicts ok" 0 bad;
+      let c = Client.connect path in
+      let m = Json.parse (Client.request c "{\"op\":\"metrics\"}") in
+      let metrics = Option.get (Json.member "metrics" m) in
+      Alcotest.(check bool)
+        "all requests counted" true
+        (match Json.int "compile_requests" metrics with
+        | Some n -> n >= Int64.of_int (4 * per_domain)
+        | None -> false);
+      Client.close c)
+
+let test_serve_drain () =
+  let socket_path = temp_socket_path () in
+  let config =
+    { (Server.default_config ~socket_path) with Server.jobs = 1 }
+  in
+  let t = Server.create config in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Server.serve ~on_ready:(fun () -> Atomic.set ready true) t)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  let c = Client.connect socket_path in
+  (* a compile already queued before shutdown must still be answered:
+     pipeline both requests, then read both replies. The shutdown ack
+     comes back inline while the compile waits for its batch, so the
+     two replies are correlated by id, not by order. *)
+  write_all (Client.fd c) (compile_req ~id:"c" sample_src);
+  write_all (Client.fd c) "{\"id\":\"s\",\"op\":\"shutdown\"}\n";
+  let replies = List.map Json.parse (recv_lines (Client.fd c) 2) in
+  Alcotest.(check int) "two replies" 2 (List.length replies);
+  let by_id i =
+    match List.find_opt (fun j -> Json.str "id" j = Some i) replies with
+    | Some j -> j
+    | None -> Alcotest.fail ("no reply with id " ^ i)
+  in
+  Alcotest.(check (option bool))
+    "queued compile answered during drain" (Some true)
+    (Json.bool "ok" (by_id "c"));
+  Alcotest.(check (option bool))
+    "shutdown acknowledged" (Some true)
+    (Json.bool "stopping" (by_id "s"));
+  Client.close c;
+  (* the loop exits on its own — no Server.stop here *)
+  Domain.join d;
+  Alcotest.(check bool)
+    "socket file removed" false
+    (Sys.file_exists socket_path);
+  (* nobody is listening anymore *)
+  (match Client.connect socket_path with
+  | c ->
+      Client.close c;
+      Alcotest.fail "connect should fail after drain"
+  | exception Unix.Unix_error _ -> ());
+  Alcotest.(check bool) "drain served requests" true (Server.requests_served t >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: legacy 5-column baseline TSV parsing                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_baseline_legacy_format () =
+  let rows =
+    [
+      ("alpha", "all", 3, 1, 2, 5, 1);
+      ("alpha", "baseline", 30, 4, 6, 33, 7);
+      ("beta", "all", 0, 0, 1, 1, 0);
+    ]
+  in
+  let seven =
+    Report.baseline_header ^ "\n"
+    ^ String.concat "\n"
+        (List.map
+           (fun (i, v, r, n, u, s, z) ->
+             Printf.sprintf "%s\t%s\t%d\t%d\t%d\t%d\t%d" i v r n u s z)
+           rows)
+    ^ "\n"
+  in
+  let five =
+    "# pre-kind baseline, no sext/zext columns\n"
+    ^ String.concat "\n"
+        (List.map
+           (fun (i, v, r, n, u, _, _) ->
+             Printf.sprintf "%s\t%s\t%d\t%d\t%d" i v r n u)
+           rows)
+    ^ "\n"
+  in
+  let p7 = Report.parse_baseline seven in
+  let p5 = Report.parse_baseline five in
+  Alcotest.(check int) "row count (7col)" 3 (List.length p7);
+  Alcotest.(check int) "row count (5col)" 3 (List.length p5);
+  (* the gate reads only verdict counts: both formats must agree *)
+  Alcotest.(check bool) "legacy == current" true (p5 = p7);
+  (match List.assoc_opt ("alpha", "baseline") p7 with
+  | Some c ->
+      Alcotest.(check int) "redundant" 30 c.Report.redundant;
+      Alcotest.(check int) "necessary" 4 c.Report.necessary;
+      Alcotest.(check int) "unknown" 6 c.Report.unknown
+  | None -> Alcotest.fail "missing row");
+  (* blank lines and comments are skipped in both eras *)
+  let p = Report.parse_baseline "\n# c\n\n  \nx\ty\t1\t2\t3\n" in
+  Alcotest.(check int) "noise skipped" 1 (List.length p);
+  (* malformed rows fail loudly, never gate vacuously *)
+  List.iter
+    (fun body ->
+      match Report.parse_baseline body with
+      | _ -> Alcotest.fail ("should reject: " ^ String.escaped body)
+      | exception Failure _ -> ())
+    [
+      "x\ty\t1\t2\n";             (* too few columns *)
+      "x\ty\t1\t2\t3\t4\n";       (* six columns: neither era *)
+      "x\ty\t1\t2\tnope\n";       (* non-numeric count *)
+      "x\ty\t1\t2\t3\t4\t5\t6\n"; (* too many columns *)
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: monotonic clock                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_monoclock () =
+  (* never decreasing, even across many rapid reads *)
+  let prev = ref (Monoclock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Monoclock.now_ns () in
+    if Int64.compare t !prev < 0 then
+      Alcotest.failf "monotonic clock went backwards: %Ld -> %Ld" !prev t;
+    prev := t
+  done;
+  (* elapsed_s measures a real sleep, and is never negative *)
+  let t0 = Monoclock.now_ns () in
+  Unix.sleepf 0.01;
+  let dt = Monoclock.elapsed_s t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "elapsed %.4fs covers the sleep" dt)
+    true
+    (dt >= 0.009 && dt < 10.0);
+  Alcotest.(check bool)
+    "now_s consistent with now_ns" true
+    (abs_float (Monoclock.now_s () -. (Int64.to_float (Monoclock.now_ns ()) /. 1e9))
+    < 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json strings" `Quick test_json_strings;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "latency histogram" `Quick test_hist;
+    Alcotest.test_case "cache basics" `Quick test_cache_basic;
+    Alcotest.test_case "cache key sensitivity" `Quick test_cache_key_sensitivity;
+    Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "compile_one pipeline" `Quick test_compile_one;
+    Alcotest.test_case "compile_one errors json" `Quick
+      test_compile_one_matches_certifier;
+    Alcotest.test_case "serve: ping and request errors" `Quick
+      test_serve_ping_and_errors;
+    Alcotest.test_case "serve: verdict parity" `Quick test_serve_verdict_parity;
+    Alcotest.test_case "serve: cache hits" `Quick test_serve_cache_hit;
+    Alcotest.test_case "serve: overload backpressure" `Quick test_serve_overload;
+    Alcotest.test_case "serve: client disconnect" `Quick
+      test_serve_client_disconnect;
+    Alcotest.test_case "serve: concurrent clients" `Quick test_serve_concurrent;
+    Alcotest.test_case "serve: graceful drain" `Quick test_serve_drain;
+    Alcotest.test_case "baseline: legacy 5-column format" `Quick
+      test_baseline_legacy_format;
+    Alcotest.test_case "monoclock monotonicity" `Quick test_monoclock;
+  ]
