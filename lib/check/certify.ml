@@ -183,7 +183,18 @@ let certify ?maxlen ?call_ranges (f : Cfg.func) : error list =
    return-value summaries the optimizer ran with ([Pass.compile]); the
    pipeline preserves semantics, so summaries of the optimized program
    are the same sound facts. Without them the certifier cannot re-prove
-   eliminations that leaned on a callee's return range. *)
+   eliminations that leaned on a callee's return range.
+
+   This makes [Sxe_analysis.Summary]/[Range] a *shared trusted base*:
+   for call-range-justified facts the certifier is not a fully
+   independent checker — an unsound range bug could let the optimizer
+   mis-eliminate and the certifier re-prove the same wrong fact. The
+   intraprocedural machinery here ([Extstate], the transfer functions,
+   the demand walk) remains independent of the eliminator's, and the
+   differential fuzzer plus the auditor's deletion-verification execute
+   optimized programs against the reference semantics, which is what
+   actually guards the shared base. See docs/CHECK.md, "Trusted
+   base". *)
 let certify_prog ?maxlen (p : Prog.t) : error list =
   let call_ranges =
     Sxe_analysis.Summary.call_ranges (Sxe_analysis.Summary.compute p)

@@ -114,11 +114,24 @@ let parse (s : string) : t =
       Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
     end
   in
+  (* Strictly the four chars [0-9a-fA-F]{4}: [int_of_string "0x…"]
+     would raise [Failure] (not [Parse_error]) on bad digits and
+     accept OCaml underscore syntax. *)
   let hex4 () =
     if !pos + 4 > n then fail !pos "truncated \\u escape";
-    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
-    pos := !pos + 4;
-    v
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail !pos "non-hex digit in \\u escape"
+    in
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      v := (!v lsl 4) lor digit s.[!pos];
+      advance ()
+    done;
+    !v
   in
   let parse_string () =
     expect '"';
@@ -197,7 +210,13 @@ let parse (s : string) : t =
           | Some f -> Float f
           | None -> fail start ("bad number " ^ tok))
   in
-  let rec parse_value () =
+  (* Containers recurse, so a line of a million '[' would otherwise
+     blow the stack — an uncatchable-in-practice [Stack_overflow] no
+     request deserves. Far deeper than any real request needs, far
+     shallower than the stack. *)
+  let max_depth = 512 in
+  let rec parse_value depth =
+    if depth > max_depth then fail !pos "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail !pos "unexpected end of input"
@@ -216,7 +235,7 @@ let parse (s : string) : t =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             members := (k, v) :: !members;
             skip_ws ();
             match peek () with
@@ -239,7 +258,7 @@ let parse (s : string) : t =
         else begin
           let items = ref [] in
           let rec go () =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             items := v :: !items;
             skip_ws ();
             match peek () with
@@ -258,7 +277,7 @@ let parse (s : string) : t =
     | Some ('-' | '0' .. '9') -> parse_number ()
     | Some c -> fail !pos (Printf.sprintf "unexpected '%c'" c)
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail !pos "trailing garbage";
   v

@@ -26,7 +26,11 @@ exception Parse_error of string
 (** Malformed input, with a byte offset in the message. *)
 
 val parse : string -> t
-(** Parse one JSON value; trailing non-whitespace raises. *)
+(** Parse one JSON value; trailing non-whitespace raises. Malformed
+    input of any shape raises {!Parse_error} and nothing else — no
+    [Failure] from number/escape decoding, no [Stack_overflow] from
+    deep nesting (containers beyond 512 levels are rejected) — so a
+    server loop needs to catch exactly one exception. *)
 
 val to_string : t -> string
 (** Compact (no-whitespace) rendering. Object member order is

@@ -20,6 +20,10 @@ type conn = {
   wbuf : Buffer.t;  (* reply bytes not yet accepted by the kernel *)
   mutable woff : int;
   mutable closed : bool;
+  mutable draining : bool;
+      (* protocol-broken: stop reading, close once wbuf is flushed, so
+         the client sees the final error reply instead of a bare
+         hang-up *)
 }
 
 (* One cache-missing compile request, fully parsed and keyed. *)
@@ -189,6 +193,10 @@ let flush_conn t (c : conn) =
           c.woff <- 0
         end
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) ->
+        (* a signal (e.g. SIGTERM starting the drain) interrupted the
+           write; the bytes go out on the next loop tick *)
+        ()
     | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | ENOTCONN), _, _)
       ->
         close_conn t c
@@ -237,12 +245,16 @@ let handle_compile t (c : conn) ~id (j : Json.t) =
   match Json.str "source" j with
   | None -> bad "missing or non-string \"source\""
   | Some source -> (
-      let vname =
-        Option.value ~default:"all" (Json.str ~default:"all" "variant" j)
-      in
-      let aname =
-        Option.value ~default:"ia64" (Json.str ~default:"ia64" "arch" j)
-      in
+      (* like maxlen/emit below: a default fills an absent member only
+         — present-but-wrong-typed is a bad request, not a silent
+         compile under a config the client did not ask for *)
+      match
+        ( Json.str ~default:"all" "variant" j,
+          Json.str ~default:"ia64" "arch" j )
+      with
+      | None, _ -> bad "non-string \"variant\""
+      | _, None -> bad "non-string \"arch\""
+      | Some vname, Some aname -> (
       match (Compile_one.variant_of_name vname, Compile_one.arch_of_name aname)
       with
       | None, _ -> bad (Printf.sprintf "unknown variant %S" vname)
@@ -287,10 +299,9 @@ let handle_compile t (c : conn) ~id (j : Json.t) =
                         w_source = source;
                         w_received = received;
                       }
-                      t.pending)))
+                      t.pending))))
 
-let handle_line t (c : conn) (line : string) =
-  t.requests <- t.requests + 1;
+let handle_line_exn t (c : conn) (line : string) =
   match Json.parse line with
   | exception Json.Parse_error msg ->
       t.err_count <- t.err_count + 1;
@@ -319,6 +330,19 @@ let handle_line t (c : conn) (line : string) =
             (err_payload ~category:"bad_request"
                ~detail:(Printf.sprintf "unknown op %S" op)))
 
+(* The last-resort exception barrier between one request and the event
+   loop: nothing a single line can contain may unwind [serve] and take
+   every live connection down with it. [Json.parse] only raises
+   [Parse_error], but request dispatch runs real code; an unexpected
+   exception is answered as an internal error and the loop moves on. *)
+let handle_line t (c : conn) (line : string) =
+  t.requests <- t.requests + 1;
+  try handle_line_exn t c line
+  with e ->
+    t.err_count <- t.err_count + 1;
+    send t c ~id:None
+      (err_payload ~category:"internal" ~detail:(Printexc.to_string e))
+
 (* Consume complete lines from the connection's read buffer. *)
 let ingest t (c : conn) =
   let s = Buffer.contents c.rbuf in
@@ -327,7 +351,10 @@ let ingest t (c : conn) =
       if String.length s > max_line then begin
         send t c ~id:None
           (err_payload ~category:"bad_request" ~detail:"request line too long");
-        close_conn t c
+        (* an immediate close would discard the reply from the write
+           buffer; drain instead — the loop closes after the flush *)
+        Buffer.clear c.rbuf;
+        c.draining <- true
       end
   | Some last ->
       Buffer.clear c.rbuf;
@@ -340,7 +367,7 @@ let ingest t (c : conn) =
 let read_conn t (c : conn) =
   let buf = Bytes.create 65536 in
   let rec go () =
-    if c.closed then ()
+    if c.closed || c.draining then ()
     else
       match Unix.read c.fd buf 0 (Bytes.length buf) with
       | 0 -> close_conn t c (* EOF: replies are undeliverable *)
@@ -348,11 +375,12 @@ let read_conn t (c : conn) =
           Buffer.add_subbytes c.rbuf buf 0 n;
           if n = Bytes.length buf then go ()
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
       | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
           close_conn t c
   in
   go ();
-  if not c.closed then ingest t c
+  if (not c.closed) && not c.draining then ingest t c
 
 (* ------------------------------------------------------------------ *)
 (* Batch execution                                                     *)
@@ -456,10 +484,24 @@ let serve ?(handle_signals = false) ?on_ready t =
           t.live_conns <- t.live_conns + 1;
           incr next_conn;
           Hashtbl.replace conns !next_conn
-            { fd; rbuf = Buffer.create 256; wbuf = Buffer.create 256; woff = 0; closed = false };
+            {
+              fd;
+              rbuf = Buffer.create 256;
+              wbuf = Buffer.create 256;
+              woff = 0;
+              closed = false;
+              draining = false;
+            };
           go ()
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
       | exception Unix.Unix_error ((ECONNABORTED | EINTR), _, _) -> go ()
+      | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+          (* fd exhaustion under a connection flood must shed load, not
+             kill the daemon: leave the backlog where it is and let this
+             tick's replies/reaps free descriptors; the pause keeps the
+             loop from spinning hot on the still-readable listen fd *)
+          Unix.sleepf 0.05
+      | exception Unix.Unix_error _ -> ()
     in
     go ()
   in
@@ -478,7 +520,12 @@ let serve ?(handle_signals = false) ?on_ready t =
            are served *)
         let rds =
           (if !listening then [ listen_fd ] else [])
-          @ (if stopping then [] else List.map (fun c -> c.fd) live)
+          @
+          if stopping then []
+          else
+            List.filter_map
+              (fun c -> if c.draining then None else Some c.fd)
+              live
         in
         let wrs =
           List.filter_map
@@ -490,16 +537,25 @@ let serve ?(handle_signals = false) ?on_ready t =
           | r -> r
           | exception Unix.Unix_error (EINTR, _, _) -> ([], [], [])
         in
+        (* one connection's failure costs that connection, never the
+           loop: anything the per-syscall handlers did not foresee
+           drops the connection and the daemon carries on *)
+        let guarded c f = try f () with _ -> close_conn t c in
         if !listening && List.mem listen_fd readable then accept_all ();
         List.iter
-          (fun c -> if List.mem c.fd readable then read_conn t c)
+          (fun c ->
+            if List.mem c.fd readable then guarded c (fun () -> read_conn t c))
           live;
         run_batch t pool;
         (* flush everything with output, not just select's writable set:
            fresh replies were appended after the select call *)
         List.iter
           (fun c ->
-            if (not (flushed c)) || List.mem c.fd writable then flush_conn t c)
+            if (not (flushed c)) || List.mem c.fd writable then
+              guarded c (fun () -> flush_conn t c);
+            (* a protocol-broken connection closes only once its final
+               error reply is out *)
+            if c.draining && flushed c then close_conn t c)
           live;
         (* reap *)
         Hashtbl.iter

@@ -47,7 +47,16 @@
     event loop, so a drain can never corrupt it. SIGPIPE is ignored; a
     client that disconnects mid-request costs its own reply and nothing
     else — the batch completes, the dead connection is reaped, and no
-    pool slot leaks. *)
+    pool slot leaks.
+
+    No single request or connection can take the daemon down: request
+    handling sits behind an exception barrier (an unexpected exception
+    is answered as [{"ok":false,"error":"internal"}]), {!Json.parse}
+    raises only [Parse_error] and bounds nesting depth, a
+    protocol-broken connection (over-long line) still receives its
+    error reply before the close, and fd exhaustion under a connection
+    flood ([EMFILE]/[ENFILE]) sheds load instead of raising out of the
+    accept loop. *)
 
 type config = {
   socket_path : string;

@@ -2,7 +2,8 @@
     as units; the shared {!Compile_one} path against the certifier
     directly; and an in-process server exercised over a real
     Unix-domain socket — verdict parity with the one-shot pipeline,
-    cache hits, overload backpressure, mid-request disconnects and a
+    cache hits, overload backpressure, hostile input (bad escapes,
+    nesting bombs, over-long lines), mid-request disconnects and a
     graceful drain. Also covers two satellites of the same PR: the
     legacy 5-column audit-baseline parser and the monotonic clock. *)
 
@@ -102,6 +103,40 @@ let test_json_strings () =
   | Json.Str s ->
       Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
   | _ -> Alcotest.fail "surrogate pair"
+
+(* Hostile input must raise [Parse_error] and nothing else: a [Failure]
+   from hex decoding or a [Stack_overflow] from nesting would sail past
+   the server's parse-error handling and unwind the event loop. *)
+let test_json_hostile () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | _ -> Alcotest.fail ("should not parse: " ^ s)
+      | exception Json.Parse_error _ -> ())
+    [
+      {|"\uZZZZ"|};
+      {|"\u12g4"|};
+      {|"\u1_23"|} (* int_of_string-style underscores are not JSON *);
+      {|"\u0x41"|};
+      {|"\u12"|};
+      {|"\ud83d\u123"|} (* malformed low half of a surrogate pair *);
+    ];
+  (* upper- and lower-case hex still decode *)
+  (match Json.parse "\"\\u004a\\u004A\"" with
+  | Json.Str s -> Alcotest.(check string) "hex case" "JJ" s
+  | _ -> Alcotest.fail "mixed-case hex escapes");
+  (* container nesting is bounded: deep-but-sane parses, hostile does
+     not — and fails with Parse_error, not Stack_overflow *)
+  let deep k = String.make k '[' ^ String.make k ']' in
+  (match Json.parse (deep 100) with
+  | Json.Arr _ -> ()
+  | _ -> Alcotest.fail "100 levels should parse");
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | _ -> Alcotest.fail "hostile nesting should be rejected"
+      | exception Json.Parse_error _ -> ())
+    [ deep 100_000; String.make 1_000_000 '['; String.make 100_000 '{' ]
 
 let test_json_accessors () =
   let j = Json.parse "{\"s\":\"x\",\"n\":7,\"b\":true,\"f\":1.5}" in
@@ -357,6 +392,32 @@ let test_serve_ping_and_errors () =
       Alcotest.(check (option string))
         "missing source" (Some "bad_request")
         (Json.str "error" (Json.parse r));
+      (* hostile escapes and pathological nesting are parse errors the
+         connection survives, not exceptions the daemon dies of *)
+      let r = Client.request c "{\"op\":\"ping\",\"x\":\"\\uZZZZ\"}" in
+      Alcotest.(check (option string))
+        "bad unicode escape" (Some "parse")
+        (Json.str "error" (Json.parse r));
+      let r = Client.request c (String.make 100_000 '[') in
+      Alcotest.(check (option string))
+        "nesting bomb" (Some "parse")
+        (Json.str "error" (Json.parse r));
+      (* wrong-typed variant/arch are bad requests, not silently the
+         default config *)
+      let r =
+        Client.request c
+          "{\"op\":\"compile\",\"source\":\"void main() {}\",\"variant\":3}"
+      in
+      Alcotest.(check (option string))
+        "non-string variant" (Some "bad_request")
+        (Json.str "error" (Json.parse r));
+      let r =
+        Client.request c
+          "{\"op\":\"compile\",\"source\":\"void main() {}\",\"arch\":[]}"
+      in
+      Alcotest.(check (option string))
+        "non-string arch" (Some "bad_request")
+        (Json.str "error" (Json.parse r));
       let r = Client.compile ~variant:"warp-speed" c sample_src in
       Alcotest.(check (option string))
         "unknown variant" (Some "bad_request")
@@ -517,6 +578,50 @@ let test_serve_overload () =
       let c2 = Client.connect path in
       Alcotest.(check (option bool))
         "alive after overload" (Some true)
+        (Json.bool "ok" (Json.parse (Client.compile c2 sample_src)));
+      Client.close c2)
+
+(* A connection that exceeds the 16 MB line cap is protocol-broken and
+   must be dropped — but only after its error reply is flushed, so the
+   client learns why instead of seeing a bare hang-up. *)
+let test_serve_overlong_line () =
+  with_server (fun path _t ->
+      let c = Client.connect path in
+      let fd = Client.fd c in
+      let chunk = String.make 65536 'x' in
+      (* 17 MB with no newline; once the server turns off reading and
+         closes, our blocked write fails — that is the success path *)
+      (try
+         for _ = 1 to 272 do
+           write_all fd chunk
+         done
+       with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ());
+      let reply =
+        match recv_lines fd 1 with
+        | [ r ] -> r
+        | rs -> Alcotest.fail (Printf.sprintf "%d replies" (List.length rs))
+      in
+      Alcotest.(check (option string))
+        "error reply delivered before close" (Some "bad_request")
+        (Json.str "error" (Json.parse reply));
+      Alcotest.(check (option string))
+        "detail names the cap"
+        (Some "request line too long")
+        (Json.str "detail" (Json.parse reply));
+      (* the connection is then closed by the server side *)
+      let buf = Bytes.create 16 in
+      let rec drained () =
+        match Unix.read fd buf 0 16 with
+        | 0 -> true
+        | _ -> drained ()
+        | exception Unix.Unix_error (ECONNRESET, _, _) -> true
+      in
+      Alcotest.(check bool) "connection closed after reply" true (drained ());
+      Client.close c;
+      (* and the daemon is unharmed *)
+      let c2 = Client.connect path in
+      Alcotest.(check (option bool))
+        "daemon alive" (Some true)
         (Json.bool "ok" (Json.parse (Client.compile c2 sample_src)));
       Client.close c2)
 
@@ -719,6 +824,7 @@ let suite =
   [
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json strings" `Quick test_json_strings;
+    Alcotest.test_case "json hostile input" `Quick test_json_hostile;
     Alcotest.test_case "json accessors" `Quick test_json_accessors;
     Alcotest.test_case "latency histogram" `Quick test_hist;
     Alcotest.test_case "cache basics" `Quick test_cache_basic;
@@ -732,6 +838,8 @@ let suite =
     Alcotest.test_case "serve: verdict parity" `Quick test_serve_verdict_parity;
     Alcotest.test_case "serve: cache hits" `Quick test_serve_cache_hit;
     Alcotest.test_case "serve: overload backpressure" `Quick test_serve_overload;
+    Alcotest.test_case "serve: over-long request line" `Quick
+      test_serve_overlong_line;
     Alcotest.test_case "serve: client disconnect" `Quick
       test_serve_client_disconnect;
     Alcotest.test_case "serve: concurrent clients" `Quick test_serve_concurrent;
